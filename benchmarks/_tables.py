@@ -1,0 +1,20 @@
+"""Shared registry so every benchmark's regenerated paper table is printed
+in the pytest terminal summary (captured stdout would otherwise hide it)."""
+
+from __future__ import annotations
+
+_TABLES: list[tuple[str, list[str]]] = []
+
+
+def record(title: str, lines: list[str]) -> None:
+    _TABLES.append((title, lines))
+
+
+def drain() -> list[tuple[str, list[str]]]:
+    out = list(_TABLES)
+    _TABLES.clear()
+    return out
+
+
+def fmt_row(cols, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))

@@ -1,0 +1,44 @@
+"""Ablation: decomposition number (dnum) vs bootstrapping cost.
+
+DESIGN.md calls out ARK's dnum = 4 as a co-design choice: larger dnum
+shrinks the special basis (more levels for a given security budget) but
+multiplies key-switching compute and evk size (Fig. 4 / Section V-A).
+This bench sweeps dnum over the divisors of L+1 = 24 and reports evk size
+and simulated bootstrap time.
+"""
+
+import _tables
+from repro.arch.config import ARK_BASE
+from repro.arch.scheduler import simulate
+from repro.params import ARK
+from repro.plan.bootplan import BootstrapPlan
+
+DNUMS = (2, 3, 4, 6, 8, 12, 24)
+MB = 1 << 20
+
+
+def test_ablation_dnum(benchmark):
+    def compute():
+        out = {}
+        for dnum in DNUMS:
+            params = ARK.with_overrides(dnum=dnum, name=f"ARK-d{dnum}")
+            plan = BootstrapPlan(params, 1 << 15, mode="minks", oflimb=True).build()
+            res = simulate(plan, ARK_BASE)
+            out[dnum] = (params.evk_bytes() / MB, res.milliseconds)
+        return out
+
+    results = benchmark(compute)
+    lines = [f"{'dnum':>4s} {'alpha':>5s} {'evk MB':>8s} {'boot ms':>8s}"]
+    for dnum, (evk_mb, ms) in results.items():
+        alpha = (ARK.max_level + 1) // dnum
+        lines.append(f"{dnum:4d} {alpha:5d} {evk_mb:8.1f} {ms:8.2f}")
+    lines.append(
+        "ARK picks dnum = 4: small enough for evk reuse in the 512 MB "
+        "scratchpad, large enough to keep alpha (and the security budget) "
+        "reasonable"
+    )
+    _tables.record("Ablation: dnum sweep (evk size vs bootstrap time)", lines)
+    # evk bytes grow with dnum; max-dnum bootstrapping is clearly slower
+    # than the paper's choice.
+    assert results[24][0] > results[4][0]
+    assert results[24][1] > results[4][1]

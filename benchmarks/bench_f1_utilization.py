@@ -1,0 +1,33 @@
+"""Section III-C: maximum FU utilization of the bootstrapping-scaled F1."""
+
+import _tables
+from repro.arch.f1 import ScaledF1Model
+from repro.params import ARK
+from repro.plan.bootplan import build_hidft_plan
+
+PAPER = {"idft": 0.0861, "dft": 0.1332}
+
+
+def test_f1_utilization(benchmark):
+    f1 = ScaledF1Model(ARK)
+
+    def compute():
+        out = {}
+        for direction in ("idft", "dft"):
+            plan, _ = build_hidft_plan(ARK, 1 << 15, "baseline", False, direction)
+            out[direction] = f1.max_utilization(plan)
+        return out
+
+    utils = benchmark(compute)
+    lines = [
+        f"scaled F1: {f1.total_modular_multipliers} modular multipliers, "
+        f"{f1.hbm3_gbps/1000:.0f} TB/s HBM3",
+    ]
+    for direction in ("idft", "dft"):
+        lines.append(
+            f"H-{direction.upper():4s} max utilization: "
+            f"{100*utils[direction]:5.2f}%   (paper {100*PAPER[direction]:.2f}%)"
+        )
+    _tables.record("Section III-C: scaled-F1 utilization bound", lines)
+    assert utils["dft"] > utils["idft"]
+    assert utils["idft"] < 0.2

@@ -1,0 +1,35 @@
+"""Fig. 2: off-chip data and arithmetic intensity of H-(I)DFT under
+Baseline / Min-KS / Min-KS + OF-Limb."""
+
+import _tables
+from repro.analysis.intensity import dft_intensity_table, traffic_removed_fraction
+from repro.params import ARK
+
+PAPER = {
+    "idft": {"minks_gain": 2.6, "oflimb_gain": 4.0, "final": 11.1, "removed": 0.88},
+    "dft": {"minks_gain": 2.0, "oflimb_gain": 2.9, "final": 9.6, "removed": 0.78},
+}
+
+
+def test_fig2_intensity(benchmark):
+    rows = benchmark(lambda: dft_intensity_table(ARK))
+    lines = []
+    for direction in ("idft", "dft"):
+        sub = [r for r in rows if r.direction == direction]
+        lines.append(f"Homomorphic {'IDFT' if direction == 'idft' else 'DFT'}:")
+        for r in sub:
+            lines.append(
+                f"  {r.step:18s} evk {r.evk_gb:5.2f} GB  pt {r.pt_gb:5.2f} GB  "
+                f"total {r.total_gb:5.2f} GB  {r.ops_per_byte:6.2f} ops/byte"
+            )
+        gain1 = sub[1].ops_per_byte / sub[0].ops_per_byte
+        gain2 = sub[2].ops_per_byte / sub[1].ops_per_byte
+        removed = traffic_removed_fraction(rows, direction)
+        p = PAPER[direction]
+        lines.append(
+            f"  Min-KS gain {gain1:.2f}x (paper {p['minks_gain']}x), "
+            f"OF-Limb gain {gain2:.2f}x (paper {p['oflimb_gain']}x), "
+            f"traffic removed {100*removed:.0f}% (paper {100*p['removed']:.0f}%)"
+        )
+    _tables.record("Fig. 2: H-(I)DFT off-chip data and arithmetic intensity", lines)
+    assert traffic_removed_fraction(rows, "idft") > 0.8

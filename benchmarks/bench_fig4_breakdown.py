@@ -1,0 +1,29 @@
+"""Fig. 4: computational breakdown (modular mults) of HRot vs dnum."""
+
+import _tables
+from repro.analysis.breakdown import PAPER_FIG4, hrot_breakdown
+from repro.params import ARK
+
+
+def test_fig4_breakdown(benchmark):
+    def compute():
+        return {
+            "dnum=4": hrot_breakdown(ARK),
+            "dnum=max": hrot_breakdown(ARK, dnum=ARK.max_level + 1),
+        }
+
+    results = benchmark(compute)
+    lines = [f"{'config':9s} {'(I)NTT':>8s} {'BConv':>8s} {'evk mult':>9s} {'others':>8s}"]
+    for label, got in results.items():
+        lines.append(
+            f"{label:9s} {100*got['ntt']:7.1f}% {100*got['bconv']:7.1f}% "
+            f"{100*got['evk_mult']:8.1f}% {100*got['others']:7.1f}%"
+        )
+    p4, pm = PAPER_FIG4[4], PAPER_FIG4["max"]
+    lines.append(
+        f"{'paper':9s} dnum=4: {100*p4['ntt']:.1f}/{100*p4['bconv']:.1f}/"
+        f"{100*p4['evk_mult']:.1f}   dnum=max: {100*pm['ntt']:.1f}/"
+        f"{100*pm['bconv']:.1f}/{100*pm['evk_mult']:.1f}"
+    )
+    _tables.record("Fig. 4: HRot modmult breakdown vs dnum", lines)
+    assert results["dnum=4"]["bconv"] > results["dnum=max"]["bconv"]

@@ -1,0 +1,88 @@
+"""Fig. 7: execution time while applying Min-KS and OF-Limb incrementally,
+for bootstrapping (with per-phase breakdown) and the three workloads."""
+
+import _tables
+from repro.arch.config import ARK_BASE
+from repro.arch.scheduler import simulate
+from repro.params import ARK
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.workloads import build_helr, build_resnet20, build_sorting
+
+CONFIGS = (
+    ("Baseline (1/2 SRAM)", "baseline", False, True),
+    ("Baseline", "baseline", False, False),
+    ("Min-KS", "minks", False, False),
+    ("Min-KS + OF-Limb", "minks", True, False),
+)
+
+
+def boot_results():
+    out = {}
+    for label, mode, oflimb, half in CONFIGS:
+        cfg = ARK_BASE.variant_half_sram() if half else ARK_BASE
+        plan = BootstrapPlan(ARK, 1 << 15, mode=mode, oflimb=oflimb).build()
+        out[label] = simulate(plan, cfg)
+    return out
+
+
+def test_fig7a_bootstrapping(benchmark):
+    results = benchmark(boot_results)
+    lines = [
+        f"{'config':22s} {'total ms':>9s} {'H-IDFT':>8s} {'EvalMod':>8s} "
+        f"{'H-DFT':>8s} {'speedup':>8s}"
+    ]
+    base = results["Baseline"].milliseconds
+    for label, res in results.items():
+        phases = res.phase_durations()
+        to_ms = 1.0 / res.config.cycles_per_second * 1e3
+        lines.append(
+            f"{label:22s} {res.milliseconds:9.2f} "
+            f"{phases.get('H-IDFT', 0)*to_ms:8.2f} "
+            f"{phases.get('EvalMod', 0)*to_ms:8.2f} "
+            f"{phases.get('H-DFT', 0)*to_ms:8.2f} "
+            f"{base/res.milliseconds:7.2f}x"
+        )
+    lines.append("paper: Min-KS+OF-Limb gives 2.36x over Baseline")
+    _tables.record("Fig. 7a: bootstrapping time vs algorithms", lines)
+    speedup = base / results["Min-KS + OF-Limb"].milliseconds
+    assert 1.8 < speedup < 3.5
+
+
+def test_fig7b_workloads(benchmark):
+    builders = {
+        "HELR": build_helr,
+        "ResNet-20": build_resnet20,
+        "Sorting": build_sorting,
+    }
+
+    def compute():
+        out = {}
+        for name, build in builders.items():
+            half = build(ARK, mode="baseline", oflimb=False).simulate(
+                ARK_BASE.variant_half_sram()
+            )
+            base = build(ARK, mode="baseline", oflimb=False).simulate(ARK_BASE)
+            mink = build(ARK, mode="minks", oflimb=False).simulate(ARK_BASE)
+            best = build(ARK, mode="minks", oflimb=True).simulate(ARK_BASE)
+            out[name] = (half, base, mink, best)
+        return out
+
+    results = benchmark(compute)
+    paper = {"HELR": 1.72, "ResNet-20": 2.20, "Sorting": 2.08}
+    lines = [
+        f"{'workload':10s} {'1/2SRAM s':>10s} {'baseline s':>11s} "
+        f"{'Min-KS s':>9s} {'Min-KS+OF s':>12s} {'boot %':>7s} "
+        f"{'speedup':>8s} {'paper':>6s}"
+    ]
+    for name, (half, base, mink, best) in results.items():
+        lines.append(
+            f"{name:10s} {half.seconds:10.3f} {base.seconds:11.3f} "
+            f"{mink.seconds:9.3f} {best.seconds:12.3f} "
+            f"{100*best.fraction('bootstrap'):6.1f}% "
+            f"{base.seconds/best.seconds:7.2f}x {paper[name]:5.2f}x"
+        )
+    _tables.record("Fig. 7b: workload time vs algorithms", lines)
+    for name, (half, base, mink, best) in results.items():
+        assert base.seconds / best.seconds > 1.3
+        assert half.seconds >= base.seconds * 0.99   # less SRAM never helps
+        assert base.seconds > mink.seconds > best.seconds * 0.99

@@ -1,0 +1,66 @@
+"""Fig. 9: design-space sweeps -- MAC units per BConv lane (a/b) and total
+scratchpad capacity (c/d) -- on HELR and ResNet-20."""
+
+import _tables
+from repro.arch.config import ARK_BASE
+from repro.params import ARK
+from repro.plan.workloads import build_helr, build_resnet20
+
+MAC_SWEEP = (1, 2, 3, 4, 5, 6, 7, 8)
+SRAM_SWEEP = (192, 256, 320, 384, 448, 512, 576)
+
+
+def test_fig9ab_mac_sweep(benchmark):
+    def compute():
+        out = {}
+        for name, build in (("HELR", build_helr), ("ResNet-20", build_resnet20)):
+            wl = build(ARK)
+            out[name] = [
+                wl.simulate(ARK_BASE.with_overrides(macs_per_bconv_lane=m)).seconds
+                for m in MAC_SWEEP
+            ]
+        return out
+
+    results = benchmark(compute)
+    lines = [f"{'MACs/lane':>9s} " + "".join(f"{m:>9d}" for m in MAC_SWEEP)]
+    for name, times in results.items():
+        lines.append(
+            f"{name:>9s} " + "".join(f"{t*1e3:8.1f}m" for t in times)
+        )
+        gain = times[0] / times[5]
+        lines.append(
+            f"          1->6 MACs: {gain:.2f}x "
+            f"(paper: 1.37x HELR, 1.72x ResNet-20); "
+            f"6->8: {times[5]/times[7]:.3f}x (paper <1.01x)"
+        )
+    _tables.record("Fig. 9a/b: MAC units per BConv lane", lines)
+    for times in results.values():
+        assert times[0] > times[5]                    # 1 -> 6 improves
+        assert times[5] / times[7] < 1.06             # saturates after 6
+
+
+def test_fig9cd_scratchpad_sweep(benchmark):
+    def compute():
+        out = {}
+        for name, build in (("HELR", build_helr), ("ResNet-20", build_resnet20)):
+            wl = build(ARK)
+            out[name] = [
+                wl.simulate(ARK_BASE.with_overrides(scratchpad_mb=mb)).seconds
+                for mb in SRAM_SWEEP
+            ]
+        return out
+
+    results = benchmark(compute)
+    lines = [f"{'SRAM MB':>9s} " + "".join(f"{mb:>9d}" for mb in SRAM_SWEEP)]
+    for name, times in results.items():
+        lines.append(f"{name:>9s} " + "".join(f"{t*1e3:8.1f}m" for t in times))
+        gain = times[0] / times[SRAM_SWEEP.index(512)]
+        lines.append(
+            f"          192->512 MB: {gain:.2f}x "
+            f"(paper: 1.53x HELR, 2.42x ResNet-20); saturates beyond 512"
+        )
+    _tables.record("Fig. 9c/d: scratchpad capacity sweep", lines)
+    for times in results.values():
+        assert times[0] > times[SRAM_SWEEP.index(512)]     # more SRAM helps
+        idx512, idx576 = SRAM_SWEEP.index(512), SRAM_SWEEP.index(576)
+        assert times[idx512] / times[idx576] < 1.05        # saturation

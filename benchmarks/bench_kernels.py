@@ -1,0 +1,80 @@
+"""Functional-layer microbenchmarks: the primary functions of Section III-A
+running real math at the laptop-scale parameters."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.context import CkksContext
+from repro.nt.ntt import NttContext
+from repro.nt.primes import find_ntt_primes
+from repro.params import TOY
+from repro.rns.bconv import get_converter
+from repro.rns.poly import PolyRns
+
+DEGREE = 1 << 12
+PRIME = find_ntt_primes(DEGREE, 28, 1)[0]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, rotations=(1,), seed=91)
+
+
+def test_bench_ntt_forward(benchmark):
+    ntt = NttContext(DEGREE, PRIME)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, PRIME, size=DEGREE, dtype=np.uint64)
+    benchmark(ntt.forward, data)
+
+
+def test_bench_ntt_batch(benchmark):
+    ntt = NttContext(DEGREE, PRIME)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, PRIME, size=(16, DEGREE), dtype=np.uint64)
+    benchmark(ntt.forward, data)
+
+
+def test_bench_base_conversion(benchmark):
+    src = tuple(find_ntt_primes(64, 28, 4))
+    dst = tuple(find_ntt_primes(64, 29, 8))
+    conv = get_converter(src, dst)
+    rng = np.random.default_rng(1)
+    poly = PolyRns.uniform_random(64, src, rng)
+    # Larger batch through tiling for a stable measurement.
+    data = np.tile(poly.data, (1, 64))
+    benchmark(conv.convert, data)
+
+
+def test_bench_encode(benchmark, ctx):
+    rng = np.random.default_rng(2)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    benchmark(
+        ctx.encoder.encode, m, ctx.default_scale, ctx.basis.q_moduli
+    )
+
+
+def test_bench_encrypt(benchmark, ctx):
+    rng = np.random.default_rng(3)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    benchmark(ctx.encrypt, m)
+
+
+def test_bench_hmult_with_keyswitch(benchmark, ctx):
+    rng = np.random.default_rng(4)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    ct1, ct2 = ctx.encrypt(m), ctx.encrypt(m)
+    benchmark(ctx.evaluator.mul, ct1, ct2)
+
+
+def test_bench_hrot(benchmark, ctx):
+    rng = np.random.default_rng(5)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    ct = ctx.encrypt(m)
+    benchmark(ctx.evaluator.rotate, ct, 1)
+
+
+def test_bench_rescale(benchmark, ctx):
+    rng = np.random.default_rng(6)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    ct = ctx.evaluator.mul_const(ctx.encrypt(m), 0.5)
+    benchmark(ctx.evaluator.rescale, ct)

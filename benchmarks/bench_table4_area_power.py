@@ -1,0 +1,23 @@
+"""Table IV: area and peak power of ARK's components."""
+
+import _tables
+from repro.arch.config import ARK_BASE
+from repro.arch.power import TABLE_IV, PowerModel
+
+
+def test_table4_area_power(benchmark):
+    model = PowerModel(ARK_BASE)
+
+    def compute():
+        return model.component_area(), model.component_peak_power()
+
+    areas, powers = benchmark(compute)
+    lines = [f"{'component':16s} {'area mm^2':>10s} {'peak W':>8s}"]
+    for name in TABLE_IV:
+        lines.append(f"{name:16s} {areas[name]:10.1f} {powers[name]:8.1f}")
+    lines.append(
+        f"{'sum':16s} {model.total_area_mm2():10.1f} "
+        f"{model.total_peak_power_w():8.1f}   (paper: 418.3 mm^2, 281.3 W)"
+    )
+    _tables.record("Table IV: ARK area and peak power", lines)
+    assert abs(model.total_area_mm2() - 418.3) < 1.0

@@ -1,0 +1,41 @@
+"""Table V: T_A.S. (Eq. 13) and HELR iteration time vs prior works."""
+
+import _tables
+from repro.analysis.compare import PAPER_TABLE5
+from repro.analysis.metrics import amortized_mult_time_per_slot, measure_mult_times
+from repro.arch.config import ARK_BASE
+from repro.arch.scheduler import simulate
+from repro.params import ARK
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.workloads import build_helr
+from repro.plan.workloads.helr import ITERATIONS_DEFAULT
+
+
+def measure_ark():
+    boot = simulate(
+        BootstrapPlan(ARK, 1 << 15, mode="minks", oflimb=True).build(), ARK_BASE
+    ).seconds
+    mults = measure_mult_times(ARK, ARK_BASE)
+    t_as = amortized_mult_time_per_slot(boot, mults, 1 << 15)
+    helr = build_helr(ARK).simulate(ARK_BASE).seconds / ITERATIONS_DEFAULT
+    return t_as, helr
+
+
+def test_table5_tas_and_helr(benchmark):
+    t_as, helr = benchmark(measure_ark)
+    lines = [f"{'system':12s} {'T_A.S. (us)':>12s} {'HELR (ms)':>10s}"]
+    for system, row in PAPER_TABLE5.items():
+        lines.append(
+            f"{system:12s} {row['t_as_us'].value:12.3f} {row['helr_ms'].value:10.2f}"
+        )
+    lines.append(f"{'ARK (ours)':12s} {t_as*1e6:12.3f} {helr*1e3:10.2f}")
+    vs_100x_tas = PAPER_TABLE5["100x"]["t_as_us"].value / (t_as * 1e6)
+    vs_100x_helr = PAPER_TABLE5["100x"]["helr_ms"].value / (helr * 1e3)
+    lines.append(
+        f"ours vs 100x: T_A.S. {vs_100x_tas:.0f}x (paper 563x), "
+        f"HELR {vs_100x_helr:.0f}x (paper 104x)"
+    )
+    _tables.record("Table V: T_A.S. and HELR vs prior works", lines)
+    # Shape: ARK must beat every prior system by a large margin.
+    assert vs_100x_tas > 100
+    assert vs_100x_helr > 30

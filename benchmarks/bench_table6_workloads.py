@@ -1,0 +1,31 @@
+"""Table VI: ResNet-20 and sorting vs the papers' CPU implementations."""
+
+import _tables
+from repro.analysis.compare import PAPER_TABLE6
+from repro.arch.config import ARK_BASE
+from repro.params import ARK
+from repro.plan.workloads import build_resnet20, build_sorting
+
+
+def test_table6_complex_workloads(benchmark):
+    def compute():
+        return {
+            "ResNet-20": build_resnet20(ARK).simulate(ARK_BASE).seconds,
+            "Sorting": build_sorting(ARK).simulate(ARK_BASE).seconds,
+        }
+
+    ours = benchmark(compute)
+    lines = [
+        f"{'workload':10s} {'CPU (s)':>10s} {'ARK paper (s)':>14s} "
+        f"{'ARK ours (s)':>13s} {'speedup ours':>13s} {'paper':>9s}"
+    ]
+    for name, row in PAPER_TABLE6.items():
+        speedup = row["cpu_s"].value / ours[name]
+        lines.append(
+            f"{name:10s} {row['cpu_s'].value:10.0f} {row['ark_paper_s'].value:14.3f} "
+            f"{ours[name]:13.3f} {speedup:12.0f}x {row['speedup'].value:8.0f}x"
+        )
+    _tables.record("Table VI: complex workloads vs CPU", lines)
+    # Shape: four orders of magnitude over CPU on both workloads.
+    for name, row in PAPER_TABLE6.items():
+        assert row["cpu_s"].value / ours[name] > 3000

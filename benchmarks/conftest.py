@@ -1,0 +1,18 @@
+"""Benchmark-suite conftest: prints every regenerated paper table."""
+
+from __future__ import annotations
+
+import _tables
+
+
+def pytest_terminal_summary(terminalreporter):
+    tables = _tables.drain()
+    if not tables:
+        return
+    tr = terminalreporter
+    tr.section("reproduced paper tables and figures")
+    for title, lines in tables:
+        tr.write_line("")
+        tr.write_line(f"== {title} ==")
+        for line in lines:
+            tr.write_line(line)

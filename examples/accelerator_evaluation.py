@@ -1,0 +1,68 @@
+"""Design-space exploration with the ARK machine model: reproduce the
+paper's ablations interactively (Figs. 7-9) and print the headline metrics.
+
+Run:  python examples/accelerator_evaluation.py
+"""
+
+from repro import ARK, ARK_BASE, simulate
+from repro.analysis.metrics import amortized_mult_time_per_slot, measure_mult_times
+from repro.arch.power import PowerModel
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.workloads import build_resnet20
+
+
+def bootstrapping_ablation() -> None:
+    print("=== Fig. 7a: bootstrapping vs algorithms ===")
+    base_ms = None
+    for label, mode, oflimb in (
+        ("Baseline", "baseline", False),
+        ("Min-KS", "minks", False),
+        ("Min-KS + OF-Limb", "minks", True),
+    ):
+        plan = BootstrapPlan(ARK, 1 << 15, mode=mode, oflimb=oflimb).build()
+        res = simulate(plan, ARK_BASE)
+        base_ms = base_ms or res.milliseconds
+        print(f"{label:18s}: {res.milliseconds:6.2f} ms "
+              f"({base_ms / res.milliseconds:.2f}x)   "
+              f"HBM busy {100 * res.utilization('hbm'):.0f}%, "
+              f"NTTU busy {100 * res.utilization('nttu'):.0f}%")
+    print("paper: 2.36x overall from the two algorithms\n")
+
+
+def design_variants() -> None:
+    print("=== Fig. 8: design variants on ResNet-20 ===")
+    base = build_resnet20(ARK).simulate(ARK_BASE).seconds
+    for label, cfg in (
+        ("ARK base", ARK_BASE),
+        ("limb-wise only", ARK_BASE.variant_limb_wise()),
+        ("2x clusters", ARK_BASE.variant_double_clusters()),
+        ("2x HBM", ARK_BASE.variant_double_hbm()),
+    ):
+        res = build_resnet20(ARK).simulate(cfg)
+        power = PowerModel(cfg).average_power_w(
+            {p: res.utilization(p) for p in res.pool_busy_total()}
+        )
+        print(f"{label:15s}: {res.seconds * 1e3:7.2f} ms "
+              f"({base / res.seconds:.2f}x), avg power {power:.0f} W, "
+              f"area {PowerModel(cfg).total_area_mm2():.0f} mm^2")
+    print()
+
+
+def headline_metrics() -> None:
+    print("=== headline metrics ===")
+    boot = simulate(
+        BootstrapPlan(ARK, 1 << 15, mode="minks", oflimb=True).build(), ARK_BASE
+    ).seconds
+    t_as = amortized_mult_time_per_slot(
+        boot, measure_mult_times(ARK, ARK_BASE), 1 << 15
+    )
+    print(f"bootstrapping (n = 2^15): {boot * 1e3:.2f} ms")
+    print(f"T_A.S. (Eq. 13): {t_as * 1e9:.1f} ns   (paper: 14.3 ns)")
+    print(f"ResNet-20: {build_resnet20(ARK).simulate(ARK_BASE).seconds:.3f} s "
+          f"(paper: 0.125 s)")
+
+
+if __name__ == "__main__":
+    bootstrapping_ablation()
+    design_variants()
+    headline_metrics()

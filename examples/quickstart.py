@@ -1,0 +1,49 @@
+"""Quickstart: encrypted arithmetic with the functional CKKS layer.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TOY, CkksContext
+
+
+def main() -> None:
+    # One call builds primes, keys, encoder, encryptor and evaluator.
+    ctx = CkksContext.create(TOY, rotations=(1, 2), seed=7)
+    ev = ctx.evaluator
+    print(f"parameters: N = {ctx.params.degree}, L = {ctx.params.max_level}, "
+          f"dnum = {ctx.params.dnum}, scale = 2^{ctx.params.scale_bits}")
+
+    rng = np.random.default_rng(0)
+    a = rng.uniform(-1, 1, ctx.params.max_slots)
+    b = rng.uniform(-1, 1, ctx.params.max_slots)
+    ct_a, ct_b = ctx.encrypt(a), ctx.encrypt(b)
+
+    # Homomorphic add, multiply (+ rescale), rotate, conjugate.
+    total = ctx.decrypt(ev.add(ct_a, ct_b))
+    product = ctx.decrypt(ev.rescale(ev.mul(ct_a, ct_b)))
+    rotated = ctx.decrypt(ev.rotate(ct_a, 2))
+
+    for label, got, want in (
+        ("a + b", total, a + b),
+        ("a * b", product, a * b),
+        ("a << 2", rotated, np.roll(a, -2)),
+    ):
+        err = float(np.max(np.abs(got - want)))
+        print(f"{label:8s} max error = {err:.2e}")
+
+    # Multiplicative depth: square down to level 0.
+    ct = ctx.encrypt(np.full(ctx.params.max_slots, 0.9))
+    value = 0.9
+    while ct.level > 0:
+        ct = ev.rescale(ev.mul(ct, ct))
+        value = value * value
+    print(f"after {ctx.params.max_level} squarings: "
+          f"{ctx.decrypt(ct)[0].real:.6f} (expected {value:.6f})")
+    print("a level-0 ciphertext cannot multiply again -> see "
+          "examples/bootstrapping_demo.py")
+
+
+if __name__ == "__main__":
+    main()

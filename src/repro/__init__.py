@@ -1,0 +1,49 @@
+"""repro: a reproduction of ARK (MICRO 2022).
+
+ARK is an algorithm/architecture co-design for fully homomorphic encryption
+(CKKS): minimum key-switching (Min-KS) and on-the-fly limb extension
+(OF-Limb) remove ~88% of bootstrapping's off-chip traffic, and a 4-cluster
+accelerator with specialized NTT / BConv / automorphism units exploits the
+recovered arithmetic intensity.
+
+This package provides both layers:
+
+* a **functional RNS-CKKS library** (`repro.nt`, `repro.rns`, `repro.ckks`,
+  `repro.bootstrap`, `repro.workloads`) that runs the real math, including
+  full bootstrapping with Min-KS and OF-Limb, at laptop-scale parameters;
+* a **performance model** (`repro.plan`, `repro.arch`, `repro.analysis`)
+  that rebuilds the paper's evaluation -- every table and figure -- on an
+  op-level simulator of the ARK microarchitecture.
+
+Quickstart::
+
+    from repro import CkksContext, TOY
+
+    ctx = CkksContext.create(TOY, rotations=(1,))
+    ct = ctx.encrypt([0.5, -0.25, 0.125, 0.0625])
+    product = ctx.evaluator.rescale(ctx.evaluator.mul(ct, ct))
+    print(ctx.decrypt(product))
+"""
+
+from repro.params import ARK, F1, LATTIGO, TOY, TOY_BOOT, X100, CkksParams
+from repro.ckks.context import CkksContext
+from repro.bootstrap.pipeline import Bootstrapper
+from repro.arch.config import ARK_BASE, ArchConfig
+from repro.arch.scheduler import simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARK",
+    "F1",
+    "LATTIGO",
+    "TOY",
+    "TOY_BOOT",
+    "X100",
+    "CkksParams",
+    "CkksContext",
+    "Bootstrapper",
+    "ArchConfig",
+    "ARK_BASE",
+    "simulate",
+]

@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate the paper's tables from a shell.
+
+Usage::
+
+    python -m repro table3        # parameter sets and data sizes
+    python -m repro fig2          # H-(I)DFT traffic and intensity
+    python -m repro fig4          # HRot modmult breakdown vs dnum
+    python -m repro boot          # Fig. 7a bootstrapping ablation
+    python -m repro workloads     # Fig. 7b / Tables V-VII summary
+    python -m repro all           # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.breakdown import PAPER_FIG4, hrot_breakdown
+from repro.analysis.datasizes import PAPER_TABLE3_MB, table3_rows
+from repro.analysis.intensity import dft_intensity_table, traffic_removed_fraction
+from repro.analysis.metrics import amortized_mult_time_per_slot, measure_mult_times
+from repro.arch.config import ARK_BASE
+from repro.arch.scheduler import simulate
+from repro.params import ARK
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.workloads import build_helr, build_resnet20, build_sorting
+from repro.plan.workloads.helr import ITERATIONS_DEFAULT
+
+
+def cmd_table3() -> None:
+    print("Table III: parameter sets and data sizes")
+    for row in table3_rows():
+        paper = PAPER_TABLE3_MB[row.name]
+        print(f"  {row.name:8s} N=2^{row.log_degree} L={row.max_level:<3d} "
+              f"dnum={row.dnum:<3d} Pm {row.pt_mb:6.1f} MB  ct {row.ct_mb:6.1f} MB  "
+              f"evk {row.evk_mb:6.1f} MB  (paper {paper['pt']}/{paper['ct']}/{paper['evk']})")
+
+
+def cmd_fig2() -> None:
+    print("Fig. 2: H-(I)DFT off-chip traffic and arithmetic intensity")
+    rows = dft_intensity_table(ARK)
+    for direction in ("idft", "dft"):
+        print(f"  H-{direction.upper()}:")
+        for r in (r for r in rows if r.direction == direction):
+            print(f"    {r.step:18s} {r.total_gb:5.2f} GB  "
+                  f"{r.ops_per_byte:6.2f} ops/byte")
+        removed = traffic_removed_fraction(rows, direction)
+        print(f"    traffic removed: {100*removed:.0f}%")
+
+
+def cmd_fig4() -> None:
+    print("Fig. 4: HRot modmult breakdown")
+    for label, dnum in (("dnum=4", None), ("dnum=max", ARK.max_level + 1)):
+        got = hrot_breakdown(ARK, dnum=dnum)
+        print(f"  {label:9s} NTT {100*got['ntt']:.1f}%  BConv "
+              f"{100*got['bconv']:.1f}%  evk-mult {100*got['evk_mult']:.1f}%")
+    print(f"  paper     dnum=4 {PAPER_FIG4[4]}, dnum=max {PAPER_FIG4['max']}")
+
+
+def cmd_boot() -> None:
+    print("Fig. 7a: bootstrapping vs algorithms (ARK parameters, n=2^15)")
+    base = None
+    for label, mode, oflimb in (
+        ("Baseline", "baseline", False),
+        ("Hoisting", "hoisting", False),
+        ("Min-KS", "minks", False),
+        ("Min-KS + OF-Limb", "minks", True),
+    ):
+        plan = BootstrapPlan(ARK, 1 << 15, mode=mode, oflimb=oflimb).build()
+        res = simulate(plan, ARK_BASE)
+        base = base or res.milliseconds
+        print(f"  {label:18s} {res.milliseconds:6.2f} ms "
+              f"({base/res.milliseconds:.2f}x)")
+    print("  paper: 2.36x from Min-KS + OF-Limb")
+
+
+def cmd_workloads() -> None:
+    print("Workloads on the ARK simulator (Min-KS + OF-Limb):")
+    boot = simulate(
+        BootstrapPlan(ARK, 1 << 15, mode="minks", oflimb=True).build(), ARK_BASE
+    ).seconds
+    t_as = amortized_mult_time_per_slot(
+        boot, measure_mult_times(ARK, ARK_BASE), 1 << 15
+    )
+    helr = build_helr(ARK).simulate(ARK_BASE).seconds / ITERATIONS_DEFAULT
+    resnet = build_resnet20(ARK).simulate(ARK_BASE).seconds
+    sorting = build_sorting(ARK).simulate(ARK_BASE).seconds
+    print(f"  T_A.S.      {t_as*1e9:8.1f} ns    (paper 14.3 ns)")
+    print(f"  HELR        {helr*1e3:8.2f} ms/it (paper 7.42 ms)")
+    print(f"  ResNet-20   {resnet:8.3f} s     (paper 0.125 s)")
+    print(f"  Sorting     {sorting:8.2f} s     (paper 1.99 s)")
+
+
+COMMANDS = {
+    "table3": cmd_table3,
+    "fig2": cmd_fig2,
+    "fig4": cmd_fig4,
+    "boot": cmd_boot,
+    "workloads": cmd_workloads,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate ARK's evaluation tables.",
+    )
+    parser.add_argument("command", choices=[*COMMANDS, "all"])
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for fn in COMMANDS.values():
+            fn()
+            print()
+    else:
+        COMMANDS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Paper-table generators: data sizes (Table III), arithmetic intensity
+(Fig. 2), computational breakdown (Fig. 4), T_A.S. (Eq. 13), and the
+cross-system comparisons (Tables V/VI/VII)."""
+
+from repro.analysis.breakdown import hrot_breakdown
+from repro.analysis.compare import (
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    Published,
+)
+from repro.analysis.datasizes import table3_rows
+from repro.analysis.intensity import dft_intensity_table
+from repro.analysis.metrics import amortized_mult_time_per_slot
+
+__all__ = [
+    "hrot_breakdown",
+    "Published",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+    "PAPER_TABLE7",
+    "table3_rows",
+    "dft_intensity_table",
+    "amortized_mult_time_per_slot",
+]

@@ -1,0 +1,40 @@
+"""Fig. 4: computational breakdown (modular mults) of HRot vs dnum.
+
+The paper shows that moving from max-dnum (the F1 regime) to dnum = 4
+shifts work from (I)NTT (73.3% -> 54.8%) to BConv (9.2% -> 34.2%), which
+is why ARK deploys a dedicated systolic BConv unit.
+"""
+
+from __future__ import annotations
+
+from repro.params import CkksParams
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import OpKind, Plan
+
+PAPER_FIG4 = {
+    4: {"ntt": 0.548, "bconv": 0.342, "evk_mult": 0.091},
+    "max": {"ntt": 0.733, "bconv": 0.092, "evk_mult": 0.169},
+}
+
+
+def hrot_breakdown(params: CkksParams, dnum: int | None = None) -> dict[str, float]:
+    """Fractional modmult breakdown of one max-level HRot.
+
+    ``dnum=None`` keeps the preset's dnum; pass ``params.max_level + 1``
+    for the max-dnum configuration.
+    """
+    if dnum is not None:
+        params = params.with_overrides(dnum=dnum, name=f"{params.name}-d{dnum}")
+    plan = Plan(params, name=f"hrot-breakdown[dnum={params.dnum}]")
+    ops = HeOpPlanner(plan)
+    entry = plan.add(OpKind.EWE, limbs=0)  # zero-cost anchor
+    ops.hrot(params.max_level, "evk:rot:probe", entry)
+    counts = plan.modmult_breakdown()
+    total = sum(counts.values())
+    fractions = {k: v / total for k, v in counts.items()}
+    # Fold any category the figure does not break out into "others".
+    known = {"ntt", "bconv", "evk_mult"}
+    others = sum(v for k, v in fractions.items() if k not in known)
+    out = {k: fractions.get(k, 0.0) for k in known}
+    out["others"] = others
+    return out

@@ -1,0 +1,48 @@
+"""Table III: representative parameter sets and their data sizes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import MODEL_PRESETS, CkksParams
+
+MB = float(1 << 20)
+
+# The paper's published Table III data-size columns (MB), for comparison.
+PAPER_TABLE3_MB = {
+    "Lattigo": {"pt": 12.5, "ct": 25.0, "evk": 150.0},
+    "100x": {"pt": 30.0, "ct": 60.0, "evk": 240.0},
+    "F1": {"pt": 1.0, "ct": 2.0, "evk": 34.0},
+    "ARK": {"pt": 12.0, "ct": 24.0, "evk": 120.0},
+}
+
+
+@dataclass
+class Table3Row:
+    name: str
+    log_degree: int
+    max_level: int
+    boot_levels: int
+    dnum: int
+    alpha: int
+    pt_mb: float
+    ct_mb: float
+    evk_mb: float
+
+
+def table3_row(params: CkksParams) -> Table3Row:
+    return Table3Row(
+        name=params.name,
+        log_degree=params.log_degree,
+        max_level=params.max_level,
+        boot_levels=params.boot_levels,
+        dnum=params.dnum,
+        alpha=params.alpha,
+        pt_mb=params.plaintext_bytes() / MB,
+        ct_mb=params.ciphertext_bytes() / MB,
+        evk_mb=params.evk_bytes() / MB,
+    )
+
+
+def table3_rows() -> list[Table3Row]:
+    return [table3_row(p) for p in MODEL_PRESETS]

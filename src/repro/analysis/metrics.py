@@ -1,0 +1,52 @@
+"""Evaluation metrics: amortized mult time per slot (Eq. 13) and helpers
+for measuring per-level HMult times on the simulator."""
+
+from __future__ import annotations
+
+from repro.arch.config import ArchConfig
+from repro.arch.scheduler import simulate
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import Plan
+
+
+def amortized_mult_time_per_slot(
+    boot_seconds: float, mult_seconds_per_level: list[float], slots: int
+) -> float:
+    """T_A.S. (Eq. 13): (T_boot + Σ T_mult(l)) / (L - L_boot) / n.
+
+    ``mult_seconds_per_level`` holds T_mult(l) for l = 1 .. L - L_boot.
+    """
+    if not mult_seconds_per_level or slots <= 0:
+        raise ParameterError("need at least one post-boot level and slots > 0")
+    usable_levels = len(mult_seconds_per_level)
+    total = boot_seconds + sum(mult_seconds_per_level)
+    return total / usable_levels / slots
+
+
+def hmult_plan(params: CkksParams, level: int) -> Plan:
+    """A single HMult (with rescale) at a given level."""
+    plan = Plan(params, name=f"hmult[l={level}]")
+    plan.begin_phase("hmult")
+    ops = HeOpPlanner(plan)
+    entry = ops.fresh_ciphertext(level, "ct:a")
+    entry_b = ops.fresh_ciphertext(level, "ct:b")
+    out = ops.hmult(level, entry, entry_b)
+    ops.rescale(level, out)
+    plan.validate()
+    return plan
+
+
+def measure_mult_times(
+    params: CkksParams, config: ArchConfig
+) -> list[float]:
+    """T_mult(l) in seconds for l = 1 .. L - L_boot (warm evk_mult cache)."""
+    times = []
+    for level in range(1, params.levels_after_boot + 1):
+        plan = hmult_plan(params, level)
+        # Warm pass loads evk_mult; steady state reuses it, as in a real
+        # application where the mult key stays resident.
+        cache = simulate(plan, config).cache
+        times.append(simulate(plan, config, cache=cache).seconds)
+    return times

@@ -1,0 +1,18 @@
+"""The ARK machine model: configuration, functional-unit timing, scratchpad
+and HBM, the event-driven scheduler, and the area/power model."""
+
+from repro.arch.config import ARK_BASE, ArchConfig
+from repro.arch.f1 import ScaledF1Model
+from repro.arch.memory import ScratchpadCache
+from repro.arch.power import PowerModel
+from repro.arch.scheduler import SimResult, simulate
+
+__all__ = [
+    "ArchConfig",
+    "ARK_BASE",
+    "ScaledF1Model",
+    "ScratchpadCache",
+    "PowerModel",
+    "SimResult",
+    "simulate",
+]

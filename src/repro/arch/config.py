@@ -1,0 +1,90 @@
+"""ARK architecture configuration (Section V / VI).
+
+The base configuration mirrors the paper: four clusters of 256 lanes at
+1 GHz; per cluster one NTTU, one BConvU (6 MAC units per lane), one AutoU
+and two MADUs; 512 MB of scratchpad; two HBM2 stacks for 1 TB/s; an 8 TB/s
+multiplexer-network NoC. Alternative designs of Section VII-C are expressed
+as field overrides (``variant_*`` helpers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Static description of one ARK-like design point."""
+
+    name: str = "ARK"
+    clusters: int = 4
+    lanes: int = 256                # vector lanes = sqrt(N)
+    macs_per_bconv_lane: int = 6
+    madus_per_cluster: int = 2
+    freq_ghz: float = 1.0
+    scratchpad_mb: int = 512
+    working_reserve_mb: int = 128   # ciphertext temporaries, base tables, ...
+    hbm_gbps: float = 1000.0        # two HBM2 stacks (Section VI)
+    noc_gbps: float = 8000.0
+    distribution: str = "alternating"  # or "limb_wise" (Section V-B)
+
+    def __post_init__(self) -> None:
+        if self.clusters <= 0 or self.lanes <= 0:
+            raise ParameterError("clusters and lanes must be positive")
+        if self.distribution not in ("alternating", "limb_wise"):
+            raise ParameterError(f"unknown distribution {self.distribution!r}")
+        if self.working_reserve_mb >= self.scratchpad_mb:
+            raise ParameterError("working-set reserve exceeds the scratchpad")
+
+    # ---------------------------------------------------------- throughputs
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.freq_ghz * 1e9
+
+    @property
+    def hbm_bytes_per_cycle(self) -> float:
+        return self.hbm_gbps * 1e9 / self.cycles_per_second
+
+    @property
+    def noc_words_per_cycle(self) -> float:
+        return self.noc_gbps * 1e9 / 8 / self.cycles_per_second
+
+    @property
+    def evk_budget_bytes(self) -> int:
+        """Scratchpad bytes available for caching evks/plaintexts."""
+        return (self.scratchpad_mb - self.working_reserve_mb) * (1 << 20)
+
+    # ------------------------------------------------------------- variants
+
+    def with_overrides(self, **changes) -> "ArchConfig":
+        return replace(self, **changes)
+
+    def variant_half_sram(self) -> "ArchConfig":
+        return self.with_overrides(
+            name=f"{self.name}(1/2 SRAM)",
+            scratchpad_mb=self.scratchpad_mb // 2,
+            working_reserve_mb=min(
+                self.working_reserve_mb, self.scratchpad_mb // 4
+            ),
+        )
+
+    def variant_double_clusters(self) -> "ArchConfig":
+        return self.with_overrides(
+            name=f"{self.name}(2x clusters)", clusters=self.clusters * 2
+        )
+
+    def variant_double_hbm(self) -> "ArchConfig":
+        return self.with_overrides(
+            name=f"{self.name}(2x HBM)", hbm_gbps=self.hbm_gbps * 2
+        )
+
+    def variant_limb_wise(self) -> "ArchConfig":
+        return self.with_overrides(
+            name=f"{self.name}(limb-wise)", distribution="limb_wise"
+        )
+
+
+ARK_BASE = ArchConfig()

@@ -1,0 +1,55 @@
+"""The scaled-F1 roofline analysis of Section III-C.
+
+F1 [87] scaled to ARK's bootstrappable parameters has NTTUs of
+``sqrt(N)/2 * log N = 2048`` modular multipliers, 40,960 modular multipliers
+chip-wide, runs at 1 GHz fully pipelined, and is assumed to enjoy a 3 TB/s
+HBM3 system. The single-use data (evks + plaintexts) of an H-(I)DFT bounds
+its latency from below; the maximum achievable multiplier utilization is
+
+    utilization = modmults(H-(I)DFT) / (40960 * load_time * 1 GHz).
+
+The paper reports 8.61% for H-IDFT and 13.32% for H-DFT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.params import CkksParams
+from repro.plan.primops import Plan
+
+
+@dataclass
+class ScaledF1Model:
+    """Roofline of the bootstrapping-scaled F1 baseline."""
+
+    params: CkksParams
+    freq_ghz: float = 1.0
+    hbm3_gbps: float = 3000.0
+
+    @property
+    def multipliers_per_nttu(self) -> int:
+        n = self.params.degree
+        return int(math.isqrt(n) // 2 * math.log2(n))
+
+    @property
+    def total_modular_multipliers(self) -> int:
+        # 16 vector clusters; NTTU multipliers plus the element-wise
+        # multipliers (128 lanes * 2 per cluster in F1's organization,
+        # which scaling preserves at 4096 total).
+        return 16 * self.multipliers_per_nttu + 4096 * 2
+
+    def load_time_seconds(self, single_use_bytes: int) -> float:
+        return single_use_bytes / (self.hbm3_gbps * 1e9)
+
+    def max_utilization(self, plan: Plan) -> float:
+        """Maximum achievable modular-multiplier utilization for a plan
+        whose single-use data must stream from off-chip memory."""
+        traffic = plan.offchip_bytes()
+        single_use = sum(traffic.values())
+        load_time = self.load_time_seconds(single_use)
+        possible = self.total_modular_multipliers * load_time * self.freq_ghz * 1e9
+        if possible <= 0:
+            return 1.0
+        return min(1.0, plan.modmult_total() / possible)

@@ -1,0 +1,85 @@
+"""Functional-unit timing model (Section V).
+
+Cycle counts per primary op, pooled over the clusters:
+
+* **NTTU** -- fully pipelined, consumes ``sqrt(N) = lanes`` elements per
+  cycle, so one limb takes ``N/lanes`` cycles; limbs distribute across
+  clusters (limb-wise distribution).
+* **BConvU** -- the output-stationary systolic array of Fig. 3(b): with M
+  MAC units per lane, converting ``in`` limbs to ``out`` outputs over the
+  cluster's N/clusters coefficients takes ``ceil(out/M) * in * N/lanes``
+  cycles per cluster (coefficient-wise distribution splits the columns
+  evenly). Under the limb-wise-only alternative the polynomial columns
+  cannot be split across clusters, so a single cluster's BConvU serializes
+  the whole conversion.
+* **AutoU** -- one coefficient per lane per cycle: ``N/lanes`` per limb.
+* **MADU** -- element-wise ops, two units per cluster.
+* **NoC / HBM** -- bandwidth-limited transfers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.config import ArchConfig
+from repro.errors import ScheduleError
+from repro.plan.primops import OpKind, PrimOp
+
+# Pool names used by the scheduler / power model.
+POOL_NTTU = "nttu"
+POOL_BCONVU = "bconvu"
+POOL_AUTOU = "autou"
+POOL_MADU = "madu"
+POOL_NOC = "noc"
+POOL_HBM = "hbm"
+
+COMPUTE_POOLS = (POOL_NTTU, POOL_BCONVU, POOL_AUTOU, POOL_MADU)
+ALL_POOLS = (*COMPUTE_POOLS, POOL_NOC, POOL_HBM)
+
+
+def pool_of(op: PrimOp) -> str:
+    if op.kind in (OpKind.NTT, OpKind.INTT):
+        return POOL_NTTU
+    if op.kind == OpKind.BCONV:
+        return POOL_BCONVU
+    if op.kind == OpKind.AUTO:
+        return POOL_AUTOU
+    if op.kind == OpKind.EWE:
+        return POOL_MADU
+    if op.kind == OpKind.NOC:
+        return POOL_NOC
+    if op.kind in (OpKind.EVK, OpKind.PT, OpKind.CT):
+        return POOL_HBM
+    raise ScheduleError(f"no pool for op kind {op.kind}")
+
+
+def op_cycles(op: PrimOp, config: ArchConfig, degree: int) -> float:
+    """Duration of ``op`` in cycles on its (pooled) functional unit."""
+    per_limb = degree / config.lanes
+    if op.kind in (OpKind.NTT, OpKind.INTT):
+        return op.limbs * per_limb / config.clusters
+    if op.kind == OpKind.AUTO:
+        return op.limbs * per_limb / config.clusters
+    if op.kind == OpKind.EWE:
+        return op.limbs * per_limb / (config.madus_per_cluster * config.clusters)
+    if op.kind == OpKind.BCONV:
+        passes = math.ceil(op.limbs / config.macs_per_bconv_lane)
+        cycles = passes * op.in_limbs * per_limb
+        if config.distribution == "alternating":
+            # Coefficient-wise distribution parallelizes over the clusters.
+            return cycles / config.clusters
+        # Limb-wise only: the conversion cannot split its columns, so one
+        # cluster's BConvU carries the whole load (Section V-B).
+        return cycles
+    if op.kind == OpKind.NOC:
+        words = op.words
+        if config.distribution == "limb_wise":
+            # Redistribution for the post-evk-mult accumulation moves
+            # 2*dnum*(alpha+L+1)*N words instead of (dnum+2)*(alpha+L+1)*N
+            # (Section V-B); approximate with the per-routine ratio.
+            words = int(words * 1.5)
+        return words / config.noc_words_per_cycle
+    if op.kind in (OpKind.EVK, OpKind.PT, OpKind.CT):
+        # Duration applies only on a cache miss; the scheduler decides.
+        return op.data_bytes / config.hbm_bytes_per_cycle
+    raise ScheduleError(f"no timing model for op kind {op.kind}")

@@ -1,0 +1,70 @@
+"""Scratchpad cache model for evks and plaintexts.
+
+ARK's 512 MB scratchpad holds "a couple of evks and temporary data"
+(Section V). The scheduler routes every EVK/PT/CT requirement through this
+LRU cache:
+
+* **hit** -- the data is already on chip (Min-KS's reused rotation keys,
+  the single evk_mult of EvalMod); no HBM time.
+* **miss** -- an HBM load is issued; the entry is inserted, evicting
+  least-recently-used entries until it fits the budget
+  (scratchpad - working-set reserve). Entries larger than the whole budget
+  are streamed (used once, never cached) -- this is what happens to evks
+  when the scratchpad is too small, and it recreates the paper's
+  scratchpad-size sensitivity (Fig. 7 "1/2 SRAM", Fig. 9c/d).
+
+Single-use plaintexts get cached too, but their tags never repeat inside a
+plan, so they simply age out -- matching the paper's single-use data
+analysis (Section III-C).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheEntry:
+    bytes: int
+    ready_time: float
+
+
+@dataclass
+class ScratchpadCache:
+    """LRU over tagged off-chip objects with a byte budget."""
+
+    budget_bytes: int
+    entries: "OrderedDict[str, CacheEntry]" = field(default_factory=OrderedDict)
+    hits: int = 0
+    misses: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+
+    @property
+    def occupied_bytes(self) -> int:
+        return sum(e.bytes for e in self.entries.values())
+
+    def lookup(self, tag: str) -> CacheEntry | None:
+        """Return the entry (refreshing recency) or None."""
+        entry = self.entries.get(tag)
+        if entry is not None:
+            self.entries.move_to_end(tag)
+            self.hits += 1
+            self.hit_bytes += entry.bytes
+        return entry
+
+    def insert(self, tag: str, data_bytes: int, ready_time: float) -> bool:
+        """Record a miss; cache the entry if it can fit. Returns cached?"""
+        self.misses += 1
+        self.miss_bytes += data_bytes
+        if data_bytes > self.budget_bytes:
+            return False  # streamed, never resident
+        while self.occupied_bytes + data_bytes > self.budget_bytes:
+            self.entries.popitem(last=False)
+        self.entries[tag] = CacheEntry(bytes=data_bytes, ready_time=ready_time)
+        return True
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0
+        self.hit_bytes = self.miss_bytes = 0

@@ -1,0 +1,237 @@
+"""Event-driven list scheduler: plans -> cycles, utilization, traffic.
+
+The simulator mirrors the paper's performance-modeling methodology
+(Section VI): HE programs have no dynamic control flow, so a static
+schedule over the dependence graph of primary functions suffices. Each
+functional-unit class is a pooled resource timeline; an op starts at the
+max of its dependences' completion and its pool's availability. EVK/PT/CT
+requirements resolve through the scratchpad cache -- loads have no
+dependences and therefore prefetch as early as HBM bandwidth and cache
+capacity allow, which is exactly the software-controlled prefetching the
+paper describes.
+
+**Capacity-limited prefetch.** A load may only start once the scratchpad
+has room for it: outstanding loads whose first consumer has not finished
+pin their bytes. A 512 MB scratchpad keeps ~3 evaluation keys in flight and
+overlaps HBM with compute; halving it serializes loads behind consumers --
+the mechanism behind the paper's "1/2 SRAM" ablation (Fig. 7) and the
+scratchpad-size sweeps (Fig. 9c/d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import ArchConfig
+from repro.arch.fus import ALL_POOLS, POOL_HBM, op_cycles, pool_of
+from repro.arch.memory import ScratchpadCache
+from repro.errors import ScheduleError
+from repro.plan.primops import MEMORY_KINDS, OpKind, Plan
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one plan on one configuration."""
+
+    name: str
+    config: ArchConfig
+    cycles: float
+    pool_busy: dict[str, float]
+    phase_end: dict[str, float]
+    cache: ScratchpadCache
+    hbm_miss_bytes: int
+    hbm_hit_bytes: int
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.config.cycles_per_second
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    def utilization(self, pool: str) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.pool_busy.get(pool, 0.0) / self.cycles)
+
+    def phase_durations(self) -> dict[str, float]:
+        """Cycles between consecutive phase completion checkpoints."""
+        out: dict[str, float] = {}
+        previous = 0.0
+        for phase, end in self.phase_end.items():
+            out[phase] = max(0.0, end - previous)
+            previous = max(previous, end)
+        return out
+
+
+def simulate(
+    plan: Plan,
+    config: ArchConfig,
+    cache: ScratchpadCache | None = None,
+) -> SimResult:
+    """Schedule ``plan`` on ``config``; optionally continue from a warm cache."""
+    plan.validate()
+    degree = plan.params.degree
+    if cache is None:
+        cache = ScratchpadCache(budget_bytes=config.evk_budget_bytes)
+    else:
+        cache.budget_bytes = config.evk_budget_bytes
+        # Ready times from a previous simulation are in that run's clock;
+        # resident data is simply available from t = 0 here.
+        for entry in cache.entries.values():
+            entry.ready_time = 0.0
+    pool_free: dict[str, float] = {p: 0.0 for p in ALL_POOLS}
+    pool_busy: dict[str, float] = {p: 0.0 for p in ALL_POOLS}
+    finish: list[float] = [0.0] * len(plan.ops)
+    phase_end: dict[str, float] = {}
+    hbm_hit_bytes = 0
+    hbm_miss_bytes = 0
+    # Outstanding loads pin scratchpad space until their first consumer
+    # finishes: uid -> [bytes, consumer_finish or None].
+    outstanding: dict[int, list] = {}
+
+    def _capacity_start(earliest: float, data_bytes: int) -> float:
+        """Earliest start so that pinned bytes + data_bytes fit the budget."""
+        start = earliest
+        # Entries consumed before any possible future start never pin again.
+        for uid in [
+            u
+            for u, (_, consumed) in outstanding.items()
+            if consumed is not None and consumed <= earliest
+        ]:
+            del outstanding[uid]
+        for _ in range(len(outstanding) + 1):
+            pinned = sum(
+                b
+                for b, consumed in outstanding.values()
+                if consumed is None or consumed > start
+            )
+            if pinned + data_bytes <= cache.budget_bytes:
+                return start
+            later = [
+                consumed
+                for _, consumed in outstanding.values()
+                if consumed is not None and consumed > start
+            ]
+            if not later:
+                return start  # only unconsumed-yet loads block: proceed
+            start = min(later)
+        return start
+
+    for op in plan.ops:
+        ready = max((finish[d] for d in op.deps), default=0.0)
+        if op.kind in MEMORY_KINDS:
+            entry = cache.lookup(op.tag)
+            if entry is not None:
+                finish[op.uid] = max(ready, entry.ready_time)
+                hbm_hit_bytes += entry.bytes
+            else:
+                duration = op_cycles(op, config, degree)
+                start = _capacity_start(max(ready, pool_free[POOL_HBM]), op.data_bytes)
+                end = start + duration
+                pool_free[POOL_HBM] = end
+                pool_busy[POOL_HBM] += duration
+                cache.insert(op.tag, op.data_bytes, ready_time=end)
+                finish[op.uid] = end
+                hbm_miss_bytes += op.data_bytes
+                outstanding[op.uid] = [op.data_bytes, None]
+        else:
+            pool = pool_of(op)
+            duration = op_cycles(op, config, degree)
+            start = max(ready, pool_free[pool])
+            end = start + duration
+            pool_free[pool] = end
+            pool_busy[pool] += duration
+            finish[op.uid] = end
+            for d in op.deps:
+                pinned = outstanding.get(d)
+                if pinned is not None and pinned[1] is None:
+                    pinned[1] = end  # first consumer releases the space
+        if op.phase:
+            phase_end[op.phase] = max(phase_end.get(op.phase, 0.0), finish[op.uid])
+
+    total = max(finish, default=0.0)
+    if total < 0:
+        raise ScheduleError("negative makespan")
+    return SimResult(
+        name=plan.name,
+        config=config,
+        cycles=total,
+        pool_busy=pool_busy,
+        phase_end=phase_end,
+        cache=cache,
+        hbm_miss_bytes=hbm_miss_bytes,
+        hbm_hit_bytes=hbm_hit_bytes,
+    )
+
+
+@dataclass
+class WorkloadModel:
+    """A workload as repeated segments (steady-state approximation).
+
+    Complex workloads repeat identical segments (one ResNet layer, one HELR
+    iteration, one sorting round) hundreds of times; simulating one
+    steady-state instance of each distinct segment and scaling preserves
+    every architectural effect while keeping the simulator fast. Segment
+    boundaries also provide the bootstrapping-vs-rest split of Fig. 7(b).
+    """
+
+    name: str
+    segments: list[tuple[str, Plan, int]] = field(default_factory=list)
+
+    def add_segment(self, label: str, plan: Plan, repetitions: int = 1) -> None:
+        if repetitions <= 0:
+            raise ScheduleError("segment repetitions must be positive")
+        self.segments.append((label, plan, repetitions))
+
+    def simulate(self, config: ArchConfig) -> "WorkloadResult":
+        cache = ScratchpadCache(budget_bytes=config.evk_budget_bytes)
+        per_segment: dict[str, float] = {}
+        per_segment_power_busy: dict[str, dict[str, float]] = {}
+        total_cycles = 0.0
+        for label, plan, reps in self.segments:
+            # Warm-up pass fills the cache; the steady-state pass is timed.
+            simulate(plan, config, cache=cache)
+            result = simulate(plan, config, cache=cache)
+            per_segment[label] = per_segment.get(label, 0.0) + result.cycles * reps
+            busy = per_segment_power_busy.setdefault(
+                label, {p: 0.0 for p in ALL_POOLS}
+            )
+            for pool, cycles in result.pool_busy.items():
+                busy[pool] += cycles * reps
+            total_cycles += result.cycles * reps
+        return WorkloadResult(
+            name=self.name,
+            config=config,
+            cycles=total_cycles,
+            segment_cycles=per_segment,
+            segment_busy=per_segment_power_busy,
+        )
+
+
+@dataclass
+class WorkloadResult:
+    name: str
+    config: ArchConfig
+    cycles: float
+    segment_cycles: dict[str, float]
+    segment_busy: dict[str, dict[str, float]]
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.config.cycles_per_second
+
+    def fraction(self, label: str) -> float:
+        return self.segment_cycles.get(label, 0.0) / self.cycles if self.cycles else 0.0
+
+    def pool_busy_total(self) -> dict[str, float]:
+        out = {p: 0.0 for p in ALL_POOLS}
+        for busy in self.segment_busy.values():
+            for pool, cycles in busy.items():
+                out[pool] += cycles
+        return out
+
+    def utilization(self, pool: str) -> float:
+        busy = self.pool_busy_total().get(pool, 0.0)
+        return min(1.0, busy / self.cycles) if self.cycles else 0.0

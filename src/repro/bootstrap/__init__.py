@@ -1,0 +1,16 @@
+"""CKKS bootstrapping (Section II-D): LevelRecover (ModRaise), homomorphic
+(I)DFT, EvalMod, and the orchestrating pipeline."""
+
+from repro.bootstrap.dft import HomDft
+from repro.bootstrap.evalmod import ChebyshevPoly, EvalMod, chebyshev_divmod
+from repro.bootstrap.modraise import mod_raise
+from repro.bootstrap.pipeline import Bootstrapper
+
+__all__ = [
+    "HomDft",
+    "ChebyshevPoly",
+    "EvalMod",
+    "chebyshev_divmod",
+    "mod_raise",
+    "Bootstrapper",
+]

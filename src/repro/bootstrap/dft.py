@@ -1,0 +1,80 @@
+"""Homomorphic (I)DFT: CoeffToSlot and SlotToCoeff (Section II-D, III-B).
+
+For N = 2n, the CKKS decode map factors as ``z = U_L (p_L + i p_R)`` where
+``U_L[j, s] = ω^(s * 5^j)`` (s < n) and ``p_L, p_R`` are the two halves of
+the coefficient vector -- because ``ζ_j^n = i^(5^j) = i`` for every slot j.
+
+* **CoeffToSlot** (the paper's H-IDFT): apply ``U_L^{-1}`` in slot space, so
+  the slots afterwards hold ``w = (p_L + i p_R)/Δ``.
+* **SlotToCoeff** (H-DFT): apply ``U_L``, mapping ``w`` back to the
+  message's slot values.
+
+The functional layer evaluates each map as a single BSGS linear transform
+(one level each) in either baseline or Min-KS mode; the paper's staged
+radix-2^k decomposition (Alg. 3) is modelled exactly, at ARK scale, by
+:mod:`repro.plan.dftplan` (see DESIGN.md §3 for the substitution argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.linear import HomLinearTransform
+
+
+def special_dft_matrix(degree: int) -> np.ndarray:
+    """U_L: the n x n left half of the CKKS decode matrix (n = N/2)."""
+    encoder = CkksEncoder(degree)
+    n = degree // 2
+    omega_exponent = np.pi * 1j / degree  # omega = exp(2*pi*i / 2N)
+    s = np.arange(n)
+    exponents = np.outer(encoder.rot_group, s)  # [j, s] = 5^j * s
+    return np.exp(omega_exponent * (exponents % (2 * degree)))
+
+
+class HomDft:
+    """The CoeffToSlot / SlotToCoeff transform pair for one ring degree."""
+
+    def __init__(self, degree: int, baby_step: int | None = None):
+        self.degree = degree
+        self.slots = degree // 2
+        u = special_dft_matrix(degree)
+        self.matrix_slot_to_coeff = u
+        self.matrix_coeff_to_slot = np.linalg.inv(u)
+        self.coeff_to_slot = HomLinearTransform(
+            self.matrix_coeff_to_slot, baby_step=baby_step, name="CtS"
+        )
+        self.slot_to_coeff = HomLinearTransform(
+            self.matrix_slot_to_coeff, baby_step=baby_step, name="StC"
+        )
+
+    # ------------------------------------------------------------ reference
+
+    def pack_coefficients(self, coeffs: np.ndarray) -> np.ndarray:
+        """Reference ``w = p_L + i p_R`` for a length-N coefficient vector."""
+        n = self.slots
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        return coeffs[:n] + 1j * coeffs[n:]
+
+    # ----------------------------------------------------------- evaluation
+
+    def required_rotations(self, mode: str) -> set[int]:
+        return (
+            self.coeff_to_slot.required_rotations(mode)
+            | self.slot_to_coeff.required_rotations(mode)
+        )
+
+    def evaluate_coeff_to_slot(
+        self, ctx: CkksContext, ct: Ciphertext, mode: str = "minks", pt_store=None
+    ) -> Ciphertext:
+        """H-IDFT: slots become the packed coefficient vector."""
+        return self.coeff_to_slot.evaluate(ctx, ct, mode=mode, pt_store=pt_store)
+
+    def evaluate_slot_to_coeff(
+        self, ctx: CkksContext, ct: Ciphertext, mode: str = "minks", pt_store=None
+    ) -> Ciphertext:
+        """H-DFT: packed coefficients become message slots again."""
+        return self.slot_to_coeff.evaluate(ctx, ct, mode=mode, pt_store=pt_store)

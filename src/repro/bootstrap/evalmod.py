@@ -1,0 +1,223 @@
+"""EvalMod: homomorphic modular reduction by q0 (Section II-D).
+
+After CoeffToSlot the slots hold ``v = (Pm + q0*I)/Δ`` with ``|I| <= K``.
+The non-linear ``mod q0`` is approximated by the scaled sine,
+
+    Pm/Δ  ≈  (q0 / 2πΔ) * sin(2π * (Δ/q0) * v),
+
+evaluated as: (1) an affine map into Chebyshev domain, (2) a Chebyshev
+approximation of ``cos(2π(x - 1/4)/2^r)`` over the |I|-range, (3) ``r``
+cosine double-angle squarings (``c <- 2c^2 - 1``) so the approximation
+degree stays low, and (4) a final constant multiplication. This is the
+structure used by the bootstrapping line of work the paper builds on
+([26], [44], [68]).
+
+Chebyshev polynomials are evaluated homomorphically with the
+divide-and-conquer quotient/remainder scheme (depth O(log degree)) using
+the product rule ``2 T_a T_b = T_{a+b} + T_{|a-b|}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+
+_BASE_CASE_DEGREE = 4
+
+
+def chebyshev_divmod(
+    coeffs: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Divide a Chebyshev-basis polynomial by T_k: ``p = q*T_k + r``.
+
+    Uses ``T_j * T_k = (T_{j+k} + T_{|j-k|}) / 2`` to peel leading terms.
+    Returns (q, r) in Chebyshev basis with deg(r) < k.
+    """
+    if k <= 0:
+        raise ParameterError("divisor index k must be positive")
+    r = np.array(coeffs, dtype=np.float64)
+    degree = len(r) - 1
+    if degree < k:
+        return np.zeros(1), r
+    q = np.zeros(degree - k + 1, dtype=np.float64)
+    for i in range(degree, k - 1, -1):
+        c = r[i]
+        if c == 0.0:
+            continue
+        j = i - k
+        if j == 0:
+            q[0] += c
+            r[i] -= c
+        else:
+            q[j] += 2.0 * c
+            r[i] -= c
+            r[abs(i - 2 * k)] -= c
+    return q, np.trim_zeros(r[:k], "b") if np.any(r[:k]) else np.zeros(1)
+
+
+@dataclass
+class ChebyshevPoly:
+    """A polynomial in the Chebyshev basis on [-1, 1], with evaluation."""
+
+    coeffs: np.ndarray
+
+    @classmethod
+    def interpolate(cls, func, degree: int) -> "ChebyshevPoly":
+        """Chebyshev interpolant of ``func`` on [-1, 1]."""
+        return cls(np.polynomial.chebyshev.chebinterpolate(func, degree))
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.polynomial.chebyshev.chebval(x, self.coeffs)
+
+    # ----------------------------------------------------- homomorphic eval
+
+    def evaluate_encrypted(self, ctx: CkksContext, ct_x: Ciphertext) -> Ciphertext:
+        """Evaluate on an encrypted x with values in [-1, 1]."""
+        cache = _ChebCache(ctx, ct_x)
+        return _eval_recursive(ctx, np.asarray(self.coeffs, dtype=np.float64), cache)
+
+
+class _ChebCache:
+    """Lazily computed encrypted Chebyshev basis polynomials T_k."""
+
+    def __init__(self, ctx: CkksContext, ct_x: Ciphertext):
+        self.ctx = ctx
+        self._cache: dict[int, Ciphertext] = {1: ct_x}
+
+    def get(self, k: int) -> Ciphertext:
+        ct = self._cache.get(k)
+        if ct is not None:
+            return ct
+        ev = self.ctx.evaluator
+        if k % 2 == 0:
+            # T_2a = 2 T_a^2 - 1: double, subtract 1 at the squared scale,
+            # then rescale once.
+            half = self.get(k // 2)
+            sq = ev.mul_int(ev.mul(half, half), 2)
+            ct = ev.rescale(ev.add_const(sq, -1.0))
+        else:
+            # T_{a+b} = 2 T_a T_b - T_{|a-b|} with a = (k+1)/2, b = k - a.
+            a = (k + 1) // 2
+            b = k - a
+            prod = ev.mul_int(ev.mul(self.get(a), self.get(b)), 2)
+            prod = ev.rescale(prod)
+            ct = ev.add_matched(prod, ev.negate(self.get(abs(a - b))))
+        self._cache[k] = ct
+        return ct
+
+
+def _eval_recursive(
+    ctx: CkksContext, coeffs: np.ndarray, cache: _ChebCache
+) -> Ciphertext:
+    """Divide-and-conquer Chebyshev evaluation: p = q*T_k + r."""
+    ev = ctx.evaluator
+    coeffs = np.trim_zeros(np.asarray(coeffs, dtype=np.float64), "b")
+    if len(coeffs) == 0:
+        coeffs = np.zeros(1)
+    degree = len(coeffs) - 1
+    if degree < _BASE_CASE_DEGREE:
+        return _eval_base(ctx, coeffs, cache)
+    # Largest power of two strictly above degree/2 keeps both halves small.
+    k = 1 << (degree.bit_length() - 1)
+    q, r = chebyshev_divmod(coeffs, k)
+    q_ct = _eval_recursive(ctx, q, cache)
+    r_ct = _eval_recursive(ctx, r, cache)
+    t_k = cache.get(k)
+    prod = ev.rescale(ev.mul(q_ct, t_k))
+    return ev.add_matched(prod, r_ct)
+
+
+def _eval_base(
+    ctx: CkksContext, coeffs: np.ndarray, cache: _ChebCache
+) -> Ciphertext:
+    """Σ c_i T_i for degree < _BASE_CASE_DEGREE, via CMults."""
+    ev = ctx.evaluator
+    acc: Ciphertext | None = None
+    for i in range(len(coeffs) - 1, 0, -1):
+        if coeffs[i] == 0.0:
+            continue
+        term = ev.rescale(ev.mul_const(cache.get(i), float(coeffs[i])))
+        acc = term if acc is None else ev.add_matched(acc, term)
+    if acc is None:
+        # Constant polynomial: anchor on 0 * T_1 to get a valid ciphertext.
+        acc = ev.rescale(ev.mul_const(cache.get(1), 0.0))
+    if len(coeffs) > 0 and coeffs[0] != 0.0:
+        acc = ev.add_const(acc, float(coeffs[0]))
+    return acc
+
+
+class EvalMod:
+    """The scaled-sine modular-reduction step of bootstrapping."""
+
+    def __init__(
+        self,
+        ctx: CkksContext,
+        range_k: int = 12,
+        double_angles: int = 2,
+        degree: int = 47,
+    ):
+        self.ctx = ctx
+        self.range_k = range_k
+        self.double_angles = double_angles
+        self.degree = degree
+        self.q0 = ctx.basis.q_moduli[0]
+        half_width = float(range_k + 1)
+        scale_down = 2.0**double_angles
+
+        def target(x: np.ndarray) -> np.ndarray:
+            # cos(2*pi*(inner - 1/4)/2^r) with inner = half_width * x.
+            return np.cos(2.0 * np.pi * (half_width * x) / scale_down)
+
+        self.cheb = ChebyshevPoly.interpolate(target, degree)
+        self.half_width = half_width
+
+    # ------------------------------------------------------------ reference
+
+    def reference(self, v: np.ndarray, scale: float) -> np.ndarray:
+        """Plaintext scaled-sine approximation of v mod (q0/Δ) (test oracle)."""
+        inner = v * (scale / self.q0)
+        return (self.q0 / (2.0 * np.pi * scale)) * np.sin(2.0 * np.pi * inner)
+
+    # ----------------------------------------------------------- encrypted
+
+    def evaluate(
+        self,
+        ct: Ciphertext,
+        pre_factor: float = 1.0,
+        coeff_scale: float | None = None,
+    ) -> Ciphertext:
+        """Apply EvalMod to ``ct`` (slots hold v with |Δv/q0| ≤ K + 1/2).
+
+        ``pre_factor`` is folded into the first affine map (the pipeline
+        passes 1/2 here to absorb the conjugate-split halving for free).
+
+        ``coeff_scale`` is the Δ that maps slot values back to integer
+        polynomial coefficients -- the scale of the ciphertext *before*
+        CoeffToSlot. It generally differs from ``ct.scale`` (which drifts
+        with each rescale); using the wrong one shifts the sine argument
+        multiplicatively and destroys the approximation.
+        """
+        ev = self.ctx.evaluator
+        scale = coeff_scale if coeff_scale is not None else ct.scale
+        # Step A: x = (inner - 1/4)/half_width with inner = pre*v*Δ/q0,
+        # mapping the slot values into the Chebyshev domain [-1, 1].
+        a_factor = pre_factor * scale / (self.q0 * self.half_width)
+        ct_x = ev.rescale(ev.mul_const(ct, a_factor))
+        ct_x = ev.add_const(ct_x, -0.25 / self.half_width)
+        # Step B: Chebyshev approximation of the shrunk cosine.
+        c = self.cheb.evaluate_encrypted(self.ctx, ct_x)
+        # Step C: r double angles: cos(2x) = 2cos(x)^2 - 1.
+        for _ in range(self.double_angles):
+            c = ev.rescale(ev.add_const(ev.mul_int(ev.mul(c, c), 2), -1.0))
+        # Step D: multiply by q0 / (2*pi*Δ_effective).
+        out = ev.rescale(ev.mul_const(c, self.q0 / (2.0 * np.pi * scale)))
+        return out

@@ -1,0 +1,41 @@
+"""LevelRecover / ModRaise: the first step of bootstrapping.
+
+A level-0 ciphertext lives in ``R_q0``. ModRaise reinterprets the centered
+lift of each polynomial in the full ``R_Q``, which is exact except that the
+encrypted value becomes ``Pm' = Pm + q0*I`` for a small-coefficient integer
+polynomial ``I`` (Section II-D); the rest of bootstrapping removes the
+``q0*I`` term.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LevelError
+from repro.rns.basis import RnsBasis
+from repro.rns.bconv import get_converter
+from repro.rns.poly import PolyRns
+from repro.ckks.ciphertext import Ciphertext
+
+
+def mod_raise(ct: Ciphertext, basis: RnsBasis) -> Ciphertext:
+    """Raise a level-0 ciphertext back to the maximum level."""
+    if ct.level != 0:
+        raise LevelError(
+            f"ModRaise expects a level-0 ciphertext, got level {ct.level}"
+        )
+    q_moduli = basis.q_moduli
+
+    def raise_poly(poly: PolyRns) -> PolyRns:
+        coeff = poly.to_coeff()
+        target = tuple(q_moduli[1:])
+        conv = get_converter((q_moduli[0],), target)
+        extension = PolyRns(
+            poly.degree, target, conv.convert(coeff.data, centered=True), rep="coeff"
+        )
+        return coeff.concat(extension).to_eval()
+
+    return Ciphertext(
+        b=raise_poly(ct.b),
+        a=raise_poly(ct.a),
+        scale=ct.scale,
+        slots=ct.slots,
+    )

@@ -1,0 +1,123 @@
+"""The full bootstrapping pipeline (Section II-D):
+
+    LevelRecover -> H-IDFT (CoeffToSlot) -> EvalMod -> H-DFT (SlotToCoeff)
+
+The pipeline accepts the same mode switches as the underlying transforms:
+
+* ``mode``: ``"baseline"`` (one evk per rotation amount) or ``"minks"``
+  (two evks per transform, Section IV-A);
+* ``pt_store``: a plaintext store; passing an
+  :class:`~repro.ckks.oflimb.OnTheFlyPlaintextStore` enables OF-Limb
+  (Section IV-B).
+
+The incoming ciphertext must be at level 0 with the context's default
+scale; the result is a higher-level ciphertext encrypting (approximately)
+the same message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+from repro.bootstrap.dft import HomDft
+from repro.bootstrap.evalmod import EvalMod
+from repro.bootstrap.modraise import mod_raise
+
+
+@dataclass
+class BootstrapReport:
+    """Level/key bookkeeping of one bootstrap run (for tests and examples)."""
+
+    input_level: int
+    output_level: int
+    levels_consumed: int
+    distinct_rotation_keys: int
+
+
+class Bootstrapper:
+    """Bootstraps level-0 ciphertexts for one functional context."""
+
+    def __init__(
+        self,
+        ctx: CkksContext,
+        range_k: int = 12,
+        double_angles: int = 2,
+        sine_degree: int = 47,
+        baby_step: int | None = None,
+    ):
+        self.ctx = ctx
+        params = ctx.params
+        if params.boot_levels <= 0:
+            raise ParameterError(
+                f"parameter set {params.name!r} reserves no bootstrapping levels"
+            )
+        self.dft = HomDft(params.degree, baby_step=baby_step)
+        self.evalmod = EvalMod(
+            ctx, range_k=range_k, double_angles=double_angles, degree=sine_degree
+        )
+        self.last_report: BootstrapReport | None = None
+
+    def prepare_keys(self, mode: str = "minks") -> None:
+        """Generate the rotation keys the chosen mode needs."""
+        self.ctx.ensure_rotation_keys(self.dft.required_rotations(mode))
+
+    def bootstrap(
+        self,
+        ct: Ciphertext,
+        mode: str = "minks",
+        pt_store=None,
+    ) -> Ciphertext:
+        """Refresh a level-0 ciphertext to a usable level."""
+        ctx = self.ctx
+        ev = ctx.evaluator
+        if ct.slots != ctx.params.max_slots:
+            raise ParameterError(
+                "functional bootstrapping runs at full slot packing "
+                f"(n = {ctx.params.max_slots}); got {ct.slots} slots"
+            )
+        self.prepare_keys(mode)
+        used_before = {
+            k for k in ev.stats if k.startswith("evk_load:rot:")
+        }
+
+        # Step 1: LevelRecover. The ciphertext now encrypts Pm + q0*I.
+        raised = mod_raise(ct, ctx.basis)
+
+        # Step 2: H-IDFT. Slots now hold w = (p_L + i p_R)/Δ.
+        w = self.dft.evaluate_coeff_to_slot(ctx, raised, mode=mode, pt_store=pt_store)
+
+        # Step 3: EvalMod on real and imaginary parts separately. The
+        # conjugate split leaves 2*Re(w) and 2*Im(w)*i; the 1/2 is folded
+        # into EvalMod's first constant (pre_factor).
+        w_conj = ev.conjugate(w)
+        doubled_re = ev.add(w, w_conj)
+        doubled_im_times_i = ev.sub(w, w_conj)
+        # Multiply by -i = X^(3N/2) to turn 2i*Im(w) into 2*Im(w).
+        doubled_im = ev.mul_by_monomial(
+            doubled_im_times_i, 3 * ctx.params.degree // 2
+        )
+        re_clean = self.evalmod.evaluate(
+            doubled_re, pre_factor=0.5, coeff_scale=raised.scale
+        )
+        im_clean = self.evalmod.evaluate(
+            doubled_im, pre_factor=0.5, coeff_scale=raised.scale
+        )
+
+        # Step 4: recombine w' = re' + i*im' and H-DFT back to slots.
+        im_times_i = ev.mul_by_monomial(im_clean, ctx.params.degree // 2)
+        w_clean = ev.add_matched(re_clean, im_times_i)
+        out = self.dft.evaluate_slot_to_coeff(ctx, w_clean, mode=mode, pt_store=pt_store)
+
+        used_after = {
+            k for k in ev.stats if k.startswith("evk_load:rot:")
+        }
+        self.last_report = BootstrapReport(
+            input_level=ct.level,
+            output_level=out.level,
+            levels_consumed=ctx.params.max_level - out.level,
+            distinct_rotation_keys=len(used_after - used_before) or len(used_after),
+        )
+        return out

@@ -1,0 +1,26 @@
+"""The CKKS scheme: encoding, key generation, encryption, and the primitive
+HE operations of Table II, including generalized key-switching (Alg. 2)."""
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import EvaluationKey, KeyChain, KeyGenerator, PublicKey, SecretKey
+from repro.ckks.keyswitch import KeySwitcher
+
+__all__ = [
+    "Ciphertext",
+    "Plaintext",
+    "CkksContext",
+    "CkksEncoder",
+    "Encryptor",
+    "Decryptor",
+    "CkksEvaluator",
+    "SecretKey",
+    "PublicKey",
+    "EvaluationKey",
+    "KeyGenerator",
+    "KeyChain",
+    "KeySwitcher",
+]

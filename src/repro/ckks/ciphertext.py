@@ -1,0 +1,59 @@
+"""Ciphertext and plaintext containers.
+
+Following the paper's convention (Eq. 2), a ciphertext is the pair
+``(B, A)`` with ``B = A*S + Pm + E``; decryption computes ``B - A*S``.
+Both polynomials live over the currently active q-limbs and are kept in
+evaluation representation between operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.rns.poly import PolyRns
+
+
+@dataclass
+class Plaintext:
+    """An encoded (unencrypted) polynomial plus its scale Δ."""
+
+    poly: PolyRns
+    scale: float
+
+    @property
+    def level(self) -> int:
+        return len(self.poly.moduli) - 1
+
+
+@dataclass
+class Ciphertext:
+    """An RLWE ciphertext ``(b, a)`` encrypting one message vector."""
+
+    b: PolyRns
+    a: PolyRns
+    scale: float
+    slots: int
+
+    def __post_init__(self) -> None:
+        if self.b.moduli != self.a.moduli:
+            raise ParameterError("ciphertext halves must share moduli")
+        if self.b.rep != self.a.rep:
+            raise ParameterError("ciphertext halves must share representation")
+
+    @property
+    def level(self) -> int:
+        """Current multiplicative level ℓ (the poly has ℓ+1 limbs)."""
+        return len(self.b.moduli) - 1
+
+    @property
+    def moduli(self) -> tuple[int, ...]:
+        return self.b.moduli
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(
+            b=PolyRns(self.b.degree, self.b.moduli, self.b.data.copy(), self.b.rep),
+            a=PolyRns(self.a.degree, self.a.moduli, self.a.data.copy(), self.a.rep),
+            scale=self.scale,
+            slots=self.slots,
+        )

@@ -1,0 +1,91 @@
+"""Convenience bundle wiring the whole functional CKKS stack together.
+
+`CkksContext.create(params)` generates a basis, keys, encoder, encryptor,
+decryptor and evaluator in one call -- the entry point used by examples and
+tests:
+
+    ctx = CkksContext.create(TOY, rotations=(1, 2, 4))
+    ct = ctx.encrypt([0.5, -0.25, ...])
+    ct2 = ctx.evaluator.mul(ct, ct)
+    values = ctx.decrypt(ctx.evaluator.rescale(ct2))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import CkksParams
+from repro.rns.basis import RnsBasis
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import KeyChain, KeyGenerator
+
+
+class CkksContext:
+    """Everything needed to run functional CKKS with one parameter set."""
+
+    def __init__(
+        self,
+        params: CkksParams,
+        basis: RnsBasis,
+        encoder: CkksEncoder,
+        keygen: KeyGenerator,
+        keys: KeyChain,
+    ):
+        self.params = params
+        self.basis = basis
+        self.encoder = encoder
+        self.keygen = keygen
+        self.keys = keys
+        self.encryptor = Encryptor(params, basis, keys.public, rng=keygen.rng)
+        self.decryptor = Decryptor(params, basis, keys.secret)
+        self.evaluator = CkksEvaluator(params, basis, keys)
+
+    @classmethod
+    def create(
+        cls,
+        params: CkksParams,
+        rotations: tuple[int, ...] = (),
+        seed: int = 2022,
+    ) -> "CkksContext":
+        basis = RnsBasis.generate(params)
+        encoder = CkksEncoder(params.degree)
+        keygen = KeyGenerator(params, basis, rng=np.random.default_rng(seed))
+        keys = keygen.key_chain(rotations=rotations)
+        return cls(params, basis, encoder, keygen, keys)
+
+    # ------------------------------------------------------------- shortcuts
+
+    @property
+    def default_scale(self) -> float:
+        return float(1 << self.params.scale_bits)
+
+    def ensure_rotation_keys(self, amounts) -> None:
+        """Generate any missing rotation keys (functional convenience)."""
+        for r in amounts:
+            r = r % self.params.max_slots
+            if r and r not in self.keys.rotations:
+                self.keys.rotations[r] = self.keygen.rotation_key(r)
+
+    def encode(
+        self,
+        message,
+        scale: float | None = None,
+        level: int | None = None,
+    ) -> Plaintext:
+        scale = scale if scale is not None else self.default_scale
+        upto = self.params.max_level if level is None else level
+        moduli = self.basis.q_moduli[: upto + 1]
+        poly = self.encoder.encode(np.asarray(message), scale, moduli)
+        return Plaintext(poly=poly.to_eval(), scale=scale)
+
+    def encrypt(self, message, scale: float | None = None) -> Ciphertext:
+        message = np.asarray(message, dtype=np.complex128)
+        pt = self.encode(message, scale=scale)
+        return self.encryptor.encrypt(pt, slots=len(message))
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        pt = self.decryptor.decrypt(ct)
+        return self.encoder.decode(pt.poly, pt.scale, slots=ct.slots)

@@ -1,0 +1,110 @@
+"""CKKS encoder: messages <-> plaintext polynomials (Eq. 1 / Eq. 3).
+
+A message is a complex vector of n ≤ N/2 slots. Slot ``j`` corresponds to
+evaluating the plaintext polynomial at the primitive 2N-th root of unity
+``ω^(5^j)`` -- the 5^j orbit that also defines the rotation automorphism
+(Eq. 5). Encoding computes the inverse of that evaluation map (a "special
+IDFT"), scales by Δ and rounds; decoding evaluates and divides by Δ.
+
+Both directions are implemented with a single length-2N numpy FFT, which is
+exact on the relevant subspace because the odd-index exponents {±5^j}
+enumerate every odd residue mod 2N (the unit group of Z_2N is ⟨-1⟩ × ⟨5⟩).
+
+Messages with n < N/2 slots are replicated N/(2n) times across the slot
+vector, the standard sparse packing used by bootstrapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.rns.poly import PolyRns
+
+
+class CkksEncoder:
+    """Encoder for a fixed ring degree N."""
+
+    def __init__(self, degree: int):
+        if degree <= 0 or degree & (degree - 1):
+            raise ParameterError("degree must be a power of two")
+        self.degree = degree
+        self.max_slots = degree // 2
+        m = 2 * degree
+        # rot_group[j] = 5^j mod 2N: the exponent of slot j.
+        rot = np.empty(self.max_slots, dtype=np.int64)
+        acc = 1
+        for j in range(self.max_slots):
+            rot[j] = acc
+            acc = (acc * 5) % m
+        self.rot_group = rot
+
+    # ----------------------------------------------------------------- core
+
+    def embed(self, message: np.ndarray) -> np.ndarray:
+        """Inverse canonical embedding: slots -> real coefficient vector.
+
+        Returns the length-N float vector ``IDFT(m)`` *before* scaling, i.e.
+        the ``IDFT(m)`` of Eq. 1.
+        """
+        slots = self._replicate(np.asarray(message, dtype=np.complex128))
+        m = 2 * self.degree
+        spectrum = np.zeros(m, dtype=np.complex128)
+        spectrum[self.rot_group] = slots
+        spectrum[(m - self.rot_group) % m] = np.conj(slots)
+        coeffs = np.fft.fft(spectrum)[: self.degree].real / self.degree
+        return coeffs
+
+    def project(self, coeffs: np.ndarray, slots: int | None = None) -> np.ndarray:
+        """Canonical embedding: real coefficient vector -> slot values.
+
+        Inverse of :meth:`embed` (the ``DFT`` of Eq. 3); ``slots`` trims the
+        replicated output back to the original message length.
+        """
+        n = slots if slots is not None else self.max_slots
+        padded = np.zeros(2 * self.degree, dtype=np.complex128)
+        padded[: self.degree] = np.asarray(coeffs, dtype=np.float64)
+        spectrum = np.fft.fft(padded)
+        return np.conj(spectrum[self.rot_group])[:n]
+
+    # ------------------------------------------------------------ plaintext
+
+    def encode(
+        self,
+        message: np.ndarray,
+        scale: float,
+        moduli: tuple[int, ...],
+    ) -> PolyRns:
+        """Encode a message into a coefficient-representation RNS plaintext
+        with the given ``scale`` (Δ) over ``moduli``."""
+        coeffs = self.embed(message) * scale
+        if np.max(np.abs(coeffs)) < 2**62:
+            ints = np.rint(coeffs).astype(np.int64)
+            return PolyRns.from_small_int_coeffs(self.degree, moduli, ints)
+        return PolyRns.from_int_coeffs(
+            self.degree, moduli, [int(round(c)) for c in coeffs]
+        )
+
+    def decode(
+        self, poly: PolyRns, scale: float, slots: int | None = None
+    ) -> np.ndarray:
+        """Decode an RNS plaintext back into ``slots`` complex values."""
+        ints = poly.to_int_coeffs()
+        coeffs = np.array([float(c) for c in ints], dtype=np.float64)
+        return self.project(coeffs / scale, slots)
+
+    # ------------------------------------------------------------- helpers
+
+    def _replicate(self, message: np.ndarray) -> np.ndarray:
+        n = len(message)
+        if n == 0 or self.max_slots % n != 0:
+            raise ParameterError(
+                f"slot count {n} must be a nonzero divisor of N/2 = {self.max_slots}"
+            )
+        if n == self.max_slots:
+            return message
+        return np.tile(message, self.max_slots // n)
+
+    def rotate_message(self, message: np.ndarray, amount: int) -> np.ndarray:
+        """Reference circular left shift by ``amount`` slots (for tests)."""
+        return np.roll(np.asarray(message), -amount)

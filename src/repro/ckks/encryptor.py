@@ -1,0 +1,67 @@
+"""Encryption and decryption (Eq. 2 / Eq. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import PolyRns
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.keys import PublicKey, SecretKey
+
+
+class Encryptor:
+    """Public-key encryptor: ``ct = v*pk + (Pm + e0, e1)``."""
+
+    def __init__(
+        self,
+        params: CkksParams,
+        basis: RnsBasis,
+        public_key: PublicKey,
+        rng: np.random.Generator | None = None,
+    ):
+        self.params = params
+        self.basis = basis
+        self.public_key = public_key
+        self.rng = rng if rng is not None else np.random.default_rng(7)
+
+    def encrypt(self, plaintext: Plaintext, slots: int | None = None) -> Ciphertext:
+        poly = plaintext.poly
+        if poly.moduli != self.basis.q_moduli:
+            raise ParameterError("plaintext must be encoded at the top level")
+        degree = self.params.degree
+        moduli = self.basis.q_moduli
+        v = PolyRns.small_ternary(degree, moduli, self.rng).to_eval()
+        e0 = PolyRns.gaussian_error(degree, moduli, self.rng).to_eval()
+        e1 = PolyRns.gaussian_error(degree, moduli, self.rng).to_eval()
+        pm = poly.to_eval()
+        b = self.public_key.b * v + e0 + pm
+        a = self.public_key.a * v + e1
+        return Ciphertext(
+            b=b,
+            a=a,
+            scale=plaintext.scale,
+            slots=slots if slots is not None else self.params.max_slots,
+        )
+
+
+class Decryptor:
+    """Secret-key decryptor: ``Pm + E = B - A*S``."""
+
+    def __init__(self, params: CkksParams, basis: RnsBasis, secret: SecretKey):
+        self.params = params
+        self.basis = basis
+        self.secret = secret
+
+    def decrypt(self, ct: Ciphertext) -> Plaintext:
+        s = self.secret.poly.limbs(ct.moduli)
+        b = ct.b.to_eval()
+        a = ct.a.to_eval()
+        return Plaintext(poly=b - a * s, scale=ct.scale)
+
+    def decrypt_under(self, ct: Ciphertext, s_prime: PolyRns) -> Plaintext:
+        """Decrypt with an alternate key (test hook for key-switching)."""
+        s = s_prime.limbs(ct.moduli)
+        return Plaintext(poly=ct.b.to_eval() - ct.a.to_eval() * s, scale=ct.scale)

@@ -1,0 +1,376 @@
+"""The primitive HE operations of Table II.
+
+Every operation returns a fresh ciphertext; operands are never mutated.
+Scale management follows the paper: multiplications square the scale and
+``rescale`` divides it by the dropped prime (≈ Δ).
+
+The evaluator shares an operation tally with its :class:`KeySwitcher`
+(`self.switcher.stats`) plus its own counters (``evaluator.stats``), which
+the tests use to cross-check the op-level plans of :mod:`repro.plan`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import LevelError, ParameterError
+from repro.nt.modarith import modinv
+from repro.nt.ntt import get_ntt_context
+from repro.params import CkksParams
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import PolyRns
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.keys import EvaluationKey, KeyChain
+from repro.ckks.keyswitch import KeySwitcher
+
+
+class CkksEvaluator:
+    """Homomorphic evaluator bound to one key chain."""
+
+    def __init__(self, params: CkksParams, basis: RnsBasis, keys: KeyChain):
+        self.params = params
+        self.basis = basis
+        self.keys = keys
+        self.switcher = KeySwitcher(params, basis)
+        self.stats: Counter = Counter()
+
+    # ------------------------------------------------------------ additive
+
+    def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """HAdd (Table II)."""
+        ct1, ct2 = self._align(ct1, ct2)
+        self.stats["hadd"] += 1
+        return Ciphertext(
+            b=ct1.b + ct2.b, a=ct1.a + ct2.a, scale=ct1.scale, slots=ct1.slots
+        )
+
+    def sub(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        ct1, ct2 = self._align(ct1, ct2)
+        self.stats["hadd"] += 1
+        return Ciphertext(
+            b=ct1.b - ct2.b, a=ct1.a - ct2.a, scale=ct1.scale, slots=ct1.slots
+        )
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext(b=-ct.b, a=-ct.a, scale=ct.scale, slots=ct.slots)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """PAdd: add an encoded polynomial to the b half."""
+        if abs(pt.scale - ct.scale) / ct.scale > 1e-9:
+            raise ParameterError("PAdd operands must share a scale")
+        poly = pt.poly.to_eval().limbs(ct.moduli)
+        self.stats["padd"] += 1
+        return Ciphertext(b=ct.b + poly, a=ct.a, scale=ct.scale, slots=ct.slots)
+
+    def add_const(self, ct: Ciphertext, value: float) -> Ciphertext:
+        """CAdd: add the same real constant to every slot.
+
+        The encoding of a constant vector is the constant polynomial
+        ``round(Δ*c)``, whose NTT is that constant in every slot; the add is
+        a broadcast scalar add on the b half.
+        """
+        scaled = int(round(ct.scale * value))
+        b = ct.b
+        data = b.data.copy()
+        for j, q in enumerate(b.moduli):
+            data[j] = (data[j] + np.uint64(scaled % q)) % np.uint64(q)
+        self.stats["cadd"] += 1
+        new_b = PolyRns(b.degree, b.moduli, data, b.rep)
+        return Ciphertext(b=new_b, a=ct.a, scale=ct.scale, slots=ct.slots)
+
+    # ------------------------------------------------------ multiplicative
+
+    def mul_const(self, ct: Ciphertext, value: float) -> Ciphertext:
+        """CMult by a real constant; the result has scale Δ^2."""
+        scaled = int(round(ct.scale * value))
+        self.stats["cmult"] += 1
+        return Ciphertext(
+            b=ct.b.scalar_mul(scaled),
+            a=ct.a.scalar_mul(scaled),
+            scale=ct.scale * ct.scale,
+            slots=ct.slots,
+        )
+
+    def mul_int(self, ct: Ciphertext, value: int) -> Ciphertext:
+        """Exact multiply by a small integer (value changes, scale does not).
+
+        Used for the ``2x^2 - 1`` Chebyshev/double-angle steps, where the
+        factor 2 must not burn a level or perturb the scale."""
+        self.stats["imult"] += 1
+        return Ciphertext(
+            b=ct.b.scalar_mul(value),
+            a=ct.a.scalar_mul(value),
+            scale=ct.scale,
+            slots=ct.slots,
+        )
+
+    def div_by_pow2(self, ct: Ciphertext, power: int = 1) -> Ciphertext:
+        """Exactly divide every slot by 2^power, free of levels and noise.
+
+        CKKS interprets slot values as coefficient/scale, so doubling the
+        tracked scale halves the value without touching the data.
+        """
+        out = ct.copy()
+        out.scale = ct.scale * (1 << power)
+        self.stats["div_pow2"] += 1
+        return out
+
+    def mul_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """PMult by an encoded polynomial; scales multiply."""
+        poly = pt.poly.to_eval().limbs(ct.moduli)
+        self.stats["pmult"] += 1
+        return Ciphertext(
+            b=ct.b * poly,
+            a=ct.a * poly,
+            scale=ct.scale * pt.scale,
+            slots=ct.slots,
+        )
+
+    def mul(
+        self, ct1: Ciphertext, ct2: Ciphertext, evk: EvaluationKey | None = None
+    ) -> Ciphertext:
+        """HMult with relinearization through generalized key-switching."""
+        ct1, ct2 = self._align_levels(ct1, ct2)
+        evk = evk if evk is not None else self.keys.mult
+        d0 = ct1.b * ct2.b
+        d1 = ct1.a * ct2.b + ct2.a * ct1.b
+        d2 = ct1.a * ct2.a
+        self.stats["hmult"] += 1
+        self.stats["evk_load:mult"] += 1
+        ks_b, ks_a = self.switcher.switch(d2, evk)
+        return Ciphertext(
+            b=d0 + ks_b,
+            a=d1 + ks_a,
+            scale=ct1.scale * ct2.scale,
+            slots=ct1.slots,
+        )
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        return self.mul(ct, ct)
+
+    # ------------------------------------------------------------ rotation
+
+    def rotate(
+        self, ct: Ciphertext, amount: int, evk: EvaluationKey | None = None
+    ) -> Ciphertext:
+        """HRot: circular left shift of the slot vector by ``amount``.
+
+        Rotation by r applies the automorphism ψ_r (Eq. 5) and key-switches
+        ψ_r(A) back under S with the rotation key for r.
+        """
+        amount = amount % ct.slots if ct.slots else 0
+        if amount == 0:
+            return ct.copy()
+        # The ciphertext rotation amount lives in the full slot group; a
+        # sparse (replicated) message rotates consistently because rotation
+        # by `amount` in the replicated vector equals rotation by `amount`
+        # of every copy.
+        galois = pow(5, amount, 2 * self.params.degree)
+        evk = evk if evk is not None else self.keys.rotation(amount)
+        self.stats["hrot"] += 1
+        self.stats[f"evk_load:rot:{amount}"] += 1
+        b_rot = ct.b.automorphism(galois)
+        a_rot = ct.a.automorphism(galois)
+        # Under the paper's dec = B - A*S convention the switched term must
+        # contribute -psi(A)*psi(S), hence the negated input.
+        ks_b, ks_a = self.switcher.switch(-a_rot, evk)
+        return Ciphertext(
+            b=b_rot + ks_b, a=ks_a, scale=ct.scale, slots=ct.slots
+        )
+
+    def rotate_many_hoisted(
+        self, ct: Ciphertext, amounts: list[int]
+    ) -> dict[int, Ciphertext]:
+        """Rotate one ciphertext by several amounts with a single ModUp.
+
+        The hoisting technique of [42]: decompose-and-extend ``-a`` once,
+        then per rotation apply the automorphism to the extended pieces and
+        finish with that amount's evk. Still needs one *distinct* evk per
+        amount -- which is why the paper prefers Min-KS when the amounts
+        form an arithmetic progression (Section IV-C).
+        """
+        out: dict[int, Ciphertext] = {}
+        pending = []
+        for amount in amounts:
+            reduced = amount % ct.slots if ct.slots else 0
+            if reduced == 0:
+                out[amount] = ct.copy()
+            else:
+                pending.append((amount, reduced))
+        if not pending:
+            return out
+        self.stats["hoisted_modup"] += 1
+        pieces = self.switcher.mod_up_all(-ct.a)
+        for amount, reduced in pending:
+            galois = pow(5, reduced, 2 * self.params.degree)
+            evk = self.keys.rotation(reduced)
+            self.stats["hrot_hoisted"] += 1
+            self.stats[f"evk_load:rot:{reduced}"] += 1
+            ks_b, ks_a = self.switcher.switch_hoisted(pieces, evk, galois)
+            out[amount] = Ciphertext(
+                b=ct.b.automorphism(galois) + ks_b,
+                a=ks_a,
+                scale=ct.scale,
+                slots=ct.slots,
+            )
+        return out
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        """Complex-conjugate every slot (Galois element 2N-1)."""
+        if self.keys.conjugation is None:
+            raise ParameterError("no conjugation key in the key chain")
+        galois = 2 * self.params.degree - 1
+        self.stats["hconj"] += 1
+        b_rot = ct.b.automorphism(galois)
+        a_rot = ct.a.automorphism(galois)
+        ks_b, ks_a = self.switcher.switch(-a_rot, self.keys.conjugation)
+        return Ciphertext(b=b_rot + ks_b, a=ks_a, scale=ct.scale, slots=ct.slots)
+
+    def mul_by_monomial(self, ct: Ciphertext, power: int) -> Ciphertext:
+        """Multiply by X^power (exact, level-free).
+
+        ``power = N/2`` multiplies every slot by the imaginary unit, used by
+        bootstrapping to recombine real and imaginary parts.
+        """
+        self.stats["monomial_mult"] += 1
+
+        def twist(poly: PolyRns) -> PolyRns:
+            rows = []
+            for j, q in enumerate(poly.moduli):
+                ctx = get_ntt_context(poly.degree, q)
+                factors = ctx.monomial_eval_values(power)
+                rows.append((poly.data[j] * factors) % np.uint64(q))
+            return PolyRns(poly.degree, poly.moduli, np.stack(rows), poly.rep)
+
+        return Ciphertext(
+            b=twist(ct.b), a=twist(ct.a), scale=ct.scale, slots=ct.slots
+        )
+
+    # ------------------------------------------------------- level control
+
+    def adjust_scale(self, ct: Ciphertext, target_scale: float) -> Ciphertext:
+        """Exactly retarget ``ct.scale`` (costs one level when off by > 1e-9).
+
+        Multiplies by the integer nearest ``target*q_l/scale`` and rescales,
+        so the value is scaled by a *known* exact factor; the sub-ppb
+        residual is absorbed into the tracked float scale.
+        """
+        ratio = target_scale / ct.scale
+        if abs(ratio - 1.0) < 1e-9:
+            out = ct.copy()
+            out.scale = target_scale
+            return out
+        if ct.level == 0:
+            raise LevelError("cannot adjust the scale of a level-0 ciphertext")
+        q_last = ct.moduli[-1]
+        factor = int(round(ratio * q_last))
+        if factor < 1:
+            raise ParameterError(
+                f"scale adjustment factor {factor} < 1 "
+                f"(ratio {ratio:.3e} too small for q_last)"
+            )
+        self.stats["scale_adjust"] += 1
+        scaled = Ciphertext(
+            b=ct.b.scalar_mul(factor),
+            a=ct.a.scalar_mul(factor),
+            scale=ct.scale * factor,
+            slots=ct.slots,
+        )
+        out = self.rescale(scaled)
+        out.scale = target_scale  # residual |round error| < 2^-word
+        return out
+
+    def add_matched(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """Add after aligning levels and (exactly) aligning scales."""
+        if ct1.level > ct2.level:
+            ct1 = self.drop_to_level(ct1, ct2.level)
+        elif ct2.level > ct1.level:
+            ct2 = self.drop_to_level(ct2, ct1.level)
+        if abs(ct1.scale - ct2.scale) / ct1.scale > 1e-9:
+            if ct1.scale > ct2.scale:
+                ct1 = self.adjust_scale(ct1, ct2.scale)
+                ct2 = self.drop_to_level(ct2, ct1.level)
+            else:
+                ct2 = self.adjust_scale(ct2, ct1.scale)
+                ct1 = self.drop_to_level(ct1, ct2.level)
+        return self.add(ct1, ct2)
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """HRescale: drop the last limb and divide by it (Section II-C)."""
+        if ct.level == 0:
+            raise LevelError("cannot rescale a level-0 ciphertext")
+        q_last = ct.moduli[-1]
+        new_scale = ct.scale / q_last
+        self.stats["rescale"] += 1
+        return Ciphertext(
+            b=self._rescale_poly(ct.b),
+            a=self._rescale_poly(ct.a),
+            scale=new_scale,
+            slots=ct.slots,
+        )
+
+    def _rescale_poly(self, poly: PolyRns) -> PolyRns:
+        """(x - [x_last])*q_last^-1 on the remaining limbs."""
+        q_last = poly.moduli[-1]
+        remaining = poly.moduli[:-1]
+        last_coeff = get_ntt_context(poly.degree, q_last).inverse(poly.data[-1])
+        # Centered lift of the dropped limb, reduced mod each remaining prime.
+        lifted = last_coeff.astype(np.int64)
+        lifted = np.where(lifted > q_last // 2, lifted - q_last, lifted)
+        out_rows = []
+        for j, q in enumerate(remaining):
+            ctx = get_ntt_context(poly.degree, q)
+            reduced = np.mod(lifted, q).astype(np.uint64)
+            reduced_eval = ctx.forward(reduced)
+            diff = (poly.data[j] + np.uint64(q) - reduced_eval) % np.uint64(q)
+            inv = np.uint64(modinv(q_last % q, q))
+            out_rows.append((diff * inv) % np.uint64(q))
+        return PolyRns(poly.degree, remaining, np.stack(out_rows), poly.rep)
+
+    def drop_to_level(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Discard limbs (no division) so that ct sits at ``level``."""
+        if level > ct.level:
+            raise LevelError("cannot raise a level by dropping limbs")
+        keep = ct.moduli[: level + 1]
+        return Ciphertext(
+            b=ct.b.limbs(keep), a=ct.a.limbs(keep), scale=ct.scale, slots=ct.slots
+        )
+
+    def rescale_to_match(self, ct: Ciphertext, target_scale: float) -> Ciphertext:
+        """Rescale once and assert we landed near the target scale."""
+        out = self.rescale(ct)
+        if abs(out.scale - target_scale) / target_scale > 0.5:
+            raise ParameterError(
+                f"rescale landed at {out.scale:.3e}, expected ≈ {target_scale:.3e}"
+            )
+        return out
+
+    # -------------------------------------------------------------- helpers
+
+    def _align_levels(
+        self, ct1: Ciphertext, ct2: Ciphertext
+    ) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts to a common level (drop the higher one).
+
+        Used by multiplication, where the operand scales need not match
+        (the product scale is simply their product)."""
+        if ct1.level > ct2.level:
+            ct1 = self.drop_to_level(ct1, ct2.level)
+        elif ct2.level > ct1.level:
+            ct2 = self.drop_to_level(ct2, ct1.level)
+        if ct1.slots != ct2.slots:
+            raise ParameterError("slot counts differ")
+        return ct1, ct2
+
+    def _align(
+        self, ct1: Ciphertext, ct2: Ciphertext
+    ) -> tuple[Ciphertext, Ciphertext]:
+        """Level alignment plus the scale equality additions require."""
+        ct1, ct2 = self._align_levels(ct1, ct2)
+        if abs(ct1.scale - ct2.scale) / ct1.scale > 1e-6:
+            raise ParameterError(
+                f"scales differ: {ct1.scale:.6e} vs {ct2.scale:.6e}"
+            )
+        return ct1, ct2

@@ -1,0 +1,181 @@
+"""Key material: secret/public keys and generalized evaluation keys.
+
+Evaluation keys follow the hybrid (generalized) key-switching construction
+of [Han-Ki 2020] used by the paper (Section II-C): the q-limbs are split
+into ``dnum`` groups ``Ci`` with products ``Qi``; evk piece ``i`` is an RLWE
+encryption under S (over the extended basis D = C ∪ B) of
+
+    P * F_i * S'      with   F_i = Q̂_i * (Q̂_i^{-1} mod Q_i),
+
+where ``Q̂_i = Q / Q_i``. ``F_i ≡ 1 (mod Q_i)`` and ``≡ 0`` modulo every
+other q-limb, which is what makes the ModUp/accumulate/ModDown pipeline of
+Alg. 2 reconstruct ``P * d2 * S'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import KeyError_
+from repro.params import CkksParams
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import PolyRns
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret S, stored in evaluation representation over the full
+    extended basis D so any active subset can be projected off."""
+
+    poly: PolyRns  # eval rep, moduli = C + B
+
+
+@dataclass
+class PublicKey:
+    """RLWE encryption of zero: ``b = a*S + e`` over the q-limbs."""
+
+    b: PolyRns
+    a: PolyRns
+
+
+@dataclass
+class EvaluationKey:
+    """dnum pairs of R_PQ polynomials (Table I: evk)."""
+
+    b_parts: list[PolyRns]  # eval rep over C + B
+    a_parts: list[PolyRns]
+    kind: str  # "mult" | "rot:<r>" | "conj"
+
+    @property
+    def dnum(self) -> int:
+        return len(self.b_parts)
+
+
+@dataclass
+class KeyChain:
+    """Holds every generated key and tracks rotation-key demand.
+
+    ``rotation_keys_generated`` is the working-set statistic behind the
+    paper's Min-KS argument: the baseline H-(I)DFT needs ~40 distinct
+    rotation keys while Min-KS needs 2 per iteration.
+    """
+
+    secret: SecretKey
+    public: PublicKey
+    mult: EvaluationKey
+    rotations: dict[int, EvaluationKey] = field(default_factory=dict)
+    conjugation: EvaluationKey | None = None
+
+    def rotation(self, amount: int) -> EvaluationKey:
+        key = self.rotations.get(amount)
+        if key is None:
+            raise KeyError_(f"no rotation key for amount {amount}")
+        return key
+
+    @property
+    def rotation_amounts(self) -> list[int]:
+        return sorted(self.rotations)
+
+
+class KeyGenerator:
+    """Generates all key material for one (params, basis) instantiation."""
+
+    def __init__(
+        self,
+        params: CkksParams,
+        basis: RnsBasis,
+        rng: np.random.Generator | None = None,
+        hamming_weight: int | None = None,
+    ):
+        self.params = params
+        self.basis = basis
+        self.rng = rng if rng is not None else np.random.default_rng(2022)
+        self.full_moduli = tuple(basis.q_moduli) + tuple(basis.p_moduli)
+        if hamming_weight is None:
+            hamming_weight = min(64, params.degree // 4)
+        self.hamming_weight = hamming_weight
+        self._secret: SecretKey | None = None
+
+    # ------------------------------------------------------------- secrets
+
+    def secret_key(self) -> SecretKey:
+        if self._secret is None:
+            s = PolyRns.small_ternary(
+                self.params.degree,
+                self.full_moduli,
+                self.rng,
+                hamming_weight=self.hamming_weight,
+            )
+            self._secret = SecretKey(poly=s.to_eval())
+        return self._secret
+
+    def public_key(self) -> PublicKey:
+        s = self.secret_key().poly.limbs(self.basis.q_moduli)
+        a = PolyRns.uniform_random(
+            self.params.degree, self.basis.q_moduli, self.rng
+        ).to_eval()
+        e = PolyRns.gaussian_error(
+            self.params.degree, self.basis.q_moduli, self.rng
+        ).to_eval()
+        return PublicKey(b=a * s + e, a=a)
+
+    # ------------------------------------------------------------- switch keys
+
+    def _switching_key(self, s_prime: PolyRns, kind: str) -> EvaluationKey:
+        """Evk encrypting ``s_prime`` (over the full basis) under S."""
+        degree = self.params.degree
+        s = self.secret_key().poly
+        p_product = self.basis.p_product
+        q_full = self.basis.q_product()
+        groups = self.basis.limb_groups(self.params.dnum)
+        b_parts: list[PolyRns] = []
+        a_parts: list[PolyRns] = []
+        for group in groups:
+            q_i = 1
+            for q in group:
+                q_i *= q
+            q_hat = q_full // q_i
+            inv = pow(q_hat % q_i, -1, q_i)
+            # F_i = q_hat * inv as an integer; store P*F_i reduced per limb.
+            factor = p_product * q_hat * inv
+            factor_per_limb = [factor % m for m in self.full_moduli]
+            payload = s_prime.scalar_mul_per_limb(factor_per_limb)
+            a = PolyRns.uniform_random(degree, self.full_moduli, self.rng).to_eval()
+            e = PolyRns.gaussian_error(degree, self.full_moduli, self.rng).to_eval()
+            b_parts.append(a * s + e + payload)
+            a_parts.append(a)
+        return EvaluationKey(b_parts=b_parts, a_parts=a_parts, kind=kind)
+
+    def mult_key(self) -> EvaluationKey:
+        s = self.secret_key().poly
+        return self._switching_key(s * s, kind="mult")
+
+    def rotation_key(self, amount: int) -> EvaluationKey:
+        galois = self.galois_element(amount)
+        s_rot = self.secret_key().poly.automorphism(galois)
+        return self._switching_key(s_rot, kind=f"rot:{amount}")
+
+    def conjugation_key(self) -> EvaluationKey:
+        galois = 2 * self.params.degree - 1
+        s_conj = self.secret_key().poly.automorphism(galois)
+        return self._switching_key(s_conj, kind="conj")
+
+    def galois_element(self, rotation: int) -> int:
+        """5^r mod 2N for a (possibly negative) rotation amount r (Eq. 5)."""
+        half_slots = self.params.degree // 2
+        return pow(5, rotation % half_slots, 2 * self.params.degree)
+
+    # --------------------------------------------------------------- bundle
+
+    def key_chain(self, rotations: tuple[int, ...] = ()) -> KeyChain:
+        chain = KeyChain(
+            secret=self.secret_key(),
+            public=self.public_key(),
+            mult=self.mult_key(),
+        )
+        for r in rotations:
+            chain.rotations[r] = self.rotation_key(r)
+        chain.conjugation = self.conjugation_key()
+        return chain

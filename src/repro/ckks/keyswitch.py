@@ -1,0 +1,156 @@
+"""Generalized key-switching (Alg. 2 of the paper).
+
+Given a polynomial ``d`` (decryptable under S') and an evk encrypting
+``P * F_i * S'``, produce a pair ``(b, a)`` such that ``b - a*S ≈ d * S'``:
+
+1. **ModUp** (lines 2-4): for each limb group Ci, base-extend ``[d]_Ci`` to
+   the full basis D = C ∪ B through a BConvRoutine (INTT -> BConv -> NTT).
+2. **Inner product** (line 5): multiply each extended piece with its evk
+   pair and accumulate.
+3. **ModDown** (lines 6-8): base-convert the B-part back to C, subtract,
+   and multiply by P^-1.
+
+This module also records an operation tally (`KeySwitchStats`) used by the
+tests to cross-check the op-level performance plans in `repro.plan`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.nt.modarith import modinv
+from repro.params import CkksParams
+from repro.rns.basis import RnsBasis
+from repro.rns.bconv import get_converter
+from repro.rns.poly import PolyRns
+from repro.ckks.keys import EvaluationKey
+
+
+@dataclass
+class KeySwitchStats:
+    """Counts of primary-function invocations, at limb granularity."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, kind: str, limbs: int = 1) -> None:
+        self.counts[kind] += limbs
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+
+class KeySwitcher:
+    """Executes Alg. 2 for a fixed basis, with op accounting."""
+
+    def __init__(self, params: CkksParams, basis: RnsBasis):
+        self.params = params
+        self.basis = basis
+        self.stats = KeySwitchStats()
+
+    # ------------------------------------------------------------ pipeline
+
+    def switch(
+        self, d: PolyRns, evk: EvaluationKey
+    ) -> tuple[PolyRns, PolyRns]:
+        """Run Alg. 2 on ``d`` (evaluation rep over active q-limbs)."""
+        if d.rep != "eval":
+            raise ParameterError("key-switch input must be in evaluation rep")
+        active = d.moduli
+        level = len(active) - 1
+        groups = self.basis.limb_groups(self.params.dnum, level=level)
+        extended_basis = tuple(active) + tuple(self.basis.p_moduli)
+
+        acc_b: PolyRns | None = None
+        acc_a: PolyRns | None = None
+        for i, group in enumerate(groups):
+            piece = self._mod_up(d, group, extended_basis)
+            evk_b = evk.b_parts[i].limbs(extended_basis)
+            evk_a = evk.a_parts[i].limbs(extended_basis)
+            self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
+            term_b = piece * evk_b
+            term_a = piece * evk_a
+            acc_b = term_b if acc_b is None else acc_b + term_b
+            acc_a = term_a if acc_a is None else acc_a + term_a
+        assert acc_b is not None and acc_a is not None
+        return self._mod_down(acc_b, active), self._mod_down(acc_a, active)
+
+    # ----------------------------------------------------------- hoisting
+
+    def mod_up_all(self, d: PolyRns) -> list[PolyRns]:
+        """ModUp every limb group once (the shared half of hoisting [42]).
+
+        Hoisting rotates one ciphertext by many amounts while performing the
+        expensive ModUp only once: the decomposition-and-extension commutes
+        with the automorphism (both are coefficient-wise per limb), so the
+        extended pieces can be permuted per rotation afterwards. The paper
+        discusses hoisting as the alternative it rejects (Section IV-C):
+        it cuts compute but not the single-use evk traffic.
+        """
+        if d.rep != "eval":
+            raise ParameterError("hoisting input must be in evaluation rep")
+        active = d.moduli
+        level = len(active) - 1
+        groups = self.basis.limb_groups(self.params.dnum, level=level)
+        extended_basis = tuple(active) + tuple(self.basis.p_moduli)
+        return [self._mod_up(d, group, extended_basis) for group in groups]
+
+    def switch_hoisted(
+        self, pieces: list[PolyRns], evk: EvaluationKey, galois: int
+    ) -> tuple[PolyRns, PolyRns]:
+        """Finish one rotation's key-switch from shared ModUp pieces."""
+        if not pieces:
+            raise ParameterError("no ModUp pieces supplied")
+        extended_basis = pieces[0].moduli
+        active = tuple(
+            m for m in extended_basis if m not in self.basis.p_moduli
+        )
+        acc_b: PolyRns | None = None
+        acc_a: PolyRns | None = None
+        for i, piece in enumerate(pieces):
+            rotated = piece.automorphism(galois)
+            evk_b = evk.b_parts[i].limbs(extended_basis)
+            evk_a = evk.a_parts[i].limbs(extended_basis)
+            self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
+            term_b = rotated * evk_b
+            term_a = rotated * evk_a
+            acc_b = term_b if acc_b is None else acc_b + term_b
+            acc_a = term_a if acc_a is None else acc_a + term_a
+        assert acc_b is not None and acc_a is not None
+        return self._mod_down(acc_b, active), self._mod_down(acc_a, active)
+
+    # -------------------------------------------------------------- stages
+
+    def _mod_up(
+        self,
+        d: PolyRns,
+        group: tuple[int, ...],
+        extended_basis: tuple[int, ...],
+    ) -> PolyRns:
+        """Line 3 of Alg. 2: extend [d]_Ci to the full basis D."""
+        piece = d.limbs(group)
+        target = tuple(m for m in extended_basis if m not in group)
+        coeff = piece.to_coeff()
+        self.stats.add("intt_limbs", len(group))
+        conv = get_converter(tuple(group), target)
+        extension_data = conv.convert(coeff.data)
+        self.stats.add("bconv_output_limbs", len(target))
+        extension = PolyRns(d.degree, target, extension_data, rep="coeff").to_eval()
+        self.stats.add("ntt_limbs", len(target))
+        return coeff.to_eval().concat(extension).limbs(extended_basis)
+
+    def _mod_down(self, x: PolyRns, active: tuple[int, ...]) -> PolyRns:
+        """Lines 6-8 of Alg. 2: back to R_Q and divide by P."""
+        special = tuple(self.basis.p_moduli)
+        x_c = x.limbs(active)
+        x_b = x.limbs(special).to_coeff()
+        self.stats.add("intt_limbs", len(special))
+        conv = get_converter(special, active)
+        correction_data = conv.convert(x_b.data)
+        self.stats.add("bconv_output_limbs", len(active))
+        correction = PolyRns(x.degree, active, correction_data, rep="coeff").to_eval()
+        self.stats.add("ntt_limbs", len(active))
+        diff = x_c - correction
+        p_inv = [modinv(self.basis.p_product % q, q) for q in active]
+        return diff.scalar_mul_per_limb(p_inv)

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the ARK reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(ReproError):
+    """A CKKS or architecture parameter set is invalid or inconsistent."""
+
+
+class RepresentationError(ReproError):
+    """A polynomial is in the wrong representation (coefficient vs
+    evaluation) for the requested operation."""
+
+
+class LevelError(ReproError):
+    """An HE operation was attempted at an impossible multiplicative level
+    (for example, rescaling a level-0 ciphertext)."""
+
+
+class KeyError_(ReproError):
+    """A required evaluation key (for a rotation amount or for
+    multiplication) is missing from the key store."""
+
+
+class ScheduleError(ReproError):
+    """The architecture scheduler was given an inconsistent plan (cyclic
+    dependence graph, unknown resource, ...)."""

@@ -1,0 +1,31 @@
+"""Number-theory substrate: modular arithmetic, NTT-friendly primes, and
+negacyclic number-theoretic transforms.
+
+This package is the lowest layer of the reproduction. Everything above it
+(RNS, CKKS, bootstrapping) reduces to the word-sized modular arithmetic and
+transforms defined here.
+"""
+
+from repro.nt.modarith import (
+    BarrettReducer,
+    MontgomeryReducer,
+    modinv,
+    modpow,
+)
+from repro.nt.primes import (
+    find_ntt_primes,
+    find_primitive_2n_root,
+    is_prime,
+)
+from repro.nt.ntt import NttContext
+
+__all__ = [
+    "BarrettReducer",
+    "MontgomeryReducer",
+    "modinv",
+    "modpow",
+    "find_ntt_primes",
+    "find_primitive_2n_root",
+    "is_prime",
+    "NttContext",
+]

@@ -1,0 +1,161 @@
+"""Four-step (Bailey) NTT with on-the-fly twisting factor generation.
+
+ARK's NTT unit implements the 4-step FFT of [Bailey 1990] (Section V-C of
+the paper): an N-point negacyclic NTT becomes
+
+1. pre-twist by ψ^i (negacyclic -> cyclic conversion),
+2. √N-point column NTTs,
+3. multiplication by *twisting factors* ω^(i1*k2),
+4. transpose, then √N-point row NTTs.
+
+The twisting factors along each column form a geometric progression with
+ratio ω^k2, which is the observation behind the paper's OF-Twist: the
+hardware stores only the √N common ratios and generates the N factors on
+the fly, halving NTT input traffic and saving ~99% of twisting-factor
+storage. This module provides a functional model of that unit and a
+storage-accounting helper used by the architecture layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt.modarith import modinv, modpow
+from repro.nt.ntt import NttContext
+
+
+def _cyclic_ntt_matrix_reference(
+    values: np.ndarray, omega: int, modulus: int
+) -> np.ndarray:
+    """Naive cyclic DFT of each row of ``values`` with root ``omega``."""
+    n = values.shape[-1]
+    p = modulus
+    exponents = (np.outer(np.arange(n), np.arange(n)) % n).astype(np.int64)
+    powers = np.empty(n, dtype=np.uint64)
+    acc = 1
+    for i in range(n):
+        powers[i] = acc
+        acc = (acc * omega) % p
+    matrix = powers[exponents]
+    out = np.zeros(values.shape, dtype=np.uint64)
+    for col in range(n):
+        out = (out + values[..., col, None] * matrix[col][None, :]) % np.uint64(p)
+    return out
+
+
+class FourStepNtt:
+    """Functional model of ARK's 4-step NTT pipeline for one prime.
+
+    Output slot ``k`` holds ``P(ψ^(2k+1))`` in *natural* order (unlike the
+    iterative :class:`~repro.nt.ntt.NttContext`, which is bit-reversed); the
+    two are cross-checked in the tests through the slot-exponent map.
+    """
+
+    def __init__(self, degree: int, modulus: int, root: int | None = None):
+        sqrt_n = math.isqrt(degree)
+        if sqrt_n * sqrt_n != degree:
+            raise ParameterError("4-step NTT requires a square degree")
+        self.degree = degree
+        self.sqrt_n = sqrt_n
+        self.modulus = modulus
+        base = NttContext(degree, modulus, root=root)
+        self.psi = base.psi
+        p = modulus
+        self.omega = (self.psi * self.psi) % p  # primitive N-th root
+        n1 = sqrt_n
+        # Roots for the column/row sub-transforms of size sqrt(N).
+        self.omega_col = modpow(self.omega, n1, p)  # primitive sqrt(N)-th root
+        self.omega_row = self.omega_col
+        # Geometric-progression parameters for OF-Twist.
+        self.pre_twist_ratio = self.psi
+        self.twist_column_ratios = np.array(
+            [modpow(self.omega, k2, p) for k2 in range(n1)], dtype=np.uint64
+        )
+
+    # The four steps -------------------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT returning natural-order evaluations P(ψ^(2k+1))."""
+        n, n1, p = self.degree, self.sqrt_n, self.modulus
+        a = np.asarray(coeffs, dtype=np.uint64)
+        if a.shape != (n,):
+            raise ParameterError("input length does not match degree")
+        # Step 0 (twisting unit, generated on the fly): b_i = a_i * psi^i.
+        pre = self._geometric(self.pre_twist_ratio, n)
+        b = (a * pre) % np.uint64(p)
+        # Decompose i = i1 + n1*i2 -> matrix[i1][i2]
+        matrix = b.reshape(n1, n1, order="F").copy()  # matrix[i1, i2]
+        # Step 1: length-n1 NTTs over i2 (root omega^n1) -> Y[i1, k2]
+        y = _cyclic_ntt_matrix_reference(matrix, self.omega_col, p)
+        # Step 2: twisting factors T[i1, k2] = omega^(i1*k2), generated as a
+        # geometric progression down each column (OF-Twist).
+        twist = self._twist_matrix()
+        z = (y * twist) % np.uint64(p)
+        # Step 3: transpose.
+        zt = z.T.copy()  # zt[k2, i1]
+        # Step 4: length-n1 NTTs over i1 (root omega^n2 = omega^n1).
+        x = _cyclic_ntt_matrix_reference(zt, self.omega_row, p)  # x[k2, k1]
+        # Recompose k = k2 + n1*k1.
+        return x.reshape(-1, order="F").copy()
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward` (natural-order evaluations in)."""
+        n, n1, p = self.degree, self.sqrt_n, self.modulus
+        x = np.asarray(values, dtype=np.uint64).reshape(n1, n1, order="F")
+        omega_inv = modinv(self.omega_row, p)
+        zt = _cyclic_ntt_matrix_reference(x, omega_inv, p)
+        n1_inv = np.uint64(modinv(n1, p))
+        zt = (zt * n1_inv) % np.uint64(p)
+        z = zt.T.copy()
+        inv_twist = self._inverse_twist_matrix()
+        y = (z * inv_twist) % np.uint64(p)
+        matrix = _cyclic_ntt_matrix_reference(y, modinv(self.omega_col, p), p)
+        matrix = (matrix * n1_inv) % np.uint64(p)
+        b = matrix.reshape(-1, order="F")
+        post = self._geometric(modinv(self.psi, p), n)
+        return (b * post) % np.uint64(p)
+
+    # Twisting-factor generation ------------------------------------------
+
+    def _geometric(self, ratio: int, count: int) -> np.ndarray:
+        """Length-``count`` geometric progression 1, r, r^2, ... mod p."""
+        out = np.empty(count, dtype=np.uint64)
+        acc = 1
+        for i in range(count):
+            out[i] = acc
+            acc = (acc * ratio) % self.modulus
+        return out
+
+    def _twist_matrix(self) -> np.ndarray:
+        """T[i1, k2] = omega^(i1*k2), column k2 generated from its ratio."""
+        n1 = self.sqrt_n
+        cols = [
+            self._geometric(int(self.twist_column_ratios[k2]), n1)
+            for k2 in range(n1)
+        ]
+        return np.stack(cols, axis=1)
+
+    def _inverse_twist_matrix(self) -> np.ndarray:
+        n1, p = self.sqrt_n, self.modulus
+        cols = [
+            self._geometric(modinv(int(self.twist_column_ratios[k2]), p), n1)
+            for k2 in range(n1)
+        ]
+        return np.stack(cols, axis=1)
+
+    # Storage accounting ----------------------------------------------------
+
+    def twisting_storage_words(self, on_the_fly: bool) -> int:
+        """Words of twisting-factor storage, with and without OF-Twist.
+
+        Without OF-Twist every one of the N factors (plus the N pre-twist
+        factors) is a table entry; with OF-Twist only the per-column common
+        ratios and starting values are stored. The paper reports a 99%
+        storage reduction (Section V-C).
+        """
+        if on_the_fly:
+            return 2 * self.sqrt_n + 2  # column ratios + starts, pre-twist seed
+        return 2 * self.degree

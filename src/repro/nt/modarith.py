@@ -1,0 +1,122 @@
+"""Word-sized modular arithmetic.
+
+Two reference reduction algorithms are implemented scalar-style:
+
+* :class:`BarrettReducer` -- Barrett reduction [Barrett 1986], used by ARK's
+  MAD units (Section VI of the paper).
+* :class:`MontgomeryReducer` -- Montgomery reduction [Montgomery 1985], used
+  by ARK's NTT and BConv units.
+
+The hot numpy paths elsewhere in the library use ``(a * b) % p`` directly
+(exact for our < 2^31 primes in uint64); these classes exist to model the
+hardware functional units faithfully and to cross-check the fast path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+def modpow(base: int, exponent: int, modulus: int) -> int:
+    """Return ``base ** exponent mod modulus`` (non-negative result)."""
+    return pow(base % modulus, exponent, modulus)
+
+
+def modinv(value: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises :class:`ParameterError` when the inverse does not exist.
+    """
+    value %= modulus
+    if value == 0:
+        raise ParameterError(f"0 has no inverse modulo {modulus}")
+    gcd, inverse, _ = _extended_gcd(value, modulus)
+    if gcd != 1:
+        raise ParameterError(f"{value} is not invertible modulo {modulus}")
+    return inverse % modulus
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y = g``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+        old_y, y = y, old_y - quotient * y
+    return old_r, old_x, old_y
+
+
+class BarrettReducer:
+    """Barrett modular reduction for a fixed modulus.
+
+    Precomputes ``mu = floor(2^(2k) / p)`` where ``k = p.bit_length()`` and
+    reduces any ``x < p^2`` with two multiplications and at most two
+    conditional subtractions, exactly as a hardware Barrett unit would.
+    """
+
+    def __init__(self, modulus: int):
+        if modulus < 2:
+            raise ParameterError("Barrett modulus must be >= 2")
+        self.modulus = modulus
+        self.shift = 2 * modulus.bit_length()
+        self.mu = (1 << self.shift) // modulus
+
+    def reduce(self, x: int) -> int:
+        """Return ``x mod p`` for ``0 <= x < p^2``."""
+        if x < 0 or x >= self.modulus * self.modulus:
+            raise ParameterError("Barrett input out of range [0, p^2)")
+        q = (x * self.mu) >> self.shift
+        r = x - q * self.modulus
+        while r >= self.modulus:
+            r -= self.modulus
+        return r
+
+    def mulmod(self, a: int, b: int) -> int:
+        """Return ``a * b mod p`` for ``a, b < p``."""
+        return self.reduce(a * b)
+
+
+class MontgomeryReducer:
+    """Montgomery modular multiplication for a fixed odd modulus.
+
+    Operates in the Montgomery domain with ``R = 2^w`` where ``w`` is the
+    word size (default 64, matching ARK's 64-bit machine word).
+    """
+
+    def __init__(self, modulus: int, word_bits: int = 64):
+        if modulus % 2 == 0:
+            raise ParameterError("Montgomery modulus must be odd")
+        if modulus.bit_length() >= word_bits:
+            raise ParameterError("modulus must fit strictly below the word size")
+        self.modulus = modulus
+        self.word_bits = word_bits
+        self.radix = 1 << word_bits
+        self.mask = self.radix - 1
+        # n' with n * n' == -1 (mod R)
+        self.n_prime = (-modinv(modulus, self.radix)) % self.radix
+        self.r_mod_p = self.radix % modulus
+        self.r2_mod_p = (self.r_mod_p * self.r_mod_p) % modulus
+
+    def to_mont(self, a: int) -> int:
+        """Map ``a`` into the Montgomery domain (``a * R mod p``)."""
+        return self.montmul(a % self.modulus, self.r2_mod_p)
+
+    def from_mont(self, a_mont: int) -> int:
+        """Map a Montgomery-domain value back to the plain domain."""
+        return self.montmul(a_mont, 1)
+
+    def montmul(self, a: int, b: int) -> int:
+        """Montgomery product: ``a * b * R^-1 mod p`` for ``a, b < p``."""
+        t = a * b
+        m = ((t & self.mask) * self.n_prime) & self.mask
+        u = (t + m * self.modulus) >> self.word_bits
+        if u >= self.modulus:
+            u -= self.modulus
+        return u
+
+    def mulmod(self, a: int, b: int) -> int:
+        """Plain-domain product ``a * b mod p`` using Montgomery internally."""
+        return self.from_mont(self.montmul(self.to_mont(a), self.to_mont(b)))

@@ -1,0 +1,247 @@
+"""Negacyclic number-theoretic transform over ``Z_p[X]/(X^N + 1)``.
+
+The forward transform is the decimation-in-time Cooley-Tukey algorithm
+(natural order in, bit-reversed order out) and the inverse is
+Gentleman-Sande (bit-reversed in, natural out), the classic pairing used by
+HE libraries because it needs no explicit bit-reversal pass.
+
+All arrays are numpy ``uint64``. Primes are required to be below 2^31 so
+that every product of two residues fits exactly in a uint64; modular
+multiplication is then a plain ``(a * b) % p``.
+
+Evaluation-order bookkeeping: slot ``k`` of the forward transform holds
+``P(ψ^(2*bitrev(k)+1))``. The context records the exponent of each slot so
+that Galois automorphisms (rotations) can be applied directly on the
+evaluation representation as a slot permutation -- exactly what ARK's
+automorphism unit does in hardware (Section V-D, footnote 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt.modarith import modinv
+from repro.nt.primes import find_primitive_2n_root
+
+_MAX_NUMPY_PRIME_BITS = 31
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Return the bit-reversal permutation of ``range(n)`` (n a power of 2)."""
+    bits = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        reversed_indices = (reversed_indices << 1) | (indices & 1)
+        indices >>= 1
+    return reversed_indices
+
+
+class NttContext:
+    """Precomputed tables and transforms for one (degree, prime) pair."""
+
+    def __init__(self, degree: int, modulus: int, root: int | None = None):
+        if degree <= 0 or degree & (degree - 1):
+            raise ParameterError("NTT degree must be a positive power of two")
+        if modulus.bit_length() > _MAX_NUMPY_PRIME_BITS:
+            raise ParameterError(
+                f"prime {modulus} exceeds {_MAX_NUMPY_PRIME_BITS} bits; the "
+                "numpy fast path would overflow"
+            )
+        self.degree = degree
+        self.modulus = modulus
+        self.psi = root if root is not None else find_primitive_2n_root(degree, modulus)
+        self._build_tables()
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_tables(self) -> None:
+        n, p, psi = self.degree, self.modulus, self.psi
+        psi_inv = modinv(psi, p)
+        powers = np.empty(n, dtype=np.uint64)
+        inv_powers = np.empty(n, dtype=np.uint64)
+        acc_f, acc_i = 1, 1
+        for i in range(n):
+            powers[i] = acc_f
+            inv_powers[i] = acc_i
+            acc_f = (acc_f * psi) % p
+            acc_i = (acc_i * psi_inv) % p
+        rev = bit_reverse_indices(n)
+        # Psi[k] = psi^{bitrev(k)}; PsiInv[k] = psi^{-bitrev(k)}
+        self._psi_br = powers[rev].copy()
+        self._psi_inv_br = inv_powers[rev].copy()
+        self._n_inv = np.uint64(modinv(n, p))
+        # Exponent held by each forward-NTT output slot: slot k evaluates
+        # the polynomial at psi^(2*bitrev(k)+1).
+        slot_exponents = (2 * rev + 1) % (2 * n)
+        self._slot_exponent = slot_exponents.astype(np.int64)
+        slot_of_exponent = np.full(2 * n, -1, dtype=np.int64)
+        slot_of_exponent[self._slot_exponent] = np.arange(n, dtype=np.int64)
+        self._slot_of_exponent = slot_of_exponent
+        self._galois_eval_perm_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------- transforms
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT: coefficient (natural) -> evaluation (bit-rev) order.
+
+        Accepts a 1-D array of length N or a 2-D array of shape (rows, N)
+        and transforms each row independently.
+        """
+        a = np.ascontiguousarray(coeffs, dtype=np.uint64).copy()
+        squeeze = a.ndim == 1
+        if squeeze:
+            a = a[None, :]
+        if a.shape[-1] != self.degree:
+            raise ParameterError("input length does not match NTT degree")
+        p = np.uint64(self.modulus)
+        n = self.degree
+        rows = a.shape[0]
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            scale = self._psi_br[m : 2 * m]  # one twiddle per block
+            blocks = a.reshape(rows, m, 2 * t)
+            u = blocks[:, :, :t]
+            v = (blocks[:, :, t:] * scale[None, :, None]) % p
+            blocks[:, :, t:] = (u + p - v) % p
+            blocks[:, :, :t] = (u + v) % p
+            m *= 2
+        return a[0] if squeeze else a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse NTT: evaluation (bit-rev) -> coefficient (natural) order."""
+        a = np.ascontiguousarray(values, dtype=np.uint64).copy()
+        squeeze = a.ndim == 1
+        if squeeze:
+            a = a[None, :]
+        if a.shape[-1] != self.degree:
+            raise ParameterError("input length does not match NTT degree")
+        p = np.uint64(self.modulus)
+        n = self.degree
+        rows = a.shape[0]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            scale = self._psi_inv_br[h : 2 * h]
+            blocks = a.reshape(rows, h, 2 * t)
+            u = blocks[:, :, :t].copy()
+            v = blocks[:, :, t:]
+            blocks[:, :, :t] = (u + v) % p
+            blocks[:, :, t:] = ((u + p - v) % p * scale[None, :, None]) % p
+            t *= 2
+            m = h
+        a = (a * self._n_inv) % p
+        return a[0] if squeeze else a
+
+    # ----------------------------------------------------------- automorphism
+
+    def galois_coeff_permutation(self, galois: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (target_index, negate_mask) describing X -> X^galois on
+        coefficient-representation polynomials.
+
+        Coefficient ``i`` moves to position ``i*galois mod N`` and is negated
+        when ``i*galois mod 2N >= N`` (the negacyclic wraparound sign).
+        """
+        n = self.degree
+        if galois % 2 == 0:
+            raise ParameterError("Galois element must be odd")
+        exponents = (np.arange(n, dtype=np.int64) * (galois % (2 * n))) % (2 * n)
+        target = exponents % n
+        negate = exponents >= n
+        return target, negate
+
+    def automorphism_coeff(self, coeffs: np.ndarray, galois: int) -> np.ndarray:
+        """Apply X -> X^galois to a coefficient-representation polynomial."""
+        a = np.asarray(coeffs, dtype=np.uint64)
+        target, negate = self.galois_coeff_permutation(galois)
+        out = np.zeros_like(a)
+        p = np.uint64(self.modulus)
+        values = np.where(negate, (p - a) % p, a)
+        if a.ndim == 1:
+            out[target] = values
+        else:
+            out[:, target] = values
+        return out
+
+    def galois_eval_permutation(self, galois: int) -> np.ndarray:
+        """Return ``perm`` such that ``out[k] = in[perm[k]]`` applies
+        X -> X^galois on evaluation-representation polynomials.
+
+        Slot ``k`` holds P(ψ^e(k)); after the automorphism it must hold
+        P(ψ^(e(k)*galois)), i.e. the value currently sitting in the slot
+        whose exponent is ``e(k)*galois mod 2N``.
+        """
+        g = galois % (2 * self.degree)
+        cached = self._galois_eval_perm_cache.get(g)
+        if cached is not None:
+            return cached
+        source_exponent = (self._slot_exponent * g) % (2 * self.degree)
+        perm = self._slot_of_exponent[source_exponent]
+        if np.any(perm < 0):
+            raise ParameterError("Galois element maps outside the odd orbit")
+        self._galois_eval_perm_cache[g] = perm
+        return perm
+
+    def automorphism_eval(self, values: np.ndarray, galois: int) -> np.ndarray:
+        """Apply X -> X^galois to an evaluation-representation polynomial."""
+        a = np.asarray(values, dtype=np.uint64)
+        perm = self.galois_eval_permutation(galois)
+        return a[..., perm]
+
+    # ------------------------------------------------------------- utilities
+
+    def monomial_eval_values(self, power: int) -> np.ndarray:
+        """Evaluation-representation of the monomial X^power.
+
+        Slot ``k`` of the forward NTT holds P(ψ^e(k)), so the monomial
+        contributes ψ^(e(k)*power) there. Multiplying a polynomial's
+        evaluation rep by this vector multiplies the polynomial by
+        X^power -- used e.g. to multiply a message by the imaginary unit
+        (X^(N/2) evaluates to i in every CKKS slot).
+        """
+        exponents = (self._slot_exponent * (power % (2 * self.degree))) % (
+            2 * self.degree
+        )
+        psi_powers = np.empty(2 * self.degree, dtype=np.uint64)
+        acc = 1
+        for i in range(2 * self.degree):
+            psi_powers[i] = acc
+            acc = (acc * self.psi) % self.modulus
+        return psi_powers[exponents]
+
+    def negacyclic_convolution_reference(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """O(N^2)-ish reference negacyclic product used only by tests."""
+        n, p = self.degree, self.modulus
+        a_int = [int(x) for x in a]
+        b_int = [int(x) for x in b]
+        out = [0] * n
+        for i, ai in enumerate(a_int):
+            if ai == 0:
+                continue
+            for j, bj in enumerate(b_int):
+                k = i + j
+                term = ai * bj
+                if k < n:
+                    out[k] = (out[k] + term) % p
+                else:
+                    out[k - n] = (out[k - n] - term) % p
+        return np.array(out, dtype=np.uint64)
+
+
+_CONTEXT_CACHE: dict[tuple[int, int], NttContext] = {}
+
+
+def get_ntt_context(degree: int, modulus: int) -> NttContext:
+    """Process-wide cache of NTT contexts keyed by (degree, modulus)."""
+    key = (degree, modulus)
+    ctx = _CONTEXT_CACHE.get(key)
+    if ctx is None:
+        ctx = NttContext(degree, modulus)
+        _CONTEXT_CACHE[key] = ctx
+    return ctx

@@ -1,0 +1,92 @@
+"""NTT-friendly prime generation.
+
+RNS-CKKS needs word-sized primes ``p`` with ``p ≡ 1 (mod 2N)`` so that
+``Z_p`` contains a primitive ``2N``-th root of unity and the negacyclic NTT
+over ``Z_p[X]/(X^N + 1)`` exists. CKKS additionally wants the ``q_i`` primes
+close to the scale factor Δ (Section II-C of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.nt.modarith import modpow
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are deterministic for n < 3.3 * 10^24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = modpow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_primes(
+    degree: int,
+    bit_size: int,
+    count: int,
+    *,
+    descending_from: int | None = None,
+    exclude: frozenset[int] | set[int] = frozenset(),
+) -> list[int]:
+    """Return ``count`` distinct primes ``p ≡ 1 (mod 2N)`` near ``2^bit_size``.
+
+    The search walks candidates of the form ``k * 2N + 1`` downward from
+    ``descending_from`` (default ``2^bit_size``), mirroring how HE libraries
+    pick q-limbs just below the scale factor so that rescaling keeps the
+    scale nearly invariant.
+    """
+    if degree <= 0 or degree & (degree - 1):
+        raise ParameterError("degree must be a positive power of two")
+    two_n = 2 * degree
+    start = descending_from if descending_from is not None else (1 << bit_size)
+    candidate = (start // two_n) * two_n + 1
+    if candidate >= start:
+        candidate -= two_n
+    primes: list[int] = []
+    while len(primes) < count:
+        if candidate < two_n:
+            raise ParameterError(
+                f"exhausted candidates below 2^{bit_size} for N={degree}"
+            )
+        if candidate not in exclude and is_prime(candidate):
+            primes.append(candidate)
+        candidate -= two_n
+    return primes
+
+
+def find_primitive_2n_root(degree: int, modulus: int) -> int:
+    """Return a primitive ``2N``-th root of unity modulo the prime ``modulus``.
+
+    Requires ``modulus ≡ 1 (mod 2N)``. The returned ψ satisfies
+    ``ψ^N ≡ -1 (mod p)``, which is exactly what the negacyclic NTT needs.
+    """
+    two_n = 2 * degree
+    if (modulus - 1) % two_n != 0:
+        raise ParameterError(f"{modulus} is not ≡ 1 mod {two_n}")
+    cofactor = (modulus - 1) // two_n
+    for generator_candidate in range(2, modulus):
+        root = modpow(generator_candidate, cofactor, modulus)
+        # ψ is a primitive 2N-th root iff ψ^N == -1.
+        if modpow(root, degree, modulus) == modulus - 1:
+            return root
+    raise ParameterError(f"no primitive 2N-th root found mod {modulus}")

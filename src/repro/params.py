@@ -1,0 +1,149 @@
+"""CKKS parameter sets (Table I / Table III of the paper).
+
+Two families of presets live here:
+
+* **Model presets** (`ARK`, `LATTIGO`, `X100`, `F1`) -- the parameter sets of
+  Table III. These drive the op-level performance plans and the data-size
+  table; they are never instantiated with real primes (N = 2^16 big-int
+  NTTs would be pointless in Python).
+* **Functional presets** (`TOY`, `TOY_BOOT`) -- laptop-scale parameters with
+  ~29/31-bit primes used by the functional CKKS layer and the test suite.
+  All algorithms are identical; only sizes differ (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """Static CKKS parameters, following the notation of Table I."""
+
+    name: str
+    log_degree: int          # log2 N
+    max_level: int           # L; a fresh ciphertext has L+1 q-limbs
+    dnum: int                # decomposition number (generalized key-switching)
+    boot_levels: int = 0     # L_boot consumed by bootstrapping (0 = LHE-only)
+    word_bytes: int = 8      # machine word (F1 uses 4-byte words)
+    scale_bits: int = 28     # log2 Δ for the functional layer
+    q0_bits: int = 31        # first (base) prime size, functional layer
+    special_bits: int = 31   # special-prime (P limbs) size, functional layer
+
+    def __post_init__(self) -> None:
+        if (self.max_level + 1) % self.dnum != 0:
+            raise ParameterError(
+                f"{self.name}: dnum={self.dnum} must divide L+1={self.max_level + 1}"
+            )
+        if self.boot_levels > self.max_level:
+            raise ParameterError(f"{self.name}: L_boot exceeds L")
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def degree(self) -> int:
+        """N, the polynomial degree."""
+        return 1 << self.log_degree
+
+    @property
+    def alpha(self) -> int:
+        """α = (L+1)/dnum, the number of special (P) limbs."""
+        return (self.max_level + 1) // self.dnum
+
+    @property
+    def num_q_limbs(self) -> int:
+        """L + 1."""
+        return self.max_level + 1
+
+    @property
+    def total_limbs(self) -> int:
+        """α + L + 1, the number of limbs of an R_PQ polynomial."""
+        return self.alpha + self.max_level + 1
+
+    @property
+    def max_slots(self) -> int:
+        """n_max = N / 2."""
+        return self.degree // 2
+
+    @property
+    def levels_after_boot(self) -> int:
+        """L - L_boot, the levels available to the application."""
+        return self.max_level - self.boot_levels
+
+    # ------------------------------------------------------- data sizes
+
+    def plaintext_words(self, level: int | None = None) -> int:
+        """Words in one plaintext polynomial at ``level`` (default L)."""
+        ell = self.max_level if level is None else level
+        return (ell + 1) * self.degree
+
+    def plaintext_bytes(self, level: int | None = None) -> int:
+        return self.plaintext_words(level) * self.word_bytes
+
+    def ciphertext_bytes(self, level: int | None = None) -> int:
+        """Bytes of a ciphertext (a pair of polynomials) at ``level``."""
+        return 2 * self.plaintext_bytes(level)
+
+    def evk_bytes(self) -> int:
+        """Bytes of one evaluation key: dnum pairs of R_PQ polynomials."""
+        return self.dnum * 2 * self.total_limbs * self.degree * self.word_bytes
+
+    def with_overrides(self, **changes) -> "CkksParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+# --------------------------------------------------------------- model presets
+# Table III of the paper. Data sizes derived from these match the published
+# Pm / ciphertext / evk columns (see benchmarks/bench_table3_datasizes.py).
+
+ARK = CkksParams(name="ARK", log_degree=16, max_level=23, dnum=4, boot_levels=15)
+
+LATTIGO = CkksParams(
+    name="Lattigo", log_degree=16, max_level=24, dnum=5, boot_levels=15
+)
+
+X100 = CkksParams(name="100x", log_degree=17, max_level=29, dnum=3, boot_levels=19)
+
+F1 = CkksParams(
+    name="F1", log_degree=14, max_level=15, dnum=16, boot_levels=0, word_bytes=4
+)
+
+MODEL_PRESETS = (LATTIGO, X100, F1, ARK)
+
+
+# ---------------------------------------------------------- functional presets
+# Laptop-scale parameters for the functional CKKS layer. Primes are ~29-31
+# bits so every modular product fits exactly in numpy uint64.
+
+TOY = CkksParams(
+    name="toy",
+    log_degree=10,
+    max_level=7,
+    dnum=2,
+    boot_levels=0,
+    scale_bits=28,
+    q0_bits=30,
+    special_bits=30,
+)
+
+TOY_BOOT = CkksParams(
+    name="toy-boot",
+    log_degree=10,
+    max_level=24,
+    dnum=5,
+    boot_levels=20,
+    scale_bits=28,
+    q0_bits=30,
+    special_bits=30,
+)
+
+
+def preset_by_name(name: str) -> CkksParams:
+    """Look up any preset (model or functional) by its ``name`` field."""
+    for preset in (*MODEL_PRESETS, TOY, TOY_BOOT):
+        if preset.name == name:
+            return preset
+    raise ParameterError(f"unknown parameter preset {name!r}")

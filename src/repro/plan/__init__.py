@@ -1,0 +1,23 @@
+"""Op-level performance plans: the IR consumed by the ARK machine model.
+
+A :class:`~repro.plan.primops.Plan` is a dependence DAG of *primary
+functions* (Section III-A): (I)NTT, BConv, automorphism, element-wise ops,
+plus off-chip loads and NoC distribution switches. HE-op builders in this
+package mirror the functional layer's algorithms (Alg. 1/2/3, Eq. 8) at the
+paper's full ARK parameters; cross-checks against the instrumented
+functional evaluator live in the tests.
+"""
+
+from repro.plan.primops import OpKind, Plan, PrimOp
+from repro.plan.heops import HeOpPlanner
+from repro.plan.dftplan import HomDftPlan
+from repro.plan.bootplan import BootstrapPlan
+
+__all__ = [
+    "OpKind",
+    "Plan",
+    "PrimOp",
+    "HeOpPlanner",
+    "HomDftPlan",
+    "BootstrapPlan",
+]

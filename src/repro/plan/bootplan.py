@@ -1,0 +1,137 @@
+"""Full bootstrapping plan (Section II-D) at model parameters.
+
+Phases, each labelled for the per-phase execution-time breakdown of
+Fig. 7(a):
+
+1. ``ModRaise``  -- base-extend both halves from q0 to the full basis.
+2. ``H-IDFT``    -- staged CoeffToSlot (radix-2^5 BSGS), 3 iterations.
+3. ``EvalMod``   -- conjugate split + two scaled-sine evaluations
+   (Chebyshev + double angles), modelled as the corresponding HMult /
+   CMult / rescale sequence. Every HMult reuses the single ``evk:mult`` --
+   the *inter-operation key reuse* of the paper's title.
+4. ``H-DFT``     -- staged SlotToCoeff at the low post-EvalMod levels.
+
+Level schedule at ARK parameters (L = 23, L_boot = 15): H-IDFT at levels
+23..21, EvalMod at 20..12 (9 levels), H-DFT at 11..9, output level 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.plan.dftplan import HomDftPlan
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import OpKind, Plan
+
+# EvalMod cost model at ARK parameters: degree-63 sine via Chebyshev
+# (depth ~6, ~14 ct-ct mults) + 2 double angles + affine/final constants,
+# per conjugate half. Levels consumed = L_boot - 2 * dft iterations.
+EVALMOD_HMULTS_PER_HALF = 16
+EVALMOD_CMULTS_PER_HALF = 6
+
+
+@dataclass
+class BootstrapPlan:
+    """Builds the full bootstrapping primary-op DAG."""
+
+    params: CkksParams
+    slots: int
+    mode: str = "minks"
+    oflimb: bool = False
+
+    def __post_init__(self) -> None:
+        if self.params.boot_levels <= 0:
+            raise ParameterError("parameter set reserves no bootstrap levels")
+
+    def build(self) -> Plan:
+        p = self.params
+        plan = Plan(p, name=f"bootstrap[{self.mode}{'+of' if self.oflimb else ''}]")
+        ops = HeOpPlanner(plan, oflimb=self.oflimb)
+        level = p.max_level
+
+        plan.begin_phase("ModRaise")
+        ct_in = ops.fresh_ciphertext(0, "ct:boot-input")
+        intt = plan.add(OpKind.INTT, limbs=2, deps=(ct_in,))
+        bconv = plan.add(OpKind.BCONV, limbs=2 * level, in_limbs=2, deps=(intt,))
+        current = plan.add(OpKind.NTT, limbs=2 * level, deps=(bconv,))
+
+        plan.begin_phase("H-IDFT")
+        idft = HomDftPlan(
+            p, self.slots, mode=self.mode, oflimb=self.oflimb, direction="idft"
+        )
+        current, level = idft.build(plan, level, current)
+
+        plan.begin_phase("EvalMod")
+        evalmod_levels = p.boot_levels - idft.iterations - self._stc_iterations()
+        if evalmod_levels < 4:
+            raise ParameterError("level budget too small for EvalMod")
+        # Conjugate split: one automorphism-keyswitch (the conjugation key).
+        current = ops.hrot(level, "evk:conj", current)
+        halves = []
+        for _ in range(2):  # real and imaginary parts
+            h = current
+            lvl = level
+            mults_done = 0
+            # Interleave ct-ct mults and constant mults down the level budget.
+            for step in range(evalmod_levels):
+                if step % 3 == 2 and mults_done < EVALMOD_CMULTS_PER_HALF:
+                    h = ops.cmult(lvl, h)
+                else:
+                    h = ops.hmult(lvl, h)
+                h = ops.rescale(lvl, h)
+                lvl -= 1
+            # Extra same-level mults to reach the HMult tally of a deg-63
+            # Chebyshev evaluation (mults outnumber levels consumed).
+            for _ in range(EVALMOD_HMULTS_PER_HALF - evalmod_levels):
+                h = ops.hmult(lvl, h)
+            halves.append((h, lvl))
+        level = halves[0][1]
+        current = ops.hadd(level, halves[0][0], halves[1][0])
+
+        plan.begin_phase("H-DFT")
+        dft = HomDftPlan(
+            p, self.slots, mode=self.mode, oflimb=self.oflimb, direction="dft"
+        )
+        current, level = dft.build(plan, level, current)
+
+        plan.validate()
+        self.output_level = level
+        self.idft = idft
+        self.dft = dft
+        return plan
+
+    def _stc_iterations(self) -> int:
+        return HomDftPlan(self.params, self.slots, direction="dft").iterations
+
+
+def build_hidft_plan(
+    params: CkksParams,
+    slots: int,
+    mode: str,
+    oflimb: bool,
+    direction: str = "idft",
+    start_level: int | None = None,
+) -> tuple[Plan, HomDftPlan]:
+    """A standalone H-(I)DFT plan (used by the Fig. 2 intensity analysis).
+
+    H-IDFT runs right after ModRaise (levels from L); H-DFT runs at the
+    low post-EvalMod levels.
+    """
+    plan = Plan(params, name=f"h{direction}[{mode}]")
+    ops = HeOpPlanner(plan, oflimb=oflimb)
+    dft = HomDftPlan(
+        params, slots, mode=mode, oflimb=oflimb, direction=direction
+    )
+    if start_level is None:
+        if direction == "idft":
+            start_level = params.max_level
+        else:
+            stc_end = params.max_level - params.boot_levels
+            start_level = stc_end + dft.iterations
+    plan.begin_phase("H-IDFT" if direction == "idft" else "H-DFT")
+    entry = ops.fresh_ciphertext(start_level, "ct:input")
+    dft.build(plan, start_level, entry)
+    plan.validate()
+    return plan, dft

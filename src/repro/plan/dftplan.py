@@ -1,0 +1,223 @@
+"""Homomorphic (I)DFT plans: the staged radix-2^k BSGS of Alg. 3 / Eq. 8.
+
+At ARK's parameters (n = 2^15 slots, radix 2^5, (k1, k2) = (3, 3)) each
+H-(I)DFT runs ``log_2k n = 3`` iterations; an iteration performs a BSGS
+pass with 2^k1 baby and 2^k2 giant terms (2^(k+1)-ish plaintext diagonals).
+
+Modes (Fig. 1):
+
+* ``baseline``  -- pre-rotation + one distinct evk per baby and giant
+  rotation amount (Fig. 1a). All baby rotations of an iteration are
+  data-parallel from the same input.
+* ``minks``     -- the paper's minimum key-switching (Fig. 1c): the
+  pre-rotation is cancelled between iterations, baby rotations form a
+  serial chain reusing one evk (Eq. 11), and the giant accumulation is a
+  Horner chain reusing one evk (Eq. 10). Two distinct evks per iteration.
+
+``oflimb`` additionally stores only the q0 limb of every DFT-constant
+plaintext and regenerates the rest on chip (Section IV-B).
+
+The resulting counts at ARK parameters -- ~45 rotations and ~192 plaintexts
+per H-(I)DFT vs the paper's "40 HRots and 158 PMults [with additional
+optimizations]" -- are within 15%, and the traffic ratios they induce match
+Fig. 2 closely (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import Plan
+
+MODES = ("baseline", "hoisting", "minks")
+
+
+def split_radix(total_log: int, radix_log: int) -> list[int]:
+    """Split log2(n) into per-iteration radices of at most ``radix_log``."""
+    if total_log <= 0:
+        raise ParameterError("slot count must exceed 1")
+    iterations = math.ceil(total_log / radix_log)
+    base = total_log // iterations
+    extras = total_log - base * iterations
+    return [base + (1 if i < extras else 0) for i in range(iterations)]
+
+
+@dataclass
+class HomDftPlan:
+    """Plan generator for one H-(I)DFT at given slot count and radix."""
+
+    params: CkksParams
+    slots: int
+    radix_log: int = 5
+    mode: str = "minks"
+    oflimb: bool = False
+    direction: str = "idft"  # "idft" (CoeffToSlot) or "dft" (SlotToCoeff)
+    radices: list[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ParameterError(f"mode must be one of {MODES}")
+        if self.slots & (self.slots - 1) or self.slots <= 1:
+            raise ParameterError("slots must be a power of two > 1")
+        self.radices = split_radix(int(math.log2(self.slots)), self.radix_log)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.radices)
+
+    def bsgs_shape(self, radix: int) -> tuple[int, int]:
+        """(baby count, giant count) with k1 + k2 = radix + 1 (Eq. 8)."""
+        k_total = radix + 1
+        k1 = (k_total + 1) // 2
+        return 1 << k1, 1 << (k_total - k1)
+
+    # ----------------------------------------------------------------- build
+
+    def build(self, plan: Plan, start_level: int, dep: int) -> tuple[int, int]:
+        """Append this H-(I)DFT to ``plan``; returns (last uid, end level)."""
+        if start_level < self.iterations:
+            raise ParameterError(
+                f"H-(I)DFT needs {self.iterations} levels, "
+                f"only {start_level} available"
+            )
+        ops = HeOpPlanner(plan, oflimb=self.oflimb)
+        current = dep
+        level = start_level
+        d = self.direction
+        for s, radix in enumerate(self.radices):
+            babies, giants = self.bsgs_shape(radix)
+            if self.mode == "baseline":
+                current = self._baseline_iteration(
+                    ops, level, s, babies, giants, current
+                )
+            elif self.mode == "hoisting":
+                current = self._hoisting_iteration(
+                    ops, level, s, babies, giants, current
+                )
+            else:
+                current = self._minks_iteration(
+                    ops, level, s, babies, giants, current
+                )
+            current = ops.rescale(level, current)
+            level -= 1
+        return current, level
+
+    # ------------------------------------------------------------ iterations
+
+    def _baseline_iteration(
+        self,
+        ops: HeOpPlanner,
+        level: int,
+        s: int,
+        babies: int,
+        giants: int,
+        dep: int,
+    ) -> int:
+        d = self.direction
+        # Pre-rotation (Eq. 7), its own single-use evk.
+        pre = ops.hrot(level, f"evk:rot:{d}:s{s}:pre", dep)
+        # Baby rotations: data-parallel, one distinct evk each (Fig. 1a).
+        baby_cts = [pre]
+        for i in range(1, babies):
+            baby_cts.append(ops.hrot(level, f"evk:rot:{d}:s{s}:b{i}", pre))
+        giant_terms = []
+        for j in range(giants):
+            acc = None
+            for i in range(babies):
+                term = ops.pmult(level, f"pt:{d}:{s}:{i}:{j}", baby_cts[i])
+                acc = term if acc is None else ops.hadd(level, acc, term)
+            giant_terms.append(acc)
+        # Giant rotations: one distinct evk per amount.
+        total = giant_terms[0]
+        for j in range(1, giants):
+            rotated = ops.hrot(level, f"evk:rot:{d}:s{s}:g{j}", giant_terms[j])
+            total = ops.hadd(level, total, rotated)
+        return total
+
+    def _hoisting_iteration(
+        self,
+        ops: HeOpPlanner,
+        level: int,
+        s: int,
+        babies: int,
+        giants: int,
+        dep: int,
+    ) -> int:
+        """Hoisting [42]: baby rotations share one ModUp but still load one
+        distinct evk per amount -- compute shrinks, traffic does not
+        (the comparison of Section IV-C)."""
+        d = self.direction
+        pre = ops.hrot(level, f"evk:rot:{d}:s{s}:pre", dep)
+        baby_tags = [f"evk:rot:{d}:s{s}:b{i}" for i in range(1, babies)]
+        baby_cts = [pre, *ops.hoisted_rotations(level, baby_tags, pre)]
+        giant_terms = []
+        for j in range(giants):
+            acc = None
+            for i in range(babies):
+                term = ops.pmult(level, f"pt:{d}:{s}:{i}:{j}", baby_cts[i])
+                acc = term if acc is None else ops.hadd(level, acc, term)
+            giant_terms.append(acc)
+        total = giant_terms[0]
+        for j in range(1, giants):
+            rotated = ops.hrot(level, f"evk:rot:{d}:s{s}:g{j}", giant_terms[j])
+            total = ops.hadd(level, total, rotated)
+        return total
+
+    def _minks_iteration(
+        self,
+        ops: HeOpPlanner,
+        level: int,
+        s: int,
+        babies: int,
+        giants: int,
+        dep: int,
+    ) -> int:
+        d = self.direction
+        baby_tag = f"evk:rot:{d}:s{s}:baby"
+        giant_tag = f"evk:rot:{d}:s{s}:giant"
+        # Baby rotations: serial chain reusing a single evk (Eq. 11). The
+        # pre-rotation is cancelled into the previous iteration (Fig. 1c).
+        baby_cts = [dep]
+        current = dep
+        for _ in range(1, babies):
+            current = ops.hrot(level, baby_tag, current)
+            baby_cts.append(current)
+        giant_terms = []
+        for j in range(giants):
+            acc = None
+            for i in range(babies):
+                term = ops.pmult(level, f"pt:{d}:{s}:{i}:{j}", baby_cts[i])
+                acc = term if acc is None else ops.hadd(level, acc, term)
+            giant_terms.append(acc)
+        # Horner accumulation (Eq. 10): every rotation uses the giant evk.
+        total = giant_terms[-1]
+        for j in range(giants - 2, -1, -1):
+            total = ops.hrot(level, giant_tag, total)
+            total = ops.hadd(level, total, giant_terms[j])
+        return total
+
+    # ------------------------------------------------------------- summaries
+
+    def rotation_count(self) -> int:
+        total = 0
+        for radix in self.radices:
+            babies, giants = self.bsgs_shape(radix)
+            if self.mode in ("baseline", "hoisting"):
+                total += 1 + (babies - 1) + (giants - 1)
+            else:
+                total += (babies - 1) + (giants - 1)
+        return total
+
+    def distinct_evk_count(self) -> int:
+        if self.mode == "minks":
+            return 2 * self.iterations
+        return self.rotation_count()
+
+    def pmult_count(self) -> int:
+        return sum(
+            b * g for b, g in (self.bsgs_shape(r) for r in self.radices)
+        )

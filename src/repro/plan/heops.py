@@ -1,0 +1,263 @@
+"""Plan builders for the primitive HE ops (Table II) at limb granularity.
+
+Each builder appends the primary-function DAG of one HE op to a
+:class:`~repro.plan.primops.Plan` and returns the uid of the op's final
+primary function, so callers can wire real data dependences (e.g. Min-KS's
+serial rotation chains vs the baseline's parallel fan-out).
+
+The generalized key-switching plan mirrors Alg. 2 exactly: per limb group a
+BConvRoutine (INTT -> NoC switch -> BConv -> NTT), an evk inner product,
+and two ModDown BConvRoutines at the end. Limb counts follow Table I; the
+tests cross-check them against the instrumented functional
+:class:`~repro.ckks.keyswitch.KeySwitcher`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.plan.primops import OpKind, Plan
+
+
+@dataclass
+class HeOpPlanner:
+    """Appends HE-op subgraphs to a plan for one parameter set."""
+
+    plan: Plan
+    oflimb: bool = False
+
+    def __post_init__(self) -> None:
+        if self.plan.params.alpha <= 0:
+            raise ParameterError("planner requires a valid parameter set")
+
+    # ------------------------------------------------------------ utilities
+
+    @property
+    def params(self) -> CkksParams:
+        return self.plan.params
+
+    def groups_at(self, level: int) -> int:
+        """Number of active decomposition groups at a level (Alg. 2)."""
+        return math.ceil((level + 1) / self.params.alpha)
+
+    def group_sizes(self, level: int) -> list[int]:
+        alpha = self.params.alpha
+        remaining = level + 1
+        sizes = []
+        while remaining > 0:
+            sizes.append(min(alpha, remaining))
+            remaining -= alpha
+        return sizes
+
+    def evk_bytes_at(self, level: int) -> int:
+        """Bytes of the evk portion touched at a level (active limbs only)."""
+        p = self.params
+        ext = level + 1 + p.alpha
+        return self.groups_at(level) * 2 * ext * p.degree * p.word_bytes
+
+    def plaintext_bytes_at(self, level: int) -> int:
+        p = self.params
+        if self.oflimb:
+            return p.degree * p.word_bytes  # q0 limb only (Eq. 12)
+        return (level + 1) * p.degree * p.word_bytes
+
+    # --------------------------------------------------------- key-switching
+
+    def keyswitch(self, level: int, evk_tag: str, dep: int) -> int:
+        """Alg. 2 on one polynomial; returns the final accumulate uid."""
+        plan, p = self.plan, self.params
+        ext = level + 1 + p.alpha
+        n = p.degree
+        evk_req = plan.add(
+            OpKind.EVK, data_bytes=self.evk_bytes_at(level), tag=evk_tag
+        )
+        acc = None
+        for group_limbs in self.group_sizes(level):
+            # ModUp: BConvRoutine extending [P]_Ci to the full basis D.
+            intt = plan.add(OpKind.INTT, limbs=group_limbs, deps=(dep,))
+            noc = plan.add(OpKind.NOC, words=ext * n, deps=(intt,))
+            bconv = plan.add(
+                OpKind.BCONV,
+                limbs=ext - group_limbs,
+                in_limbs=group_limbs,
+                deps=(noc,),
+            )
+            ntt = plan.add(OpKind.NTT, limbs=ext - group_limbs, deps=(bconv,))
+            # Inner product with evk_i (both halves).
+            mult = plan.add(
+                OpKind.EWE, limbs=2 * ext, tag="evk_mult", deps=(ntt, evk_req)
+            )
+            acc = (
+                mult
+                if acc is None
+                else plan.add(
+                    OpKind.EWE, limbs=2 * ext, deps=(mult, acc), mult_limbs=0
+                )
+            )
+        assert acc is not None
+        # ModDown on both halves: BConvRoutine from B back to C, then
+        # subtract and multiply by P^-1.
+        out = acc
+        for _ in range(2):
+            intt = plan.add(OpKind.INTT, limbs=p.alpha, deps=(out,))
+            noc = plan.add(OpKind.NOC, words=ext * n, deps=(intt,))
+            bconv = plan.add(
+                OpKind.BCONV, limbs=level + 1, in_limbs=p.alpha, deps=(noc,)
+            )
+            ntt = plan.add(OpKind.NTT, limbs=level + 1, deps=(bconv,))
+            out = plan.add(
+                OpKind.EWE,
+                limbs=2 * (level + 1),
+                deps=(ntt,),
+                mult_limbs=level + 1,
+            )
+        return out
+
+    def hoisted_rotations(
+        self, level: int, tags: list[str], dep: int
+    ) -> list[int]:
+        """Rotate one ciphertext by many amounts sharing a single ModUp.
+
+        The hoisting alternative the paper evaluates against Min-KS
+        (Section IV-C): the dnum ModUp BConvRoutines run once; each
+        rotation then costs an automorphism on the extended pieces, the
+        evk inner product (with its own single-use key!) and a ModDown.
+        """
+        plan, p = self.plan, self.params
+        ext = level + 1 + p.alpha
+        n = p.degree
+        # Shared ModUp of every limb group.
+        group_tails: list[int] = []
+        for group_limbs in self.group_sizes(level):
+            intt = plan.add(OpKind.INTT, limbs=group_limbs, deps=(dep,))
+            noc = plan.add(OpKind.NOC, words=ext * n, deps=(intt,))
+            bconv = plan.add(
+                OpKind.BCONV,
+                limbs=ext - group_limbs,
+                in_limbs=group_limbs,
+                deps=(noc,),
+            )
+            group_tails.append(plan.add(OpKind.NTT, limbs=ext - group_limbs, deps=(bconv,)))
+        outputs: list[int] = []
+        for tag in tags:
+            evk_req = plan.add(
+                OpKind.EVK, data_bytes=self.evk_bytes_at(level), tag=tag
+            )
+            acc = None
+            for tail in group_tails:
+                auto = plan.add(OpKind.AUTO, limbs=ext, deps=(tail,))
+                mult = plan.add(
+                    OpKind.EWE, limbs=2 * ext, tag="evk_mult", deps=(auto, evk_req)
+                )
+                acc = (
+                    mult
+                    if acc is None
+                    else plan.add(
+                        OpKind.EWE, limbs=2 * ext, deps=(mult, acc), mult_limbs=0
+                    )
+                )
+            assert acc is not None
+            out = acc
+            for _ in range(2):
+                intt = plan.add(OpKind.INTT, limbs=p.alpha, deps=(out,))
+                noc = plan.add(OpKind.NOC, words=ext * n, deps=(intt,))
+                bconv = plan.add(
+                    OpKind.BCONV, limbs=level + 1, in_limbs=p.alpha, deps=(noc,)
+                )
+                ntt = plan.add(OpKind.NTT, limbs=level + 1, deps=(bconv,))
+                out = plan.add(
+                    OpKind.EWE,
+                    limbs=2 * (level + 1),
+                    deps=(ntt,),
+                    mult_limbs=level + 1,
+                )
+            # Rotate the b half and add the switched result.
+            auto_b = plan.add(OpKind.AUTO, limbs=level + 1, deps=(dep,))
+            outputs.append(
+                plan.add(
+                    OpKind.EWE,
+                    limbs=level + 1,
+                    deps=(auto_b, out),
+                    mult_limbs=0,
+                )
+            )
+        return outputs
+
+    # ------------------------------------------------------------- HE ops
+
+    def hrot(self, level: int, rot_tag: str, dep: int) -> int:
+        """HRot: automorphism on both halves + key-switch + final add."""
+        plan = self.plan
+        auto = plan.add(OpKind.AUTO, limbs=2 * (level + 1), deps=(dep,))
+        switched = self.keyswitch(level, rot_tag, auto)
+        return plan.add(
+            OpKind.EWE, limbs=level + 1, deps=(auto, switched), mult_limbs=0
+        )
+
+    def hmult(self, level: int, dep_a: int, dep_b: int | None = None) -> int:
+        """HMult: tensor products + relinearization with evk_mult."""
+        plan = self.plan
+        deps = (dep_a,) if dep_b is None else (dep_a, dep_b)
+        tensor = plan.add(OpKind.EWE, limbs=4 * (level + 1), deps=deps)
+        switched = self.keyswitch(level, "evk:mult", tensor)
+        return plan.add(
+            OpKind.EWE, limbs=2 * (level + 1), deps=(tensor, switched), mult_limbs=0
+        )
+
+    def pmult(self, level: int, pt_tag: str, dep: int) -> int:
+        """PMult; with OF-Limb the limbs are regenerated on chip (Eq. 12)."""
+        plan, p = self.plan, self.params
+        pt_req = plan.add(
+            OpKind.PT, data_bytes=self.plaintext_bytes_at(level), tag=pt_tag
+        )
+        ready = pt_req
+        if self.oflimb:
+            # mod-qi reductions then NTTs to reach evaluation representation.
+            ready = plan.add(
+                OpKind.NTT, limbs=level + 1, tag="oflimb", deps=(pt_req,)
+            )
+        return plan.add(OpKind.EWE, limbs=2 * (level + 1), deps=(dep, ready))
+
+    def padd(self, level: int, pt_tag: str, dep: int) -> int:
+        plan = self.plan
+        pt_req = plan.add(
+            OpKind.PT, data_bytes=self.plaintext_bytes_at(level), tag=pt_tag
+        )
+        ready = pt_req
+        if self.oflimb:
+            ready = plan.add(
+                OpKind.NTT, limbs=level + 1, tag="oflimb", deps=(pt_req,)
+            )
+        return plan.add(
+            OpKind.EWE, limbs=level + 1, deps=(dep, ready), mult_limbs=0
+        )
+
+    def hadd(self, level: int, dep_a: int, dep_b: int | None = None) -> int:
+        deps = (dep_a,) if dep_b is None else (dep_a, dep_b)
+        return self.plan.add(
+            OpKind.EWE, limbs=2 * (level + 1), deps=deps, mult_limbs=0
+        )
+
+    def cmult(self, level: int, dep: int) -> int:
+        return self.plan.add(OpKind.EWE, limbs=2 * (level + 1), deps=(dep,))
+
+    def rescale(self, level: int, dep: int) -> int:
+        """HRescale: INTT the dropped limb, re-reduce, NTT, subtract-scale."""
+        plan = self.plan
+        intt = plan.add(OpKind.INTT, limbs=2, deps=(dep,))
+        ntt = plan.add(OpKind.NTT, limbs=2 * level, deps=(intt,))
+        return plan.add(
+            OpKind.EWE, limbs=4 * level, deps=(ntt,), mult_limbs=2 * level
+        )
+
+    def fresh_ciphertext(self, level: int, tag: str) -> int:
+        """Off-chip load of an input ciphertext."""
+        p = self.params
+        return self.plan.add(
+            OpKind.CT,
+            data_bytes=2 * (level + 1) * p.degree * p.word_bytes,
+            tag=tag,
+        )

@@ -1,0 +1,211 @@
+"""Primary-function operations and the plan DAG.
+
+Every HE operation decomposes into the primary functions of Section III-A:
+
+* ``NTT`` / ``INTT`` -- per-limb transforms (NTTU)
+* ``BCONV`` -- base-conversion matrix product (BConvU)
+* ``AUTO`` -- automorphism permutation (AutoU)
+* ``EWE`` -- element-wise multiply/add/MAC (MADUs)
+* ``NOC`` -- limb-wise <-> coefficient-wise distribution switches
+* ``EVK`` / ``PT`` / ``CT`` -- off-chip data requirements (HBM), resolved by
+  the scheduler against the scratchpad cache
+
+Ops carry *limb counts* rather than element counts; the architecture layer
+turns limbs into cycles. A plan also knows how many modular multiplications
+each op performs, which feeds the arithmetic-intensity analysis (Fig. 2)
+and the computational breakdown (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError, ScheduleError
+from repro.params import CkksParams
+
+
+class OpKind(enum.Enum):
+    NTT = "ntt"
+    INTT = "intt"
+    BCONV = "bconv"
+    AUTO = "auto"
+    EWE = "ewe"
+    NOC = "noc"
+    EVK = "evk"      # require an evaluation key on chip
+    PT = "pt"        # require a plaintext on chip
+    CT = "ct"        # require ciphertext data on chip (fresh input)
+
+
+# Off-chip-traffic op kinds, resolved by the scheduler's scratchpad cache.
+MEMORY_KINDS = (OpKind.EVK, OpKind.PT, OpKind.CT)
+
+
+@dataclass
+class PrimOp:
+    """One primary-function invocation at limb granularity."""
+
+    uid: int
+    kind: OpKind
+    limbs: int = 0             # limbs processed (NTT/AUTO/EWE) or outputs (BCONV)
+    in_limbs: int = 0          # BCONV only: source-basis limbs
+    words: int = 0             # NOC only: words transferred
+    data_bytes: int = 0        # EVK/PT/CT only: off-chip bytes if missed
+    tag: str = ""              # cache identity for EVK/PT/CT
+    deps: tuple[int, ...] = ()
+    phase: str = ""
+    mult_limbs: int = -1       # EWE only: limbs that are *multiplications*
+    #                            (-1 = all of them; additions cost cycles on
+    #                            the MADUs but no modular mults, matching the
+    #                            paper's Fig. 4 accounting)
+
+    def modmults(self, degree: int) -> int:
+        """Modular multiplications this op performs (Section III-A)."""
+        n = degree
+        if self.kind in (OpKind.NTT, OpKind.INTT):
+            # N/2 log N butterflies plus N twisting multiplications per limb.
+            return self.limbs * ((n // 2) * int(math.log2(n)) + n)
+        if self.kind == OpKind.BCONV:
+            # Step 1 (p̂^-1 products) + step 2 (base-table MACs).
+            return self.in_limbs * n + self.in_limbs * self.limbs * n
+        if self.kind == OpKind.EWE:
+            limbs = self.limbs if self.mult_limbs < 0 else self.mult_limbs
+            return limbs * n
+        return 0
+
+
+@dataclass
+class Plan:
+    """A topologically ordered DAG of primary operations."""
+
+    params: CkksParams
+    name: str = "plan"
+    ops: list[PrimOp] = field(default_factory=list)
+    _phase: str = field(default="", repr=False)
+
+    # ------------------------------------------------------------- building
+
+    def begin_phase(self, phase: str) -> None:
+        """Label subsequently added ops (drives per-phase breakdowns)."""
+        self._phase = phase
+
+    def add(
+        self,
+        kind: OpKind,
+        *,
+        limbs: int = 0,
+        in_limbs: int = 0,
+        words: int = 0,
+        data_bytes: int = 0,
+        tag: str = "",
+        deps: tuple[int, ...] = (),
+        mult_limbs: int = -1,
+    ) -> int:
+        for d in deps:
+            if d < 0 or d >= len(self.ops):
+                raise ScheduleError(f"dependence on unknown op {d}")
+        uid = len(self.ops)
+        self.ops.append(
+            PrimOp(
+                uid=uid,
+                kind=kind,
+                limbs=limbs,
+                in_limbs=in_limbs,
+                words=words,
+                data_bytes=data_bytes,
+                tag=tag,
+                deps=tuple(deps),
+                phase=self._phase,
+                mult_limbs=mult_limbs,
+            )
+        )
+        return uid
+
+    def extend(self, other: "Plan", deps: tuple[int, ...] = ()) -> dict[int, int]:
+        """Append another plan; its roots additionally depend on ``deps``.
+
+        Returns the uid remapping (old -> new).
+        """
+        if other.params.degree != self.params.degree:
+            raise ParameterError("cannot merge plans with different degrees")
+        mapping: dict[int, int] = {}
+        for op in other.ops:
+            new_deps = tuple(mapping[d] for d in op.deps)
+            if not op.deps:
+                new_deps = deps
+            mapping[op.uid] = self.add(
+                op.kind,
+                limbs=op.limbs,
+                in_limbs=op.in_limbs,
+                words=op.words,
+                data_bytes=op.data_bytes,
+                tag=op.tag,
+                deps=new_deps,
+                mult_limbs=op.mult_limbs,
+            )
+            # Preserve the source plan's phase labels.
+            self.ops[mapping[op.uid]].phase = op.phase or self._phase
+        return mapping
+
+    # ------------------------------------------------------------- analysis
+
+    def validate(self) -> None:
+        """Deps must point backwards: the ops list is a topological order."""
+        for op in self.ops:
+            for d in op.deps:
+                if d >= op.uid:
+                    raise ScheduleError(
+                        f"op {op.uid} depends on later op {d}: not topological"
+                    )
+
+    def modmult_total(self) -> int:
+        return sum(op.modmults(self.params.degree) for op in self.ops)
+
+    def modmult_breakdown(self) -> dict[str, int]:
+        """Modmults per category, matching Fig. 4's grouping."""
+        out: Counter = Counter()
+        degree = self.params.degree
+        for op in self.ops:
+            if op.kind in (OpKind.NTT, OpKind.INTT):
+                key = "evk_extension_ntt" if op.tag == "oflimb" else "ntt"
+            elif op.kind == OpKind.BCONV:
+                key = "bconv"
+            elif op.kind == OpKind.EWE:
+                key = "evk_mult" if op.tag == "evk_mult" else "others"
+            else:
+                continue
+            out[key] += op.modmults(degree)
+        return dict(out)
+
+    def offchip_bytes(self) -> dict[str, int]:
+        """Worst-case off-chip traffic split by category (no cache reuse).
+
+        The scheduler refines this with scratchpad-cache hits; this static
+        view counts each EVK/PT/CT *tag* once (single-use data), matching
+        the paper's Fig. 2 accounting.
+        """
+        seen: set[str] = set()
+        out: Counter = Counter()
+        for op in self.ops:
+            if op.kind not in MEMORY_KINDS:
+                continue
+            if op.tag in seen:
+                continue
+            seen.add(op.tag)
+            out[op.kind.value] += op.data_bytes
+        return dict(out)
+
+    def distinct_tags(self, kind: OpKind) -> set[str]:
+        return {op.tag for op in self.ops if op.kind == kind}
+
+    def phase_names(self) -> list[str]:
+        names: list[str] = []
+        for op in self.ops:
+            if op.phase and (not names or names[-1] != op.phase):
+                names.append(op.phase)
+        return names
+
+    def count(self, kind: OpKind) -> int:
+        return sum(1 for op in self.ops if op.kind == kind)

@@ -1,0 +1,83 @@
+"""Plan inspection and export.
+
+Downstream users (and the examples) need to see what a plan contains
+without reading the DAG: per-phase op mixes, limb totals, traffic by tag
+category, and a JSON-serializable summary for external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+
+from repro.plan.primops import MEMORY_KINDS, OpKind, Plan
+
+
+@dataclass
+class PlanSummary:
+    """Aggregate statistics of one plan."""
+
+    name: str
+    degree: int
+    total_ops: int
+    ops_by_kind: dict[str, int]
+    limbs_by_kind: dict[str, int]
+    modmults: int
+    offchip_bytes_by_kind: dict[str, int]
+    distinct_evk_tags: int
+    distinct_pt_tags: int
+    phases: list[str]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(asdict(self), indent=indent, sort_keys=True)
+
+
+def summarize(plan: Plan) -> PlanSummary:
+    """Build a :class:`PlanSummary` from a plan."""
+    ops_by_kind: Counter = Counter()
+    limbs_by_kind: Counter = Counter()
+    for op in plan.ops:
+        ops_by_kind[op.kind.value] += 1
+        if op.kind not in MEMORY_KINDS and op.kind != OpKind.NOC:
+            limbs_by_kind[op.kind.value] += op.limbs
+    return PlanSummary(
+        name=plan.name,
+        degree=plan.params.degree,
+        total_ops=len(plan.ops),
+        ops_by_kind=dict(ops_by_kind),
+        limbs_by_kind=dict(limbs_by_kind),
+        modmults=plan.modmult_total(),
+        offchip_bytes_by_kind=plan.offchip_bytes(),
+        distinct_evk_tags=len(plan.distinct_tags(OpKind.EVK)),
+        distinct_pt_tags=len(plan.distinct_tags(OpKind.PT)),
+        phases=plan.phase_names(),
+    )
+
+
+def phase_table(plan: Plan) -> dict[str, dict[str, int]]:
+    """Per-phase op counts: {phase: {kind: count}}."""
+    out: dict[str, Counter] = {}
+    for op in plan.ops:
+        phase = op.phase or "(none)"
+        out.setdefault(phase, Counter())[op.kind.value] += 1
+    return {phase: dict(counts) for phase, counts in out.items()}
+
+
+def format_summary(summary: PlanSummary) -> str:
+    """Human-readable one-block rendering of a summary."""
+    lines = [
+        f"plan {summary.name!r} (N = {summary.degree})",
+        f"  ops: {summary.total_ops} "
+        + " ".join(f"{k}={v}" for k, v in sorted(summary.ops_by_kind.items())),
+        f"  modular mults: {summary.modmults:,}",
+        f"  off-chip bytes: "
+        + " ".join(
+            f"{k}={v:,}" for k, v in sorted(summary.offchip_bytes_by_kind.items())
+        ),
+        f"  distinct keys: {summary.distinct_evk_tags} evk, "
+        f"{summary.distinct_pt_tags} pt",
+    ]
+    if summary.phases:
+        lines.append(f"  phases: {' -> '.join(summary.phases)}")
+    return "\n".join(lines)

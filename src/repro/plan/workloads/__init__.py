@@ -1,0 +1,18 @@
+"""Op-level plans for the paper's FHE workloads (Section VII-A):
+
+* HELR -- binary logistic-regression training, 1,024 images/iteration
+* ResNet-20 -- CNN inference on CIFAR-10 (Lee et al. [64] structure)
+* Sorting -- k-way sorting network (Hong et al. [47])
+
+Each builder returns a :class:`~repro.arch.scheduler.WorkloadModel` whose
+segments separate bootstrapping from the rest, providing the Fig. 7(b)
+split. Structural counts (rotation/multiplication mixes, bootstrap
+cadence) are derived from the cited implementations; see EXPERIMENTS.md
+for the calibration notes.
+"""
+
+from repro.plan.workloads.helr import build_helr
+from repro.plan.workloads.resnet import build_resnet20
+from repro.plan.workloads.sorting import build_sorting
+
+__all__ = ["build_helr", "build_resnet20", "build_sorting"]

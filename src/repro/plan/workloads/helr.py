@@ -1,0 +1,77 @@
+"""HELR [43]: homomorphic logistic-regression training, one iteration.
+
+Structure per iteration (mini-batch of 1,024 14x14-pixel images):
+
+* **compute** -- evaluate sigmoid(X w) (a low-degree polynomial -> a few
+  HMults), the gradient inner products (slot accumulations over the 196
+  features -- arithmetic-progression rotations, Min-KS applicable), and the
+  weighted sums over the batch, whose rotation amounts do *not* form an
+  arithmetic progression (the memory-bound part the paper calls out when
+  discussing the 2x-HBM variant, Section VII-C).
+* **bootstrap** -- one bootstrapping per iteration at n = 256 slots (the
+  paper notes HELR uses only 256 of the 32,768 slots, which caps ARK's
+  benefit -- Section VII-B).
+"""
+
+from __future__ import annotations
+
+from repro.arch.scheduler import WorkloadModel
+from repro.params import CkksParams
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import Plan
+
+HELR_SLOTS = 256
+# Structural counts per iteration, from the HELR computation pattern.
+DISTINCT_ROTATIONS = 100     # batch weighted sums: amounts not in AP
+AP_ROTATIONS = 24            # feature-sum accumulations: Min-KS-able
+DATA_PMULTS = 40             # mini-batch data plaintexts
+SIGMOID_HMULTS = 12          # degree-3 sigmoid approx across blocks
+ITERATIONS_DEFAULT = 30
+
+
+def build_helr_compute(
+    params: CkksParams, mode: str, oflimb: bool
+) -> Plan:
+    """One iteration's non-bootstrapping compute."""
+    plan = Plan(params, name=f"helr-compute[{mode}]")
+    plan.begin_phase("compute")
+    ops = HeOpPlanner(plan, oflimb=oflimb)
+    level = params.levels_after_boot
+    current = ops.fresh_ciphertext(level, "ct:helr-model")
+    # Batch weighted sums at the top level: rotation amounts with no
+    # arithmetic progression, so every key is distinct in either mode
+    # (Min-KS not applicable -- the memory-bound part of Section VII-C).
+    for i in range(DISTINCT_ROTATIONS):
+        current = ops.hrot(level, f"evk:rot:helr:w{i}", current)
+    # Mini-batch data products (OF-Limb applies to these plaintexts).
+    for i in range(DATA_PMULTS):
+        current = ops.pmult(level, f"pt:helr:data:{i}", current)
+    # Feature accumulation: arithmetic-progression rotations. Min-KS reuses
+    # a single key; the baseline loads one key per amount.
+    for i in range(AP_ROTATIONS):
+        tag = "evk:rot:helr:acc" if mode == "minks" else f"evk:rot:helr:acc:{i}"
+        current = ops.hrot(level, tag, current)
+    # Sigmoid evaluation: HMults with the (reused) multiplication key.
+    for i in range(SIGMOID_HMULTS):
+        current = ops.hmult(level, current)
+        if i % 3 == 2 and level > 1:
+            current = ops.rescale(level, current)
+            level -= 1
+    plan.validate()
+    return plan
+
+
+def build_helr(
+    params: CkksParams,
+    mode: str = "minks",
+    oflimb: bool = True,
+    iterations: int = ITERATIONS_DEFAULT,
+) -> WorkloadModel:
+    """The full HELR training run (default: the paper's 30 iterations)."""
+    model = WorkloadModel(name=f"HELR[{mode}{'+of' if oflimb else ''}]")
+    compute = build_helr_compute(params, mode, oflimb)
+    boot = BootstrapPlan(params, HELR_SLOTS, mode=mode, oflimb=oflimb).build()
+    model.add_segment("compute", compute, repetitions=iterations)
+    model.add_segment("bootstrap", boot, repetitions=iterations)
+    return model

@@ -1,0 +1,83 @@
+"""ResNet-20 inference on encrypted CIFAR-10 (Lee et al. [64] structure).
+
+Per layer, using the multiplexed-parallel-convolution formulation:
+
+* **convolution** -- a series of HRots with kernel-offset rotation amounts
+  (an arithmetic progression -> Min-KS applies, as the paper notes it
+  applied Min-KS and OF-Limb to the convolution layers) plus PMults with
+  weight plaintexts (OF-Limb applies) and channel-accumulation rotations;
+* **activation** -- a high-degree polynomial ReLU approximation (HMults
+  reusing the single evk_mult);
+* **bootstrap** -- one full-slot (n = 2^15) bootstrapping per layer.
+
+The model runs 19 convolution layers plus the average-pool/FC tail.
+"""
+
+from __future__ import annotations
+
+from repro.arch.scheduler import WorkloadModel
+from repro.params import CkksParams
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import Plan
+
+RESNET_SLOTS_LOG2 = 15
+CONV_LAYERS = 19
+KERNEL_AP_ROTATIONS = 8      # 3x3 kernel offsets (AP after repacking)
+CHANNEL_AP_ROTATIONS = 4     # channel accumulation (AP)
+NON_AP_ROTATIONS = 2         # repacking moves outside the progression
+WEIGHT_PMULTS = 64           # multiplexed weight plaintexts per layer
+RELU_HMULTS = 14             # ~degree-27 minimax composition
+RELU_CMULTS = 4
+
+
+def build_resnet_layer(params: CkksParams, mode: str, oflimb: bool) -> Plan:
+    """One convolution + activation layer (no bootstrap)."""
+    plan = Plan(params, name=f"resnet-layer[{mode}]")
+    plan.begin_phase("compute")
+    ops = HeOpPlanner(plan, oflimb=oflimb)
+    level = params.levels_after_boot
+    current = ops.fresh_ciphertext(level, "ct:resnet-act")
+    # Convolution: kernel-offset rotations (Min-KS reuses one key).
+    for i in range(KERNEL_AP_ROTATIONS):
+        tag = (
+            "evk:rot:conv:kernel"
+            if mode == "minks"
+            else f"evk:rot:conv:kernel:{i}"
+        )
+        current = ops.hrot(level, tag, current)
+    for i in range(WEIGHT_PMULTS):
+        current = ops.pmult(level, f"pt:resnet:w{i}", current)
+    current = ops.rescale(level, current)
+    level -= 1
+    for i in range(CHANNEL_AP_ROTATIONS):
+        tag = (
+            "evk:rot:conv:chan" if mode == "minks" else f"evk:rot:conv:chan:{i}"
+        )
+        current = ops.hrot(level, tag, current)
+    for i in range(NON_AP_ROTATIONS):
+        current = ops.hrot(level, f"evk:rot:conv:repack:{i}", current)
+    # ReLU approximation: ct-ct mults with the reused evk_mult.
+    for i in range(RELU_HMULTS):
+        current = ops.hmult(level, current)
+        if i % 2 == 1 and level > 1:
+            current = ops.rescale(level, current)
+            level -= 1
+    for _ in range(RELU_CMULTS):
+        current = ops.cmult(level, current)
+    plan.validate()
+    return plan
+
+
+def build_resnet20(
+    params: CkksParams, mode: str = "minks", oflimb: bool = True
+) -> WorkloadModel:
+    """Full ResNet-20 inference: 19 layers, one bootstrap per layer."""
+    model = WorkloadModel(name=f"ResNet-20[{mode}{'+of' if oflimb else ''}]")
+    layer = build_resnet_layer(params, mode, oflimb)
+    boot = BootstrapPlan(
+        params, 1 << RESNET_SLOTS_LOG2, mode=mode, oflimb=oflimb
+    ).build()
+    model.add_segment("compute", layer, repetitions=CONV_LAYERS)
+    model.add_segment("bootstrap", boot, repetitions=CONV_LAYERS)
+    return model

@@ -1,0 +1,61 @@
+"""Homomorphic sorting via a k-way sorting network (Hong et al. [47]).
+
+Sorting compares encrypted values with high-degree minimax polynomial
+compositions; each network round evaluates the comparison polynomial
+(HMult-heavy, all reusing evk_mult), permutes with a couple of rotations
+(arithmetic progression -> Min-KS), and bootstraps. The paper notes that
+outside bootstrapping only OF-Limb applies to sorting (rotation amounts of
+the network do form progressions but comparisons dominate), and its effect
+is < 1% -- our plan reproduces that by carrying almost no plaintext traffic
+in the compute segment.
+"""
+
+from __future__ import annotations
+
+from repro.arch.scheduler import WorkloadModel
+from repro.params import CkksParams
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import Plan
+
+SORT_SLOTS_LOG2 = 15
+NETWORK_ROUNDS = 300          # network rounds over 2^15 elements
+COMPARE_HMULTS = 36           # deg-7 x deg-7 x deg-7 minimax composition
+COMPARE_CMULTS = 6
+ROUND_AP_ROTATIONS = 4
+ROUND_PMULTS = 2              # masking plaintexts
+
+
+def build_sorting_round(params: CkksParams, mode: str, oflimb: bool) -> Plan:
+    plan = Plan(params, name=f"sort-round[{mode}]")
+    plan.begin_phase("compute")
+    ops = HeOpPlanner(plan, oflimb=oflimb)
+    level = params.levels_after_boot
+    current = ops.fresh_ciphertext(level, "ct:sort-state")
+    for i in range(COMPARE_HMULTS):
+        current = ops.hmult(level, current)
+        if i % 4 == 3 and level > 1:
+            current = ops.rescale(level, current)
+            level -= 1
+    for _ in range(COMPARE_CMULTS):
+        current = ops.cmult(level, current)
+    for i in range(ROUND_AP_ROTATIONS):
+        tag = "evk:rot:sort:net" if mode == "minks" else f"evk:rot:sort:net:{i}"
+        current = ops.hrot(level, tag, current)
+    for i in range(ROUND_PMULTS):
+        current = ops.pmult(level, f"pt:sort:mask:{i}", current)
+    plan.validate()
+    return plan
+
+
+def build_sorting(
+    params: CkksParams, mode: str = "minks", oflimb: bool = True
+) -> WorkloadModel:
+    model = WorkloadModel(name=f"Sorting[{mode}{'+of' if oflimb else ''}]")
+    round_plan = build_sorting_round(params, mode, oflimb)
+    boot = BootstrapPlan(
+        params, 1 << SORT_SLOTS_LOG2, mode=mode, oflimb=oflimb
+    ).build()
+    model.add_segment("compute", round_plan, repetitions=NETWORK_ROUNDS)
+    model.add_segment("bootstrap", boot, repetitions=NETWORK_ROUNDS)
+    return model

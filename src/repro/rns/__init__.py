@@ -1,0 +1,8 @@
+"""Residue-number-system substrate: prime bases, RNS polynomials, and fast
+base conversion (the BConv primary function of the paper)."""
+
+from repro.rns.basis import RnsBasis
+from repro.rns.bconv import BaseConverter, bconv_routine
+from repro.rns.poly import PolyRns
+
+__all__ = ["RnsBasis", "BaseConverter", "bconv_routine", "PolyRns"]

@@ -1,0 +1,101 @@
+"""RNS prime bases for CKKS (Table I: the sets C, B, D and groups Ci).
+
+An :class:`RnsBasis` owns the concrete primes of a functional CKKS
+instantiation: the q-limbs ``C = {q0..qL}`` (q0 the base prime, q1..qL the
+rescaling primes near Δ) and the special limbs ``B = {p0..p_{α-1}}`` whose
+product is the special modulus P used by hybrid key-switching.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.errors import ParameterError
+from repro.nt.ntt import NttContext, get_ntt_context
+from repro.nt.primes import find_ntt_primes
+from repro.params import CkksParams
+
+
+class RnsBasis:
+    """Concrete primes + NTT contexts for one CKKS instantiation."""
+
+    def __init__(self, degree: int, q_moduli: list[int], p_moduli: list[int]):
+        if len(set(q_moduli) | set(p_moduli)) != len(q_moduli) + len(p_moduli):
+            raise ParameterError("RNS moduli must be pairwise distinct")
+        self.degree = degree
+        self.q_moduli = tuple(q_moduli)   # C = {q0, ..., qL}
+        self.p_moduli = tuple(p_moduli)   # B = {p0, ..., p_{alpha-1}}
+        self._contexts: dict[int, NttContext] = {}
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def generate(cls, params: CkksParams) -> "RnsBasis":
+        """Generate NTT-friendly primes matching a functional preset.
+
+        q0 is drawn near ``2^q0_bits`` (largest, to leave room for the
+        message under the q0·I term during bootstrapping), q1..qL near
+        ``2^scale_bits`` so rescaling divides by ≈ Δ, and the α special
+        primes near ``2^special_bits`` so that P > any single q group.
+        """
+        degree = params.degree
+        q0 = find_ntt_primes(degree, params.q0_bits, 1)[0]
+        used = {q0}
+        scale_primes = find_ntt_primes(
+            degree, params.scale_bits, params.max_level, exclude=used
+        )
+        used.update(scale_primes)
+        special = find_ntt_primes(
+            degree, params.special_bits, params.alpha, exclude=used
+        )
+        return cls(degree, [q0, *scale_primes], special)
+
+    # ----------------------------------------------------------- accessors
+
+    @property
+    def max_level(self) -> int:
+        return len(self.q_moduli) - 1
+
+    @property
+    def alpha(self) -> int:
+        return len(self.p_moduli)
+
+    def q_product(self, level: int | None = None) -> int:
+        """Q (or the product of the first ``level+1`` q-limbs)."""
+        upto = len(self.q_moduli) if level is None else level + 1
+        return reduce(lambda a, b: a * b, self.q_moduli[:upto], 1)
+
+    @property
+    def p_product(self) -> int:
+        """P = ∏ p_i, the special modulus."""
+        return reduce(lambda a, b: a * b, self.p_moduli, 1)
+
+    def context(self, modulus: int) -> NttContext:
+        """NTT context for one prime of this basis (cached)."""
+        ctx = self._contexts.get(modulus)
+        if ctx is None:
+            ctx = get_ntt_context(self.degree, modulus)
+            self._contexts[modulus] = ctx
+        return ctx
+
+    # ----------------------------------------------- key-switching groups
+
+    def limb_groups(self, dnum: int, level: int | None = None) -> list[tuple[int, ...]]:
+        """Partition the active q-limbs into the groups Ci of Table I.
+
+        At a reduced level ℓ < L only the first ℓ+1 limbs exist; following
+        standard practice (and the paper's Alg. 2) the decomposition then
+        uses ``ceil((ℓ+1)/α)`` groups, the last one partially filled.
+        """
+        alpha = (self.max_level + 1) // dnum
+        active = self.q_moduli if level is None else self.q_moduli[: level + 1]
+        groups = [
+            tuple(active[i : i + alpha]) for i in range(0, len(active), alpha)
+        ]
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RnsBasis(N={self.degree}, L={self.max_level}, "
+            f"alpha={self.alpha})"
+        )

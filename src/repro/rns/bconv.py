@@ -1,0 +1,129 @@
+"""Fast base conversion (BConv, Eq. 4) and the BConvRoutine (Alg. 1).
+
+BConv converts the residues of a coefficient-representation polynomial from
+a source prime set B to a target set C:
+
+    BConv_{B->C}(x) = { Σ_j ([x]_{p_j} · p̂_j^{-1} mod p_j) · p̂_j mod q_i }_i
+
+with p̂_j = ∏_{k≠j} p_k. The first step (multiply by p̂_j^{-1}) is performed
+by the "BConv mult unit" inside ARK's NTT unit; the second step -- a
+(ℓ+1)×α by α×N matrix product against the *base table* (p̂_j mod q_i) -- is
+what the systolic BConv unit computes (Section V-A).
+
+This is the *fast* (approximate) conversion: it computes the value of the
+integer lift Σ y_j·p̂_j, which differs from the exact CRT value by a small
+multiple of ∏B. Key-switching absorbs that error in the P division; for
+ModRaise the single-source centered variant is exact up to the q0·I term
+that EvalMod removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, RepresentationError
+from repro.nt.modarith import modinv
+
+
+class BaseConverter:
+    """Precomputed fast base conversion from ``src_moduli`` to ``dst_moduli``."""
+
+    def __init__(self, src_moduli: tuple[int, ...], dst_moduli: tuple[int, ...]):
+        if not src_moduli or not dst_moduli:
+            raise ParameterError("BConv needs non-empty source and target bases")
+        if set(src_moduli) & set(dst_moduli):
+            raise ParameterError("BConv source and target bases must be disjoint")
+        self.src_moduli = tuple(src_moduli)
+        self.dst_moduli = tuple(dst_moduli)
+        src_product = 1
+        for p in src_moduli:
+            src_product *= p
+        self.src_product = src_product
+        # Step-1 constants: p̂_j^{-1} mod p_j.
+        self.phat_inv = np.array(
+            [modinv((src_product // p) % p, p) for p in src_moduli],
+            dtype=np.uint64,
+        )
+        # Step-2 "base table": table[j, i] = p̂_j mod q_i.
+        self.base_table = np.array(
+            [
+                [(src_product // p) % q for q in dst_moduli]
+                for p in src_moduli
+            ],
+            dtype=np.uint64,
+        )
+        self._src_mods = np.array(src_moduli, dtype=np.uint64)
+
+    @property
+    def base_table_words(self) -> int:
+        """Size of the base table in machine words (BrU storage)."""
+        return self.base_table.size
+
+    def convert(self, residues: np.ndarray, *, centered: bool = False) -> np.ndarray:
+        """Convert ``residues`` (shape ``(len(src), N)``, coefficient rep).
+
+        Returns an array of shape ``(len(dst), N)``. With ``centered=True``
+        (only meaningful for a single-prime source, used by ModRaise) the
+        lift is taken in ``[-p/2, p/2)`` instead of ``[0, p)``.
+        """
+        residues = np.asarray(residues, dtype=np.uint64)
+        if residues.ndim != 2 or residues.shape[0] != len(self.src_moduli):
+            raise ParameterError(
+                f"expected {len(self.src_moduli)} source limbs, got shape "
+                f"{residues.shape}"
+            )
+        if centered and len(self.src_moduli) != 1:
+            raise ParameterError("centered conversion requires a single source prime")
+        # Step 1: y_j = x_j * p̂_j^{-1} mod p_j
+        y = (residues * self.phat_inv[:, None]) % self._src_mods[:, None]
+        n = residues.shape[1]
+        out = np.zeros((len(self.dst_moduli), n), dtype=np.uint64)
+        if centered:
+            p = self.src_moduli[0]
+            lifted = y[0].astype(np.int64)
+            lifted = np.where(lifted >= p // 2 + 1, lifted - p, lifted)
+            for i, q in enumerate(self.dst_moduli):
+                out[i] = np.mod(lifted, q).astype(np.uint64)
+            return out
+        for i, q in enumerate(self.dst_moduli):
+            qi = np.uint64(q)
+            acc = np.zeros(n, dtype=np.uint64)
+            for j in range(len(self.src_moduli)):
+                # Each reduced term < 2^31; α ≤ 16 terms keep the
+                # accumulator far below 2^64.
+                acc += (y[j] * self.base_table[j, i]) % qi
+            out[i] = acc % qi
+        return out
+
+
+_CONVERTER_CACHE: dict[tuple[tuple[int, ...], tuple[int, ...]], BaseConverter] = {}
+
+
+def get_converter(
+    src_moduli: tuple[int, ...], dst_moduli: tuple[int, ...]
+) -> BaseConverter:
+    """Process-wide cache of converters keyed by (source, target) bases."""
+    key = (tuple(src_moduli), tuple(dst_moduli))
+    conv = _CONVERTER_CACHE.get(key)
+    if conv is None:
+        conv = BaseConverter(key[0], key[1])
+        _CONVERTER_CACHE[key] = conv
+    return conv
+
+
+def bconv_routine(poly, dst_moduli: tuple[int, ...], *, centered: bool = False):
+    """Alg. 1: INTT -> BConv -> NTT, returning a new evaluation-rep poly.
+
+    ``poly`` is a :class:`~repro.rns.poly.PolyRns` in *either* representation;
+    if in evaluation representation it is INTT'd first (line 2 of Alg. 1).
+    The result carries ``dst_moduli`` and is in evaluation representation.
+    """
+    from repro.rns.poly import PolyRns  # local import to avoid a cycle
+
+    if not isinstance(poly, PolyRns):
+        raise RepresentationError("bconv_routine expects a PolyRns")
+    coeff = poly.to_coeff()
+    conv = get_converter(coeff.moduli, tuple(dst_moduli))
+    data = conv.convert(coeff.data, centered=centered)
+    out = PolyRns(poly.degree, tuple(dst_moduli), data, rep="coeff")
+    return out.to_eval()

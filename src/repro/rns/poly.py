@@ -1,0 +1,270 @@
+"""RNS polynomials: the (limbs × N) word matrices of Section II-B.
+
+A :class:`PolyRns` is a polynomial of ``R_Q`` (or ``R_PQ``) stored limb-wise:
+row ``j`` holds the residues modulo ``moduli[j]``. Each limb is independently
+in *coefficient* or *evaluation* (NTT-applied) representation; the whole
+polynomial carries a single ``rep`` tag, as in the paper.
+
+Design notes
+------------
+* Limbs in evaluation representation are NTT'd with respect to *their own*
+  prime's root, so cross-limb data movement (rescale, base conversion)
+  always goes through the coefficient representation -- exactly the
+  INTT -> BConv -> NTT "BConvRoutine" dataflow that shapes ARK's floorplan.
+* Instances are immutable by convention: arithmetic returns new objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, RepresentationError
+from repro.nt.modarith import modinv
+from repro.nt.ntt import get_ntt_context
+
+COEFF = "coeff"
+EVAL = "eval"
+
+
+class PolyRns:
+    """An RNS polynomial: ``data[j]`` are the residues mod ``moduli[j]``."""
+
+    __slots__ = ("degree", "moduli", "data", "rep")
+
+    def __init__(
+        self,
+        degree: int,
+        moduli: tuple[int, ...],
+        data: np.ndarray,
+        rep: str = COEFF,
+    ):
+        if rep not in (COEFF, EVAL):
+            raise RepresentationError(f"unknown representation {rep!r}")
+        data = np.asarray(data, dtype=np.uint64)
+        if data.shape != (len(moduli), degree):
+            raise ParameterError(
+                f"data shape {data.shape} != ({len(moduli)}, {degree})"
+            )
+        self.degree = degree
+        self.moduli = tuple(moduli)
+        self.data = data
+        self.rep = rep
+
+    # ----------------------------------------------------------- factories
+
+    @classmethod
+    def zeros(cls, degree: int, moduli: tuple[int, ...], rep: str = COEFF) -> "PolyRns":
+        return cls(degree, moduli, np.zeros((len(moduli), degree), np.uint64), rep)
+
+    @classmethod
+    def from_int_coeffs(
+        cls, degree: int, moduli: tuple[int, ...], coeffs
+    ) -> "PolyRns":
+        """Build from (possibly signed, possibly huge) integer coefficients."""
+        data = np.empty((len(moduli), degree), dtype=np.uint64)
+        coeff_list = [int(c) for c in coeffs]
+        if len(coeff_list) != degree:
+            raise ParameterError("coefficient count does not match degree")
+        for j, q in enumerate(moduli):
+            data[j] = np.array([c % q for c in coeff_list], dtype=np.uint64)
+        return cls(degree, moduli, data, COEFF)
+
+    @classmethod
+    def from_small_int_coeffs(
+        cls, degree: int, moduli: tuple[int, ...], coeffs: np.ndarray
+    ) -> "PolyRns":
+        """Vectorized variant of :meth:`from_int_coeffs` for int64-sized
+        coefficients (the plaintext-encoding hot path)."""
+        ints = np.asarray(coeffs, dtype=np.int64)
+        if ints.shape != (degree,):
+            raise ParameterError("coefficient count does not match degree")
+        data = np.empty((len(moduli), degree), dtype=np.uint64)
+        for j, q in enumerate(moduli):
+            data[j] = np.mod(ints, q).astype(np.uint64)
+        return cls(degree, moduli, data, COEFF)
+
+    @classmethod
+    def uniform_random(
+        cls, degree: int, moduli: tuple[int, ...], rng: np.random.Generator
+    ) -> "PolyRns":
+        """Uniformly random element of R_Q, sampled directly in RNS.
+
+        Sampling each limb independently is the standard trick: it is
+        equivalent to sampling a uniform integer mod Q by CRT.
+        """
+        data = np.stack(
+            [rng.integers(0, q, size=degree, dtype=np.uint64) for q in moduli]
+        )
+        return cls(degree, moduli, data, COEFF)
+
+    @classmethod
+    def small_ternary(
+        cls,
+        degree: int,
+        moduli: tuple[int, ...],
+        rng: np.random.Generator,
+        hamming_weight: int | None = None,
+    ) -> "PolyRns":
+        """Ternary secret polynomial with coefficients in {-1, 0, 1}."""
+        signs = np.zeros(degree, dtype=np.int64)
+        if hamming_weight is None:
+            signs = rng.integers(-1, 2, size=degree, dtype=np.int64)
+        else:
+            positions = rng.choice(degree, size=hamming_weight, replace=False)
+            signs[positions] = rng.choice([-1, 1], size=hamming_weight)
+        return cls.from_int_coeffs(degree, moduli, signs)
+
+    @classmethod
+    def gaussian_error(
+        cls,
+        degree: int,
+        moduli: tuple[int, ...],
+        rng: np.random.Generator,
+        sigma: float = 3.2,
+    ) -> "PolyRns":
+        """Discrete-Gaussian-ish error polynomial (rounded normal, σ=3.2)."""
+        errors = np.rint(rng.normal(0.0, sigma, size=degree)).astype(np.int64)
+        return cls.from_int_coeffs(degree, moduli, errors)
+
+    # -------------------------------------------------------- rep changes
+
+    def to_eval(self) -> "PolyRns":
+        """NTT every limb (no-op when already in evaluation rep)."""
+        if self.rep == EVAL:
+            return self
+        out = np.empty_like(self.data)
+        for j, q in enumerate(self.moduli):
+            out[j] = get_ntt_context(self.degree, q).forward(self.data[j])
+        return PolyRns(self.degree, self.moduli, out, EVAL)
+
+    def to_coeff(self) -> "PolyRns":
+        """INTT every limb (no-op when already in coefficient rep)."""
+        if self.rep == COEFF:
+            return self
+        out = np.empty_like(self.data)
+        for j, q in enumerate(self.moduli):
+            out[j] = get_ntt_context(self.degree, q).inverse(self.data[j])
+        return PolyRns(self.degree, self.moduli, out, COEFF)
+
+    # ---------------------------------------------------------- arithmetic
+
+    def _check_compatible(self, other: "PolyRns") -> None:
+        if self.moduli != other.moduli or self.rep != other.rep:
+            raise RepresentationError(
+                "polynomials must share moduli and representation "
+                f"({self.moduli[:2]}.../{self.rep} vs "
+                f"{other.moduli[:2]}.../{other.rep})"
+            )
+
+    def _mods_column(self) -> np.ndarray:
+        return np.array(self.moduli, dtype=np.uint64)[:, None]
+
+    def __add__(self, other: "PolyRns") -> "PolyRns":
+        self._check_compatible(other)
+        data = (self.data + other.data) % self._mods_column()
+        return PolyRns(self.degree, self.moduli, data, self.rep)
+
+    def __sub__(self, other: "PolyRns") -> "PolyRns":
+        self._check_compatible(other)
+        mods = self._mods_column()
+        data = (self.data + mods - other.data) % mods
+        return PolyRns(self.degree, self.moduli, data, self.rep)
+
+    def __neg__(self) -> "PolyRns":
+        mods = self._mods_column()
+        data = (mods - self.data) % mods
+        return PolyRns(self.degree, self.moduli, data, self.rep)
+
+    def __mul__(self, other: "PolyRns") -> "PolyRns":
+        """Element-wise (Hadamard) product; requires evaluation rep, where it
+        realizes the negacyclic polynomial product."""
+        self._check_compatible(other)
+        if self.rep != EVAL:
+            raise RepresentationError("polynomial product requires evaluation rep")
+        data = (self.data * other.data) % self._mods_column()
+        return PolyRns(self.degree, self.moduli, data, self.rep)
+
+    def scalar_mul(self, scalar: int) -> "PolyRns":
+        """Multiply by an integer scalar (reduced per limb)."""
+        factors = np.array(
+            [scalar % q for q in self.moduli], dtype=np.uint64
+        )[:, None]
+        data = (self.data * factors) % self._mods_column()
+        return PolyRns(self.degree, self.moduli, data, self.rep)
+
+    def scalar_mul_per_limb(self, scalars: list[int]) -> "PolyRns":
+        """Multiply limb j by ``scalars[j]`` (already reduced or reducible)."""
+        if len(scalars) != len(self.moduli):
+            raise ParameterError("need one scalar per limb")
+        factors = np.array(
+            [s % q for s, q in zip(scalars, self.moduli)], dtype=np.uint64
+        )[:, None]
+        data = (self.data * factors) % self._mods_column()
+        return PolyRns(self.degree, self.moduli, data, self.rep)
+
+    # -------------------------------------------------------- automorphism
+
+    def automorphism(self, galois: int) -> "PolyRns":
+        """Apply ψ: X -> X^galois (Eq. 5 uses galois = 5^r)."""
+        out = np.empty_like(self.data)
+        for j, q in enumerate(self.moduli):
+            ctx = get_ntt_context(self.degree, q)
+            if self.rep == EVAL:
+                out[j] = ctx.automorphism_eval(self.data[j], galois)
+            else:
+                out[j] = ctx.automorphism_coeff(self.data[j], galois)
+        return PolyRns(self.degree, self.moduli, out, self.rep)
+
+    # ---------------------------------------------------- limb operations
+
+    def limbs(self, moduli: tuple[int, ...]) -> "PolyRns":
+        """Project onto a subset of this polynomial's moduli ([P]_Ci)."""
+        index = {q: j for j, q in enumerate(self.moduli)}
+        try:
+            rows = [index[q] for q in moduli]
+        except KeyError as missing:
+            raise ParameterError(f"modulus {missing} not present") from None
+        return PolyRns(self.degree, tuple(moduli), self.data[rows].copy(), self.rep)
+
+    def concat(self, other: "PolyRns") -> "PolyRns":
+        """Concatenate limb sets (e.g. [P]_Ci ∪ extension, line 3 of Alg. 2)."""
+        if self.rep != other.rep:
+            raise RepresentationError("cannot concat polys in different reps")
+        if set(self.moduli) & set(other.moduli):
+            raise ParameterError("concat requires disjoint limb sets")
+        return PolyRns(
+            self.degree,
+            self.moduli + other.moduli,
+            np.concatenate([self.data, other.data], axis=0),
+            self.rep,
+        )
+
+    def drop_last_limb(self) -> "PolyRns":
+        if len(self.moduli) <= 1:
+            raise ParameterError("cannot drop the last remaining limb")
+        return PolyRns(
+            self.degree, self.moduli[:-1], self.data[:-1].copy(), self.rep
+        )
+
+    # ------------------------------------------------------ reconstruction
+
+    def to_int_coeffs(self) -> list[int]:
+        """CRT-reconstruct centered big-integer coefficients (test/decrypt path)."""
+        coeff = self.to_coeff()
+        product = 1
+        for q in coeff.moduli:
+            product *= q
+        total = [0] * self.degree
+        for j, q in enumerate(coeff.moduli):
+            qhat = product // q
+            correction = (modinv(qhat % q, q) * qhat) % product
+            row = coeff.data[j]
+            for i in range(self.degree):
+                total[i] = (total[i] + int(row[i]) * correction) % product
+        half = product // 2
+        return [t - product if t > half else t for t in total]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PolyRns(N={self.degree}, limbs={len(self.moduli)}, rep={self.rep})"
+        )

@@ -1,0 +1,20 @@
+"""Functional encrypted applications at laptop scale: the paper's three
+workloads (logistic regression, CNN convolution, sorting) running real
+CKKS math on synthetic data. The full-scale op-level models live in
+:mod:`repro.plan.workloads`; these modules prove the algorithms compute
+the right thing."""
+
+from repro.workloads.data import synthetic_classification, synthetic_image
+from repro.workloads.helr import EncryptedLogisticRegression
+from repro.workloads.cnn import encrypted_conv2d, plaintext_conv2d
+from repro.workloads.sorting import encrypted_compare_swap, sign_approx
+
+__all__ = [
+    "synthetic_classification",
+    "synthetic_image",
+    "EncryptedLogisticRegression",
+    "encrypted_conv2d",
+    "plaintext_conv2d",
+    "encrypted_compare_swap",
+    "sign_approx",
+]

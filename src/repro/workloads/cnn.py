@@ -1,0 +1,104 @@
+"""Encrypted 2-D convolution (the ResNet-20 building block, Lee et al. [64]).
+
+The image is packed row-major into the slot vector; a 3x3 convolution is a
+sum of nine rotated-and-masked copies:
+
+    out = Σ_{dy,dx} kernel[dy,dx] * rot(image, dy*W + dx)
+
+For each kernel row the three rotation amounts form an arithmetic
+progression, the pattern Min-KS exploits in the paper's convolution layers
+(Section VII-B applies Min-KS and OF-Limb to ResNet-20's convolutions).
+Boundary handling uses multiplicative masks, also encoded as plaintexts
+(OF-Limb-eligible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+
+
+def plaintext_conv2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Zero-padded 'same' 2-D convolution (correlation convention)."""
+    h, w = image.shape
+    kh, kw = kernel.shape
+    if kh % 2 == 0 or kw % 2 == 0:
+        raise ParameterError("kernel dims must be odd")
+    out = np.zeros_like(image, dtype=np.float64)
+    for dy in range(-(kh // 2), kh // 2 + 1):
+        for dx in range(-(kw // 2), kw // 2 + 1):
+            shifted = np.zeros_like(image, dtype=np.float64)
+            ys = slice(max(0, -dy), min(h, h - dy))
+            xs = slice(max(0, -dx), min(w, w - dx))
+            ys_src = slice(max(0, dy), min(h, h + dy))
+            xs_src = slice(max(0, dx), min(w, w + dx))
+            shifted[ys, xs] = image[ys_src, xs_src]
+            out += kernel[dy + kh // 2, dx + kw // 2] * shifted
+    return out
+
+
+def _boundary_mask(height: int, width: int, dy: int, dx: int) -> np.ndarray:
+    """1.0 where the rotated pixel is a real neighbour, 0.0 at wraparound."""
+    mask = np.ones((height, width))
+    if dy > 0:
+        mask[height - dy :, :] = 0.0
+    elif dy < 0:
+        mask[: -dy, :] = 0.0
+    if dx > 0:
+        mask[:, width - dx :] = 0.0
+    elif dx < 0:
+        mask[:, : -dx] = 0.0
+    return mask
+
+
+def encrypted_conv2d(
+    ctx: CkksContext,
+    ct_image: Ciphertext,
+    kernel: np.ndarray,
+    height: int,
+    width: int,
+) -> Ciphertext:
+    """Homomorphic 'same' convolution of a row-major-packed image.
+
+    Rotation amounts are ``dy*width + dx`` -- per kernel row an arithmetic
+    progression with common difference 1, evaluated by chaining rotations
+    from the previous offset (the Min-KS pattern). Only rotation keys for
+    amounts 1 and width are required.
+    """
+    if ct_image.slots != height * width:
+        raise ParameterError("ciphertext packing does not match image shape")
+    kh, kw = kernel.shape
+    ev = ctx.evaluator
+    ctx.ensure_rotation_keys([1])
+    half_h, half_w = kh // 2, kw // 2
+
+    # Start from the most negative offset and walk the offsets in raster
+    # order; consecutive offsets differ by 1 (within a row) or by
+    # width - (kw - 1) (row step), each reachable by chained rotations with
+    # the two keys above -- the generalized Min-KS schedule.
+    n = height * width
+    start = (-half_h * width - half_w) % n
+    ctx.ensure_rotation_keys([start])
+    rotated = ev.rotate(ct_image, start) if start else ct_image
+    acc = None
+    for dy in range(-half_h, half_h + 1):
+        for dx in range(-half_w, half_w + 1):
+            weight = float(kernel[dy + half_h, dx + half_w])
+            mask = _boundary_mask(height, width, dy, dx) * weight
+            pt = ctx.encode(
+                mask.reshape(-1).astype(np.complex128), level=rotated.level
+            )
+            term = ev.mul_plain(rotated, pt)
+            acc = term if acc is None else ev.add(acc, term)
+            is_last = dy == half_h and dx == half_w
+            if not is_last:
+                if dx == half_w:  # row step: rotate by width - (kw - 1)
+                    for _ in range(width - (kw - 1)):
+                        rotated = ev.rotate(rotated, 1)
+                else:
+                    rotated = ev.rotate(rotated, 1)
+    assert acc is not None
+    return ev.rescale(acc)

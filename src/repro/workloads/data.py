@@ -1,0 +1,46 @@
+"""Synthetic datasets replacing MNIST / CIFAR-10 (no network access).
+
+The paper trains HELR on MNIST mini-batches and runs ResNet-20 on CIFAR-10;
+for the functional demos we generate Gaussian-mixture classification data
+and smooth random images with matching shapes. The substitution preserves
+the exercised code paths: packing, rotation patterns, polynomial
+activations, and noise behaviour do not depend on the data's provenance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def synthetic_classification(
+    samples: int, features: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binary Gaussian-mixture data: returns (X, y) with y in {0, 1}.
+
+    Features are scaled into [-1, 1] so CKKS scales behave like the
+    pixel-normalized MNIST features in HELR.
+    """
+    rng = np.random.default_rng(seed)
+    half = samples // 2
+    center = rng.uniform(0.2, 0.5, size=features)
+    x_pos = rng.normal(center, 0.3, size=(half, features))
+    x_neg = rng.normal(-center, 0.3, size=(samples - half, features))
+    x = np.vstack([x_pos, x_neg])
+    y = np.concatenate([np.ones(half), np.zeros(samples - half)])
+    order = rng.permutation(samples)
+    x = np.clip(x[order], -1.0, 1.0)
+    return x, y[order]
+
+
+def synthetic_image(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """A smooth random image in [-1, 1] (stand-in for a CIFAR-10 channel)."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(height, width))
+    # Cheap smoothing so convolutions act on structured content.
+    kernel = np.array([0.25, 0.5, 0.25])
+    for axis in (0, 1):
+        base = np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="same"), axis, base
+        )
+    peak = np.max(np.abs(base))
+    return base / peak if peak > 0 else base

@@ -1,0 +1,93 @@
+"""Encrypted logistic-regression training step (the HELR workload [43]).
+
+One gradient-descent step on an encrypted sample, with the feature vector
+packed in slots:
+
+1. ``z = <w, x>``      -- PMult by the plaintext weights + slot accumulation
+   (the arithmetic-progression rotation pattern Min-KS targets);
+2. ``p = sigmoid(z)``  -- HELR's degree-3 polynomial approximation;
+3. ``g = (p - y) x``   -- HMult by the (replicated) residual;
+4. ``w <- w - lr g``   -- done by the model owner on the decrypted gradient
+   in this demo (the full protocol keeps w encrypted; the op pattern is
+   identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ckks.context import CkksContext
+from repro.ckks.linear import slot_sum
+
+# HELR's least-squares degree-3 sigmoid approximation on [-8, 8].
+SIGMOID_COEFFS = (0.5, 0.15012, -0.001593)
+
+
+def sigmoid_poly(z: np.ndarray) -> np.ndarray:
+    """The plaintext degree-3 sigmoid approximation."""
+    c0, c1, c3 = SIGMOID_COEFFS
+    return c0 + c1 * z + c3 * z**3
+
+
+class EncryptedLogisticRegression:
+    """A binary classifier trained on encrypted samples."""
+
+    def __init__(self, ctx: CkksContext, features: int):
+        if features & (features - 1):
+            raise ParameterError("feature count must be a power of two")
+        if features > ctx.params.max_slots:
+            raise ParameterError("too many features for the ring")
+        self.ctx = ctx
+        self.features = features
+        self.weights = np.zeros(features)
+        ctx.ensure_rotation_keys([1])
+
+    # ------------------------------------------------------------ encrypted
+
+    def encrypted_gradient(self, ct_x, label: float):
+        """Gradient of the log-loss wrt w for one encrypted sample.
+
+        Returns a ciphertext whose first ``features`` slots hold
+        ``(sigmoid(<w, x>) - y) * x``.
+        """
+        ctx = self.ctx
+        ev = ctx.evaluator
+        # z = <w, x>, replicated into every slot by the Min-KS slot sum.
+        pt_w = ctx.encode(
+            self.weights.astype(np.complex128), level=ct_x.level
+        )
+        prods = ev.rescale(ev.mul_plain(ct_x, pt_w))
+        z = slot_sum(ctx, prods, self.features, mode="minks")
+        # p = sigmoid(z) via the degree-3 polynomial.
+        c0, c1, c3 = SIGMOID_COEFFS
+        z2 = ev.rescale(ev.mul(z, z))
+        z3 = ev.rescale(ev.mul(z2, z))
+        term1 = ev.rescale(ev.mul_const(z, c1))
+        term3 = ev.rescale(ev.mul_const(z3, c3))
+        p = ev.add_const(ev.add_matched(term1, term3), c0)
+        # residual = p - y, then gradient = residual * x.
+        residual = ev.add_const(p, -label)
+        ct_x_aligned = ev.drop_to_level(ct_x, residual.level)
+        grad = ev.mul(residual, ct_x_aligned)
+        return ev.rescale(grad)
+
+    def step(self, x: np.ndarray, label: float, lr: float = 0.5) -> None:
+        """One encrypted SGD step (encrypt -> gradient -> decrypt-update)."""
+        ct_x = self.ctx.encrypt(x.astype(np.complex128))
+        grad_ct = self.encrypted_gradient(ct_x, label)
+        grad = self.ctx.decrypt(grad_ct).real[: self.features]
+        self.weights -= lr * grad
+
+    # ------------------------------------------------------------ reference
+
+    def plaintext_gradient(self, x: np.ndarray, label: float) -> np.ndarray:
+        z = float(np.dot(self.weights, x))
+        return (sigmoid_poly(np.array([z]))[0] - label) * x
+
+    def predict(self, x: np.ndarray) -> float:
+        return sigmoid_poly(np.array([float(np.dot(self.weights, x))]))[0]
+
+    def accuracy(self, xs: np.ndarray, ys: np.ndarray) -> float:
+        predictions = [1.0 if self.predict(x) > 0.5 else 0.0 for x in xs]
+        return float(np.mean(np.array(predictions) == ys))

@@ -1,0 +1,64 @@
+"""Encrypted compare-and-swap: the sorting-network primitive of [47].
+
+Sorting networks need ``min`` / ``max`` of encrypted values:
+
+    max(a, b) = (a + b)/2 + (a - b)/2 * sgn(a - b)
+
+with the sign function approximated by the composite polynomial
+``g(x) = (3x - x^3)/2`` iterated k times -- the standard minimax-composition
+trick (each iteration sharpens the transition around 0). Comparisons
+dominate sorting's cost, which is why the workload is HMult/bootstrapping
+bound in the performance model (:mod:`repro.plan.workloads.sorting`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+
+
+def sign_approx_reference(x: np.ndarray, iterations: int = 2) -> np.ndarray:
+    """Plaintext composite sign approximation on [-1, 1]."""
+    y = np.asarray(x, dtype=np.float64)
+    for _ in range(iterations):
+        y = 0.5 * (3.0 * y - y**3)
+    return y
+
+
+def sign_approx(
+    ctx: CkksContext, ct: Ciphertext, iterations: int = 2
+) -> Ciphertext:
+    """Homomorphic sgn(x) for slot values in [-1, 1].
+
+    Each iteration evaluates ``g(x) = x*(3 - x^2) / 2`` in two levels: one
+    squaring, one product; the /2 is the free scale-doubling trick.
+    """
+    ev = ctx.evaluator
+    current = ct
+    for _ in range(iterations):
+        sq = ev.mul(current, current)               # scale Δ^2
+        inner = ev.add_const(ev.negate(sq), 3.0)    # 3 - x^2 at Δ^2
+        prod = ev.mul(current, inner)               # x(3 - x^2) at Δ^3
+        prod = ev.rescale(ev.rescale(prod))
+        current = ev.div_by_pow2(prod, 1)
+    return current
+
+
+def encrypted_compare_swap(
+    ctx: CkksContext,
+    ct_a: Ciphertext,
+    ct_b: Ciphertext,
+    iterations: int = 2,
+) -> tuple[Ciphertext, Ciphertext]:
+    """Return (ct_min, ct_max) slot-wise, via the sign approximation."""
+    ev = ctx.evaluator
+    avg = ev.div_by_pow2(ev.add(ct_a, ct_b), 1)
+    half_diff = ev.div_by_pow2(ev.sub(ct_a, ct_b), 1)
+    sign = sign_approx(ctx, half_diff, iterations=iterations)
+    half_diff_aligned = ev.drop_to_level(half_diff, sign.level)
+    spread = ev.rescale(ev.mul(half_diff_aligned, sign))
+    ct_max = ev.add_matched(avg, spread)
+    ct_min = ev.add_matched(avg, ev.negate(spread))
+    return ct_min, ct_max

@@ -1,0 +1,125 @@
+"""Analysis modules: Table III, Fig. 2, Fig. 4, Eq. 13 against the paper."""
+
+import pytest
+
+from repro.analysis.breakdown import PAPER_FIG4, hrot_breakdown
+from repro.analysis.compare import PAPER_CLAIMS, PAPER_TABLE5, PAPER_TABLE7
+from repro.analysis.datasizes import PAPER_TABLE3_MB, table3_rows
+from repro.analysis.intensity import dft_intensity_table, traffic_removed_fraction
+from repro.analysis.metrics import amortized_mult_time_per_slot, hmult_plan
+from repro.errors import ParameterError
+from repro.params import ARK
+
+
+# ------------------------------------------------------------- Table III
+
+
+def test_table3_matches_paper_within_tolerance():
+    """Derived data sizes must land within 10% of the published columns."""
+    for row in table3_rows():
+        paper = PAPER_TABLE3_MB[row.name]
+        assert row.pt_mb == pytest.approx(paper["pt"], rel=0.10)
+        assert row.ct_mb == pytest.approx(paper["ct"], rel=0.10)
+        assert row.evk_mb == pytest.approx(paper["evk"], rel=0.10)
+
+
+def test_table3_ark_row_fields():
+    ark = next(r for r in table3_rows() if r.name == "ARK")
+    assert (ark.log_degree, ark.max_level, ark.dnum, ark.alpha) == (16, 23, 4, 6)
+    assert ark.boot_levels == 15
+
+
+# ---------------------------------------------------------------- Fig. 2
+
+
+@pytest.fixture(scope="module")
+def intensity_rows():
+    return dft_intensity_table(ARK)
+
+
+def test_intensity_increases_with_each_algorithm(intensity_rows):
+    for direction in ("idft", "dft"):
+        sub = [r for r in intensity_rows if r.direction == direction]
+        assert sub[0].ops_per_byte < sub[1].ops_per_byte < sub[2].ops_per_byte
+
+
+def test_minks_intensity_gain_band(intensity_rows):
+    """Paper: Min-KS raises intensity 2.6x (H-IDFT) / 2.0x (H-DFT)."""
+    idft = [r for r in intensity_rows if r.direction == "idft"]
+    gain = idft[1].ops_per_byte / idft[0].ops_per_byte
+    assert 1.8 < gain < 3.2
+
+
+def test_traffic_removed_fraction_band(intensity_rows):
+    """Paper: 88% (H-IDFT) and 78% (H-DFT) of traffic removed."""
+    assert traffic_removed_fraction(intensity_rows, "idft") > 0.80
+    assert traffic_removed_fraction(intensity_rows, "dft") > 0.70
+
+
+def test_final_intensity_order_of_magnitude(intensity_rows):
+    """Paper: 11.1 (9.6) ops/byte after both algorithms."""
+    final = [r for r in intensity_rows if r.step == "Min-KS + OF-Limb"]
+    for row in final:
+        assert 7.0 < row.ops_per_byte < 25.0
+
+
+# ---------------------------------------------------------------- Fig. 4
+
+
+def test_fig4_dnum4_breakdown_matches_paper():
+    got = hrot_breakdown(ARK)
+    want = PAPER_FIG4[4]
+    assert got["ntt"] == pytest.approx(want["ntt"], abs=0.08)
+    assert got["bconv"] == pytest.approx(want["bconv"], abs=0.08)
+    assert got["evk_mult"] == pytest.approx(want["evk_mult"], abs=0.08)
+
+
+def test_fig4_max_dnum_breakdown_matches_paper():
+    got = hrot_breakdown(ARK, dnum=ARK.max_level + 1)
+    want = PAPER_FIG4["max"]
+    assert got["ntt"] == pytest.approx(want["ntt"], abs=0.08)
+    assert got["bconv"] == pytest.approx(want["bconv"], abs=0.08)
+    assert got["evk_mult"] == pytest.approx(want["evk_mult"], abs=0.08)
+
+
+def test_fig4_shift_direction():
+    """Lower dnum must shift work from NTT to BConv (the BConvU motivation)."""
+    low = hrot_breakdown(ARK)
+    high = hrot_breakdown(ARK, dnum=ARK.max_level + 1)
+    assert low["bconv"] > high["bconv"]
+    assert low["ntt"] < high["ntt"]
+
+
+# ---------------------------------------------------------------- Eq. 13
+
+
+def test_t_as_formula():
+    # T_A.S. = (T_boot + sum T_mult) / levels / slots
+    t = amortized_mult_time_per_slot(1.0, [0.1, 0.1], 10)
+    assert t == pytest.approx(1.2 / 2 / 10)
+
+
+def test_t_as_rejects_empty_levels():
+    with pytest.raises(ParameterError):
+        amortized_mult_time_per_slot(1.0, [], 10)
+
+
+def test_hmult_plan_builds_at_every_usable_level():
+    for level in (1, 4, ARK.levels_after_boot):
+        plan = hmult_plan(ARK, level)
+        plan.validate()
+        assert plan.modmult_total() > 0
+
+
+# ------------------------------------------------------------- constants
+
+
+def test_published_constants_have_provenance():
+    for system, row in PAPER_TABLE5.items():
+        for value in row.values():
+            assert "paper" in value.source
+
+
+def test_paper_claims_sane():
+    assert PAPER_CLAIMS["t_as_vs_100x"] == 563.0
+    assert PAPER_TABLE7["BTS"]["on_chip_mb"] == 512

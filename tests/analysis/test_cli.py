@@ -1,0 +1,24 @@
+"""The `python -m repro` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.mark.parametrize("command", ["table3", "fig4", "boot"])
+def test_cli_commands_run(command, capsys):
+    assert main([command]) == 0
+    out = capsys.readouterr().out
+    assert "paper" in out
+
+
+def test_cli_fig2(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "ops/byte" in out
+    assert "traffic removed" in out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

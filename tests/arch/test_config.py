@@ -1,0 +1,46 @@
+"""Architecture configuration validation and variants."""
+
+import pytest
+
+from repro.arch.config import ARK_BASE, ArchConfig
+from repro.errors import ParameterError
+
+
+def test_base_matches_paper_section_vi():
+    assert ARK_BASE.clusters == 4
+    assert ARK_BASE.lanes == 256
+    assert ARK_BASE.macs_per_bconv_lane == 6
+    assert ARK_BASE.scratchpad_mb == 512
+    assert ARK_BASE.hbm_gbps == 1000.0
+    assert ARK_BASE.noc_gbps == 8000.0
+
+
+def test_bandwidth_conversions():
+    assert ARK_BASE.hbm_bytes_per_cycle == pytest.approx(1000.0)
+    assert ARK_BASE.noc_words_per_cycle == pytest.approx(1000.0)
+
+
+def test_evk_budget():
+    assert ARK_BASE.evk_budget_bytes == (512 - 128) * (1 << 20)
+
+
+def test_variants():
+    assert ARK_BASE.variant_half_sram().scratchpad_mb == 256
+    assert ARK_BASE.variant_double_clusters().clusters == 8
+    assert ARK_BASE.variant_double_hbm().hbm_gbps == 2000.0
+    assert ARK_BASE.variant_limb_wise().distribution == "limb_wise"
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ParameterError):
+        ArchConfig(clusters=0)
+    with pytest.raises(ParameterError):
+        ArchConfig(distribution="row_major")
+    with pytest.raises(ParameterError):
+        ArchConfig(scratchpad_mb=64, working_reserve_mb=128)
+
+
+def test_overrides_preserve_other_fields():
+    cfg = ARK_BASE.with_overrides(clusters=8)
+    assert cfg.lanes == ARK_BASE.lanes
+    assert cfg.scratchpad_mb == ARK_BASE.scratchpad_mb

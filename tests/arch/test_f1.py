@@ -1,0 +1,42 @@
+"""Scaled-F1 roofline (Section III-C)."""
+
+import pytest
+
+from repro.arch.f1 import ScaledF1Model
+from repro.params import ARK
+from repro.plan.bootplan import build_hidft_plan
+
+
+@pytest.fixture(scope="module")
+def f1():
+    return ScaledF1Model(ARK)
+
+
+def test_multiplier_counts_match_paper(f1):
+    # 1/2 * sqrt(N) * log N = 2048 per NTTU; 40,960 chip-wide.
+    assert f1.multipliers_per_nttu == 2048
+    assert f1.total_modular_multipliers == 40960
+
+
+def test_load_time_at_hbm3(f1):
+    # Paper: ~2.1 ms for the 6.4 GB of H-IDFT single-use data at 3 TB/s.
+    assert f1.load_time_seconds(int(6.4e9)) == pytest.approx(2.13e-3, rel=0.01)
+
+
+def test_hidft_utilization_band(f1):
+    """Paper: 8.61% max utilization for H-IDFT on the scaled F1."""
+    plan, _ = build_hidft_plan(ARK, 1 << 15, "baseline", False, "idft")
+    util = f1.max_utilization(plan)
+    assert 0.05 < util < 0.15
+
+
+def test_hdft_utilization_higher_than_hidft(f1):
+    """Paper: H-DFT achieves higher utilization (13.32% vs 8.61%)."""
+    idft, _ = build_hidft_plan(ARK, 1 << 15, "baseline", False, "idft")
+    dft, _ = build_hidft_plan(ARK, 1 << 15, "baseline", False, "dft")
+    assert f1.max_utilization(dft) > f1.max_utilization(idft)
+
+
+def test_utilization_capped_at_one(f1):
+    plan, _ = build_hidft_plan(ARK, 1 << 15, "minks", True, "idft")
+    assert f1.max_utilization(plan) <= 1.0

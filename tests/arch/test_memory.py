@@ -1,0 +1,48 @@
+"""Scratchpad LRU cache behaviour."""
+
+from repro.arch.memory import ScratchpadCache
+
+
+def test_miss_then_hit():
+    cache = ScratchpadCache(budget_bytes=1000)
+    assert cache.lookup("a") is None
+    cache.insert("a", 400, ready_time=10.0)
+    entry = cache.lookup("a")
+    assert entry is not None and entry.ready_time == 10.0
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = ScratchpadCache(budget_bytes=1000)
+    cache.insert("a", 400, 0.0)
+    cache.insert("b", 400, 0.0)
+    cache.lookup("a")           # refresh a; b becomes LRU
+    cache.insert("c", 400, 0.0)  # evicts b
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") is not None
+    assert cache.lookup("c") is not None
+
+
+def test_oversized_entry_streams():
+    cache = ScratchpadCache(budget_bytes=100)
+    assert cache.insert("huge", 500, 0.0) is False
+    assert cache.lookup("huge") is None
+    assert cache.occupied_bytes == 0
+
+
+def test_occupancy_never_exceeds_budget():
+    cache = ScratchpadCache(budget_bytes=1000)
+    for i in range(20):
+        cache.insert(f"k{i}", 300, float(i))
+        assert cache.occupied_bytes <= 1000
+
+
+def test_byte_counters():
+    cache = ScratchpadCache(budget_bytes=1000)
+    cache.insert("a", 400, 0.0)
+    cache.lookup("a")
+    cache.lookup("a")
+    assert cache.miss_bytes == 400
+    assert cache.hit_bytes == 800
+    cache.reset_stats()
+    assert cache.hits == cache.misses == 0

@@ -1,0 +1,64 @@
+"""Area/power model (Table IV) and design-variant scaling."""
+
+import pytest
+
+from repro.arch.config import ARK_BASE
+from repro.arch.power import TABLE_IV, TOTAL_AREA_MM2, TOTAL_PEAK_POWER_W, PowerModel
+
+
+def test_table_iv_totals_match_paper():
+    assert sum(a for a, _ in TABLE_IV.values()) == pytest.approx(
+        TOTAL_AREA_MM2, abs=0.5
+    )
+    assert sum(p for _, p in TABLE_IV.values()) == pytest.approx(
+        TOTAL_PEAK_POWER_W, abs=0.5
+    )
+
+
+def test_base_model_reproduces_totals():
+    model = PowerModel(ARK_BASE)
+    assert model.total_area_mm2() == pytest.approx(TOTAL_AREA_MM2, abs=0.5)
+    assert model.total_peak_power_w() == pytest.approx(TOTAL_PEAK_POWER_W, abs=0.5)
+
+
+def test_double_clusters_scale_superlinearly_on_noc():
+    base = PowerModel(ARK_BASE)
+    double = PowerModel(ARK_BASE.variant_double_clusters())
+    ratio = double.component_peak_power()["noc"] / base.component_peak_power()["noc"]
+    # Paper: 2.71x NoC power for the 8-cluster design.
+    assert 2.4 < ratio < 3.0
+    # Total area grows but stays below 2x (scratchpad capacity is fixed).
+    assert 1.2 < double.total_area_mm2() / base.total_area_mm2() < 2.0
+
+
+def test_half_sram_shrinks_scratchpad_only():
+    base = PowerModel(ARK_BASE)
+    half = PowerModel(ARK_BASE.variant_half_sram())
+    assert half.component_area()["scratchpad"] == pytest.approx(
+        base.component_area()["scratchpad"] / 2
+    )
+    assert half.component_area()["nttu"] == base.component_area()["nttu"]
+
+
+def test_average_power_in_paper_band():
+    """Paper: workloads draw 100-135 W, ~44% of peak in gmean."""
+    model = PowerModel(ARK_BASE)
+    # Representative bootstrap utilizations from the simulator.
+    utilization = {
+        "nttu": 0.35, "bconvu": 0.2, "autou": 0.1, "madu": 0.3,
+        "noc": 0.3, "hbm": 0.4,
+    }
+    avg = model.average_power_w(utilization)
+    assert 80 < avg < 160
+    assert avg < model.total_peak_power_w()
+
+
+def test_idle_power_is_static_floor_only():
+    model = PowerModel(ARK_BASE)
+    idle = model.average_power_w({})
+    assert idle == pytest.approx(0.18 * model.total_peak_power_w(), rel=1e-6)
+
+
+def test_edap_scales_quadratically_with_time():
+    model = PowerModel(ARK_BASE)
+    assert model.edap(2.0, 100.0) == pytest.approx(4 * model.edap(1.0, 100.0))

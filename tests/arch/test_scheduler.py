@@ -1,0 +1,143 @@
+"""Scheduler invariants and architectural effects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import ARK_BASE
+from repro.arch.fus import op_cycles
+from repro.arch.scheduler import WorkloadModel, simulate
+from repro.params import ARK
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.primops import OpKind, Plan
+
+
+def simple_plan():
+    plan = Plan(ARK)
+    a = plan.add(OpKind.NTT, limbs=4)
+    b = plan.add(OpKind.BCONV, limbs=8, in_limbs=4, deps=(a,))
+    plan.add(OpKind.NTT, limbs=8, deps=(b,))
+    return plan
+
+
+def test_chain_latency_is_sum_of_durations():
+    plan = simple_plan()
+    res = simulate(plan, ARK_BASE)
+    expected = sum(op_cycles(op, ARK_BASE, ARK.degree) for op in plan.ops)
+    assert res.cycles == pytest.approx(expected)
+
+
+def test_independent_ops_on_different_pools_overlap():
+    plan = Plan(ARK)
+    plan.add(OpKind.NTT, limbs=100)
+    plan.add(OpKind.AUTO, limbs=100)
+    res = simulate(plan, ARK_BASE)
+    ntt = op_cycles(plan.ops[0], ARK_BASE, ARK.degree)
+    assert res.cycles == pytest.approx(ntt)  # full overlap
+
+
+def test_same_pool_serializes():
+    plan = Plan(ARK)
+    plan.add(OpKind.NTT, limbs=10)
+    plan.add(OpKind.NTT, limbs=10)
+    res = simulate(plan, ARK_BASE)
+    single = op_cycles(plan.ops[0], ARK_BASE, ARK.degree)
+    assert res.cycles == pytest.approx(2 * single)
+
+
+def test_evk_cache_hit_skips_hbm():
+    plan = Plan(ARK)
+    a = plan.add(OpKind.EVK, data_bytes=10_000_000, tag="evk:k")
+    plan.add(OpKind.EWE, limbs=1, deps=(a,))
+    b = plan.add(OpKind.EVK, data_bytes=10_000_000, tag="evk:k")
+    plan.add(OpKind.EWE, limbs=1, deps=(b,))
+    res = simulate(plan, ARK_BASE)
+    assert res.hbm_miss_bytes == 10_000_000
+    assert res.hbm_hit_bytes == 10_000_000
+
+
+def test_prefetch_overlaps_with_compute():
+    """A dep-free load must hide behind earlier compute."""
+    plan = Plan(ARK)
+    plan.add(OpKind.NTT, limbs=400)  # long compute
+    load = plan.add(OpKind.EVK, data_bytes=1_000_000, tag="evk:next")
+    plan.add(OpKind.EWE, limbs=1, deps=(load,))
+    res = simulate(plan, ARK_BASE)
+    ntt_cycles = op_cycles(plan.ops[0], ARK_BASE, ARK.degree)
+    # The load (1000 cycles) fits entirely under the NTT.
+    assert res.cycles < ntt_cycles * 1.01
+
+
+def test_utilization_bounded():
+    plan = BootstrapPlan(ARK, 1 << 15).build()
+    res = simulate(plan, ARK_BASE)
+    for pool in ("nttu", "bconvu", "autou", "madu", "noc", "hbm"):
+        assert 0.0 <= res.utilization(pool) <= 1.0
+
+
+def test_phase_durations_cover_makespan():
+    plan = BootstrapPlan(ARK, 1 << 15).build()
+    res = simulate(plan, ARK_BASE)
+    durations = res.phase_durations()
+    assert set(durations) == {"ModRaise", "H-IDFT", "EvalMod", "H-DFT"}
+    assert sum(durations.values()) == pytest.approx(res.cycles, rel=1e-6)
+
+
+def test_minks_plus_oflimb_beats_baseline():
+    """The paper's headline: algorithms beat raw hardware (Fig. 7a)."""
+    base = simulate(BootstrapPlan(ARK, 1 << 15, mode="baseline").build(), ARK_BASE)
+    best = simulate(
+        BootstrapPlan(ARK, 1 << 15, mode="minks", oflimb=True).build(), ARK_BASE
+    )
+    speedup = base.cycles / best.cycles
+    assert 1.8 < speedup < 3.5  # paper: 2.36x
+
+
+def test_warm_cache_chaining():
+    plan = Plan(ARK)
+    a = plan.add(OpKind.EVK, data_bytes=50_000_000, tag="evk:warm")
+    plan.add(OpKind.EWE, limbs=1, deps=(a,))
+    first = simulate(plan, ARK_BASE)
+    second = simulate(plan, ARK_BASE, cache=first.cache)
+    assert second.hbm_miss_bytes == 0
+    assert second.cycles < first.cycles
+
+
+def test_workload_model_accumulates_segments():
+    model = WorkloadModel(name="test")
+    plan = simple_plan()
+    model.add_segment("compute", plan, repetitions=3)
+    res = model.simulate(ARK_BASE)
+    single = simulate(plan, ARK_BASE).cycles
+    assert res.cycles == pytest.approx(3 * single)
+    assert res.fraction("compute") == pytest.approx(1.0)
+
+
+def test_capacity_limits_prefetch_depth():
+    """With a tiny scratchpad, back-to-back large loads serialize behind
+    their consumers (the 1/2-SRAM mechanism)."""
+    def build():
+        plan = Plan(ARK)
+        prev = None
+        for i in range(6):
+            load = plan.add(OpKind.EVK, data_bytes=120_000_000, tag=f"evk:{i}")
+            deps = (load,) if prev is None else (load, prev)
+            prev = plan.add(OpKind.EWE, limbs=2000, deps=deps)
+        return plan
+
+    big = ARK_BASE
+    small = ARK_BASE.with_overrides(scratchpad_mb=256)
+    assert simulate(build(), small).cycles > simulate(build(), big).cycles
+
+
+@given(st.integers(1, 50), st.integers(1, 50))
+@settings(max_examples=30, deadline=None)
+def test_makespan_monotone_in_work(limbs1, limbs2):
+    """Adding work never reduces the makespan."""
+    plan = Plan(ARK)
+    a = plan.add(OpKind.NTT, limbs=limbs1)
+    plan.add(OpKind.EWE, limbs=limbs2, deps=(a,))
+    shorter = simulate(plan, ARK_BASE).cycles
+    plan.add(OpKind.NTT, limbs=1)
+    longer = simulate(plan, ARK_BASE).cycles
+    assert longer >= shorter

@@ -1,0 +1,76 @@
+"""Homomorphic (I)DFT: matrix identities and encrypted CoeffToSlot/SlotToCoeff."""
+
+import numpy as np
+import pytest
+
+from repro.params import TOY
+from repro.bootstrap.dft import HomDft, special_dft_matrix
+from repro.ckks.context import CkksContext
+from repro.ckks.encoder import CkksEncoder
+
+DEGREE = 64  # pure-math tests use a tiny ring
+
+
+def test_special_matrix_reproduces_decode():
+    """z = U_L (p_L + i p_R) must equal the canonical embedding of p."""
+    rng = np.random.default_rng(0)
+    encoder = CkksEncoder(DEGREE)
+    p = rng.integers(-100, 100, DEGREE).astype(np.float64)
+    u = special_dft_matrix(DEGREE)
+    n = DEGREE // 2
+    packed = p[:n] + 1j * p[n:]
+    assert np.allclose(u @ packed, encoder.project(p), atol=1e-9)
+
+
+def test_cts_then_stc_is_identity():
+    dft = HomDft(DEGREE)
+    product = dft.matrix_slot_to_coeff @ dft.matrix_coeff_to_slot
+    assert np.allclose(product, np.eye(DEGREE // 2), atol=1e-9)
+
+
+def test_pack_coefficients():
+    dft = HomDft(DEGREE)
+    coeffs = np.arange(DEGREE, dtype=np.float64)
+    packed = dft.pack_coefficients(coeffs)
+    assert np.allclose(packed.real, coeffs[: DEGREE // 2])
+    assert np.allclose(packed.imag, coeffs[DEGREE // 2 :])
+
+
+def test_required_rotations_minks_is_two():
+    dft = HomDft(DEGREE)
+    assert len(dft.required_rotations("minks")) == 2
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, seed=71)
+
+
+@pytest.fixture(scope="module")
+def hom_dft(ctx):
+    dft = HomDft(ctx.params.degree)
+    ctx.ensure_rotation_keys(dft.required_rotations("minks"))
+    return dft
+
+
+def test_encrypted_coeff_to_slot(ctx, hom_dft):
+    """CtS must place (scaled) polynomial coefficients into the slots."""
+    rng = np.random.default_rng(1)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    ct = ctx.encrypt(m)
+    w = hom_dft.evaluate_coeff_to_slot(ctx, ct, mode="minks")
+    coeffs = ctx.decryptor.decrypt(ct).poly.to_int_coeffs()
+    p = np.array([float(c) for c in coeffs]) / ct.scale
+    expected = hom_dft.pack_coefficients(p)
+    got = ctx.decrypt(w)
+    assert np.max(np.abs(got - expected)) < 0.05 * max(1.0, np.max(np.abs(expected)))
+
+
+def test_encrypted_roundtrip_cts_stc(ctx, hom_dft):
+    """StC(CtS(ct)) must recover the original message (two levels)."""
+    rng = np.random.default_rng(2)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    ct = ctx.encrypt(m)
+    w = hom_dft.evaluate_coeff_to_slot(ctx, ct, mode="minks")
+    back = hom_dft.evaluate_slot_to_coeff(ctx, w, mode="minks")
+    assert np.allclose(ctx.decrypt(back), m, atol=0.05)

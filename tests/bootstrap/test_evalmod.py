@@ -1,0 +1,100 @@
+"""Chebyshev machinery and EvalMod approximation quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.params import TOY
+from repro.bootstrap.evalmod import ChebyshevPoly, EvalMod, chebyshev_divmod
+from repro.ckks.context import CkksContext
+
+
+# ------------------------------------------------------------ pure math
+
+
+def test_divmod_identity_small():
+    coeffs = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+    q, r = chebyshev_divmod(coeffs, 4)
+    x = np.linspace(-1, 1, 101)
+    lhs = np.polynomial.chebyshev.chebval(x, coeffs)
+    t4 = np.polynomial.chebyshev.chebval(x, [0, 0, 0, 0, 1])
+    rhs = np.polynomial.chebyshev.chebval(x, q) * t4 + np.polynomial.chebyshev.chebval(x, r)
+    assert np.allclose(lhs, rhs, atol=1e-12)
+    assert len(r) <= 4
+
+
+@given(
+    st.lists(st.floats(-5, 5), min_size=2, max_size=40),
+    st.integers(1, 32),
+)
+@settings(max_examples=100, deadline=None)
+def test_divmod_identity_property(coeff_list, k):
+    coeffs = np.array(coeff_list)
+    q, r = chebyshev_divmod(coeffs, k)
+    x = np.linspace(-1, 1, 41)
+    tk = np.cos(k * np.arccos(np.clip(x, -1, 1)))
+    lhs = np.polynomial.chebyshev.chebval(x, coeffs)
+    rhs = np.polynomial.chebyshev.chebval(x, q) * tk + np.polynomial.chebyshev.chebval(x, r)
+    assert np.allclose(lhs, rhs, atol=1e-9 * max(1, np.max(np.abs(coeffs))))
+    assert len(r) <= k
+
+
+def test_divmod_rejects_bad_k():
+    with pytest.raises(ParameterError):
+        chebyshev_divmod(np.ones(4), 0)
+
+
+def test_interpolation_accuracy():
+    poly = ChebyshevPoly.interpolate(lambda x: np.cos(3 * x), 24)
+    x = np.linspace(-1, 1, 200)
+    assert np.max(np.abs(poly(x) - np.cos(3 * x))) < 1e-10
+
+
+# ------------------------------------------------------ encrypted evaluation
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, seed=51)
+
+
+def test_encrypted_chebyshev_degree_7(ctx):
+    poly = ChebyshevPoly.interpolate(lambda x: 0.25 * x**3 - 0.5 * x, 7)
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-1, 1, ctx.params.max_slots)
+    ct = ctx.encrypt(x.astype(np.complex128))
+    out = ctx.decrypt(poly.evaluate_encrypted(ctx, ct))
+    assert np.allclose(out.real, poly(x), atol=5e-2)
+
+
+def test_encrypted_chebyshev_base_case_only(ctx):
+    poly = ChebyshevPoly(np.array([0.5, -0.25, 0.125]))
+    rng = np.random.default_rng(4)
+    x = rng.uniform(-1, 1, ctx.params.max_slots)
+    ct = ctx.encrypt(x.astype(np.complex128))
+    out = ctx.decrypt(poly.evaluate_encrypted(ctx, ct))
+    assert np.allclose(out.real, poly(x), atol=5e-2)
+
+
+def test_evalmod_reference_behaves_like_mod(ctx):
+    """The plaintext scaled-sine must map v + k*q0/Δ back near v."""
+    em = EvalMod(ctx, range_k=4, double_angles=2, degree=31)
+    scale = ctx.default_scale
+    q0_over_delta = em.q0 / scale
+    v = np.linspace(-0.4, 0.4, 17)
+    for k in (-2, 0, 3):
+        shifted = v + k * q0_over_delta
+        approx = em.reference(shifted, scale)
+        assert np.allclose(approx, v, atol=5e-2 * q0_over_delta / 4)
+
+
+def test_sine_poly_accuracy_over_range():
+    """The interpolated shrunk cosine must be accurate on [-1, 1]."""
+    ctx_free = ChebyshevPoly.interpolate(
+        lambda x: np.cos(2 * np.pi * (17 * x) / 8.0), 47
+    )
+    x = np.linspace(-1, 1, 500)
+    err = np.abs(ctx_free(x) - np.cos(2 * np.pi * 17 * x / 8.0))
+    assert np.max(err) < 1e-5

@@ -1,0 +1,70 @@
+"""ModRaise: congruence mod q0 and the q0*I structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LevelError
+from repro.params import TOY
+from repro.bootstrap.modraise import mod_raise
+from repro.ckks.context import CkksContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, seed=41)
+
+
+def _drop_to_bottom(ctx, ct):
+    return ctx.evaluator.drop_to_level(ct, 0)
+
+
+def test_requires_level_zero(ctx):
+    ct = ctx.encrypt(np.zeros(ctx.params.max_slots))
+    with pytest.raises(LevelError):
+        mod_raise(ct, ctx.basis)
+
+
+def test_raised_level_is_max(ctx):
+    ct = _drop_to_bottom(ctx, ctx.encrypt(np.zeros(ctx.params.max_slots)))
+    raised = mod_raise(ct, ctx.basis)
+    assert raised.level == ctx.params.max_level
+    assert raised.scale == ct.scale
+
+
+def test_raised_plaintext_congruent_mod_q0(ctx):
+    rng = np.random.default_rng(0)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    ct = _drop_to_bottom(ctx, ctx.encrypt(m))
+    raised = mod_raise(ct, ctx.basis)
+    q0 = ctx.basis.q_moduli[0]
+    low = ctx.decryptor.decrypt(ct).poly.to_int_coeffs()
+    high = ctx.decryptor.decrypt(raised).poly.to_int_coeffs()
+    for lo, hi in zip(low, high):
+        assert (hi - lo) % q0 == 0
+
+
+def test_i_polynomial_is_small(ctx):
+    """The q0*I term must have small integer coefficients (|I| ≲ K)."""
+    rng = np.random.default_rng(1)
+    m = rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+    ct = _drop_to_bottom(ctx, ctx.encrypt(m))
+    raised = mod_raise(ct, ctx.basis)
+    q0 = ctx.basis.q_moduli[0]
+    coeffs = ctx.decryptor.decrypt(raised).poly.to_int_coeffs()
+    i_values = [round(c / q0) for c in coeffs]
+    assert max(abs(i) for i in i_values) <= 16
+
+
+def test_decode_still_recovers_message_after_mod_by_q0(ctx):
+    rng = np.random.default_rng(2)
+    m = rng.uniform(-0.5, 0.5, ctx.params.max_slots).astype(np.complex128)
+    ct = _drop_to_bottom(ctx, ctx.encrypt(m))
+    raised = mod_raise(ct, ctx.basis)
+    q0 = ctx.basis.q_moduli[0]
+    coeffs = ctx.decryptor.decrypt(raised).poly.to_int_coeffs()
+    centered = [((c + q0 // 2) % q0) - q0 // 2 for c in coeffs]
+    from repro.rns.poly import PolyRns
+
+    poly = PolyRns.from_int_coeffs(ctx.params.degree, ctx.basis.q_moduli[:1], centered)
+    out = ctx.encoder.decode(poly, ct.scale)
+    assert np.allclose(out, m, atol=1e-2)

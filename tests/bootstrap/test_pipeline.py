@@ -1,0 +1,94 @@
+"""Full bootstrapping integration: a depleted ciphertext is refreshed and
+remains usable, in both key-switching modes and with OF-Limb."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import TOY, TOY_BOOT
+from repro.bootstrap.pipeline import Bootstrapper
+from repro.ckks.context import CkksContext
+from repro.ckks.oflimb import OnTheFlyPlaintextStore
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY_BOOT, seed=61)
+
+
+@pytest.fixture(scope="module")
+def boot(ctx):
+    return Bootstrapper(ctx)
+
+
+@pytest.fixture(scope="module")
+def message(ctx):
+    rng = np.random.default_rng(0)
+    return rng.uniform(-0.25, 0.25, ctx.params.max_slots).astype(np.complex128)
+
+
+@pytest.fixture(scope="module")
+def refreshed(ctx, boot, message):
+    """One shared Min-KS bootstrap run (expensive)."""
+    ct0 = ctx.evaluator.drop_to_level(ctx.encrypt(message), 0)
+    return boot.bootstrap(ct0, mode="minks")
+
+
+def test_bootstrap_recovers_message(ctx, refreshed, message):
+    out = ctx.decrypt(refreshed)
+    assert np.max(np.abs(out - message)) < 0.1
+
+
+def test_bootstrap_restores_levels(ctx, refreshed):
+    assert refreshed.level >= ctx.params.levels_after_boot
+    assert refreshed.level > 0
+
+
+def test_bootstrap_report_minks_key_reuse(boot):
+    """Min-KS must touch exactly 2 distinct rotation keys per transform
+    pair (the paper's headline inter-operation key reuse)."""
+    assert boot.last_report is not None
+    assert boot.last_report.distinct_rotation_keys == 2
+    assert boot.last_report.levels_consumed <= TOY_BOOT.boot_levels
+
+
+def test_refreshed_ciphertext_is_usable(ctx, refreshed, message):
+    """The whole point of bootstrapping: we can multiply again."""
+    ev = ctx.evaluator
+    sq = ev.rescale(ev.mul(refreshed, refreshed))
+    out = ctx.decrypt(sq)
+    assert np.max(np.abs(out - message**2)) < 0.1
+
+
+def test_bootstrap_with_oflimb_store(ctx, boot, message):
+    """OF-Limb plaintext generation must not change the result materially."""
+    ct0 = ctx.evaluator.drop_to_level(ctx.encrypt(message), 0)
+    store = OnTheFlyPlaintextStore(ctx)
+    out_ct = boot.bootstrap(ct0, mode="minks", pt_store=store)
+    out = ctx.decrypt(out_ct)
+    assert np.max(np.abs(out - message)) < 0.1
+    assert store.fetches > 0
+    # Every fetch moved exactly one limb (N words).
+    assert store.words_loaded == store.fetches * ctx.params.degree
+
+
+def test_bootstrap_baseline_mode(ctx, boot, message):
+    """Baseline key-switching computes the same refresh with many keys."""
+    ct0 = ctx.evaluator.drop_to_level(ctx.encrypt(message), 0)
+    out_ct = boot.bootstrap(ct0, mode="baseline")
+    out = ctx.decrypt(out_ct)
+    assert np.max(np.abs(out - message)) < 0.1
+    assert boot.last_report.distinct_rotation_keys > 2
+
+
+def test_bootstrap_rejects_sparse_ciphertext(ctx, boot):
+    ct = ctx.encrypt(np.zeros(4))
+    ct0 = ctx.evaluator.drop_to_level(ct, 0)
+    with pytest.raises(ParameterError):
+        boot.bootstrap(ct0)
+
+
+def test_bootstrapper_rejects_lhe_params():
+    lhe_ctx = CkksContext.create(TOY, seed=1)
+    with pytest.raises(ParameterError):
+        Bootstrapper(lhe_ctx)

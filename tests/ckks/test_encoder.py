@@ -1,0 +1,90 @@
+"""Encoder round-trip and isometry tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ckks.encoder import CkksEncoder
+from repro.nt.primes import find_ntt_primes
+
+DEGREE = 128
+MODULI = tuple(find_ntt_primes(DEGREE, 28, 3))
+SCALE = float(1 << 22)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return CkksEncoder(DEGREE)
+
+
+def test_embed_project_roundtrip(encoder):
+    rng = np.random.default_rng(0)
+    m = rng.normal(size=encoder.max_slots) + 1j * rng.normal(size=encoder.max_slots)
+    recovered = encoder.project(encoder.embed(m))
+    assert np.allclose(recovered, m, atol=1e-9)
+
+
+def test_encode_decode_roundtrip(encoder):
+    rng = np.random.default_rng(1)
+    m = rng.uniform(-1, 1, size=encoder.max_slots).astype(np.complex128)
+    pt = encoder.encode(m, SCALE, MODULI)
+    recovered = encoder.decode(pt, SCALE)
+    assert np.allclose(recovered, m, atol=1e-4)
+
+
+def test_sparse_packing_replicates(encoder):
+    m = np.array([1.0, -2.0, 3.0, -4.0], dtype=np.complex128)
+    pt = encoder.encode(m, SCALE, MODULI)
+    full = encoder.decode(pt, SCALE)
+    expected = np.tile(m, encoder.max_slots // 4)
+    assert np.allclose(full, expected, atol=1e-4)
+
+
+def test_sparse_decode_trims(encoder):
+    m = np.array([0.5, 0.25], dtype=np.complex128)
+    pt = encoder.encode(m, SCALE, MODULI)
+    out = encoder.decode(pt, SCALE, slots=2)
+    assert np.allclose(out, m, atol=1e-4)
+
+
+def test_constant_message_encodes_to_constant_polynomial(encoder):
+    m = np.full(encoder.max_slots, 3.0, dtype=np.complex128)
+    pt = encoder.encode(m, SCALE, MODULI)
+    coeffs = pt.to_int_coeffs()
+    assert abs(coeffs[0] - round(3.0 * SCALE)) <= 1
+    assert all(abs(c) <= 1 for c in coeffs[1:])
+
+
+def test_invalid_slot_count_rejected(encoder):
+    with pytest.raises(ParameterError):
+        encoder.encode(np.ones(3), SCALE, MODULI)  # 3 does not divide N/2
+
+
+def test_rejects_non_power_of_two_degree():
+    with pytest.raises(ParameterError):
+        CkksEncoder(100)
+
+
+def test_rot_group_has_order_n_over_2(encoder):
+    assert len(set(encoder.rot_group.tolist())) == encoder.max_slots
+
+
+def test_encoding_is_additive(encoder):
+    rng = np.random.default_rng(2)
+    m1 = rng.uniform(-1, 1, size=encoder.max_slots).astype(np.complex128)
+    m2 = rng.uniform(-1, 1, size=encoder.max_slots).astype(np.complex128)
+    p1 = encoder.encode(m1, SCALE, MODULI)
+    p2 = encoder.encode(m2, SCALE, MODULI)
+    total = encoder.decode(p1 + p2, SCALE)
+    assert np.allclose(total, m1 + m2, atol=1e-3)
+
+
+@given(st.lists(st.floats(-10, 10), min_size=4, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_embed_preserves_values_property(values):
+    encoder = CkksEncoder(32)
+    m = np.array(values[: 4], dtype=np.complex128)
+    pt_vals = encoder.project(encoder.embed(np.tile(m, 4)))
+    assert np.allclose(pt_vals[:4], m, atol=1e-8)

@@ -1,0 +1,67 @@
+"""Encrypt/decrypt correctness and noise sanity."""
+
+import numpy as np
+import pytest
+
+from repro.params import TOY
+from repro.ckks.context import CkksContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, seed=11)
+
+
+def test_encrypt_decrypt_roundtrip(ctx):
+    rng = np.random.default_rng(0)
+    m = rng.uniform(-1, 1, size=ctx.params.max_slots).astype(np.complex128)
+    ct = ctx.encrypt(m)
+    out = ctx.decrypt(ct)
+    assert np.allclose(out, m, atol=1e-3)
+
+
+def test_encrypt_complex_messages(ctx):
+    rng = np.random.default_rng(1)
+    m = (rng.uniform(-1, 1, size=ctx.params.max_slots)
+         + 1j * rng.uniform(-1, 1, size=ctx.params.max_slots))
+    out = ctx.decrypt(ctx.encrypt(m))
+    assert np.allclose(out, m, atol=1e-3)
+
+
+def test_fresh_ciphertext_is_top_level(ctx):
+    ct = ctx.encrypt(np.zeros(ctx.params.max_slots))
+    assert ct.level == ctx.params.max_level
+
+
+def test_ciphertext_is_not_plaintext(ctx):
+    """The `a` half must actually mask the message."""
+    m = np.ones(ctx.params.max_slots)
+    ct = ctx.encrypt(m)
+    naked = ctx.encoder.decode(ct.b.to_coeff(), ct.scale)
+    assert not np.allclose(naked, m, atol=0.1)
+
+
+def test_two_encryptions_differ(ctx):
+    m = np.ones(ctx.params.max_slots)
+    ct1, ct2 = ctx.encrypt(m), ctx.encrypt(m)
+    assert not np.array_equal(ct1.b.data, ct2.b.data)
+
+
+def test_decrypt_under_alternate_key_fails(ctx):
+    rng = np.random.default_rng(3)
+    m = rng.uniform(-1, 1, size=ctx.params.max_slots)
+    ct = ctx.encrypt(m)
+    from repro.rns.poly import PolyRns
+
+    wrong = PolyRns.small_ternary(
+        ctx.params.degree, ctx.keys.secret.poly.moduli, rng
+    ).to_eval()
+    pt = ctx.decryptor.decrypt_under(ct, wrong)
+    out = ctx.encoder.decode(pt.poly, pt.scale, slots=ct.slots)
+    assert not np.allclose(out, m, atol=0.1)
+
+
+def test_sparse_message_roundtrip(ctx):
+    m = np.array([0.1, -0.2, 0.3, -0.4], dtype=np.complex128)
+    out = ctx.decrypt(ctx.encrypt(m))
+    assert np.allclose(out, m, atol=1e-3)

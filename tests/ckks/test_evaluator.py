@@ -1,0 +1,170 @@
+"""Homomorphism tests: every primitive HE op of Table II against plaintext
+arithmetic on random messages."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LevelError, ParameterError
+from repro.params import TOY
+from repro.ckks.context import CkksContext
+
+SLOTS = TOY.degree // 2
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    c = CkksContext.create(TOY, rotations=(1, 2, 3, 7), seed=5)
+    return c
+
+
+@pytest.fixture()
+def messages():
+    rng = np.random.default_rng(99)
+    m1 = rng.uniform(-1, 1, size=SLOTS).astype(np.complex128)
+    m2 = rng.uniform(-1, 1, size=SLOTS).astype(np.complex128)
+    return m1, m2
+
+
+def test_hadd(ctx, messages):
+    m1, m2 = messages
+    out = ctx.decrypt(ctx.evaluator.add(ctx.encrypt(m1), ctx.encrypt(m2)))
+    assert np.allclose(out, m1 + m2, atol=1e-3)
+
+
+def test_hsub_and_negate(ctx, messages):
+    m1, m2 = messages
+    out = ctx.decrypt(ctx.evaluator.sub(ctx.encrypt(m1), ctx.encrypt(m2)))
+    assert np.allclose(out, m1 - m2, atol=1e-3)
+    out_neg = ctx.decrypt(ctx.evaluator.negate(ctx.encrypt(m1)))
+    assert np.allclose(out_neg, -m1, atol=1e-3)
+
+
+def test_cadd(ctx, messages):
+    m1, _ = messages
+    out = ctx.decrypt(ctx.evaluator.add_const(ctx.encrypt(m1), 0.75))
+    assert np.allclose(out, m1 + 0.75, atol=1e-3)
+
+
+def test_cmult_and_rescale(ctx, messages):
+    m1, _ = messages
+    ct = ctx.evaluator.mul_const(ctx.encrypt(m1), -0.5)
+    ct = ctx.evaluator.rescale(ct)
+    assert np.allclose(ctx.decrypt(ct), -0.5 * m1, atol=1e-2)
+
+
+def test_padd(ctx, messages):
+    m1, m2 = messages
+    pt = ctx.encode(m2)
+    out = ctx.decrypt(ctx.evaluator.add_plain(ctx.encrypt(m1), pt))
+    assert np.allclose(out, m1 + m2, atol=1e-3)
+
+
+def test_pmult(ctx, messages):
+    m1, m2 = messages
+    pt = ctx.encode(m2)
+    ct = ctx.evaluator.mul_plain(ctx.encrypt(m1), pt)
+    out = ctx.decrypt(ctx.evaluator.rescale(ct))
+    assert np.allclose(out, m1 * m2, atol=1e-2)
+
+
+def test_hmult(ctx, messages):
+    m1, m2 = messages
+    ct = ctx.evaluator.mul(ctx.encrypt(m1), ctx.encrypt(m2))
+    out = ctx.decrypt(ctx.evaluator.rescale(ct))
+    assert np.allclose(out, m1 * m2, atol=1e-2)
+
+
+def test_hmult_chain_to_level_zero(ctx):
+    """Repeated squaring down to level 0 must keep tracking plaintext."""
+    rng = np.random.default_rng(4)
+    m = rng.uniform(0.5, 0.9, size=SLOTS).astype(np.complex128)
+    ct = ctx.encrypt(m)
+    expected = m.copy()
+    for _ in range(TOY.max_level):
+        ct = ctx.evaluator.rescale(ctx.evaluator.mul(ct, ct))
+        expected = expected * expected
+        out = ctx.decrypt(ct)
+        assert np.allclose(out, expected, atol=0.05)
+    with pytest.raises(LevelError):
+        ctx.evaluator.rescale(ctx.evaluator.mul(ct, ct))
+
+
+def test_hrot_single(ctx, messages):
+    m1, _ = messages
+    out = ctx.decrypt(ctx.evaluator.rotate(ctx.encrypt(m1), 1))
+    assert np.allclose(out, np.roll(m1, -1), atol=1e-3)
+
+
+@pytest.mark.parametrize("amount", [2, 3, 7])
+def test_hrot_amounts(ctx, messages, amount):
+    m1, _ = messages
+    out = ctx.decrypt(ctx.evaluator.rotate(ctx.encrypt(m1), amount))
+    assert np.allclose(out, np.roll(m1, -amount), atol=1e-3)
+
+
+def test_hrot_composes(ctx, messages):
+    m1, _ = messages
+    ct = ctx.evaluator.rotate(ctx.evaluator.rotate(ctx.encrypt(m1), 1), 2)
+    assert np.allclose(ctx.decrypt(ct), np.roll(m1, -3), atol=1e-3)
+
+
+def test_hrot_zero_is_identity(ctx, messages):
+    m1, _ = messages
+    ct = ctx.encrypt(m1)
+    assert np.allclose(ctx.decrypt(ctx.evaluator.rotate(ct, 0)), m1, atol=1e-3)
+
+
+def test_hrot_missing_key_raises(ctx, messages):
+    from repro.errors import KeyError_
+
+    m1, _ = messages
+    with pytest.raises(KeyError_):
+        ctx.evaluator.rotate(ctx.encrypt(m1), 5)
+
+
+def test_conjugate(ctx, messages):
+    _, m2 = messages
+    m = m2 + 0.3j * np.roll(m2, 1)
+    out = ctx.decrypt(ctx.evaluator.conjugate(ctx.encrypt(m)))
+    assert np.allclose(out, np.conj(m), atol=1e-3)
+
+
+def test_mixed_level_alignment(ctx, messages):
+    m1, m2 = messages
+    low = ctx.evaluator.rescale(ctx.evaluator.mul_const(ctx.encrypt(m1), 1.0))
+    high = ctx.encrypt(m2)
+    # Scales now differ slightly (q_last != Δ exactly); align manually.
+    high = ctx.evaluator.drop_to_level(high, low.level)
+    high.scale = low.scale  # test hook: force-match for the addition
+    out = ctx.decrypt(ctx.evaluator.add(low, high))
+    assert np.allclose(out, m1 + m2, atol=2e-2)
+
+
+def test_scale_mismatch_rejected(ctx, messages):
+    m1, m2 = messages
+    ct1 = ctx.encrypt(m1, scale=float(1 << 20))
+    ct2 = ctx.encrypt(m2, scale=float(1 << 24))
+    with pytest.raises(ParameterError):
+        ctx.evaluator.add(ct1, ct2)
+
+
+def test_rescale_tracks_scale(ctx, messages):
+    m1, _ = messages
+    ct = ctx.evaluator.mul_const(ctx.encrypt(m1), 2.0)
+    before = ct.scale
+    after = ctx.evaluator.rescale(ct).scale
+    q_last = ct.moduli[-1]
+    assert abs(after - before / q_last) < 1e-6
+
+
+def test_stats_counters_increment(ctx, messages):
+    m1, m2 = messages
+    ctx.evaluator.stats.clear()
+    ctx.evaluator.switcher.stats.reset()
+    ct = ctx.evaluator.mul(ctx.encrypt(m1), ctx.encrypt(m2))
+    ctx.evaluator.rotate(ctx.evaluator.rescale(ct), 1)
+    assert ctx.evaluator.stats["hmult"] == 1
+    assert ctx.evaluator.stats["hrot"] == 1
+    assert ctx.evaluator.stats["rescale"] == 1
+    assert ctx.evaluator.switcher.stats.counts["intt_limbs"] > 0
+    assert ctx.evaluator.switcher.stats.counts["ntt_limbs"] > 0

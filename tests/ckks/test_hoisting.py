@@ -1,0 +1,74 @@
+"""Hoisted rotations (the Section IV-C alternative): must compute the same
+results as individual rotations while sharing one ModUp."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import TOY
+from repro.ckks.context import CkksContext
+
+AMOUNTS = [1, 2, 3, 5]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    c = CkksContext.create(TOY, rotations=tuple(AMOUNTS), seed=111)
+    return c
+
+
+@pytest.fixture(scope="module")
+def message(ctx):
+    rng = np.random.default_rng(0)
+    return rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+
+
+def test_hoisted_matches_plaintext_rotations(ctx, message):
+    ct = ctx.encrypt(message)
+    rotated = ctx.evaluator.rotate_many_hoisted(ct, AMOUNTS)
+    for r in AMOUNTS:
+        out = ctx.decrypt(rotated[r])
+        assert np.allclose(out, np.roll(message, -r), atol=1e-2)
+
+
+def test_hoisted_matches_individual_rotations(ctx, message):
+    ct = ctx.encrypt(message)
+    hoisted = ctx.evaluator.rotate_many_hoisted(ct, AMOUNTS)
+    for r in AMOUNTS:
+        individual = ctx.decrypt(ctx.evaluator.rotate(ct, r))
+        assert np.allclose(ctx.decrypt(hoisted[r]), individual, atol=1e-2)
+
+
+def test_hoisting_shares_the_modup(ctx, message):
+    """One ModUp for the whole batch: the INTT limb count must be that of a
+    single decomposition plus the ModDowns, not one ModUp per rotation."""
+    ct = ctx.encrypt(message)
+    stats = ctx.evaluator.switcher.stats
+    stats.reset()
+    ctx.evaluator.rotate_many_hoisted(ct, AMOUNTS)
+    hoisted_intt = stats.counts["intt_limbs"]
+    stats.reset()
+    for r in AMOUNTS:
+        ctx.evaluator.rotate(ct, r)
+    individual_intt = stats.counts["intt_limbs"]
+    assert hoisted_intt < individual_intt
+
+
+def test_hoisting_still_loads_one_evk_per_amount(ctx, message):
+    """The paper's point: hoisting does not reduce evk demand."""
+    ct = ctx.encrypt(message)
+    ctx.evaluator.stats.clear()
+    ctx.evaluator.rotate_many_hoisted(ct, AMOUNTS)
+    used = {k for k in ctx.evaluator.stats if k.startswith("evk_load:rot:")}
+    assert len(used) == len(AMOUNTS)
+
+
+def test_zero_rotation_shortcut(ctx, message):
+    ct = ctx.encrypt(message)
+    out = ctx.evaluator.rotate_many_hoisted(ct, [0])
+    assert np.allclose(ctx.decrypt(out[0]), message, atol=1e-3)
+
+
+def test_empty_pieces_rejected(ctx):
+    with pytest.raises(ParameterError):
+        ctx.evaluator.switcher.switch_hoisted([], ctx.keys.rotation(1), 5)

@@ -1,0 +1,117 @@
+"""Key material structure and parameter-set invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KeyError_, ParameterError
+from repro.params import ARK, F1, LATTIGO, TOY, X100, CkksParams, preset_by_name
+from repro.ckks.context import CkksContext
+
+
+# ------------------------------------------------------------------ params
+
+
+def test_alpha_definition():
+    for preset in (ARK, LATTIGO, X100, F1, TOY):
+        assert preset.alpha == (preset.max_level + 1) // preset.dnum
+        assert preset.total_limbs == preset.alpha + preset.max_level + 1
+
+
+def test_ark_matches_table_iii():
+    assert ARK.log_degree == 16
+    assert ARK.max_level == 23
+    assert ARK.dnum == 4
+    assert ARK.alpha == 6
+    assert ARK.boot_levels == 15
+    assert ARK.levels_after_boot == 8
+
+
+def test_f1_uses_32_bit_words():
+    assert F1.word_bytes == 4
+
+
+def test_data_size_formulas():
+    assert ARK.plaintext_bytes() == 24 * (1 << 16) * 8
+    assert ARK.ciphertext_bytes() == 2 * ARK.plaintext_bytes()
+    assert ARK.evk_bytes() == 4 * 2 * 30 * (1 << 16) * 8
+    assert ARK.plaintext_bytes(level=0) == (1 << 16) * 8
+
+
+def test_preset_lookup():
+    assert preset_by_name("ARK") is ARK
+    with pytest.raises(ParameterError):
+        preset_by_name("SEAL")
+
+
+def test_with_overrides_revalidates():
+    with pytest.raises(ParameterError):
+        ARK.with_overrides(dnum=5)  # 5 does not divide 24
+
+
+def test_invalid_boot_levels():
+    with pytest.raises(ParameterError):
+        CkksParams(name="x", log_degree=10, max_level=7, dnum=2, boot_levels=9)
+
+
+# -------------------------------------------------------------------- keys
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, rotations=(1,), seed=131)
+
+
+def test_secret_is_ternary(ctx):
+    coeffs = ctx.keys.secret.poly.to_coeff().to_int_coeffs()
+    assert all(c in (-1, 0, 1) for c in coeffs)
+
+
+def test_evk_has_dnum_parts(ctx):
+    assert ctx.keys.mult.dnum == TOY.dnum
+    assert len(ctx.keys.mult.a_parts) == TOY.dnum
+
+
+def test_evk_lives_over_extended_basis(ctx):
+    expected = tuple(ctx.basis.q_moduli) + tuple(ctx.basis.p_moduli)
+    for part in ctx.keys.mult.b_parts:
+        assert part.moduli == expected
+
+
+def test_missing_rotation_key_raises(ctx):
+    with pytest.raises(KeyError_):
+        ctx.keys.rotation(17)
+
+
+def test_rotation_key_kinds(ctx):
+    assert ctx.keys.mult.kind == "mult"
+    assert ctx.keys.rotations[1].kind == "rot:1"
+    assert ctx.keys.conjugation.kind == "conj"
+
+
+def test_galois_element(ctx):
+    n = TOY.degree
+    assert ctx.keygen.galois_element(1) == 5
+    assert ctx.keygen.galois_element(2) == 25 % (2 * n)
+    # Negative rotations wrap around the slot group of order N/2.
+    assert ctx.keygen.galois_element(-1) == pow(5, n // 2 - 1, 2 * n)
+
+
+def test_evk_decrypts_to_masked_payload(ctx):
+    """b_i - a_i*s must equal P*F_i*s' + small error; spot-check mod one
+    prime of C_0 where F_0 = 1."""
+    keys, basis = ctx.keys, ctx.basis
+    s = keys.secret.poly
+    payload = keys.mult.b_parts[0] - keys.mult.a_parts[0] * s
+    s_sq = s * s
+    p_mod = basis.p_product
+    q0 = basis.q_moduli[0]
+    expected = s_sq.limbs((q0,)).scalar_mul(p_mod % q0)
+    got = payload.limbs((q0,))
+    diff = (got - expected).to_coeff().to_int_coeffs()
+    assert max(abs(int(d)) for d in diff) < 64  # just the gaussian error
+
+
+def test_ensure_rotation_keys_is_idempotent(ctx):
+    before = len(ctx.keys.rotations)
+    ctx.ensure_rotation_keys([1, 1, 0])
+    assert len(ctx.keys.rotations) == before

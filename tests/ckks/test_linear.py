@@ -1,0 +1,167 @@
+"""BSGS homomorphic linear transforms: baseline vs Min-KS equivalence.
+
+The central algorithmic claim of Section IV-A is that Min-KS computes the
+same BSGS transform while touching only two distinct evaluation keys; these
+tests verify both the math and the key-demand accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import TOY
+from repro.ckks.context import CkksContext
+from repro.ckks.linear import HomLinearTransform, slot_sum
+
+SLOTS = 8
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    c = CkksContext.create(TOY, seed=21)
+    c.ensure_rotation_keys(range(1, SLOTS))
+    return c
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(3)
+    return (rng.uniform(-1, 1, (SLOTS, SLOTS))
+            + 1j * rng.uniform(-1, 1, (SLOTS, SLOTS))) / SLOTS
+
+
+@pytest.fixture(scope="module")
+def vector():
+    rng = np.random.default_rng(4)
+    return rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+
+
+def test_diagonal_extraction_roundtrip(matrix):
+    transform = HomLinearTransform(matrix)
+    n = SLOTS
+    rebuilt = np.zeros((n, n), dtype=np.complex128)
+    rows = np.arange(n)
+    for d, diag in transform.diagonals.items():
+        rebuilt[rows, (rows + d) % n] = diag
+    assert np.allclose(rebuilt, matrix)
+
+
+def test_reference_matches_numpy(matrix, vector):
+    transform = HomLinearTransform(matrix)
+    assert np.allclose(transform.reference(vector), matrix @ vector)
+
+
+@pytest.mark.parametrize("mode", ["baseline", "minks"])
+def test_transform_matches_plaintext(ctx, matrix, vector, mode):
+    transform = HomLinearTransform(matrix)
+    ct = ctx.encrypt(vector)
+    out = ctx.decrypt(transform.evaluate(ctx, ct, mode=mode))
+    assert np.allclose(out, matrix @ vector, atol=5e-2)
+
+
+def test_minks_equals_baseline(ctx, matrix, vector):
+    transform = HomLinearTransform(matrix)
+    ct = ctx.encrypt(vector)
+    base = ctx.decrypt(transform.evaluate(ctx, ct, mode="baseline"))
+    mink = ctx.decrypt(transform.evaluate(ctx, ct, mode="minks"))
+    assert np.allclose(base, mink, atol=5e-2)
+
+
+def test_minks_uses_exactly_two_distinct_keys(ctx, matrix, vector):
+    transform = HomLinearTransform(matrix)
+    ct = ctx.encrypt(vector)
+    ctx.evaluator.stats.clear()
+    transform.evaluate(ctx, ct, mode="minks")
+    used = {
+        k for k in ctx.evaluator.stats
+        if k.startswith("evk_load:rot:")
+    }
+    assert used == {"evk_load:rot:1", f"evk_load:rot:{transform.baby_step}"}
+
+
+def test_baseline_uses_many_distinct_keys(ctx, matrix, vector):
+    transform = HomLinearTransform(matrix)
+    ct = ctx.encrypt(vector)
+    ctx.evaluator.stats.clear()
+    transform.evaluate(ctx, ct, mode="baseline")
+    used = {
+        k for k in ctx.evaluator.stats if k.startswith("evk_load:rot:")
+    }
+    assert len(used) > 2
+    assert used == {
+        f"evk_load:rot:{r}" for r in transform.required_rotations("baseline")
+    }
+
+
+def test_required_rotations_minks(matrix):
+    transform = HomLinearTransform(matrix)
+    assert transform.required_rotations("minks") == {1, transform.baby_step}
+
+
+def test_sparse_diagonal_matrix(ctx):
+    """A matrix with only 3 nonzero diagonals exercises the sparse path."""
+    n = SLOTS
+    rows = np.arange(n)
+    m = np.zeros((n, n), dtype=np.complex128)
+    for d, w in ((0, 1.0), (1, 0.5), (5, -0.25)):
+        m[rows, (rows + d) % n] = w
+    transform = HomLinearTransform(m)
+    assert set(transform.diagonals) == {0, 1, 5}
+    rng = np.random.default_rng(9)
+    v = rng.uniform(-1, 1, n).astype(np.complex128)
+    ct = ctx.encrypt(v)
+    out = ctx.decrypt(transform.evaluate(ctx, ct, mode="minks"))
+    assert np.allclose(out, m @ v, atol=5e-2)
+
+
+def test_identity_transform(ctx, vector):
+    transform = HomLinearTransform(np.eye(SLOTS, dtype=np.complex128))
+    ct = ctx.encrypt(vector)
+    out = ctx.decrypt(transform.evaluate(ctx, ct, mode="minks"))
+    assert np.allclose(out, vector, atol=5e-2)
+
+
+def test_rejects_non_square():
+    with pytest.raises(ParameterError):
+        HomLinearTransform(np.ones((4, 8)))
+
+
+def test_rejects_wrong_slot_count(ctx, matrix):
+    transform = HomLinearTransform(matrix)
+    ct = ctx.encrypt(np.zeros(4))
+    with pytest.raises(ParameterError):
+        transform.evaluate(ctx, ct)
+
+
+def test_rejects_unknown_mode(ctx, matrix, vector):
+    transform = HomLinearTransform(matrix)
+    with pytest.raises(ParameterError):
+        transform.evaluate(ctx, ctx.encrypt(vector), mode="hoisted")
+
+
+# ------------------------------------------------------------- slot_sum
+
+
+@pytest.mark.parametrize("mode", ["baseline", "minks"])
+def test_slot_sum(ctx, mode):
+    rng = np.random.default_rng(11)
+    v = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    ct = ctx.encrypt(v)
+    out = ctx.decrypt(slot_sum(ctx, ct, 4, mode=mode))
+    expected = sum(np.roll(v, -k) for k in range(4))
+    assert np.allclose(out, expected, atol=5e-2)
+
+
+def test_slot_sum_minks_single_key(ctx):
+    v = np.ones(SLOTS, dtype=np.complex128)
+    ct = ctx.encrypt(v)
+    ctx.evaluator.stats.clear()
+    slot_sum(ctx, ct, 4, mode="minks")
+    used = {k for k in ctx.evaluator.stats if k.startswith("evk_load:rot:")}
+    assert used == {"evk_load:rot:1"}
+
+
+def test_slot_sum_rejects_non_power_of_two(ctx):
+    ct = ctx.encrypt(np.ones(SLOTS))
+    with pytest.raises(ParameterError):
+        slot_sum(ctx, ct, 3)

@@ -1,0 +1,104 @@
+"""OF-Limb exactness and traffic accounting (Section IV-B, Eq. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import TOY
+from repro.ckks.context import CkksContext
+from repro.ckks.linear import HomLinearTransform
+from repro.ckks.oflimb import OnTheFlyPlaintextStore, PrecomputedPlaintextStore
+
+SLOTS = 8
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    c = CkksContext.create(TOY, seed=31)
+    c.ensure_rotation_keys(range(1, SLOTS))
+    return c
+
+
+def test_oflimb_is_exact(ctx):
+    """The regenerated limbs must be bit-identical to precomputed ones."""
+    rng = np.random.default_rng(0)
+    values = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    pre = PrecomputedPlaintextStore(ctx)
+    otf = OnTheFlyPlaintextStore(ctx)
+    moduli = ctx.basis.q_moduli[:5]
+    pt_pre = pre.get("k", values, moduli, ctx.default_scale)
+    pt_otf = otf.get("k", values, moduli, ctx.default_scale)
+    assert np.array_equal(pt_pre.poly.data, pt_otf.poly.data)
+    assert pt_pre.scale == pt_otf.scale
+
+
+def test_oflimb_traffic_is_one_limb_per_fetch(ctx):
+    rng = np.random.default_rng(1)
+    values = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    pre = PrecomputedPlaintextStore(ctx)
+    otf = OnTheFlyPlaintextStore(ctx)
+    level = 5
+    moduli = ctx.basis.q_moduli[: level + 1]
+    pre.get("k", values, moduli, ctx.default_scale)
+    otf.get("k", values, moduli, ctx.default_scale)
+    n = ctx.params.degree
+    assert pre.words_loaded == (level + 1) * n
+    assert otf.words_loaded == n
+    # The paper's claim: traffic reduced to 1/(l+1) of the original.
+    assert pre.words_loaded // otf.words_loaded == level + 1
+
+
+def test_oflimb_counts_extension_ntts(ctx):
+    otf = OnTheFlyPlaintextStore(ctx)
+    values = np.ones(SLOTS, dtype=np.complex128) * 0.5
+    moduli = ctx.basis.q_moduli[:4]
+    otf.get("k", values, moduli, ctx.default_scale)
+    assert otf.extension_ntts == 4
+
+
+def test_oflimb_rejects_oversized_coefficients(ctx):
+    otf = OnTheFlyPlaintextStore(ctx)
+    huge = np.full(SLOTS, 100.0, dtype=np.complex128)
+    with pytest.raises(ParameterError):
+        # scale * 100 exceeds q0/2 for the toy q0.
+        otf.get("k", huge, ctx.basis.q_moduli[:2], float(1 << 29))
+
+
+def test_pmult_with_oflimb_store_matches_plaintext_math(ctx):
+    rng = np.random.default_rng(2)
+    v = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    w = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    otf = OnTheFlyPlaintextStore(ctx)
+    ct = ctx.encrypt(v)
+    pt = otf.get("w", w, ct.moduli, ctx.default_scale)
+    out = ctx.decrypt(ctx.evaluator.rescale(ctx.evaluator.mul_plain(ct, pt)))
+    assert np.allclose(out, v * w, atol=1e-2)
+
+
+def test_linear_transform_with_oflimb_matches_precomputed(ctx):
+    rng = np.random.default_rng(5)
+    m = (rng.uniform(-1, 1, (SLOTS, SLOTS))
+         + 1j * rng.uniform(-1, 1, (SLOTS, SLOTS))) / SLOTS
+    v = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    transform = HomLinearTransform(m)
+    ct = ctx.encrypt(v)
+    out_pre = ctx.decrypt(
+        transform.evaluate(ctx, ct, mode="minks",
+                           pt_store=PrecomputedPlaintextStore(ctx))
+    )
+    out_otf = ctx.decrypt(
+        transform.evaluate(ctx, ct, mode="minks",
+                           pt_store=OnTheFlyPlaintextStore(ctx))
+    )
+    assert np.allclose(out_pre, out_otf, atol=1e-10)
+    assert np.allclose(out_otf, m @ v, atol=5e-2)
+
+
+def test_store_caching(ctx):
+    otf = OnTheFlyPlaintextStore(ctx)
+    values = np.ones(SLOTS, dtype=np.complex128)
+    moduli = ctx.basis.q_moduli[:3]
+    otf.get("same", values, moduli, ctx.default_scale)
+    otf.get("same", values, moduli, ctx.default_scale)
+    assert otf.fetches == 2
+    assert len(otf._cache) == 1

@@ -1,0 +1,136 @@
+"""Property-based tests: random homomorphic programs tracked against
+plaintext arithmetic, and algebraic laws of the evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.params import TOY
+from repro.ckks.context import CkksContext
+
+SLOTS = TOY.degree // 2
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, rotations=(1, 2, 4), seed=121)
+
+
+# Each program step: (op, argument). Applied homomorphically and in numpy.
+def _apply(ctx, ct, ref, step):
+    ev = ctx.evaluator
+    op, arg = step
+    if op == "add_const":
+        return ev.add_const(ct, arg), ref + arg
+    if op == "rotate":
+        return ev.rotate(ct, arg), np.roll(ref, -arg)
+    if op == "negate":
+        return ev.negate(ct), -ref
+    if op == "mul_const":
+        if ct.level == 0:
+            return ct, ref
+        return ev.rescale(ev.mul_const(ct, arg)), ref * arg
+    if op == "square":
+        if ct.level == 0:
+            return ct, ref
+        return ev.rescale(ev.mul(ct, ct)), ref * ref
+    raise AssertionError(op)
+
+
+program_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("add_const"), st.floats(-0.5, 0.5)),
+        st.tuples(st.just("rotate"), st.sampled_from([1, 2, 4])),
+        st.tuples(st.just("negate"), st.none()),
+        st.tuples(st.just("mul_const"), st.floats(-0.9, 0.9)),
+        st.tuples(st.just("square"), st.none()),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(program=program_steps, seed=st.integers(0, 2**31))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_random_programs_track_plaintext(ctx, program, seed):
+    rng = np.random.default_rng(seed)
+    message = rng.uniform(-0.8, 0.8, SLOTS).astype(np.complex128)
+    ct = ctx.encrypt(message)
+    ref = message.copy()
+    for step in program:
+        ct, ref = _apply(ctx, ct, ref, step)
+    out = ctx.decrypt(ct)
+    bound = max(1.0, float(np.max(np.abs(ref))))
+    assert np.allclose(out, ref, atol=0.05 * bound)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_addition_commutes(ctx, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    b = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    ct_a, ct_b = ctx.encrypt(a), ctx.encrypt(b)
+    ev = ctx.evaluator
+    lhs = ctx.decrypt(ev.add(ct_a, ct_b))
+    rhs = ctx.decrypt(ev.add(ct_b, ct_a))
+    assert np.allclose(lhs, rhs, atol=1e-3)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_multiplication_distributes_over_addition(ctx, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-0.7, 0.7, SLOTS).astype(np.complex128)
+    b = rng.uniform(-0.7, 0.7, SLOTS).astype(np.complex128)
+    c = rng.uniform(-0.7, 0.7, SLOTS).astype(np.complex128)
+    ev = ctx.evaluator
+    ct_a, ct_b, ct_c = ctx.encrypt(a), ctx.encrypt(b), ctx.encrypt(c)
+    lhs = ctx.decrypt(ev.rescale(ev.mul(ct_a, ev.add(ct_b, ct_c))))
+    prod_ab = ev.rescale(ev.mul(ct_a, ct_b))
+    prod_ac = ev.rescale(ev.mul(ct_a, ct_c))
+    rhs = ctx.decrypt(ev.add(prod_ab, prod_ac))
+    assert np.allclose(lhs, a * (b + c), atol=0.03)
+    assert np.allclose(lhs, rhs, atol=0.03)
+
+
+@given(r1=st.sampled_from([1, 2, 4]), r2=st.sampled_from([1, 2, 4]),
+       seed=st.integers(0, 2**31))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_rotations_compose_additively(ctx, r1, r2, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(-1, 1, SLOTS).astype(np.complex128)
+    ev = ctx.evaluator
+    composed = ctx.decrypt(ev.rotate(ev.rotate(ctx.encrypt(m), r1), r2))
+    assert np.allclose(composed, np.roll(m, -(r1 + r2)), atol=5e-3)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_conjugation_is_involution(ctx, seed):
+    rng = np.random.default_rng(seed)
+    m = (rng.uniform(-1, 1, SLOTS) + 1j * rng.uniform(-1, 1, SLOTS))
+    ev = ctx.evaluator
+    twice = ctx.decrypt(ev.conjugate(ev.conjugate(ctx.encrypt(m))))
+    assert np.allclose(twice, m, atol=5e-3)

@@ -1,0 +1,69 @@
+"""Tests for the 4-step NTT hardware model and OF-Twist accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt.fourstep import FourStepNtt
+from repro.nt.ntt import NttContext
+from repro.nt.primes import find_ntt_primes
+
+DEGREE = 64  # sqrt(N) = 8
+PRIME = find_ntt_primes(DEGREE, 26, 1)[0]
+
+
+@pytest.fixture(scope="module")
+def fourstep():
+    return FourStepNtt(DEGREE, PRIME)
+
+
+@pytest.fixture(scope="module")
+def iterative():
+    return NttContext(DEGREE, PRIME)
+
+
+def test_requires_square_degree():
+    p = find_ntt_primes(32, 26, 1)[0]
+    with pytest.raises(ParameterError):
+        FourStepNtt(32, p)
+
+
+def test_forward_matches_natural_order_evaluation(fourstep, iterative):
+    """4-step slot k must hold P(psi^(2k+1)); check via the iterative NTT's
+    slot-exponent map (both must be permutations of the same value set)."""
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, PRIME, size=DEGREE, dtype=np.uint64)
+    four = fourstep.forward(a)
+    iter_out = iterative.forward(a)
+    # iterative slot j holds exponent e(j); natural-order slot k holds 2k+1.
+    slot_of_exp = {int(e): j for j, e in enumerate(iterative._slot_exponent)}
+    for k in range(DEGREE):
+        j = slot_of_exp[(2 * k + 1) % (2 * DEGREE)]
+        assert four[k] == iter_out[j]
+
+
+def test_forward_inverse_roundtrip(fourstep):
+    rng = np.random.default_rng(8)
+    a = rng.integers(0, PRIME, size=DEGREE, dtype=np.uint64)
+    assert np.array_equal(fourstep.inverse(fourstep.forward(a)), a)
+
+
+def test_twisting_factors_are_geometric(fourstep):
+    """Column k2 of the twist matrix must be a geometric progression with
+    ratio omega^k2 -- the property OF-Twist exploits."""
+    twist = fourstep._twist_matrix()
+    p = PRIME
+    for k2 in range(fourstep.sqrt_n):
+        ratio = int(fourstep.twist_column_ratios[k2])
+        col = twist[:, k2]
+        for i in range(1, len(col)):
+            assert int(col[i]) == (int(col[i - 1]) * ratio) % p
+
+
+def test_of_twist_storage_reduction(fourstep):
+    """OF-Twist must save ~99% of twisting-factor storage (Section V-C)."""
+    full = fourstep.twisting_storage_words(on_the_fly=False)
+    otf = fourstep.twisting_storage_words(on_the_fly=True)
+    assert otf < full
+    # For N = 2^16 the paper quotes 99%; at toy sizes demand > 80%.
+    assert 1 - otf / full > 0.8

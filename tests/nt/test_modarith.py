@@ -1,0 +1,77 @@
+"""Unit and property tests for the modular-arithmetic reference units."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.nt.modarith import BarrettReducer, MontgomeryReducer, modinv, modpow
+
+PRIME = (1 << 30) - 35  # a 30-bit prime (2**30 - 35 is prime)
+
+
+def test_modpow_matches_builtin():
+    assert modpow(3, 1000, 97) == pow(3, 1000, 97)
+
+
+def test_modpow_negative_base():
+    assert modpow(-2, 3, 97) == pow(95, 3, 97)
+
+
+def test_modinv_roundtrip():
+    inv = modinv(12345, PRIME)
+    assert (12345 * inv) % PRIME == 1
+
+
+def test_modinv_of_zero_raises():
+    with pytest.raises(ParameterError):
+        modinv(0, PRIME)
+
+
+def test_modinv_noninvertible_raises():
+    with pytest.raises(ParameterError):
+        modinv(6, 9)
+
+
+def test_barrett_rejects_out_of_range():
+    reducer = BarrettReducer(97)
+    with pytest.raises(ParameterError):
+        reducer.reduce(97 * 97)
+
+
+def test_barrett_modulus_validation():
+    with pytest.raises(ParameterError):
+        BarrettReducer(1)
+
+
+def test_montgomery_requires_odd_modulus():
+    with pytest.raises(ParameterError):
+        MontgomeryReducer(100)
+
+
+def test_montgomery_domain_roundtrip():
+    mont = MontgomeryReducer(PRIME)
+    for value in (0, 1, 2, PRIME - 1, 123456789):
+        assert mont.from_mont(mont.to_mont(value)) == value % PRIME
+
+
+@given(st.integers(0, PRIME - 1), st.integers(0, PRIME - 1))
+@settings(max_examples=200)
+def test_barrett_mulmod_matches_python(a, b):
+    reducer = BarrettReducer(PRIME)
+    assert reducer.mulmod(a, b) == (a * b) % PRIME
+
+
+@given(st.integers(0, PRIME - 1), st.integers(0, PRIME - 1))
+@settings(max_examples=200)
+def test_montgomery_mulmod_matches_python(a, b):
+    mont = MontgomeryReducer(PRIME)
+    assert mont.mulmod(a, b) == (a * b) % PRIME
+
+
+@given(st.integers(2, 2**20))
+@settings(max_examples=100)
+def test_barrett_reduce_below_p_squared(x):
+    reducer = BarrettReducer(1009)
+    value = x % (1009 * 1009)
+    assert reducer.reduce(value) == value % 1009

@@ -1,0 +1,139 @@
+"""Round-trip, convolution, and automorphism tests for the negacyclic NTT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.nt.ntt import NttContext, bit_reverse_indices, get_ntt_context
+from repro.nt.primes import find_ntt_primes
+
+DEGREE = 64
+PRIME = find_ntt_primes(DEGREE, 26, 1)[0]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return NttContext(DEGREE, PRIME)
+
+
+def random_poly(rng, degree=DEGREE, prime=PRIME):
+    return rng.integers(0, prime, size=degree, dtype=np.uint64)
+
+
+def test_bit_reverse_is_involution():
+    rev = bit_reverse_indices(32)
+    assert np.array_equal(rev[rev], np.arange(32))
+
+
+def test_forward_inverse_roundtrip(ctx):
+    rng = np.random.default_rng(1)
+    a = random_poly(rng)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+
+def test_roundtrip_2d_batch(ctx):
+    rng = np.random.default_rng(2)
+    batch = rng.integers(0, PRIME, size=(5, DEGREE), dtype=np.uint64)
+    assert np.array_equal(ctx.inverse(ctx.forward(batch)), batch)
+
+
+def test_forward_of_constant_polynomial(ctx):
+    # P(X) = c evaluates to c everywhere.
+    a = np.zeros(DEGREE, dtype=np.uint64)
+    a[0] = 42
+    assert np.all(ctx.forward(a) == 42)
+
+
+def test_pointwise_product_is_negacyclic_convolution(ctx):
+    rng = np.random.default_rng(3)
+    a, b = random_poly(rng), random_poly(rng)
+    fast = ctx.inverse((ctx.forward(a) * ctx.forward(b)) % np.uint64(PRIME))
+    slow = ctx.negacyclic_convolution_reference(a, b)
+    assert np.array_equal(fast, slow)
+
+
+def test_x_to_the_n_is_minus_one(ctx):
+    # X * X^(N-1) = X^N = -1 in the negacyclic ring.
+    x = np.zeros(DEGREE, dtype=np.uint64)
+    x[1] = 1
+    xn1 = np.zeros(DEGREE, dtype=np.uint64)
+    xn1[DEGREE - 1] = 1
+    product = ctx.inverse((ctx.forward(x) * ctx.forward(xn1)) % np.uint64(PRIME))
+    expected = np.zeros(DEGREE, dtype=np.uint64)
+    expected[0] = PRIME - 1
+    assert np.array_equal(product, expected)
+
+
+def test_rejects_oversized_prime():
+    with pytest.raises(ParameterError):
+        NttContext(DEGREE, (1 << 33) + 1)
+
+
+def test_rejects_non_power_of_two_degree():
+    with pytest.raises(ParameterError):
+        NttContext(48, PRIME)
+
+
+def test_rejects_wrong_length_input(ctx):
+    with pytest.raises(ParameterError):
+        ctx.forward(np.zeros(DEGREE + 1, dtype=np.uint64))
+
+
+def test_context_cache_returns_same_object():
+    assert get_ntt_context(DEGREE, PRIME) is get_ntt_context(DEGREE, PRIME)
+
+
+# ---------------------------------------------------------------- automorphism
+
+
+def brute_force_automorphism(coeffs, galois, prime):
+    """Apply X -> X^galois by expanding term by term."""
+    n = len(coeffs)
+    out = [0] * n
+    for i, c in enumerate(coeffs):
+        e = (i * galois) % (2 * n)
+        if e < n:
+            out[e] = (out[e] + int(c)) % prime
+        else:
+            out[e - n] = (out[e - n] - int(c)) % prime
+    return np.array(out, dtype=np.uint64)
+
+
+@pytest.mark.parametrize("galois", [5, 25, 3, 2 * DEGREE - 1])
+def test_automorphism_coeff_matches_brute_force(ctx, galois):
+    rng = np.random.default_rng(4)
+    a = random_poly(rng)
+    expected = brute_force_automorphism(a, galois, PRIME)
+    assert np.array_equal(ctx.automorphism_coeff(a, galois), expected)
+
+
+@pytest.mark.parametrize("galois", [5, 125, 2 * DEGREE - 1])
+def test_automorphism_eval_commutes_with_ntt(ctx, galois):
+    rng = np.random.default_rng(5)
+    a = random_poly(rng)
+    via_coeff = ctx.forward(ctx.automorphism_coeff(a, galois))
+    via_eval = ctx.automorphism_eval(ctx.forward(a), galois)
+    assert np.array_equal(via_coeff, via_eval)
+
+
+def test_automorphism_eval_rejects_even_galois(ctx):
+    with pytest.raises(ParameterError):
+        ctx.galois_coeff_permutation(4)
+
+
+def test_slot_exponents_are_all_odd_residues(ctx):
+    exps = sorted(int(e) for e in ctx._slot_exponent)
+    assert exps == list(range(1, 2 * DEGREE, 2))
+
+
+@given(st.integers(0, 2**60))
+@settings(max_examples=50)
+def test_ntt_linearity(seed):
+    rng = np.random.default_rng(seed)
+    ctx_local = get_ntt_context(DEGREE, PRIME)
+    a, b = random_poly(rng), random_poly(rng)
+    lhs = ctx_local.forward((a + b) % np.uint64(PRIME))
+    rhs = (ctx_local.forward(a) + ctx_local.forward(b)) % np.uint64(PRIME)
+    assert np.array_equal(lhs, rhs)

@@ -1,0 +1,53 @@
+"""Tests for NTT-friendly prime generation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt.modarith import modpow
+from repro.nt.primes import find_ntt_primes, find_primitive_2n_root, is_prime
+
+
+def test_is_prime_small_cases():
+    primes_below_50 = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+    for n in range(50):
+        assert is_prime(n) == (n in primes_below_50)
+
+
+def test_is_prime_carmichael_numbers():
+    for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+        assert not is_prime(carmichael)
+
+
+def test_find_ntt_primes_congruence_and_distinctness():
+    degree = 1024
+    primes = find_ntt_primes(degree, 28, 5)
+    assert len(set(primes)) == 5
+    for p in primes:
+        assert is_prime(p)
+        assert p % (2 * degree) == 1
+        assert p < (1 << 28)
+
+
+def test_find_ntt_primes_respects_exclusions():
+    degree = 256
+    first = find_ntt_primes(degree, 20, 3)
+    second = find_ntt_primes(degree, 20, 3, exclude=set(first))
+    assert not (set(first) & set(second))
+
+
+def test_find_ntt_primes_rejects_bad_degree():
+    with pytest.raises(ParameterError):
+        find_ntt_primes(1000, 28, 1)
+
+
+def test_primitive_root_has_exact_order():
+    degree = 512
+    p = find_ntt_primes(degree, 26, 1)[0]
+    psi = find_primitive_2n_root(degree, p)
+    assert modpow(psi, degree, p) == p - 1          # psi^N = -1
+    assert modpow(psi, 2 * degree, p) == 1          # psi^2N = 1
+
+
+def test_primitive_root_requires_congruence():
+    with pytest.raises(ParameterError):
+        find_primitive_2n_root(1024, 97)

@@ -1,0 +1,90 @@
+"""Bootstrapping plan: phases, level schedule, key reuse."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import ARK, TOY
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.primops import OpKind
+
+
+@pytest.fixture(scope="module")
+def minks_plan():
+    bp = BootstrapPlan(ARK, 1 << 15, mode="minks", oflimb=True)
+    return bp, bp.build()
+
+
+def test_rejects_lhe_params():
+    with pytest.raises(ParameterError):
+        BootstrapPlan(TOY, 256)
+
+
+def test_phases_in_order(minks_plan):
+    _, plan = minks_plan
+    assert plan.phase_names() == ["ModRaise", "H-IDFT", "EvalMod", "H-DFT"]
+
+
+def test_output_level_matches_boot_budget(minks_plan):
+    bp, _ = minks_plan
+    assert bp.output_level == ARK.levels_after_boot
+
+
+def test_evalmod_reuses_single_mult_key(minks_plan):
+    _, plan = minks_plan
+    evalmod_tags = {
+        op.tag
+        for op in plan.ops
+        if op.kind == OpKind.EVK and op.phase == "EvalMod"
+    }
+    assert "evk:mult" in evalmod_tags
+    # Only the mult key and the conjugation key appear in EvalMod.
+    assert evalmod_tags <= {"evk:mult", "evk:conj"}
+
+
+def test_minks_distinct_rotation_keys(minks_plan):
+    _, plan = minks_plan
+    rot_tags = {
+        t for t in plan.distinct_tags(OpKind.EVK) if t.startswith("evk:rot")
+    }
+    # Two per iteration per transform: 2 * 3 (H-IDFT) + 2 * 3 (H-DFT).
+    assert len(rot_tags) == 12
+
+
+def test_baseline_needs_many_more_keys():
+    base = BootstrapPlan(ARK, 1 << 15, mode="baseline").build()
+    mink = BootstrapPlan(ARK, 1 << 15, mode="minks").build()
+    base_rot = {
+        t for t in base.distinct_tags(OpKind.EVK) if t.startswith("evk:rot")
+    }
+    mink_rot = {
+        t for t in mink.distinct_tags(OpKind.EVK) if t.startswith("evk:rot")
+    }
+    assert len(base_rot) > 5 * len(mink_rot)
+
+
+def test_hdft_runs_at_lower_levels_than_hidft(minks_plan):
+    """evk requirements shrink with level, so H-DFT keys must be smaller."""
+    _, plan = minks_plan
+    idft_bytes = [
+        op.data_bytes
+        for op in plan.ops
+        if op.kind == OpKind.EVK and op.phase == "H-IDFT"
+    ]
+    dft_bytes = [
+        op.data_bytes
+        for op in plan.ops
+        if op.kind == OpKind.EVK and op.phase == "H-DFT"
+    ]
+    assert max(dft_bytes) < min(idft_bytes)
+
+
+def test_traffic_ordering_across_modes():
+    sizes = {}
+    for mode, oflimb in (("baseline", False), ("minks", False), ("minks", True)):
+        plan = BootstrapPlan(ARK, 1 << 15, mode=mode, oflimb=oflimb).build()
+        sizes[(mode, oflimb)] = sum(plan.offchip_bytes().values())
+    assert sizes[("baseline", False)] > sizes[("minks", False)]
+    assert sizes[("minks", False)] > sizes[("minks", True)]
+    # Combined, the two algorithms remove most of the off-chip traffic.
+    removed = 1 - sizes[("minks", True)] / sizes[("baseline", False)]
+    assert removed > 0.75

@@ -1,0 +1,131 @@
+"""Staged H-(I)DFT plans: BSGS structure, key demand, traffic shape."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import ARK
+from repro.plan.bootplan import build_hidft_plan
+from repro.plan.dftplan import HomDftPlan, split_radix
+from repro.plan.primops import OpKind, Plan
+
+
+def test_split_radix_exact():
+    assert split_radix(15, 5) == [5, 5, 5]
+
+
+def test_split_radix_uneven():
+    assert split_radix(8, 5) == [4, 4]
+    assert sum(split_radix(11, 5)) == 11
+
+
+def test_split_radix_rejects_zero():
+    with pytest.raises(ParameterError):
+        split_radix(0, 5)
+
+
+def test_ark_iteration_count():
+    dft = HomDftPlan(ARK, 1 << 15)
+    assert dft.iterations == 3
+    assert dft.radices == [5, 5, 5]
+
+
+def test_bsgs_shape_matches_paper_k1_k2():
+    """Radix 2^5 with k1 + k2 = 6 -> (8, 8), the paper's (3, 3) split."""
+    dft = HomDftPlan(ARK, 1 << 15)
+    assert dft.bsgs_shape(5) == (8, 8)
+
+
+def test_rotation_and_pmult_counts_near_paper():
+    """Paper: ~40 HRots and ~158 PMults per H-(I)DFT (Section III-B)."""
+    base = HomDftPlan(ARK, 1 << 15, mode="baseline")
+    assert 40 <= base.rotation_count() <= 48
+    assert 150 <= base.pmult_count() <= 200
+
+
+def test_minks_uses_two_evks_per_iteration():
+    dft = HomDftPlan(ARK, 1 << 15, mode="minks")
+    assert dft.distinct_evk_count() == 2 * dft.iterations
+
+
+def test_baseline_uses_one_evk_per_rotation():
+    dft = HomDftPlan(ARK, 1 << 15, mode="baseline")
+    assert dft.distinct_evk_count() == dft.rotation_count()
+
+
+def test_plan_distinct_evk_tags_match_prediction():
+    for mode in ("baseline", "minks"):
+        plan, dft = build_hidft_plan(ARK, 1 << 15, mode, False, "idft")
+        tags = plan.distinct_tags(OpKind.EVK)
+        assert len(tags) == dft.distinct_evk_count()
+
+
+def test_modes_share_pmult_count():
+    """Min-KS changes only the key schedule, not the plaintext products."""
+    base, _ = build_hidft_plan(ARK, 1 << 15, "baseline", False, "idft")
+    mink, _ = build_hidft_plan(ARK, 1 << 15, "minks", False, "idft")
+    count = lambda plan: sum(
+        1 for op in plan.ops if op.kind == OpKind.PT
+    )
+    assert count(base) == count(mink)
+
+
+def test_minks_reduces_evk_traffic_only():
+    base, _ = build_hidft_plan(ARK, 1 << 15, "baseline", False, "idft")
+    mink, _ = build_hidft_plan(ARK, 1 << 15, "minks", False, "idft")
+    t_base, t_mink = base.offchip_bytes(), mink.offchip_bytes()
+    assert t_mink["evk"] < 0.25 * t_base["evk"]
+    assert t_mink["pt"] == t_base["pt"]
+
+
+def test_oflimb_reduces_pt_traffic_only():
+    mink, _ = build_hidft_plan(ARK, 1 << 15, "minks", False, "idft")
+    both, _ = build_hidft_plan(ARK, 1 << 15, "minks", True, "idft")
+    assert both.offchip_bytes()["pt"] < 0.1 * mink.offchip_bytes()["pt"]
+    assert both.offchip_bytes()["evk"] == mink.offchip_bytes()["evk"]
+
+
+def test_oflimb_increases_compute():
+    """OF-Limb trades traffic for extra NTT work (Section IV-B)."""
+    mink, _ = build_hidft_plan(ARK, 1 << 15, "minks", False, "idft")
+    both, _ = build_hidft_plan(ARK, 1 << 15, "minks", True, "idft")
+    assert both.modmult_total() > mink.modmult_total()
+    extra = (both.modmult_total() - mink.modmult_total()) / both.modmult_total()
+    # Paper: the extension NTTs are 22.9% (24.1%) of H-IDFT (H-DFT) compute.
+    assert 0.10 < extra < 0.35
+
+
+def test_levels_consumed_equals_iterations():
+    plan = Plan(ARK)
+    from repro.plan.heops import HeOpPlanner
+
+    ops = HeOpPlanner(plan)
+    entry = ops.fresh_ciphertext(ARK.max_level, "ct:x")
+    dft = HomDftPlan(ARK, 1 << 15)
+    _, end_level = dft.build(plan, ARK.max_level, entry)
+    assert end_level == ARK.max_level - dft.iterations
+
+
+def test_insufficient_levels_rejected():
+    dft = HomDftPlan(ARK, 1 << 15)
+    plan = Plan(ARK)
+    with pytest.raises(ParameterError):
+        dft.build(plan, 2, plan.add(OpKind.EWE, limbs=0))
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ParameterError):
+        HomDftPlan(ARK, 1 << 15, mode="turbo")
+
+
+def test_hoisting_mode_cuts_compute_not_traffic():
+    base, _ = build_hidft_plan(ARK, 1 << 15, "baseline", False, "idft")
+    hoist, _ = build_hidft_plan(ARK, 1 << 15, "hoisting", False, "idft")
+    assert hoist.modmult_total() < base.modmult_total()
+    assert hoist.offchip_bytes()["evk"] == base.offchip_bytes()["evk"]
+
+
+def test_sparse_slots_shrink_the_transform():
+    full = HomDftPlan(ARK, 1 << 15)
+    sparse = HomDftPlan(ARK, 256)
+    assert sparse.iterations < full.iterations
+    assert sparse.pmult_count() < full.pmult_count()

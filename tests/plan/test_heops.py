@@ -1,0 +1,123 @@
+"""HE-op plans, including the cross-layer check against the functional
+key-switcher's instrumented limb counts."""
+
+import numpy as np
+import pytest
+
+from repro.params import ARK, TOY
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import OpKind, Plan
+
+
+@pytest.fixture()
+def planner():
+    plan = Plan(ARK)
+    return HeOpPlanner(plan)
+
+
+def test_groups_at_full_and_partial(planner):
+    assert planner.groups_at(ARK.max_level) == ARK.dnum
+    assert planner.groups_at(0) == 1
+    assert planner.groups_at(ARK.alpha) == 2
+
+
+def test_group_sizes_sum(planner):
+    for level in (0, 3, ARK.alpha, ARK.max_level):
+        sizes = planner.group_sizes(level)
+        assert sum(sizes) == level + 1
+        assert all(s <= ARK.alpha for s in sizes)
+
+
+def test_evk_bytes_at_max_level_matches_params(planner):
+    assert planner.evk_bytes_at(ARK.max_level) == ARK.evk_bytes()
+
+
+def test_evk_bytes_shrink_with_level(planner):
+    assert planner.evk_bytes_at(5) < planner.evk_bytes_at(ARK.max_level)
+
+
+def test_oflimb_plaintext_is_one_limb():
+    plan = Plan(ARK)
+    pre = HeOpPlanner(plan, oflimb=False)
+    otf = HeOpPlanner(plan, oflimb=True)
+    level = 10
+    assert pre.plaintext_bytes_at(level) == (level + 1) * ARK.degree * 8
+    assert otf.plaintext_bytes_at(level) == ARK.degree * 8
+
+
+def test_keyswitch_structure(planner):
+    plan = planner.plan
+    entry = plan.add(OpKind.EWE, limbs=0)
+    planner.keyswitch(ARK.max_level, "evk:test", entry)
+    plan.validate()
+    # dnum ModUp BConvRoutines plus two ModDown routines.
+    assert plan.count(OpKind.BCONV) == ARK.dnum + 2
+    assert plan.count(OpKind.EVK) == 1
+    ext = ARK.max_level + 1 + ARK.alpha
+    noc_ops = [op for op in plan.ops if op.kind == OpKind.NOC]
+    assert all(op.words == ext * ARK.degree for op in noc_ops)
+    assert len(noc_ops) == ARK.dnum + 2
+
+
+def test_hmult_reuses_mult_key_tag(planner):
+    plan = planner.plan
+    entry = plan.add(OpKind.EWE, limbs=0)
+    out = planner.hmult(ARK.max_level, entry)
+    planner.hmult(ARK.max_level, out)
+    assert plan.distinct_tags(OpKind.EVK) == {"evk:mult"}
+
+
+def test_pmult_oflimb_adds_extension_ntts():
+    plan = Plan(ARK)
+    planner = HeOpPlanner(plan, oflimb=True)
+    entry = plan.add(OpKind.EWE, limbs=0)
+    planner.pmult(10, "pt:x", entry)
+    oflimb_ntts = [
+        op for op in plan.ops if op.kind == OpKind.NTT and op.tag == "oflimb"
+    ]
+    assert len(oflimb_ntts) == 1
+    assert oflimb_ntts[0].limbs == 11
+
+
+def test_keyswitch_limb_counts_match_functional_layer():
+    """The plan's limb accounting must agree with the instrumented
+    functional KeySwitcher, op for op, at the toy parameters."""
+    from repro.ckks.context import CkksContext
+
+    ctx = CkksContext.create(TOY, seed=81)
+    rng = np.random.default_rng(0)
+    m = rng.uniform(-1, 1, TOY.max_slots).astype(np.complex128)
+    ctx.evaluator.switcher.stats.reset()
+    ctx.evaluator.mul(ctx.encrypt(m), ctx.encrypt(m))
+    functional = ctx.evaluator.switcher.stats.counts
+
+    plan = Plan(TOY)
+    planner = HeOpPlanner(plan)
+    entry = plan.add(OpKind.EWE, limbs=0)
+    planner.keyswitch(TOY.max_level, "evk:mult", entry)
+    plan_intt = sum(op.limbs for op in plan.ops if op.kind == OpKind.INTT)
+    plan_ntt = sum(
+        op.limbs
+        for op in plan.ops
+        if op.kind == OpKind.NTT and op.tag != "oflimb"
+    )
+    plan_bconv = sum(op.limbs for op in plan.ops if op.kind == OpKind.BCONV)
+    plan_evk_mult = sum(
+        op.limbs
+        for op in plan.ops
+        if op.kind == OpKind.EWE and op.tag == "evk_mult"
+    )
+    assert functional["intt_limbs"] == plan_intt
+    assert functional["ntt_limbs"] == plan_ntt
+    assert functional["bconv_output_limbs"] == plan_bconv
+    assert functional["evk_mult_limbs"] == plan_evk_mult
+
+
+def test_rescale_plan_costs(planner):
+    plan = planner.plan
+    entry = plan.add(OpKind.EWE, limbs=0)
+    planner.rescale(10, entry)
+    intt = [op for op in plan.ops if op.kind == OpKind.INTT]
+    ntt = [op for op in plan.ops if op.kind == OpKind.NTT]
+    assert intt[0].limbs == 2          # the dropped limb of both halves
+    assert ntt[0].limbs == 2 * 10      # re-reduction per remaining limb

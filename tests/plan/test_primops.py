@@ -1,0 +1,110 @@
+"""Plan DAG invariants and modmult accounting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.params import ARK, TOY
+from repro.plan.primops import OpKind, Plan, PrimOp
+
+
+def test_add_and_validate():
+    plan = Plan(TOY)
+    a = plan.add(OpKind.NTT, limbs=2)
+    b = plan.add(OpKind.EWE, limbs=4, deps=(a,))
+    plan.validate()
+    assert plan.ops[b].deps == (a,)
+
+
+def test_unknown_dep_rejected():
+    plan = Plan(TOY)
+    with pytest.raises(ScheduleError):
+        plan.add(OpKind.NTT, limbs=1, deps=(5,))
+
+
+def test_ntt_modmults_formula():
+    plan = Plan(ARK)
+    plan.add(OpKind.NTT, limbs=3)
+    n = ARK.degree
+    expected = 3 * ((n // 2) * int(math.log2(n)) + n)
+    assert plan.modmult_total() == expected
+
+
+def test_bconv_modmults_formula():
+    plan = Plan(ARK)
+    plan.add(OpKind.BCONV, limbs=24, in_limbs=6)
+    n = ARK.degree
+    assert plan.modmult_total() == 6 * n + 6 * 24 * n
+
+
+def test_auto_and_memory_ops_cost_no_mults():
+    plan = Plan(ARK)
+    plan.add(OpKind.AUTO, limbs=10)
+    plan.add(OpKind.EVK, data_bytes=100, tag="evk:x")
+    plan.add(OpKind.NOC, words=1000)
+    assert plan.modmult_total() == 0
+
+
+def test_offchip_bytes_deduplicates_tags():
+    plan = Plan(ARK)
+    plan.add(OpKind.EVK, data_bytes=100, tag="evk:same")
+    plan.add(OpKind.EVK, data_bytes=100, tag="evk:same")
+    plan.add(OpKind.PT, data_bytes=50, tag="pt:a")
+    traffic = plan.offchip_bytes()
+    assert traffic == {"evk": 100, "pt": 50}
+
+
+def test_phases_recorded_in_order():
+    plan = Plan(TOY)
+    plan.begin_phase("first")
+    plan.add(OpKind.NTT, limbs=1)
+    plan.begin_phase("second")
+    plan.add(OpKind.NTT, limbs=1)
+    assert plan.phase_names() == ["first", "second"]
+
+
+def test_extend_remaps_deps():
+    head = Plan(TOY, name="head")
+    root = head.add(OpKind.NTT, limbs=1)
+    tail = Plan(TOY, name="tail")
+    t0 = tail.add(OpKind.INTT, limbs=1)
+    tail.add(OpKind.EWE, limbs=2, deps=(t0,))
+    mapping = head.extend(tail, deps=(root,))
+    head.validate()
+    # The tail's root now depends on the head's last op.
+    assert head.ops[mapping[t0]].deps == (root,)
+
+
+def test_breakdown_separates_oflimb_ntts():
+    plan = Plan(ARK)
+    plan.add(OpKind.NTT, limbs=1)
+    plan.add(OpKind.NTT, limbs=1, tag="oflimb")
+    counts = plan.modmult_breakdown()
+    assert counts["ntt"] == counts["evk_extension_ntt"]
+
+
+@given(st.lists(st.integers(0, 4), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_random_chain_plans_are_topological(kinds):
+    """Chains built through the public API always validate."""
+    plan = Plan(TOY)
+    prev = None
+    kind_map = [OpKind.NTT, OpKind.INTT, OpKind.EWE, OpKind.AUTO, OpKind.NOC]
+    for k in kinds:
+        deps = () if prev is None else (prev,)
+        prev = plan.add(kind_map[k], limbs=1, words=10, deps=deps)
+    plan.validate()
+    assert plan.count(OpKind.NTT) == sum(1 for k in kinds if k == 0)
+
+
+def test_manual_forward_dep_detected():
+    plan = Plan(TOY)
+    a = plan.add(OpKind.NTT, limbs=1)
+    plan.add(OpKind.EWE, limbs=1, deps=(a,))
+    # Corrupt the DAG directly to simulate a builder bug.
+    plan.ops[0] = PrimOp(uid=0, kind=OpKind.NTT, limbs=1, deps=(1,))
+    with pytest.raises(ScheduleError):
+        plan.validate()

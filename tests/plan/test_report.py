@@ -1,0 +1,52 @@
+"""Plan summaries and export."""
+
+import json
+
+from repro.params import ARK
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.primops import OpKind, Plan
+from repro.plan.report import format_summary, phase_table, summarize
+
+
+def test_summary_counts_simple_plan():
+    plan = Plan(ARK, name="tiny")
+    a = plan.add(OpKind.NTT, limbs=3)
+    plan.add(OpKind.EWE, limbs=2, deps=(a,))
+    plan.add(OpKind.EVK, data_bytes=100, tag="evk:x")
+    s = summarize(plan)
+    assert s.total_ops == 3
+    assert s.ops_by_kind == {"ntt": 1, "ewe": 1, "evk": 1}
+    assert s.limbs_by_kind == {"ntt": 3, "ewe": 2}
+    assert s.distinct_evk_tags == 1
+    assert s.offchip_bytes_by_kind == {"evk": 100}
+
+
+def test_summary_json_roundtrip():
+    plan = BootstrapPlan(ARK, 1 << 15, mode="minks", oflimb=True).build()
+    s = summarize(plan)
+    decoded = json.loads(s.to_json())
+    assert decoded["name"] == plan.name
+    assert decoded["total_ops"] == len(plan.ops)
+    assert decoded["phases"] == ["ModRaise", "H-IDFT", "EvalMod", "H-DFT"]
+
+
+def test_bootstrap_summary_reflects_minks():
+    mink = summarize(BootstrapPlan(ARK, 1 << 15, mode="minks").build())
+    base = summarize(BootstrapPlan(ARK, 1 << 15, mode="baseline").build())
+    assert mink.distinct_evk_tags < base.distinct_evk_tags
+    assert mink.distinct_pt_tags == base.distinct_pt_tags
+
+
+def test_phase_table_partitions_all_ops():
+    plan = BootstrapPlan(ARK, 1 << 15).build()
+    table = phase_table(plan)
+    assert sum(sum(counts.values()) for counts in table.values()) == len(plan.ops)
+    assert set(table) == {"ModRaise", "H-IDFT", "EvalMod", "H-DFT"}
+
+
+def test_format_summary_is_readable():
+    plan = BootstrapPlan(ARK, 1 << 15).build()
+    text = format_summary(summarize(plan))
+    assert "modular mults" in text
+    assert "H-IDFT" in text
+    assert plan.name in text

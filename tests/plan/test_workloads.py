@@ -1,0 +1,88 @@
+"""Workload models: structure, bootstrap fractions, algorithm speedups."""
+
+import pytest
+
+from repro.arch.config import ARK_BASE
+from repro.params import ARK
+from repro.plan.workloads import build_helr, build_resnet20, build_sorting
+from repro.plan.workloads.helr import ITERATIONS_DEFAULT
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for build in (build_helr, build_resnet20, build_sorting):
+        for mode, oflimb in (("baseline", False), ("minks", True)):
+            wl = build(ARK, mode=mode, oflimb=oflimb)
+            out[(build.__name__, mode)] = wl.simulate(ARK_BASE)
+    return out
+
+
+def test_all_models_have_two_segment_kinds(results):
+    for res in results.values():
+        assert set(res.segment_cycles) == {"compute", "bootstrap"}
+
+
+def test_algorithms_speed_up_every_workload(results):
+    """Fig. 7(b): 1.72x (HELR), 2.20x (ResNet-20), 2.08x (sorting)."""
+    for name, low, high in (
+        ("build_helr", 1.3, 2.3),
+        ("build_resnet20", 1.6, 3.2),
+        ("build_sorting", 1.6, 3.2),
+    ):
+        speedup = (
+            results[(name, "baseline")].seconds / results[(name, "minks")].seconds
+        )
+        assert low < speedup < high, f"{name}: {speedup:.2f}"
+
+
+def test_helr_boot_fraction_near_paper(results):
+    """Paper: bootstrapping is 39.3% of HELR."""
+    frac = results[("build_helr", "minks")].fraction("bootstrap")
+    assert 0.25 < frac < 0.55
+
+
+def test_resnet_and_sorting_are_bootstrap_dominated(results):
+    assert results[("build_resnet20", "minks")].fraction("bootstrap") > 0.7
+    assert results[("build_sorting", "minks")].fraction("bootstrap") > 0.7
+
+
+def test_helr_per_iteration_time_order_of_magnitude(results):
+    """Paper Table V: 7.42 ms per iteration on ARK."""
+    per_iter = results[("build_helr", "minks")].seconds / ITERATIONS_DEFAULT * 1e3
+    assert 2.0 < per_iter < 15.0
+
+
+def test_resnet_total_time_order_of_magnitude(results):
+    """Paper Table VI: 0.125 s for ResNet-20."""
+    assert 0.04 < results[("build_resnet20", "minks")].seconds < 0.4
+
+
+def test_sorting_total_time_order_of_magnitude(results):
+    """Paper Table VI: 1.99 s for sorting."""
+    assert 0.5 < results[("build_sorting", "minks")].seconds < 6.0
+
+
+def test_double_hbm_helps_helr_most(results):
+    """Fig. 8: 2x HBM gives 1.47x on HELR but ~1.07x elsewhere, because
+    HELR's weighted sums use non-AP rotation amounts Min-KS cannot cover."""
+    double = ARK_BASE.variant_double_hbm()
+    gains = {}
+    for build in (build_helr, build_resnet20, build_sorting):
+        wl = build(ARK)
+        gains[build.__name__] = (
+            wl.simulate(ARK_BASE).seconds / wl.simulate(double).seconds
+        )
+    assert gains["build_helr"] > gains["build_resnet20"]
+    assert gains["build_helr"] > gains["build_sorting"]
+    assert gains["build_helr"] > 1.15
+    assert gains["build_resnet20"] < 1.2
+
+
+def test_limb_wise_distribution_slows_everything(results):
+    """Fig. 8: limb-wise-only distribution degrades to 0.67-0.85x."""
+    alt = ARK_BASE.variant_limb_wise()
+    for build in (build_helr, build_resnet20, build_sorting):
+        wl = build(ARK)
+        ratio = wl.simulate(ARK_BASE).seconds / wl.simulate(alt).seconds
+        assert 0.55 < ratio < 0.95

@@ -1,0 +1,75 @@
+"""Tests for RNS basis generation and limb grouping."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt.primes import is_prime
+from repro.params import TOY, CkksParams
+from repro.rns.basis import RnsBasis
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis.generate(TOY)
+
+
+def test_generate_counts(basis):
+    assert len(basis.q_moduli) == TOY.max_level + 1
+    assert len(basis.p_moduli) == TOY.alpha
+    assert basis.max_level == TOY.max_level
+    assert basis.alpha == TOY.alpha
+
+
+def test_generated_primes_are_ntt_friendly(basis):
+    two_n = 2 * TOY.degree
+    for p in (*basis.q_moduli, *basis.p_moduli):
+        assert is_prime(p)
+        assert p % two_n == 1
+
+
+def test_scale_primes_near_delta(basis):
+    for q in basis.q_moduli[1:]:
+        assert abs(q.bit_length() - TOY.scale_bits) <= 1
+
+
+def test_all_moduli_distinct(basis):
+    all_mods = (*basis.q_moduli, *basis.p_moduli)
+    assert len(set(all_mods)) == len(all_mods)
+
+
+def test_products(basis):
+    q_full = 1
+    for q in basis.q_moduli:
+        q_full *= q
+    assert basis.q_product() == q_full
+    assert basis.q_product(0) == basis.q_moduli[0]
+    p_prod = 1
+    for p in basis.p_moduli:
+        p_prod *= p
+    assert basis.p_product == p_prod
+
+
+def test_limb_groups_full_level(basis):
+    groups = basis.limb_groups(TOY.dnum)
+    assert len(groups) == TOY.dnum
+    flattened = [q for g in groups for q in g]
+    assert tuple(flattened) == basis.q_moduli
+    for g in groups:
+        assert len(g) == TOY.alpha
+
+
+def test_limb_groups_partial_level(basis):
+    # At level alpha (alpha+1 limbs) we need ceil((alpha+1)/alpha) = 2 groups.
+    groups = basis.limb_groups(TOY.dnum, level=TOY.alpha)
+    assert len(groups) == 2
+    assert len(groups[-1]) == 1
+
+
+def test_duplicate_moduli_rejected():
+    with pytest.raises(ParameterError):
+        RnsBasis(64, [97, 97], [113])
+
+
+def test_params_validation():
+    with pytest.raises(ParameterError):
+        CkksParams(name="bad", log_degree=10, max_level=7, dnum=3)

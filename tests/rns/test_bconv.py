@@ -1,0 +1,119 @@
+"""Exactness and error-bound tests for fast base conversion (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.nt.primes import find_ntt_primes
+from repro.rns.bconv import BaseConverter, bconv_routine, get_converter
+from repro.rns.poly import PolyRns
+
+DEGREE = 32
+# Source product (2 primes ~2^20) is far below the target product
+# (4 primes ~2^26) so the fast-conversion offset k*prod(SRC), k < len(SRC),
+# is observable without wrapping mod prod(DST).
+SRC = tuple(find_ntt_primes(DEGREE, 20, 2))
+DST = tuple(find_ntt_primes(DEGREE, 26, 4))
+
+
+def encode_int(value, moduli, degree=DEGREE):
+    """Residues of the constant polynomial ``value``."""
+    data = np.zeros((len(moduli), degree), dtype=np.uint64)
+    for j, q in enumerate(moduli):
+        data[j, :] = value % q
+    return data
+
+
+def test_disjointness_enforced():
+    with pytest.raises(ParameterError):
+        BaseConverter(SRC, SRC)
+
+
+def test_empty_basis_rejected():
+    with pytest.raises(ParameterError):
+        BaseConverter((), DST)
+
+
+def test_wrong_shape_rejected():
+    conv = BaseConverter(SRC, DST)
+    with pytest.raises(ParameterError):
+        conv.convert(np.zeros((len(SRC) + 1, DEGREE), dtype=np.uint64))
+
+
+def test_congruent_mod_source_product():
+    """Fast BConv preserves the value modulo prod(SRC) (Eq. 4 contract)."""
+    conv = BaseConverter(SRC, DST)
+    value = 123456789 % conv.src_product
+    out = conv.convert(encode_int(value, SRC))
+    # Reconstruct over DST and compare mod prod(SRC).
+    dst_product = 1
+    for q in DST:
+        dst_product *= q
+    recon = 0
+    for i, q in enumerate(DST):
+        qhat = dst_product // q
+        recon = (recon + int(out[i, 0]) * pow(qhat % q, -1, q) % q * qhat) % dst_product
+    assert recon % conv.src_product == value
+
+
+@given(st.integers(0, 10**12))
+@settings(max_examples=100, deadline=None)
+def test_fast_bconv_error_is_small_multiple_of_src_product(value):
+    """Fast BConv output ≡ x + k*prod(SRC) with 0 <= k < len(SRC)."""
+    conv = BaseConverter(SRC, DST)
+    src_product = conv.src_product
+    x = value % src_product
+    out = conv.convert(encode_int(x, SRC))
+    # Reconstruct the converted integer via CRT over DST.
+    dst_product = 1
+    for q in DST:
+        dst_product *= q
+    recon = 0
+    for i, q in enumerate(DST):
+        qhat = dst_product // q
+        recon = (recon + int(out[i, 0]) * pow(qhat % q, -1, q) % q * qhat) % dst_product
+    diff = (recon - x) % dst_product
+    assert diff % src_product == 0
+    assert diff // src_product < len(SRC)
+
+
+def test_centered_single_source_handles_negative_lift():
+    conv = BaseConverter((SRC[0],), DST)
+    p = SRC[0]
+    negative = -5  # stored as p - 5
+    out = conv.convert(encode_int(negative % p, (SRC[0],)), centered=True)
+    for i, q in enumerate(DST):
+        assert int(out[i, 0]) == (-5) % q
+
+
+def test_centered_requires_single_source():
+    conv = BaseConverter(SRC, DST)
+    with pytest.raises(ParameterError):
+        conv.convert(encode_int(1, SRC), centered=True)
+
+
+def test_converter_cache():
+    assert get_converter(SRC, DST) is get_converter(SRC, DST)
+
+
+def test_bconv_routine_returns_eval_rep():
+    rng = np.random.default_rng(0)
+    poly = PolyRns.uniform_random(DEGREE, SRC, rng)
+    out = bconv_routine(poly, DST)
+    assert out.rep == "eval"
+    assert out.moduli == DST
+
+
+def test_bconv_routine_value_matches_direct_conversion():
+    rng = np.random.default_rng(1)
+    poly = PolyRns.uniform_random(DEGREE, SRC, rng)
+    routed = bconv_routine(poly.to_eval(), DST).to_coeff()
+    direct = get_converter(SRC, DST).convert(poly.data)
+    assert np.array_equal(routed.data, direct)
+
+
+def test_base_table_words():
+    conv = BaseConverter(SRC, DST)
+    assert conv.base_table_words == len(SRC) * len(DST)

@@ -1,0 +1,167 @@
+"""Tests for RNS polynomial arithmetic and representation handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, RepresentationError
+from repro.nt.primes import find_ntt_primes
+from repro.rns.poly import PolyRns
+
+DEGREE = 32
+MODULI = tuple(find_ntt_primes(DEGREE, 24, 3))
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_from_int_roundtrip_small_signed():
+    coeffs = list(range(-16, 16))
+    poly = PolyRns.from_int_coeffs(DEGREE, MODULI, coeffs)
+    assert poly.to_int_coeffs() == coeffs
+
+
+def test_from_int_wrong_length():
+    with pytest.raises(ParameterError):
+        PolyRns.from_int_coeffs(DEGREE, MODULI, [1, 2, 3])
+
+
+def test_add_sub_neg_consistency():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    b = PolyRns.uniform_random(DEGREE, MODULI, r)
+    zero = (a + b) - b - a
+    assert np.all(zero.data == 0)
+    assert np.all(((a + (-a)).data) == 0)
+
+
+def test_mul_requires_eval_rep():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    with pytest.raises(RepresentationError):
+        _ = a * a
+
+
+def test_mul_matches_integer_polynomial_product():
+    a = PolyRns.from_int_coeffs(DEGREE, MODULI, [1] + [0] * (DEGREE - 1))
+    x = [0] * DEGREE
+    x[1] = 3
+    b = PolyRns.from_int_coeffs(DEGREE, MODULI, x)
+    prod = (a.to_eval() * b.to_eval()).to_coeff()
+    expected = [0] * DEGREE
+    expected[1] = 3
+    assert prod.to_int_coeffs() == expected
+
+
+def test_negacyclic_wraparound_sign():
+    # X^(N-1) * X^2 = X^(N+1) = -X
+    a_coeffs = [0] * DEGREE
+    a_coeffs[DEGREE - 1] = 1
+    b_coeffs = [0] * DEGREE
+    b_coeffs[2] = 1
+    a = PolyRns.from_int_coeffs(DEGREE, MODULI, a_coeffs)
+    b = PolyRns.from_int_coeffs(DEGREE, MODULI, b_coeffs)
+    prod = (a.to_eval() * b.to_eval()).to_coeff()
+    expected = [0] * DEGREE
+    expected[1] = -1
+    assert prod.to_int_coeffs() == expected
+
+
+def test_scalar_mul():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    doubled = a.scalar_mul(2)
+    assert np.array_equal(doubled.data, (a.data * np.uint64(2)) % a._mods_column())
+
+
+def test_scalar_mul_per_limb_validates_length():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    with pytest.raises(ParameterError):
+        a.scalar_mul_per_limb([1])
+
+
+def test_rep_conversion_roundtrip():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    assert np.array_equal(a.to_eval().to_coeff().data, a.data)
+
+
+def test_incompatible_moduli_rejected():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    b = PolyRns.uniform_random(DEGREE, MODULI[:2], r)
+    with pytest.raises(RepresentationError):
+        _ = a + b
+
+
+def test_limbs_projection_and_concat():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    first = a.limbs(MODULI[:1])
+    rest = a.limbs(MODULI[1:])
+    rebuilt = first.concat(rest)
+    assert rebuilt.moduli == MODULI
+    assert np.array_equal(rebuilt.data, a.data)
+
+
+def test_concat_rejects_overlap():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    with pytest.raises(ParameterError):
+        a.concat(a)
+
+
+def test_limbs_missing_modulus():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    with pytest.raises(ParameterError):
+        a.limbs((999983,))
+
+
+def test_drop_last_limb():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    dropped = a.drop_last_limb()
+    assert dropped.moduli == MODULI[:-1]
+    single = PolyRns.uniform_random(DEGREE, MODULI[:1], r)
+    with pytest.raises(ParameterError):
+        single.drop_last_limb()
+
+
+def test_automorphism_commutes_across_reps():
+    r = rng()
+    a = PolyRns.uniform_random(DEGREE, MODULI, r)
+    galois = 5
+    via_coeff = a.automorphism(galois).to_eval()
+    via_eval = a.to_eval().automorphism(galois)
+    assert np.array_equal(via_coeff.data, via_eval.data)
+
+
+def test_ternary_secret_properties():
+    r = rng()
+    s = PolyRns.small_ternary(DEGREE, MODULI, r, hamming_weight=8)
+    coeffs = s.to_int_coeffs()
+    assert sum(1 for c in coeffs if c != 0) == 8
+    assert all(c in (-1, 0, 1) for c in coeffs)
+
+
+def test_gaussian_error_is_small():
+    r = rng()
+    e = PolyRns.gaussian_error(DEGREE, MODULI, r)
+    assert all(abs(c) < 40 for c in e.to_int_coeffs())
+
+
+@given(st.integers(0, 2**32))
+@settings(max_examples=25, deadline=None)
+def test_crt_roundtrip_random_big_ints(seed):
+    r = np.random.default_rng(seed)
+    product = 1
+    for q in MODULI:
+        product *= q
+    values = [int(r.integers(0, 2**62)) % product for _ in range(DEGREE)]
+    centered = [v - product if v > product // 2 else v for v in values]
+    poly = PolyRns.from_int_coeffs(DEGREE, MODULI, centered)
+    assert poly.to_int_coeffs() == centered

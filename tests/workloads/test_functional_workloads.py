@@ -1,0 +1,172 @@
+"""Functional encrypted workloads against plaintext references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import TOY
+from repro.ckks.context import CkksContext
+from repro.workloads.cnn import encrypted_conv2d, plaintext_conv2d
+from repro.workloads.data import synthetic_classification, synthetic_image
+from repro.workloads.helr import (
+    EncryptedLogisticRegression,
+    sigmoid_poly,
+)
+from repro.workloads.sorting import (
+    encrypted_compare_swap,
+    sign_approx,
+    sign_approx_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, seed=101)
+
+
+# ------------------------------------------------------------------ data
+
+
+def test_synthetic_classification_shapes_and_labels():
+    x, y = synthetic_classification(64, 8, seed=1)
+    assert x.shape == (64, 8)
+    assert set(np.unique(y)) == {0.0, 1.0}
+    assert np.max(np.abs(x)) <= 1.0
+
+
+def test_synthetic_classification_is_separable():
+    x, y = synthetic_classification(200, 8, seed=2)
+    # A trivial mean-difference classifier should beat chance easily.
+    direction = x[y == 1].mean(axis=0) - x[y == 0].mean(axis=0)
+    predictions = (x @ direction > 0).astype(float)
+    assert np.mean(predictions == y) > 0.8
+
+
+def test_synthetic_image_range():
+    img = synthetic_image(8, 8, seed=3)
+    assert img.shape == (8, 8)
+    assert np.max(np.abs(img)) <= 1.0
+
+
+# ------------------------------------------------------------------ HELR
+
+
+def test_encrypted_gradient_matches_plaintext(ctx):
+    features = 8
+    model = EncryptedLogisticRegression(ctx, features)
+    rng = np.random.default_rng(4)
+    model.weights = rng.uniform(-0.5, 0.5, features)
+    x = rng.uniform(-1, 1, features)
+    ct_x = ctx.encrypt(x.astype(np.complex128))
+    grad_ct = model.encrypted_gradient(ct_x, label=1.0)
+    grad = ctx.decrypt(grad_ct).real[:features]
+    expected = model.plaintext_gradient(x, 1.0)
+    assert np.allclose(grad, expected, atol=0.05)
+
+
+def test_training_improves_accuracy(ctx):
+    features = 8
+    x, y = synthetic_classification(48, features, seed=5)
+    model = EncryptedLogisticRegression(ctx, features)
+    before = model.accuracy(x, y)
+    for xi, yi in zip(x[:24], y[:24]):
+        model.step(xi, yi, lr=0.8)
+    after = model.accuracy(x, y)
+    assert after > max(before, 0.75)
+
+
+def test_feature_count_validation(ctx):
+    with pytest.raises(ParameterError):
+        EncryptedLogisticRegression(ctx, 7)
+
+
+def test_sigmoid_poly_is_sigmoid_like():
+    z = np.linspace(-4, 4, 41)
+    approx = sigmoid_poly(z)
+    true = 1.0 / (1.0 + np.exp(-z))
+    # HELR's coefficients are fit over [-8, 8]; on [-4, 4] the worst-case
+    # deviation sits near |z| = 2 at ~0.095.
+    assert np.max(np.abs(approx - true)) < 0.12
+
+
+# ------------------------------------------------------------------- CNN
+
+
+def test_plaintext_conv_matches_numpy_reference():
+    img = synthetic_image(6, 6, seed=6)
+    kernel = np.array([[0, 1, 0], [1, -4, 1], [0, 1, 0]], dtype=float)
+    ours = plaintext_conv2d(img, kernel)
+    # Cross-check with scipy-style explicit loop.
+    expected = np.zeros_like(img)
+    for y in range(6):
+        for x in range(6):
+            total = 0.0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    yy, xx = y + dy, x + dx
+                    if 0 <= yy < 6 and 0 <= xx < 6:
+                        total += kernel[dy + 1, dx + 1] * img[yy, xx]
+            expected[y, x] = total
+    assert np.allclose(ours, expected)
+
+
+def test_encrypted_conv_matches_plaintext(ctx):
+    height = width = 8
+    img = synthetic_image(height, width, seed=7)
+    kernel = np.array(
+        [[0.05, 0.1, 0.05], [0.1, 0.4, 0.1], [0.05, 0.1, 0.05]]
+    )
+    ct = ctx.encrypt(img.reshape(-1).astype(np.complex128))
+    out_ct = encrypted_conv2d(ctx, ct, kernel, height, width)
+    out = ctx.decrypt(out_ct).real.reshape(height, width)
+    expected = plaintext_conv2d(img, kernel)
+    assert np.allclose(out, expected, atol=0.05)
+
+
+def test_encrypted_conv_rejects_bad_packing(ctx):
+    ct = ctx.encrypt(np.zeros(16))
+    with pytest.raises(ParameterError):
+        encrypted_conv2d(ctx, ct, np.ones((3, 3)) / 9, 8, 8)
+
+
+def test_conv_rejects_even_kernel():
+    with pytest.raises(ParameterError):
+        plaintext_conv2d(np.zeros((4, 4)), np.ones((2, 2)))
+
+
+# ---------------------------------------------------------------- sorting
+
+
+def test_sign_reference_sharpens():
+    x = np.linspace(-1, 1, 101)
+    once = sign_approx_reference(x, 1)
+    thrice = sign_approx_reference(x, 3)
+    # More iterations push values toward +-1 away from 0.
+    assert np.all(np.abs(thrice[np.abs(x) > 0.3]) >= np.abs(once[np.abs(x) > 0.3]) - 1e-9)
+
+
+def test_encrypted_sign(ctx):
+    rng = np.random.default_rng(8)
+    x = rng.uniform(-1, 1, ctx.params.max_slots)
+    ct = ctx.encrypt(x.astype(np.complex128))
+    out = ctx.decrypt(sign_approx(ctx, ct, iterations=2)).real
+    expected = sign_approx_reference(x, 2)
+    assert np.allclose(out, expected, atol=0.05)
+
+
+def test_encrypted_compare_swap(ctx):
+    rng = np.random.default_rng(9)
+    # Keep a clear separation so 2 sign iterations saturate.
+    a = rng.uniform(-1, 1, ctx.params.max_slots)
+    b = np.where(a > 0, a - 0.8, a + 0.8)
+    ct_min, ct_max = encrypted_compare_swap(
+        ctx,
+        ctx.encrypt(a.astype(np.complex128)),
+        ctx.encrypt(b.astype(np.complex128)),
+    )
+    got_min = ctx.decrypt(ct_min).real
+    got_max = ctx.decrypt(ct_max).real
+    # The sign approximation is soft; allow tolerance proportional to gap.
+    assert np.allclose(got_min, np.minimum(a, b), atol=0.15)
+    assert np.allclose(got_max, np.maximum(a, b), atol=0.15)
+    assert np.all(got_max - got_min > -0.05)
