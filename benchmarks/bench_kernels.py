@@ -1,10 +1,15 @@
 """Functional-layer microbenchmarks: the primary functions of Section III-A
-running real math at the laptop-scale parameters."""
+running real math at the laptop-scale parameters.
+
+All timed callables run warm (pytest-benchmark warmup) so the numbers
+reflect steady-state kernel cost, not first-call table/scratch setup.
+"""
 
 import numpy as np
 import pytest
 
 from repro.ckks.context import CkksContext
+from repro.nt.kernels import get_ntt_kernel
 from repro.nt.ntt import NttContext
 from repro.nt.primes import find_ntt_primes
 from repro.params import TOY
@@ -13,6 +18,10 @@ from repro.rns.poly import PolyRns
 
 DEGREE = 1 << 12
 PRIME = find_ntt_primes(DEGREE, 28, 1)[0]
+
+pytestmark = pytest.mark.benchmark(
+    warmup="on", warmup_iterations=5, min_rounds=15
+)
 
 
 @pytest.fixture(scope="module")
@@ -34,6 +43,25 @@ def test_bench_ntt_batch(benchmark):
     benchmark(ntt.forward, data)
 
 
+def test_bench_ntt_limb_batch(benchmark):
+    """16 limbs x 4096 through one limb-batched kernel call (the ModUp /
+    to_eval shape); the seed looped Python-side over 16 per-limb NTTs."""
+    moduli = tuple(find_ntt_primes(DEGREE, 28, 16))
+    kernel = get_ntt_kernel(DEGREE, moduli)
+    rng = np.random.default_rng(7)
+    data = np.stack(
+        [rng.integers(0, q, size=DEGREE, dtype=np.uint64) for q in moduli]
+    )
+    benchmark(kernel.forward, data)
+
+
+def test_bench_intt_batch(benchmark):
+    ntt = NttContext(DEGREE, PRIME)
+    rng = np.random.default_rng(8)
+    data = rng.integers(0, PRIME, size=(16, DEGREE), dtype=np.uint64)
+    benchmark(ntt.inverse, data)
+
+
 def test_bench_base_conversion(benchmark):
     src = tuple(find_ntt_primes(64, 28, 4))
     dst = tuple(find_ntt_primes(64, 29, 8))
@@ -43,6 +71,16 @@ def test_bench_base_conversion(benchmark):
     # Larger batch through tiling for a stable measurement.
     data = np.tile(poly.data, (1, 64))
     benchmark(conv.convert, data)
+
+
+def test_bench_base_conversion_modup_shape(benchmark):
+    """BConv at a key-switch ModUp shape: 4 -> 12 limbs at full degree."""
+    src = tuple(find_ntt_primes(DEGREE, 28, 4))
+    dst = tuple(find_ntt_primes(DEGREE, 29, 12))
+    conv = get_converter(src, dst)
+    rng = np.random.default_rng(9)
+    poly = PolyRns.uniform_random(DEGREE, src, rng)
+    benchmark(conv.convert, poly.data)
 
 
 def test_bench_encode(benchmark, ctx):

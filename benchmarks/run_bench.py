@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Run the kernel microbenchmarks and record the perf trajectory.
+
+Executes ``bench_kernels.py`` under pytest-benchmark and writes the raw
+results to ``BENCH_kernels.json`` at the repository root (checked in so
+future PRs can regress against it). Extra arguments are forwarded to
+pytest, e.g.::
+
+    python benchmarks/run_bench.py            # full kernel suite
+    python benchmarks/run_bench.py -k ntt     # just the NTT benches
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_kernels.json"
+
+
+def main(argv: list[str]) -> int:
+    src = ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    import pytest
+
+    args = [
+        str(ROOT / "benchmarks" / "bench_kernels.py"),
+        "-q",
+        f"--benchmark-json={OUTPUT}",
+        *argv,
+    ]
+    code = pytest.main(args)
+    if code == 0 and OUTPUT.exists():
+        _slim(OUTPUT)
+    return code
+
+
+def _slim(path: pathlib.Path) -> None:
+    """Drop the raw per-round samples; keep summary stats (checked-in file)."""
+    import json
+
+    report = json.loads(path.read_text())
+    for bench in report.get("benchmarks", []):
+        bench.get("stats", {}).pop("data", None)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

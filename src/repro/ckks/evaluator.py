@@ -16,6 +16,7 @@ from collections import Counter
 import numpy as np
 
 from repro.errors import LevelError, ParameterError
+from repro.nt.kernels import add_mod, get_ntt_kernel, mul_mod, scalar_mul_mod, sub_mod
 from repro.nt.modarith import modinv
 from repro.nt.ntt import get_ntt_context
 from repro.params import CkksParams
@@ -73,9 +74,11 @@ class CkksEvaluator:
         """
         scaled = int(round(ct.scale * value))
         b = ct.b
-        data = b.data.copy()
-        for j, q in enumerate(b.moduli):
-            data[j] = (data[j] + np.uint64(scaled % q)) % np.uint64(q)
+        mods = np.array(b.moduli, dtype=np.uint64)[:, None]
+        consts = np.array(
+            [scaled % q for q in b.moduli], dtype=np.uint64
+        )[:, None]
+        data = add_mod(b.data, consts, mods)
         self.stats["cadd"] += 1
         new_b = PolyRns(b.degree, b.moduli, data, b.rep)
         return Ciphertext(b=new_b, a=ct.a, scale=ct.scale, slots=ct.slots)
@@ -237,12 +240,15 @@ class CkksEvaluator:
         self.stats["monomial_mult"] += 1
 
         def twist(poly: PolyRns) -> PolyRns:
-            rows = []
-            for j, q in enumerate(poly.moduli):
-                ctx = get_ntt_context(poly.degree, q)
-                factors = ctx.monomial_eval_values(power)
-                rows.append((poly.data[j] * factors) % np.uint64(q))
-            return PolyRns(poly.degree, poly.moduli, np.stack(rows), poly.rep)
+            factors = np.stack(
+                [
+                    get_ntt_context(poly.degree, q).monomial_eval_values(power)
+                    for q in poly.moduli
+                ]
+            )
+            mods = np.array(poly.moduli, dtype=np.uint64)[:, None]
+            data = mul_mod(poly.data, factors, mods)
+            return PolyRns(poly.degree, poly.moduli, data, poly.rep)
 
         return Ciphertext(
             b=twist(ct.b), a=twist(ct.a), scale=ct.scale, slots=ct.slots
@@ -312,22 +318,35 @@ class CkksEvaluator:
         )
 
     def _rescale_poly(self, poly: PolyRns) -> PolyRns:
-        """(x - [x_last])*q_last^-1 on the remaining limbs."""
+        """(x - [x_last])*q_last^-1 on the remaining limbs.
+
+        The dropped limb's centered lift is reduced against every remaining
+        prime and NTT'd in one limb-batched kernel call, then the subtract
+        and the fixed q_last^-1 multiplier run lazily.
+        """
         q_last = poly.moduli[-1]
         remaining = poly.moduli[:-1]
         last_coeff = get_ntt_context(poly.degree, q_last).inverse(poly.data[-1])
         # Centered lift of the dropped limb, reduced mod each remaining prime.
         lifted = last_coeff.astype(np.int64)
         lifted = np.where(lifted > q_last // 2, lifted - q_last, lifted)
-        out_rows = []
-        for j, q in enumerate(remaining):
-            ctx = get_ntt_context(poly.degree, q)
-            reduced = np.mod(lifted, q).astype(np.uint64)
-            reduced_eval = ctx.forward(reduced)
-            diff = (poly.data[j] + np.uint64(q) - reduced_eval) % np.uint64(q)
-            inv = np.uint64(modinv(q_last % q, q))
-            out_rows.append((diff * inv) % np.uint64(q))
-        return PolyRns(poly.degree, remaining, np.stack(out_rows), poly.rep)
+        mods_i64 = np.array(remaining, dtype=np.int64)[:, None]
+        reduced = np.mod(lifted[None, :], mods_i64).astype(np.uint64)
+        kernel = get_ntt_kernel(poly.degree, remaining)
+        if kernel is not None:
+            reduced_eval = kernel.forward(reduced)
+        else:
+            reduced_eval = np.stack(
+                [
+                    get_ntt_context(poly.degree, q).forward(reduced[j])
+                    for j, q in enumerate(remaining)
+                ]
+            )
+        mods = np.array(remaining, dtype=np.uint64)[:, None]
+        diff = sub_mod(poly.data[:-1], reduced_eval, mods)
+        inverses = [modinv(q_last % q, q) for q in remaining]
+        data = scalar_mul_mod(diff, inverses, remaining)
+        return PolyRns(poly.degree, remaining, data, poly.rep)
 
     def drop_to_level(self, ct: Ciphertext, level: int) -> Ciphertext:
         """Discard limbs (no division) so that ct sits at ``level``."""

@@ -138,7 +138,10 @@ class KeySwitcher:
         self.stats.add("bconv_output_limbs", len(target))
         extension = PolyRns(d.degree, target, extension_data, rep="coeff").to_eval()
         self.stats.add("ntt_limbs", len(target))
-        return coeff.to_eval().concat(extension).limbs(extended_basis)
+        # The Ci-group limbs are already in evaluation rep in `piece`;
+        # NTT(INTT(x)) == x exactly, so reuse them instead of transforming
+        # the round-tripped coefficients back.
+        return piece.concat(extension).limbs(extended_basis)
 
     def _mod_down(self, x: PolyRns, active: tuple[int, ...]) -> PolyRns:
         """Lines 6-8 of Alg. 2: back to R_Q and divide by P."""

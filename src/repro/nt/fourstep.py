@@ -23,6 +23,7 @@ import math
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.nt.kernels import geometric_series
 from repro.nt.modarith import modinv, modpow
 from repro.nt.ntt import NttContext
 
@@ -122,12 +123,7 @@ class FourStepNtt:
 
     def _geometric(self, ratio: int, count: int) -> np.ndarray:
         """Length-``count`` geometric progression 1, r, r^2, ... mod p."""
-        out = np.empty(count, dtype=np.uint64)
-        acc = 1
-        for i in range(count):
-            out[i] = acc
-            acc = (acc * ratio) % self.modulus
-        return out
+        return geometric_series(ratio, count, self.modulus)
 
     def _twist_matrix(self) -> np.ndarray:
         """T[i1, k2] = omega^(i1*k2), column k2 generated from its ratio."""

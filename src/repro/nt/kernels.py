@@ -1,0 +1,633 @@
+"""Vectorized lazy-reduction modular kernels (Shoup/Harvey style).
+
+This module is the numpy "functional-unit layer" that the RNS/CKKS stack
+runs on. It replaces division-based ``% p`` reductions on the hot paths
+with shift/multiply/conditional-subtract sequences, mirroring how ARK's
+hardware multipliers work (Shoup multipliers in the NTT unit, lazy
+accumulation in the BConv unit):
+
+* **Shoup multiplication** -- for a *fixed* multiplier ``w < p`` the quotient
+  of ``a*w / p`` is approximated by ``(a * w_shoup) >> 32`` with
+  ``w_shoup = floor(w * 2^32 / p)``. For any ``a < 2^32`` the remainder
+  candidate ``a*w - q*p`` lands in ``[0, 2p)`` -- one conditional subtract
+  away from canonical, and often usable as-is ("lazy").
+* **Lazy butterflies** -- the NTT keeps values in ``[0, 2p)`` between
+  stages, with p <= 2^30 so every intermediate fits ``uint32``; only the
+  Shoup product itself runs in ``uint64``. The transform is organized as a
+  self-sorting Stockham iteration so every stage reads contiguous halves
+  (forward) or writes contiguous halves (inverse) -- strided traffic is
+  what makes textbook in-place numpy NTTs slow, not the arithmetic.
+* **Conditional subtraction** -- ``min(x, x - c)`` on unsigned arrays: the
+  subtraction wraps to a huge value exactly when ``x < c``, so the minimum
+  selects the reduced value without a boolean temporary.
+
+Invariants (asserted at construction, relied on throughout):
+
+* lazy NTT / Shoup fast paths require ``p <= 2^30`` (so ``4p <= 2^32``);
+  the 31-bit primes allowed by :class:`~repro.nt.ntt.NttContext` fall back
+  to the reference ``%``-based transforms.
+* twiddle/scalar multiplicands are canonical (``w < p``).
+* all outputs returned to callers are canonical and bit-identical to the
+  pre-existing ``%``-based implementations (property-tested).
+
+Kernels and converters reuse cached scratch buffers between calls, so the
+process-wide cached instances are **not reentrant**: like the rest of the
+library they assume single-threaded use. Returned arrays are always fresh.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt.modarith import modinv
+
+SHOUP_SHIFT = np.uint64(32)
+
+# The packed-pair store in the NTT first stage relies on uint64 lane order.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Largest prime (inclusive) served by the lazy uint32-state kernels.
+LAZY_MAX_PRIME = 1 << 30
+
+#: Flat (pre-repeated, contiguous) twiddle tables are materialized only when
+#: the total table footprint stays below this many words; beyond it the
+#: kernels fall back to strided views of the power tables.
+_FLAT_TWIDDLE_BUDGET_WORDS = 1 << 22
+
+
+# --------------------------------------------------------------- primitives
+
+
+def shoup_precompute(values, modulus) -> np.ndarray:
+    """Return ``floor(values * 2^32 / modulus)`` element-wise (uint64).
+
+    ``modulus`` may be a scalar or an array broadcastable against
+    ``values`` (per-row moduli columns are the common case).
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    m = np.asarray(modulus, dtype=np.uint64)
+    return (v << SHOUP_SHIFT) // m
+
+
+def shoup_mul_lazy(a, w, w_shoup, modulus) -> np.ndarray:
+    """Lazy Shoup product ``a * w mod p`` in ``[0, 2p)``.
+
+    Requires ``a < 2^32`` and canonical ``w < p``; all inputs uint64 or
+    broadcastable to it. Exact: the result is congruent to ``a*w mod p``.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    q = (a * w_shoup) >> SHOUP_SHIFT
+    return a * w - q * np.asarray(modulus, dtype=np.uint64)
+
+
+def cond_sub(x, bound) -> np.ndarray:
+    """Return ``x - bound`` where ``x >= bound`` else ``x`` (unsigned trick)."""
+    return np.minimum(x, x - bound)
+
+
+def lazy_to_canonical(x, modulus) -> np.ndarray:
+    """Map values in ``[0, 2p)`` to canonical ``[0, p)``."""
+    return cond_sub(np.asarray(x, dtype=np.uint64), np.asarray(modulus, np.uint64))
+
+
+def shoup_mul(a, w, w_shoup, modulus) -> np.ndarray:
+    """Canonical Shoup product ``a * w mod p`` (lazy product + one cond-sub)."""
+    return lazy_to_canonical(shoup_mul_lazy(a, w, w_shoup, modulus), modulus)
+
+
+# ------------------------------------------- element-wise modular arithmetic
+# All take canonical inputs and a broadcastable ``mods`` array (typically the
+# (limbs, 1) column of an RNS polynomial) and return canonical outputs.
+
+
+def add_mod(a, b, mods) -> np.ndarray:
+    """``(a + b) mod p`` via conditional subtract (inputs canonical)."""
+    return cond_sub(a + b, mods)
+
+
+def sub_mod(a, b, mods) -> np.ndarray:
+    """``(a - b) mod p`` via conditional subtract (inputs canonical)."""
+    return cond_sub(a - b + mods, mods)
+
+
+def neg_mod(a, mods) -> np.ndarray:
+    """``-a mod p`` (inputs canonical; 0 maps to 0)."""
+    return cond_sub(mods - np.asarray(a, dtype=np.uint64), mods)
+
+
+def mul_mod(a, b, mods) -> np.ndarray:
+    """``(a * b) mod p`` for variable*variable products.
+
+    Shoup needs a fixed multiplier, so the Hadamard product keeps the
+    division-based reduction (exact in uint64 for < 2^31 primes).
+    """
+    return (np.asarray(a, np.uint64) * np.asarray(b, np.uint64)) % mods
+
+
+def scalar_mul_mod(data, scalars, moduli) -> np.ndarray:
+    """Multiply row ``j`` of ``data`` by ``scalars[j] mod moduli[j]``.
+
+    The per-row multiplier is fixed, so this is a Shoup product plus one
+    conditional subtract. ``data`` must be canonical.
+    """
+    mods = np.array(moduli, dtype=np.uint64)[:, None]
+    w = np.array(
+        [s % q for s, q in zip(scalars, moduli)], dtype=np.uint64
+    )[:, None]
+    w_shoup = shoup_precompute(w, mods)
+    return shoup_mul(data, w, w_shoup, mods)
+
+
+def geometric_series(ratio: int, count: int, modulus: int) -> np.ndarray:
+    """``[ratio^0, ratio^1, ..., ratio^(count-1)] mod modulus`` (uint64).
+
+    Built by repeated doubling -- log2(count) vectorized passes instead of a
+    per-element Python loop. Safe for any modulus below 2^31.5 (products of
+    two canonical residues stay below 2^63).
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.uint64)
+    out = np.empty(count, dtype=np.uint64)
+    out[0] = 1 % modulus
+    length = 1
+    ratio %= modulus
+    while length < count:
+        step = np.uint64(pow(ratio, length, modulus))
+        nxt = min(2 * length, count)
+        np.multiply(out[: nxt - length], step, out=out[length:nxt])
+        out[length:nxt] %= np.uint64(modulus)
+        length = nxt
+    return out
+
+
+# ----------------------------------------------------------------- NTT kernel
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Return the bit-reversal permutation of ``range(n)`` (n a power of 2).
+
+    Canonical definition of the evaluation-order convention; re-exported by
+    :mod:`repro.nt.ntt` (which cannot be imported from here — it imports us).
+    """
+    bits = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        reversed_indices = (reversed_indices << 1) | (indices & 1)
+        indices >>= 1
+    return reversed_indices
+
+
+class NttKernel:
+    """Limb-batched lazy negacyclic NTT for a tuple of (<= 2^30) primes.
+
+    One kernel serves a whole ``(limbs, N)`` residue matrix in a single
+    vectorized pass; with a single modulus the tables broadcast over any
+    number of rows (the batched single-prime case). Transforms take and
+    return canonical uint64 arrays in the same layout as the reference
+    :class:`~repro.nt.ntt.NttContext` transforms (natural coefficient order
+    in, bit-reversed evaluation order out) and produce bit-identical values.
+
+    The forward transform is a pre-twist by ``psi^i`` followed by a cyclic
+    radix-2 DIF Stockham iteration (contiguous reads, self-sorting) and a
+    final bit-reversal gather; the inverse mirrors it. Working state lives
+    in uint32 (everything is ``< 4p <= 2^32``); only the Shoup products
+    widen to uint64.
+    """
+
+    def __init__(self, degree: int, moduli: tuple[int, ...], psis: tuple[int, ...]):
+        if degree <= 0 or degree & (degree - 1):
+            raise ParameterError("NTT degree must be a positive power of two")
+        if len(moduli) != len(psis) or not moduli:
+            raise ParameterError("need one primitive 2N-th root per modulus")
+        if max(moduli) > LAZY_MAX_PRIME:
+            raise ParameterError(
+                f"lazy NTT kernel requires primes <= 2^30, got {max(moduli)}"
+            )
+        self.degree = degree
+        self.moduli = tuple(moduli)
+        n = degree
+        num = len(moduli)
+        single = num == 1
+        # With a single modulus every per-limb constant collapses to a numpy
+        # scalar and every table loses its leading limb axis: scalar operands
+        # take a faster ufunc path than broadcast (1, ...) arrays, and the
+        # tables then broadcast over arbitrarily many batched rows.
+        if single:
+            self._p64 = np.uint64(moduli[0])
+            self._p32 = np.uint32(moduli[0])
+            self._p2_32 = np.uint32(2 * moduli[0])
+            self._p2_64 = np.uint64(2 * moduli[0])
+        else:
+            self._p64 = np.array(moduli, dtype=np.uint64)[:, None]
+            self._p32 = self._p64.astype(np.uint32)
+            self._p2_32 = (2 * self._p64).astype(np.uint32)
+            self._p2_64 = 2 * self._p64
+        self._p64_stage = self._p64 if single else self._p64[:, :, None]
+        self._p2_32_stage = self._p2_32 if single else self._p2_32[:, :, None]
+        self._p2_64_stage = self._p2_64 if single else self._p2_64[:, :, None]
+        self._rev = bit_reverse_indices(n)
+
+        pre = np.empty((num, n), dtype=np.uint64)
+        post = np.empty((num, n), dtype=np.uint64)
+        h = max(n // 2, 1)
+        omega_pows = np.empty((num, h), dtype=np.uint64)
+        omega_inv_pows = np.empty((num, h), dtype=np.uint64)
+        for j, (p, psi) in enumerate(zip(moduli, psis)):
+            omega = (psi * psi) % p
+            omega_pows[j] = geometric_series(omega, h, p)
+            omega_inv_pows[j] = geometric_series(modinv(omega, p) if n > 1 else 1, h, p)
+            pre[j] = geometric_series(psi, n, p)
+            n_inv = np.uint64(modinv(n, p))
+            post[j] = (geometric_series(modinv(psi, p), n, p) * n_inv) % np.uint64(p)
+        p_col = np.array(moduli, dtype=np.uint64)[:, None]
+        pre_sh = shoup_precompute(pre, p_col)
+        post_sh = shoup_precompute(post, p_col)
+        omega_sh = shoup_precompute(omega_pows, p_col)
+        omega_inv_sh = shoup_precompute(omega_inv_pows, p_col)
+        if single:
+            self._pre, self._pre_sh = pre[0], pre_sh[0]
+            self._post, self._post_sh = post[0], post_sh[0]
+        else:
+            self._pre, self._pre_sh = pre, pre_sh
+            self._post, self._post_sh = post, post_sh
+        # Fused first forward stage (pre-twist folded into the stage-1
+        # butterfly): X_i = (a_i + psi^h a_{i+h}) * psi^i and
+        # Y_i = (a_i - psi^h a_{i+h}) * psi^i omega^i feed the remaining
+        # cyclic stages unchanged.
+        if n > 1:
+            x1 = pre[:, :h]
+            y1 = (x1 * omega_pows) % p_col
+            psi_h = pre[:, h : h + 1]
+            x1_sh = shoup_precompute(x1, p_col)
+            y1_sh = shoup_precompute(y1, p_col)
+            psi_h_sh = shoup_precompute(psi_h, p_col)
+            if single:
+                self._x1 = (x1[0], x1_sh[0])
+                self._y1 = (y1[0], y1_sh[0])
+                self._psi_h = (np.uint64(int(psi_h[0, 0])), np.uint64(int(psi_h_sh[0, 0])))
+            else:
+                self._x1 = (x1, x1_sh)
+                self._y1 = (y1, y1_sh)
+                self._psi_h = (psi_h, psi_h_sh)
+
+        # Per-stage twiddle tables. Stage s of the forward DIF iteration
+        # needs omega^(j * 2^s) for j < N/2^(s+1), each repeated over a run
+        # of 2^s positions; materializing that flat keeps every stage
+        # multiply contiguous. Falls back to strided views when too large.
+        stages = n.bit_length() - 1
+        flat = num * h * stages * 2 <= _FLAT_TWIDDLE_BUDGET_WORDS
+        self._flat = flat
+        self._fw_tw: list[tuple[np.ndarray, np.ndarray]] = []
+        self._inv_tw: list[tuple[np.ndarray, np.ndarray]] = []
+        l, run = h, 1
+        while l >= 1 and n > 1:
+            if flat:
+                # Stored flat ((h,) per limb): the stage arithmetic runs on
+                # flat buffers; only the x/y interleave ops see (l, run).
+                pair_f = tuple(
+                    np.repeat(t[:, ::run], run, axis=1)[0]
+                    if single
+                    else np.repeat(t[:, ::run], run, axis=1)
+                    for t in (omega_pows, omega_sh)
+                )
+                pair_i = tuple(
+                    np.repeat(t[:, ::run], run, axis=1)[0]
+                    if single
+                    else np.repeat(t[:, ::run], run, axis=1)
+                    for t in (omega_inv_pows, omega_inv_sh)
+                )
+            elif single:
+                pair_f = (
+                    omega_pows[0, ::run][:, None],
+                    omega_sh[0, ::run][:, None],
+                )
+                pair_i = (
+                    omega_inv_pows[0, ::run][:, None],
+                    omega_inv_sh[0, ::run][:, None],
+                )
+            else:
+                pair_f = (
+                    omega_pows[:, ::run][:, :, None],
+                    omega_sh[:, ::run][:, :, None],
+                )
+                pair_i = (
+                    omega_inv_pows[:, ::run][:, :, None],
+                    omega_inv_sh[:, ::run][:, :, None],
+                )
+            self._fw_tw.append(pair_f)
+            self._inv_tw.append(pair_i)
+            l //= 2
+            run *= 2
+        self._scratch: dict[int, dict[str, np.ndarray]] = {}
+        self._plans: dict[tuple[int, int], list] = {}
+
+    # ------------------------------------------------------------- helpers
+
+    def _buffers(self, rows: int) -> dict[str, np.ndarray]:
+        buf = self._scratch.get(rows)
+        if buf is None:
+            n, h = self.degree, max(self.degree // 2, 1)
+            buf = {
+                "q64": np.empty((rows, n), dtype=np.uint64),
+                "t64": np.empty((rows, n), dtype=np.uint64),
+                "x32": np.empty((rows, n), dtype=np.uint32),
+                "y32": np.empty((rows, n), dtype=np.uint32),
+                "a32": np.empty((rows, h), dtype=np.uint32),
+                "b32": np.empty((rows, h), dtype=np.uint32),
+                # dedicated contiguous uint64 stage scratch: column slices
+                # of the full-size buffers leave row gaps that measurably
+                # slow every pass
+                "qh64": np.empty((rows, h), dtype=np.uint64),
+                "th64": np.empty((rows, h), dtype=np.uint64),
+                "s64": np.empty((rows, h), dtype=np.uint64),
+            }
+            self._scratch[rows] = buf
+        return buf
+
+    def _stage_plan(self, rows: int, start_run: int, buf: dict[str, np.ndarray]):
+        """Precompute per-stage views for a given row count and start run.
+
+        The ping-pong buffer roles and every reshape are deterministic per
+        (rows, start_run), so the view objects are built once and cached --
+        the per-call Python overhead of a dozen reshapes per stage is
+        measurable at these op sizes.
+        """
+        key = (rows, start_run)
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        h = max(self.degree // 2, 1)
+        x, y = buf["x32"], buf["y32"]
+        xb, tb = buf["a32"], buf["b32"]
+        plan = []
+        run = start_run
+        l = h // run
+        stages = len(self._fw_tw) - (0 if start_run == 1 else 1)
+        for _ in range(stages):
+            if l < 1:
+                break
+            if run == 1 and _LITTLE_ENDIAN:
+                entry = {
+                    "pack": True,
+                    "u": x[:, :h],
+                    "v": x[:, h:],
+                    "y64": y.view(np.uint64),
+                }
+            else:
+                xv = x.reshape(rows, 2, l, run)
+                yv = y.reshape(rows, l, 2, run)
+                r2 = run // 2
+                entry = {
+                    "pack": False,
+                    "u": xv[:, 0],
+                    "v": xv[:, 1],
+                    "u64u": x.view(np.uint64).reshape(rows, 2, l, r2)[:, 0],
+                    "u64v": x.view(np.uint64).reshape(rows, 2, l, r2)[:, 1],
+                    "xb64": xb.view(np.uint64).reshape(rows, l, r2),
+                    "tb64": tb.view(np.uint64).reshape(rows, l, r2),
+                    "xbv": xb.reshape(rows, l, run),
+                    "yv0_64": y.view(np.uint64).reshape(rows, l, 2, r2)[:, :, 0],
+                    "yv1_64": y.view(np.uint64).reshape(rows, l, 2, r2)[:, :, 1],
+                }
+            plan.append(entry)
+            x, y = y, x
+            l //= 2
+            run *= 2
+        self._plans[key] = plan
+        return plan
+
+    def _dif_stages(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        tw_list,
+        l: int,
+        run: int,
+        buf: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """Run DIF-Stockham butterfly stages, returning the final buffer.
+
+        Invariant: every value entering and leaving a stage is < 2p. Each
+        stage reads contiguous halves of ``x`` and writes the self-sorting
+        interleave into ``y``. The run-of-1 first stage packs each (X, Y)
+        output pair into one uint64 store instead of an elementwise scatter,
+        and later stages move the interleaved run blocks through uint64
+        views (pair lanes are carry-free because all values are < 4p <=
+        2^32); both tricks assume little-endian lane order and fall back to
+        plain strided stores elsewhere.
+        """
+        rows = x.shape[0]
+        h = max(self.degree // 2, 1)
+        xb, tb = buf["a32"], buf["b32"]
+        qh = buf["qh64"]
+        th = buf["th64"]
+        p64 = self._p64
+        p64s = self._p64_stage
+        p2_32 = self._p2_32
+        p2s = self._p2_32_stage
+        if self._flat and _LITTLE_ENDIAN:
+            plan = self._stage_plan(rows, run, buf)
+            for (w, wsh), entry in zip(tw_list, plan):
+                if entry["pack"]:
+                    u, v = entry["u"], entry["v"]
+                    # X = u + v (< 4p <= 2^32, exact in uint32), cond-sub 2p
+                    np.add(u, v, out=xb)
+                    np.subtract(xb, p2_32, out=tb)
+                    np.minimum(xb, tb, out=xb)
+                    # Y = shoup((u - v + 2p) * w) < 2p
+                    np.subtract(u, v, out=tb)
+                    np.add(tb, p2_32, out=tb)
+                    np.copyto(th, tb)
+                    np.multiply(th, wsh, out=qh)
+                    np.right_shift(qh, SHOUP_SHIFT, out=qh)
+                    np.multiply(qh, p64, out=qh)
+                    np.multiply(th, w, out=th)
+                    np.subtract(th, qh, out=th)
+                    # interleave (X, Y) pairs via one packed uint64 store
+                    np.left_shift(th, SHOUP_SHIFT, out=th)
+                    np.add(th, xb, out=entry["y64"])
+                else:
+                    # Twiddle-consuming arithmetic runs on flat (rows, h)
+                    # buffers (pre-repeated tables line the values up); the
+                    # x reads and y writes move interleaved run blocks, as
+                    # uint64 lane pairs where carry-safety allows. The lone
+                    # widening copy keeps every multiply a pure uint64 loop
+                    # (mixed-dtype ufuncs pay for cast buffering).
+                    # X = u + v (< 4p, carry-free in uint64 lane pairs)
+                    np.add(entry["u64u"], entry["u64v"], out=entry["xb64"])
+                    np.subtract(xb, p2_32, out=tb)
+                    np.minimum(xb, tb, out=tb)
+                    np.copyto(entry["yv0_64"], entry["tb64"])
+                    # Y = shoup((u - v + 2p) * w) < 2p
+                    np.subtract(entry["u"], entry["v"], out=entry["xbv"])
+                    np.add(xb, p2_32, out=xb)
+                    np.copyto(th, xb)
+                    np.multiply(th, wsh, out=qh)
+                    np.right_shift(qh, SHOUP_SHIFT, out=qh)
+                    np.multiply(qh, p64, out=qh)
+                    np.multiply(th, w, out=th)
+                    np.subtract(th, qh, out=tb, casting="unsafe")
+                    np.copyto(entry["yv1_64"], entry["tb64"])
+                x, y = y, x
+            return x
+        for w, wsh in tw_list:
+            xv = x.reshape(rows, 2, l, run)
+            u, v = xv[:, 0], xv[:, 1]
+            yv = y.reshape(rows, l, 2, run)
+            xbv = xb.reshape(rows, l, run)
+            tbv = tb.reshape(rows, l, run)
+            qv = qh.reshape(rows, l, run)
+            tv = th.reshape(rows, l, run)
+            if self._flat:
+                w = w.reshape(x.shape[0], l, run) if w.ndim > 1 else w.reshape(l, run)
+                wsh = (
+                    wsh.reshape(x.shape[0], l, run)
+                    if wsh.ndim > 1
+                    else wsh.reshape(l, run)
+                )
+            # X = u + v (< 4p), conditional subtract 2p
+            np.add(u, v, out=xbv)
+            np.subtract(xbv, p2s, out=tbv)
+            np.minimum(xbv, tbv, out=yv[:, :, 0])
+            # Y = shoup((u - v + 2p) * w) < 2p
+            np.subtract(u, v, out=xbv)
+            np.add(xbv, p2s, out=xbv)
+            np.multiply(xbv, wsh, out=qv)
+            np.right_shift(qv, SHOUP_SHIFT, out=qv)
+            np.multiply(qv, p64s, out=qv)
+            np.multiply(xbv, w, out=tv)
+            np.subtract(tv, qv, out=yv[:, :, 1], casting="unsafe")
+            x, y = y, x
+            l //= 2
+            run *= 2
+        return x
+
+    def _check(self, data: np.ndarray) -> np.ndarray:
+        a = np.asarray(data, dtype=np.uint64)
+        if a.ndim == 1:
+            a = a[None, :]
+        if a.ndim != 2 or a.shape[1] != self.degree:
+            raise ParameterError("input shape does not match NTT degree")
+        if a.shape[0] != len(self.moduli) and len(self.moduli) != 1:
+            raise ParameterError(
+                f"expected {len(self.moduli)} rows, got {a.shape[0]}"
+            )
+        return a
+
+    # ---------------------------------------------------------- transforms
+
+    def forward(self, data: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT rows: natural coeff order -> bit-reversed eval."""
+        a = self._check(data)
+        squeeze = np.asarray(data).ndim == 1
+        n = self.degree
+        rows = a.shape[0]
+        if n == 1:
+            out = a % self._p64
+            return out[0] if squeeze else out
+        h = n // 2
+        buf = self._buffers(rows)
+        x, y = buf["x32"], buf["y32"]
+        qh, th, s64 = buf["qh64"], buf["th64"], buf["s64"]
+        p64 = self._p64
+        # Fused first stage (pre-twist folded into the stage-1 butterfly).
+        # s = psi^h * a_hi; X = (a_lo + s) * psi^i; Y = (a_lo - s) * psi^i w^i
+        a_lo, a_hi = a[:, :h], a[:, h:]
+        psi_h, psi_h_sh = self._psi_h
+        np.multiply(a_hi, psi_h_sh, out=qh)
+        np.right_shift(qh, SHOUP_SHIFT, out=qh)
+        np.multiply(qh, p64, out=qh)
+        np.multiply(a_hi, psi_h, out=s64)
+        np.subtract(s64, qh, out=s64)  # s < 2p
+        x1, x1_sh = self._x1
+        np.add(a_lo, s64, out=th)  # < 3p <= 2^32
+        np.multiply(th, x1_sh, out=qh)
+        np.right_shift(qh, SHOUP_SHIFT, out=qh)
+        np.multiply(qh, p64, out=qh)
+        np.multiply(th, x1, out=th)
+        np.subtract(th, qh, out=th)  # X < 2p
+        y1, y1_sh = self._y1
+        np.subtract(a_lo, s64, out=s64)
+        np.add(s64, self._p2_64, out=s64)  # < 3p
+        np.multiply(s64, y1_sh, out=qh)
+        np.right_shift(qh, SHOUP_SHIFT, out=qh)
+        np.multiply(qh, p64, out=qh)
+        np.multiply(s64, y1, out=s64)
+        np.subtract(s64, qh, out=s64)  # Y < 2p
+        if _LITTLE_ENDIAN:
+            # interleave (X, Y) output pairs with one packed uint64 store
+            np.left_shift(s64, SHOUP_SHIFT, out=s64)
+            np.add(s64, th, out=x.view(np.uint64))
+        else:
+            xv = x.reshape(rows, h, 2)
+            np.copyto(xv[:, :, 0], th, casting="unsafe")
+            np.copyto(xv[:, :, 1], s64, casting="unsafe")
+        x = self._dif_stages(x, y, self._fw_tw[1:], h // 2, 2, buf)
+        np.minimum(x, x - self._p32, out=x)
+        out = x[:, self._rev].astype(np.uint64)
+        return out[0] if squeeze else out
+
+    def inverse(self, data: np.ndarray) -> np.ndarray:
+        """Inverse NTT rows: bit-reversed eval order -> natural coeff."""
+        a = self._check(data)
+        squeeze = np.asarray(data).ndim == 1
+        n = self.degree
+        rows = a.shape[0]
+        if n == 1:
+            out = a % self._p64
+            return out[0] if squeeze else out
+        h = n // 2
+        buf = self._buffers(rows)
+        q64, t64 = buf["q64"], buf["t64"]
+        y = buf["y32"]
+        p64 = self._p64
+        x = buf["x32"]
+        # The inverse DFT is the same DIF iteration with omega^-1 twiddles:
+        # un-reverse the input, run the stages, then post-twist by
+        # psi^-i * n^-1 (which folds the deferred stage halvings).
+        np.take(a, self._rev, axis=1, out=q64)
+        np.copyto(x, q64, casting="unsafe")
+        x = self._dif_stages(x, y, self._inv_tw, h, 1, buf)
+        np.multiply(x, self._post_sh, out=q64)
+        np.right_shift(q64, SHOUP_SHIFT, out=q64)
+        np.multiply(q64, p64, out=q64)
+        np.multiply(x, self._post, out=t64)
+        np.subtract(t64, q64, out=t64)
+        out = cond_sub(t64, p64)
+        return out[0] if squeeze else out
+
+
+_KERNEL_CACHE: dict[tuple[int, tuple[int, ...]], "NttKernel | None"] = {}
+
+
+def get_ntt_kernel(degree: int, moduli: tuple[int, ...]) -> "NttKernel | None":
+    """Process-wide cache of limb-batched kernels keyed by (degree, moduli).
+
+    Returns ``None`` when any modulus exceeds the lazy-kernel prime bound;
+    callers then fall back to the reference per-limb transforms. Roots are
+    taken from the cached :class:`~repro.nt.ntt.NttContext` instances so the
+    kernel and the reference path compute the *same* transform.
+    """
+    key = (degree, tuple(moduli))
+    if key in _KERNEL_CACHE:
+        return _KERNEL_CACHE[key]
+    if max(moduli) > LAZY_MAX_PRIME:
+        _KERNEL_CACHE[key] = None
+        return None
+    from repro.nt.ntt import get_ntt_context  # runtime import; ntt imports us
+
+    psis = tuple(get_ntt_context(degree, q).psi for q in moduli)
+    kernel = NttKernel(degree, key[1], psis)
+    _KERNEL_CACHE[key] = kernel
+    return kernel
+
+
+def register_ntt_kernel(
+    degree: int, moduli: tuple[int, ...], kernel: NttKernel
+) -> None:
+    """Seed the kernel cache (used by NttContext to share its own kernel)."""
+    _KERNEL_CACHE.setdefault((degree, tuple(moduli)), kernel)

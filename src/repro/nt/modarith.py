@@ -1,15 +1,19 @@
 """Word-sized modular arithmetic.
 
-Two reference reduction algorithms are implemented scalar-style:
+Three reference reduction algorithms are implemented scalar-style:
 
 * :class:`BarrettReducer` -- Barrett reduction [Barrett 1986], used by ARK's
   MAD units (Section VI of the paper).
 * :class:`MontgomeryReducer` -- Montgomery reduction [Montgomery 1985], used
   by ARK's NTT and BConv units.
+* :class:`ShoupMultiplier` -- Shoup's fixed-operand multiplication [Shoup's
+  NTL; Harvey 2014], the constant-multiplier trick behind the twiddle
+  multipliers in NTT hardware and the vectorized lazy kernels of
+  :mod:`repro.nt.kernels`.
 
-The hot numpy paths elsewhere in the library use ``(a * b) % p`` directly
-(exact for our < 2^31 primes in uint64); these classes exist to model the
-hardware functional units faithfully and to cross-check the fast path.
+The hot numpy paths elsewhere in the library run the vectorized lazy
+kernels; these scalar classes model the hardware functional units
+faithfully and serve as the exactness oracle for the fast paths.
 """
 
 from __future__ import annotations
@@ -120,3 +124,38 @@ class MontgomeryReducer:
     def mulmod(self, a: int, b: int) -> int:
         """Plain-domain product ``a * b mod p`` using Montgomery internally."""
         return self.from_mont(self.montmul(self.to_mont(a), self.to_mont(b)))
+
+
+class ShoupMultiplier:
+    """Shoup fixed-operand multiplication for one multiplier ``w mod p``.
+
+    Precomputes ``w' = floor(w * 2^shift / p)``; then for any ``a`` below
+    ``2^shift`` the quotient estimate ``q = (a * w') >> shift`` satisfies
+    ``a*w - q*p in [0, 2p)``: a single conditional subtraction finishes the
+    reduction, and the *lazy* value in ``[0, 2p)`` can feed further
+    butterfly stages directly. This is the scalar model of the vectorized
+    kernels in :mod:`repro.nt.kernels` (which use shift = 32 so the
+    quotient product fits a 64-bit word for all < 2^31 primes).
+    """
+
+    def __init__(self, multiplier: int, modulus: int, shift: int = 32):
+        if modulus < 2:
+            raise ParameterError("Shoup modulus must be >= 2")
+        if not 0 <= multiplier < modulus:
+            raise ParameterError("Shoup multiplier must be canonical (< p)")
+        self.modulus = modulus
+        self.multiplier = multiplier
+        self.shift = shift
+        self.precomputed = (multiplier << shift) // modulus
+
+    def mul_lazy(self, a: int) -> int:
+        """Return a value in ``[0, 2p)`` congruent to ``a * w mod p``."""
+        if a < 0 or a >= (1 << self.shift):
+            raise ParameterError(f"Shoup input out of range [0, 2^{self.shift})")
+        q = (a * self.precomputed) >> self.shift
+        return a * self.multiplier - q * self.modulus
+
+    def mulmod(self, a: int) -> int:
+        """Return canonical ``a * w mod p``."""
+        r = self.mul_lazy(a)
+        return r - self.modulus if r >= self.modulus else r

@@ -6,8 +6,10 @@ Gentleman-Sande (bit-reversed in, natural out), the classic pairing used by
 HE libraries because it needs no explicit bit-reversal pass.
 
 All arrays are numpy ``uint64``. Primes are required to be below 2^31 so
-that every product of two residues fits exactly in a uint64; modular
-multiplication is then a plain ``(a * b) % p``.
+that every product of two residues fits exactly in a uint64. Primes at or
+below 2^30 (every functional preset) run on the lazy Shoup/Harvey kernel in
+:mod:`repro.nt.kernels`; larger primes keep the division-based reference
+transforms, which also serve as the cross-check oracle in the tests.
 
 Evaluation-order bookkeeping: slot ``k`` of the forward transform holds
 ``P(ψ^(2*bitrev(k)+1))``. The context records the exponent of each slot so
@@ -21,21 +23,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.nt.kernels import (
+    LAZY_MAX_PRIME,
+    NttKernel,
+    bit_reverse_indices,
+    geometric_series,
+    register_ntt_kernel,
+)
 from repro.nt.modarith import modinv
 from repro.nt.primes import find_primitive_2n_root
 
 _MAX_NUMPY_PRIME_BITS = 31
-
-
-def bit_reverse_indices(n: int) -> np.ndarray:
-    """Return the bit-reversal permutation of ``range(n)`` (n a power of 2)."""
-    bits = n.bit_length() - 1
-    indices = np.arange(n, dtype=np.int64)
-    reversed_indices = np.zeros(n, dtype=np.int64)
-    for _ in range(bits):
-        reversed_indices = (reversed_indices << 1) | (indices & 1)
-        indices >>= 1
-    return reversed_indices
 
 
 class NttContext:
@@ -51,6 +49,7 @@ class NttContext:
             )
         self.degree = degree
         self.modulus = modulus
+        self._default_root = root is None
         self.psi = root if root is not None else find_primitive_2n_root(degree, modulus)
         self._build_tables()
 
@@ -58,15 +57,8 @@ class NttContext:
 
     def _build_tables(self) -> None:
         n, p, psi = self.degree, self.modulus, self.psi
-        psi_inv = modinv(psi, p)
-        powers = np.empty(n, dtype=np.uint64)
-        inv_powers = np.empty(n, dtype=np.uint64)
-        acc_f, acc_i = 1, 1
-        for i in range(n):
-            powers[i] = acc_f
-            inv_powers[i] = acc_i
-            acc_f = (acc_f * psi) % p
-            acc_i = (acc_i * psi_inv) % p
+        powers = geometric_series(psi, n, p)
+        inv_powers = geometric_series(modinv(psi, p), n, p)
         rev = bit_reverse_indices(n)
         # Psi[k] = psi^{bitrev(k)}; PsiInv[k] = psi^{-bitrev(k)}
         self._psi_br = powers[rev].copy()
@@ -80,6 +72,14 @@ class NttContext:
         slot_of_exponent[self._slot_exponent] = np.arange(n, dtype=np.int64)
         self._slot_of_exponent = slot_of_exponent
         self._galois_eval_perm_cache: dict[int, np.ndarray] = {}
+        self._psi_powers_2n: np.ndarray | None = None
+        self._kernel = (
+            NttKernel(n, (p,), (psi,)) if p <= LAZY_MAX_PRIME else None
+        )
+        if self._kernel is not None and self._default_root:
+            # Share this kernel with the limb-batched cache so single-limb
+            # PolyRns paths don't rebuild identical tables and scratch.
+            register_ntt_kernel(n, (p,), self._kernel)
 
     # ------------------------------------------------------------- transforms
 
@@ -87,8 +87,31 @@ class NttContext:
         """Negacyclic NTT: coefficient (natural) -> evaluation (bit-rev) order.
 
         Accepts a 1-D array of length N or a 2-D array of shape (rows, N)
-        and transforms each row independently.
+        and transforms each row independently. Dispatches to the lazy
+        Shoup kernel (bit-identical, see :mod:`repro.nt.kernels`) when the
+        prime allows it.
         """
+        a = np.asarray(coeffs, dtype=np.uint64)
+        if a.shape[-1] != self.degree:
+            raise ParameterError("input length does not match NTT degree")
+        if self._kernel is not None:
+            return self._kernel.forward(a)
+        return self.forward_reference(a)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse NTT: evaluation (bit-rev) -> coefficient (natural) order."""
+        a = np.asarray(values, dtype=np.uint64)
+        if a.shape[-1] != self.degree:
+            raise ParameterError("input length does not match NTT degree")
+        if self._kernel is not None:
+            return self._kernel.inverse(a)
+        return self.inverse_reference(a)
+
+    # The division-based transforms: the fallback for > 2^30 primes and the
+    # oracle the lazy kernels are property-tested against.
+
+    def forward_reference(self, coeffs: np.ndarray) -> np.ndarray:
+        """``%``-based Cooley-Tukey forward transform (slow path)."""
         a = np.ascontiguousarray(coeffs, dtype=np.uint64).copy()
         squeeze = a.ndim == 1
         if squeeze:
@@ -111,8 +134,8 @@ class NttContext:
             m *= 2
         return a[0] if squeeze else a
 
-    def inverse(self, values: np.ndarray) -> np.ndarray:
-        """Inverse NTT: evaluation (bit-rev) -> coefficient (natural) order."""
+    def inverse_reference(self, values: np.ndarray) -> np.ndarray:
+        """``%``-based Gentleman-Sande inverse transform (slow path)."""
         a = np.ascontiguousarray(values, dtype=np.uint64).copy()
         squeeze = a.ndim == 1
         if squeeze:
@@ -206,12 +229,11 @@ class NttContext:
         exponents = (self._slot_exponent * (power % (2 * self.degree))) % (
             2 * self.degree
         )
-        psi_powers = np.empty(2 * self.degree, dtype=np.uint64)
-        acc = 1
-        for i in range(2 * self.degree):
-            psi_powers[i] = acc
-            acc = (acc * self.psi) % self.modulus
-        return psi_powers[exponents]
+        if self._psi_powers_2n is None:
+            self._psi_powers_2n = geometric_series(
+                self.psi, 2 * self.degree, self.modulus
+            )
+        return self._psi_powers_2n[exponents]
 
     def negacyclic_convolution_reference(
         self, a: np.ndarray, b: np.ndarray

@@ -22,8 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError, RepresentationError
+from repro.nt.kernels import shoup_mul, shoup_precompute
 from repro.nt.modarith import modinv
-
 
 class BaseConverter:
     """Precomputed fast base conversion from ``src_moduli`` to ``dst_moduli``."""
@@ -53,6 +53,15 @@ class BaseConverter:
             dtype=np.uint64,
         )
         self._src_mods = np.array(src_moduli, dtype=np.uint64)
+        self._dst_mods = np.array(dst_moduli, dtype=np.uint64)
+        # Shoup precomputations: every multiplier in both steps is fixed.
+        self._phat_inv_shoup = shoup_precompute(
+            self.phat_inv, self._src_mods
+        )
+        self._base_table_shoup = shoup_precompute(
+            self.base_table, self._dst_mods[None, :]
+        )
+        self._scratch: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     @property
     def base_table_words(self) -> int:
@@ -74,7 +83,56 @@ class BaseConverter:
             )
         if centered and len(self.src_moduli) != 1:
             raise ParameterError("centered conversion requires a single source prime")
-        # Step 1: y_j = x_j * p̂_j^{-1} mod p_j
+        # Step 1: y_j = x_j * p̂_j^{-1} mod p_j -- a fixed per-row multiplier,
+        # so one Shoup product plus a conditional subtract.
+        y = shoup_mul(
+            residues,
+            self.phat_inv[:, None],
+            self._phat_inv_shoup[:, None],
+            self._src_mods[:, None],
+        )
+        n = residues.shape[1]
+        if centered:
+            p = self.src_moduli[0]
+            lifted = y[0].astype(np.int64)
+            lifted = np.where(lifted >= p // 2 + 1, lifted - p, lifted)
+            dst = self._dst_mods.astype(np.int64)[:, None]
+            return np.mod(lifted[None, :], dst).astype(np.uint64)
+        # Step 2: out_i = sum_j y_j * table[j, i] mod q_i. Each lazy Shoup
+        # term is < 2 q_i < 2^32, so a uint64 accumulator holds billions of
+        # terms without overflow and a single vectorized `%` per output
+        # limb finishes the reduction -- no Python-level dst x src loop,
+        # just one vectorized (dst, N) accumulation pass per source limb
+        # running in-place on cached scratch.
+        num_dst = len(self.dst_moduli)
+        scratch = self._scratch.get(n)
+        if scratch is None:
+            scratch = tuple(
+                np.empty((num_dst, n), dtype=np.uint64) for _ in range(3)
+            )
+            self._scratch[n] = scratch
+        acc, q, t = scratch
+        w = self.base_table
+        wsh = self._base_table_shoup
+        dst_col = self._dst_mods[:, None]
+        shift = np.uint64(32)
+        for j in range(len(self.src_moduli)):
+            yj = y[j][None, :]
+            np.multiply(yj, wsh[j][:, None], out=q)
+            np.right_shift(q, shift, out=q)
+            np.multiply(q, dst_col, out=q)
+            target = t if j else acc
+            np.multiply(yj, w[j][:, None], out=target)
+            np.subtract(target, q, out=target)
+            if j:
+                np.add(acc, t, out=acc)
+        return acc % dst_col
+
+    def convert_reference(
+        self, residues: np.ndarray, *, centered: bool = False
+    ) -> np.ndarray:
+        """Division-based double-loop conversion (test oracle for `convert`)."""
+        residues = np.asarray(residues, dtype=np.uint64)
         y = (residues * self.phat_inv[:, None]) % self._src_mods[:, None]
         n = residues.shape[1]
         out = np.zeros((len(self.dst_moduli), n), dtype=np.uint64)
@@ -89,8 +147,6 @@ class BaseConverter:
             qi = np.uint64(q)
             acc = np.zeros(n, dtype=np.uint64)
             for j in range(len(self.src_moduli)):
-                # Each reduced term < 2^31; α ≤ 16 terms keep the
-                # accumulator far below 2^64.
                 acc += (y[j] * self.base_table[j, i]) % qi
             out[i] = acc % qi
         return out

@@ -19,6 +19,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError, RepresentationError
+from repro.nt.kernels import (
+    add_mod,
+    get_ntt_kernel,
+    mul_mod,
+    neg_mod,
+    scalar_mul_mod,
+    sub_mod,
+)
 from repro.nt.modarith import modinv
 from repro.nt.ntt import get_ntt_context
 
@@ -60,11 +68,22 @@ class PolyRns:
     def from_int_coeffs(
         cls, degree: int, moduli: tuple[int, ...], coeffs
     ) -> "PolyRns":
-        """Build from (possibly signed, possibly huge) integer coefficients."""
-        data = np.empty((len(moduli), degree), dtype=np.uint64)
+        """Build from (possibly signed, possibly huge) integer coefficients.
+
+        Coefficients that fit int64 take the vectorized
+        :meth:`from_small_int_coeffs` path; only genuinely huge CRT lifts
+        pay for per-element Python reduction.
+        """
         coeff_list = [int(c) for c in coeffs]
         if len(coeff_list) != degree:
             raise ParameterError("coefficient count does not match degree")
+        try:
+            small = np.array(coeff_list, dtype=np.int64)
+        except OverflowError:
+            small = None
+        if small is not None:
+            return cls.from_small_int_coeffs(degree, moduli, small)
+        data = np.empty((len(moduli), degree), dtype=np.uint64)
         for j, q in enumerate(moduli):
             data[j] = np.array([c % q for c in coeff_list], dtype=np.uint64)
         return cls(degree, moduli, data, COEFF)
@@ -78,9 +97,8 @@ class PolyRns:
         ints = np.asarray(coeffs, dtype=np.int64)
         if ints.shape != (degree,):
             raise ParameterError("coefficient count does not match degree")
-        data = np.empty((len(moduli), degree), dtype=np.uint64)
-        for j, q in enumerate(moduli):
-            data[j] = np.mod(ints, q).astype(np.uint64)
+        mods = np.array(moduli, dtype=np.int64)[:, None]
+        data = np.mod(ints[None, :], mods).astype(np.uint64)
         return cls(degree, moduli, data, COEFF)
 
     @classmethod
@@ -129,9 +147,16 @@ class PolyRns:
     # -------------------------------------------------------- rep changes
 
     def to_eval(self) -> "PolyRns":
-        """NTT every limb (no-op when already in evaluation rep)."""
+        """NTT every limb (no-op when already in evaluation rep).
+
+        All limbs go through one limb-batched lazy kernel call; only
+        oversized (> 2^30) primes fall back to the per-limb loop.
+        """
         if self.rep == EVAL:
             return self
+        kernel = get_ntt_kernel(self.degree, self.moduli)
+        if kernel is not None:
+            return PolyRns(self.degree, self.moduli, kernel.forward(self.data), EVAL)
         out = np.empty_like(self.data)
         for j, q in enumerate(self.moduli):
             out[j] = get_ntt_context(self.degree, q).forward(self.data[j])
@@ -141,6 +166,9 @@ class PolyRns:
         """INTT every limb (no-op when already in coefficient rep)."""
         if self.rep == COEFF:
             return self
+        kernel = get_ntt_kernel(self.degree, self.moduli)
+        if kernel is not None:
+            return PolyRns(self.degree, self.moduli, kernel.inverse(self.data), COEFF)
         out = np.empty_like(self.data)
         for j, q in enumerate(self.moduli):
             out[j] = get_ntt_context(self.degree, q).inverse(self.data[j])
@@ -161,18 +189,16 @@ class PolyRns:
 
     def __add__(self, other: "PolyRns") -> "PolyRns":
         self._check_compatible(other)
-        data = (self.data + other.data) % self._mods_column()
+        data = add_mod(self.data, other.data, self._mods_column())
         return PolyRns(self.degree, self.moduli, data, self.rep)
 
     def __sub__(self, other: "PolyRns") -> "PolyRns":
         self._check_compatible(other)
-        mods = self._mods_column()
-        data = (self.data + mods - other.data) % mods
+        data = sub_mod(self.data, other.data, self._mods_column())
         return PolyRns(self.degree, self.moduli, data, self.rep)
 
     def __neg__(self) -> "PolyRns":
-        mods = self._mods_column()
-        data = (mods - self.data) % mods
+        data = neg_mod(self.data, self._mods_column())
         return PolyRns(self.degree, self.moduli, data, self.rep)
 
     def __mul__(self, other: "PolyRns") -> "PolyRns":
@@ -181,38 +207,38 @@ class PolyRns:
         self._check_compatible(other)
         if self.rep != EVAL:
             raise RepresentationError("polynomial product requires evaluation rep")
-        data = (self.data * other.data) % self._mods_column()
+        data = mul_mod(self.data, other.data, self._mods_column())
         return PolyRns(self.degree, self.moduli, data, self.rep)
 
     def scalar_mul(self, scalar: int) -> "PolyRns":
-        """Multiply by an integer scalar (reduced per limb)."""
-        factors = np.array(
-            [scalar % q for q in self.moduli], dtype=np.uint64
-        )[:, None]
-        data = (self.data * factors) % self._mods_column()
+        """Multiply by an integer scalar (Shoup per-limb fixed multiplier)."""
+        data = scalar_mul_mod(self.data, [scalar] * len(self.moduli), self.moduli)
         return PolyRns(self.degree, self.moduli, data, self.rep)
 
     def scalar_mul_per_limb(self, scalars: list[int]) -> "PolyRns":
         """Multiply limb j by ``scalars[j]`` (already reduced or reducible)."""
         if len(scalars) != len(self.moduli):
             raise ParameterError("need one scalar per limb")
-        factors = np.array(
-            [s % q for s, q in zip(scalars, self.moduli)], dtype=np.uint64
-        )[:, None]
-        data = (self.data * factors) % self._mods_column()
+        data = scalar_mul_mod(self.data, scalars, self.moduli)
         return PolyRns(self.degree, self.moduli, data, self.rep)
 
     # -------------------------------------------------------- automorphism
 
     def automorphism(self, galois: int) -> "PolyRns":
-        """Apply ψ: X -> X^galois (Eq. 5 uses galois = 5^r)."""
+        """Apply ψ: X -> X^galois (Eq. 5 uses galois = 5^r).
+
+        The slot/coefficient permutations depend only on the degree, so one
+        lookup drives a single gather over all limbs at once.
+        """
+        ctx = get_ntt_context(self.degree, self.moduli[0])
+        if self.rep == EVAL:
+            perm = ctx.galois_eval_permutation(galois)
+            return PolyRns(self.degree, self.moduli, self.data[:, perm], self.rep)
+        target, negate = ctx.galois_coeff_permutation(galois)
+        mods = self._mods_column()
+        values = np.where(negate[None, :], neg_mod(self.data, mods), self.data)
         out = np.empty_like(self.data)
-        for j, q in enumerate(self.moduli):
-            ctx = get_ntt_context(self.degree, q)
-            if self.rep == EVAL:
-                out[j] = ctx.automorphism_eval(self.data[j], galois)
-            else:
-                out[j] = ctx.automorphism_coeff(self.data[j], galois)
+        out[:, target] = values
         return PolyRns(self.degree, self.moduli, out, self.rep)
 
     # ---------------------------------------------------- limb operations
@@ -249,20 +275,24 @@ class PolyRns:
     # ------------------------------------------------------ reconstruction
 
     def to_int_coeffs(self) -> list[int]:
-        """CRT-reconstruct centered big-integer coefficients (test/decrypt path)."""
+        """CRT-reconstruct centered big-integer coefficients (test/decrypt path).
+
+        Per-limb contributions are accumulated on an object-dtype vector, so
+        the big-integer work runs as a handful of vectorized array ops
+        instead of a Python loop over every coefficient.
+        """
         coeff = self.to_coeff()
         product = 1
         for q in coeff.moduli:
             product *= q
-        total = [0] * self.degree
+        total = np.zeros(self.degree, dtype=object)
         for j, q in enumerate(coeff.moduli):
             qhat = product // q
             correction = (modinv(qhat % q, q) * qhat) % product
-            row = coeff.data[j]
-            for i in range(self.degree):
-                total[i] = (total[i] + int(row[i]) * correction) % product
+            total += coeff.data[j].astype(object) * correction
+        total %= product
         half = product // 2
-        return [t - product if t > half else t for t in total]
+        return [int(t) - product if t > half else int(t) for t in total]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

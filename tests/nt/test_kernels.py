@@ -1,0 +1,233 @@
+"""Exactness tests for the lazy-reduction kernel layer.
+
+Every fast path must be *bit-identical* to the pre-existing division-based
+implementations: the lazy NTT against ``forward_reference`` /
+``inverse_reference`` and the negacyclic convolution oracle, the loop-free
+BConv against the double-loop reference, and the vectorized Shoup product
+against the scalar Barrett / Montgomery / Shoup units.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.nt.kernels import (
+    LAZY_MAX_PRIME,
+    NttKernel,
+    add_mod,
+    cond_sub,
+    geometric_series,
+    get_ntt_kernel,
+    mul_mod,
+    neg_mod,
+    scalar_mul_mod,
+    shoup_mul,
+    shoup_mul_lazy,
+    shoup_precompute,
+    sub_mod,
+)
+from repro.nt.modarith import (
+    BarrettReducer,
+    MontgomeryReducer,
+    ShoupMultiplier,
+)
+from repro.nt.ntt import NttContext, get_ntt_context
+from repro.nt.primes import find_ntt_primes
+
+# Worst-case widths for the uint32-state lazy kernels: 20-bit (smallest in
+# the test-suite), 28-bit (scale primes), 30-bit (q0/special primes, the
+# largest the fast path accepts).
+WIDTHS = (20, 28, 30)
+
+
+# ------------------------------------------------------------ Shoup product
+
+
+@pytest.mark.parametrize("bits", WIDTHS)
+def test_shoup_mul_matches_scalar_reducers(bits):
+    p = find_ntt_primes(64, bits, 1)[0]
+    rng = np.random.default_rng(bits)
+    barrett = BarrettReducer(p)
+    mont = MontgomeryReducer(p)
+    for w in [0, 1, p - 1, int(rng.integers(1, p))]:
+        shoup = ShoupMultiplier(w, p)
+        a = rng.integers(0, p, size=256, dtype=np.uint64)
+        a[:3] = (0, 1, p - 1)  # worst cases included
+        w_sh = shoup_precompute(np.uint64(w), np.uint64(p))
+        got = shoup_mul(a, np.uint64(w), w_sh, np.uint64(p))
+        expected = (a * np.uint64(w)) % np.uint64(p)
+        assert np.array_equal(got, expected)
+        for ai in (0, 1, int(p - 1)):
+            assert shoup.mulmod(ai) == barrett.mulmod(ai, w)
+            assert shoup.mulmod(ai) == mont.mulmod(ai, w)
+            assert int(got[a.tolist().index(ai)]) == shoup.mulmod(ai)
+
+
+@pytest.mark.parametrize("bits", WIDTHS)
+def test_shoup_lazy_range_invariant(bits):
+    """Lazy products stay in [0, 2p) for any input below 2^32."""
+    p = find_ntt_primes(64, bits, 1)[0]
+    rng = np.random.default_rng(1 + bits)
+    w = int(rng.integers(1, p))
+    w_sh = shoup_precompute(np.uint64(w), np.uint64(p))
+    a = rng.integers(0, 1 << 32, size=4096, dtype=np.uint64)
+    a[:2] = ((1 << 32) - 1, 0)
+    lazy = shoup_mul_lazy(a, np.uint64(w), w_sh, np.uint64(p))
+    assert int(lazy.max()) < 2 * p
+    assert np.array_equal(lazy % np.uint64(p), (a * np.uint64(w)) % np.uint64(p))
+
+
+def test_shoup_multiplier_rejects_non_canonical():
+    p = find_ntt_primes(64, 20, 1)[0]
+    with pytest.raises(ParameterError):
+        ShoupMultiplier(p, p)
+    with pytest.raises(ParameterError):
+        ShoupMultiplier(2, p).mul_lazy(1 << 33)
+
+
+# ----------------------------------------------------- element-wise helpers
+
+
+@pytest.mark.parametrize("bits", WIDTHS)
+def test_lazy_elementwise_ops_match_division(bits):
+    moduli = tuple(find_ntt_primes(64, bits, 3))
+    mods = np.array(moduli, dtype=np.uint64)[:, None]
+    rng = np.random.default_rng(2 + bits)
+    a = np.stack([rng.integers(0, q, size=64, dtype=np.uint64) for q in moduli])
+    b = np.stack([rng.integers(0, q, size=64, dtype=np.uint64) for q in moduli])
+    a[:, 0] = [q - 1 for q in moduli]
+    b[:, 0] = [q - 1 for q in moduli]
+    b[:, 1] = 0
+    assert np.array_equal(add_mod(a, b, mods), (a + b) % mods)
+    assert np.array_equal(sub_mod(a, b, mods), (a + mods - b) % mods)
+    assert np.array_equal(neg_mod(a, mods), (mods - a) % mods)
+    assert np.array_equal(mul_mod(a, b, mods), (a * b) % mods)
+    scalars = [int(rng.integers(0, 1 << 40)) for _ in moduli]
+    expected = (a * np.array([s % q for s, q in zip(scalars, moduli)],
+                             dtype=np.uint64)[:, None]) % mods
+    assert np.array_equal(scalar_mul_mod(a, scalars, moduli), expected)
+
+
+def test_cond_sub_wraparound_trick():
+    p = np.uint64(97)
+    x = np.array([0, 96, 97, 98, 193], dtype=np.uint64)
+    assert np.array_equal(cond_sub(x, p), np.array([0, 96, 0, 1, 96], np.uint64))
+
+
+def test_geometric_series_matches_scalar_loop():
+    p = find_ntt_primes(64, 28, 1)[0]
+    ratio = 12345
+    got = geometric_series(ratio, 513, p)
+    acc = 1
+    for i in range(513):
+        assert int(got[i]) == acc
+        acc = (acc * ratio) % p
+
+
+# ------------------------------------------------------------- lazy NTT
+
+
+@pytest.mark.parametrize("degree", (16, 64, 256))
+@pytest.mark.parametrize("bits", WIDTHS)
+def test_lazy_ntt_bit_identical_to_reference(degree, bits):
+    p = find_ntt_primes(degree, bits, 1)[0]
+    ctx = NttContext(degree, p)
+    assert ctx._kernel is not None
+    rng = np.random.default_rng(degree * bits)
+    batch = rng.integers(0, p, size=(4, degree), dtype=np.uint64)
+    fwd_ref = ctx.forward_reference(batch)
+    assert np.array_equal(ctx.forward(batch), fwd_ref)
+    assert np.array_equal(ctx.inverse(fwd_ref), ctx.inverse_reference(fwd_ref))
+    assert np.array_equal(ctx.inverse(ctx.forward(batch)), batch)
+
+
+@pytest.mark.parametrize("degree", (16, 64, 256))
+@pytest.mark.parametrize("bits", WIDTHS)
+def test_lazy_ntt_worst_case_all_residues_max(degree, bits):
+    """All residues p-1 maximizes every lazy intermediate."""
+    p = find_ntt_primes(degree, bits, 1)[0]
+    ctx = NttContext(degree, p)
+    worst = np.full((3, degree), p - 1, dtype=np.uint64)
+    fwd_ref = ctx.forward_reference(worst)
+    assert np.array_equal(ctx.forward(worst), fwd_ref)
+    assert np.array_equal(ctx.inverse(fwd_ref), worst)
+
+
+def test_lazy_ntt_matches_negacyclic_convolution_reference():
+    degree = 64
+    p = find_ntt_primes(degree, 28, 1)[0]
+    ctx = NttContext(degree, p)
+    rng = np.random.default_rng(5)
+    a = rng.integers(0, p, size=degree, dtype=np.uint64)
+    b = rng.integers(0, p, size=degree, dtype=np.uint64)
+    fast = ctx.inverse((ctx.forward(a) * ctx.forward(b)) % np.uint64(p))
+    assert np.array_equal(fast, ctx.negacyclic_convolution_reference(a, b))
+
+
+@given(st.integers(0, 2**60))
+@settings(max_examples=25, deadline=None)
+def test_lazy_ntt_roundtrip_property(seed):
+    degree = 64
+    p = find_ntt_primes(degree, 30, 1)[0]
+    ctx = get_ntt_context(degree, p)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, p, size=degree, dtype=np.uint64)
+    assert np.array_equal(ctx.forward(a), ctx.forward_reference(a))
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+
+def test_limb_batched_kernel_matches_per_limb_contexts():
+    degree = 128
+    moduli = tuple(
+        find_ntt_primes(degree, 20, 2)
+        + find_ntt_primes(degree, 28, 2)
+        + find_ntt_primes(degree, 30, 2)
+    )
+    kernel = get_ntt_kernel(degree, moduli)
+    assert kernel is not None
+    rng = np.random.default_rng(6)
+    data = np.stack(
+        [rng.integers(0, q, size=degree, dtype=np.uint64) for q in moduli]
+    )
+    data[:, 0] = [q - 1 for q in moduli]
+    per_limb = np.stack(
+        [
+            get_ntt_context(degree, q).forward_reference(data[j])
+            for j, q in enumerate(moduli)
+        ]
+    )
+    assert np.array_equal(kernel.forward(data), per_limb)
+    assert np.array_equal(kernel.inverse(per_limb), data)
+
+
+def test_kernel_rejects_oversized_prime_and_caches_none():
+    degree = 64
+    big = find_ntt_primes(degree, 31, 1)[0]
+    assert big > LAZY_MAX_PRIME
+    with pytest.raises(ParameterError):
+        NttKernel(degree, (big,), (3,))
+    assert get_ntt_kernel(degree, (big,)) is None
+
+
+def test_oversized_prime_falls_back_to_reference_path():
+    degree = 64
+    big = find_ntt_primes(degree, 31, 1)[0]
+    ctx = NttContext(degree, big)
+    assert ctx._kernel is None
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, big, size=degree, dtype=np.uint64)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+    assert np.array_equal(ctx.forward(a), ctx.forward_reference(a))
+
+
+def test_kernel_shape_validation():
+    degree = 64
+    p = find_ntt_primes(degree, 28, 1)[0]
+    kernel = get_ntt_kernel(degree, (p,))
+    with pytest.raises(ParameterError):
+        kernel.forward(np.zeros(degree + 1, dtype=np.uint64))
+    multi = get_ntt_kernel(degree, tuple(find_ntt_primes(degree, 28, 3)))
+    with pytest.raises(ParameterError):
+        multi.forward(np.zeros((2, degree), dtype=np.uint64))

@@ -5,7 +5,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ParameterError
-from repro.nt.modarith import BarrettReducer, MontgomeryReducer, modinv, modpow
+from repro.nt.modarith import (
+    BarrettReducer,
+    MontgomeryReducer,
+    ShoupMultiplier,
+    modinv,
+    modpow,
+)
 
 PRIME = (1 << 30) - 35  # a 30-bit prime (2**30 - 35 is prime)
 
@@ -75,3 +81,30 @@ def test_barrett_reduce_below_p_squared(x):
     reducer = BarrettReducer(1009)
     value = x % (1009 * 1009)
     assert reducer.reduce(value) == value % 1009
+
+
+@given(st.integers(0, PRIME - 1), st.integers(0, (1 << 32) - 1))
+@settings(max_examples=200)
+def test_shoup_mulmod_matches_python(w, a):
+    shoup = ShoupMultiplier(w, PRIME)
+    lazy = shoup.mul_lazy(a)
+    assert 0 <= lazy < 2 * PRIME
+    assert shoup.mulmod(a) == (a * w) % PRIME
+
+
+def test_shoup_agrees_with_barrett_and_montgomery():
+    barrett = BarrettReducer(PRIME)
+    mont = MontgomeryReducer(PRIME)
+    for w in (0, 1, 12345, PRIME - 1):
+        shoup = ShoupMultiplier(w, PRIME)
+        for a in (0, 1, 987654321, PRIME - 1):
+            assert shoup.mulmod(a) == barrett.mulmod(a, w) == mont.mulmod(a, w)
+
+
+def test_shoup_validation():
+    with pytest.raises(ParameterError):
+        ShoupMultiplier(5, 1)
+    with pytest.raises(ParameterError):
+        ShoupMultiplier(PRIME + 1, PRIME)
+    with pytest.raises(ParameterError):
+        ShoupMultiplier(1, PRIME).mul_lazy(1 << 32)

@@ -85,6 +85,16 @@ def test_context_cache_returns_same_object():
     assert get_ntt_context(DEGREE, PRIME) is get_ntt_context(DEGREE, PRIME)
 
 
+def test_fast_path_matches_reference_transforms(ctx):
+    """The lazy kernel and the %-based reference are bit-identical."""
+    rng = np.random.default_rng(17)
+    batch = rng.integers(0, PRIME, size=(3, DEGREE), dtype=np.uint64)
+    batch[0] = PRIME - 1  # worst case: maximal residues everywhere
+    fwd = ctx.forward_reference(batch)
+    assert np.array_equal(ctx.forward(batch), fwd)
+    assert np.array_equal(ctx.inverse(fwd), ctx.inverse_reference(fwd))
+
+
 # ---------------------------------------------------------------- automorphism
 
 

@@ -117,3 +117,48 @@ def test_bconv_routine_value_matches_direct_conversion():
 def test_base_table_words():
     conv = BaseConverter(SRC, DST)
     assert conv.base_table_words == len(SRC) * len(DST)
+
+
+# ------------------------------------------------- lazy vs reference paths
+
+
+@pytest.mark.parametrize(
+    "src_bits,src_count,dst_bits,dst_count",
+    [(20, 2, 26, 4), (28, 4, 29, 8), (30, 3, 28, 5), (28, 16, 30, 2)],
+)
+def test_lazy_convert_bit_identical_to_reference(
+    src_bits, src_count, dst_bits, dst_count
+):
+    src = tuple(find_ntt_primes(DEGREE, src_bits, src_count))
+    dst = tuple(find_ntt_primes(DEGREE, dst_bits, dst_count))
+    conv = BaseConverter(src, dst)
+    rng = np.random.default_rng(src_bits * dst_bits)
+    data = np.stack(
+        [rng.integers(0, q, size=DEGREE, dtype=np.uint64) for q in src]
+    )
+    assert np.array_equal(conv.convert(data), conv.convert_reference(data))
+
+
+def test_lazy_convert_worst_case_all_residues_max():
+    """All residues p-1 maximizes every lazy term and the accumulator."""
+    src = tuple(find_ntt_primes(DEGREE, 30, 6))
+    dst = tuple(find_ntt_primes(DEGREE, 30, 8, exclude=set(src)))
+    conv = BaseConverter(src, dst)
+    worst = np.stack(
+        [np.full(DEGREE, q - 1, dtype=np.uint64) for q in src]
+    )
+    assert np.array_equal(
+        conv.convert(worst), conv.convert_reference(worst)
+    )
+
+
+def test_lazy_centered_convert_matches_reference():
+    conv = BaseConverter((SRC[0],), DST)
+    p = SRC[0]
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, p, size=(1, DEGREE), dtype=np.uint64)
+    data[0, :3] = (0, p - 1, p // 2)
+    assert np.array_equal(
+        conv.convert(data, centered=True),
+        conv.convert_reference(data, centered=True),
+    )
