@@ -1,0 +1,93 @@
+"""Runtime key-store microbenchmarks: seed-expansion overhead vs the
+memory-footprint reduction it buys (Section IV at laptop scale).
+
+Measures (a) the raw cost of expanding one evk a-part from its seed
+through the kernel-layer NTT, (b) HMult through a warm store (a-parts
+resident) vs a cold store (``budget_bytes=0``: every key-switch
+regenerates), and records the footprint table the trade pays for.
+"""
+
+import numpy as np
+import pytest
+
+import _tables
+from repro.analysis.datasizes import keystore_footprint, table3_rows
+from repro.nt.primes import find_ntt_primes
+from repro.params import TOY
+from repro.runtime.keystore import KeyStore
+from repro.runtime.seeded import SeededPoly
+from repro.ckks.context import CkksContext
+
+DEGREE = 1 << 12
+
+pytestmark = pytest.mark.benchmark(
+    warmup="on", warmup_iterations=5, min_rounds=15
+)
+
+
+@pytest.fixture(scope="module")
+def warm_ctx():
+    ctx = CkksContext.create(TOY, rotations=(1,), seed=91, key_store=KeyStore())
+    # Materialize once so the timed loop measures the resident-hit path.
+    msg = np.zeros(TOY.max_slots)
+    ct = ctx.encrypt(msg)
+    ctx.evaluator.mul(ct, ct)
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def cold_ctx():
+    return CkksContext.create(
+        TOY, rotations=(1,), seed=91, key_store=KeyStore(budget_bytes=0)
+    )
+
+
+@pytest.fixture(scope="module")
+def message():
+    rng = np.random.default_rng(12)
+    return rng.uniform(-1, 1, TOY.max_slots).astype(np.complex128)
+
+
+def test_bench_seeded_expand(benchmark):
+    """One a-part at the ModUp shape (12 limbs x 4096): PRNG + batched NTT."""
+    moduli = tuple(find_ntt_primes(DEGREE, 28, 12))
+    seeded = SeededPoly(DEGREE, moduli, 91, ("evk", "mult", 0))
+    benchmark(seeded.expand)
+
+
+def test_bench_hmult_store_warm(benchmark, warm_ctx, message):
+    """HMult with resident a-parts (the generate-once steady state)."""
+    ct = warm_ctx.encrypt(message)
+    benchmark(warm_ctx.evaluator.mul, ct, ct)
+
+
+def test_bench_hmult_store_cold(benchmark, cold_ctx, message):
+    """HMult regenerating the evk a-parts inside every key-switch."""
+    ct = cold_ctx.encrypt(message)
+    benchmark(cold_ctx.evaluator.mul, ct, ct)
+
+
+def test_bench_keystore_footprint_table(benchmark, warm_ctx, cold_ctx, message):
+    """Record the footprint/traffic table (and time the report itself)."""
+    ct = cold_ctx.encrypt(message)
+    cold_ctx.key_store.reset_stats()
+    for _ in range(4):
+        cold_ctx.evaluator.mul(ct, ct)
+    fp_cold = keystore_footprint(cold_ctx.key_store)
+    fp_warm = benchmark(keystore_footprint, warm_ctx.key_store)
+    lines = [
+        f"functional (toy, N=2^{TOY.log_degree}):",
+        f"  stored {fp_warm.stored_mb:.3f} MB vs eager {fp_warm.eager_mb:.3f} MB "
+        f"({fp_warm.compression:.2f}x compression)",
+        f"  warm store: cached {fp_warm.cached_mb:.3f} MB resident",
+        f"  cold store (budget 0): generated {fp_cold.generated_mb:.3f} MB over 4 HMults "
+        f"(hit rate {fp_cold.hit_rate:.0%})",
+        "model presets (seed-compressed evk, Table III):",
+    ]
+    for row in table3_rows():
+        lines.append(
+            f"  {row.name:8s} evk {row.evk_mb:6.1f} MB -> "
+            f"{row.evk_seeded_mb:6.1f} MB ({row.evk_compression:.2f}x)"
+        )
+    _tables.record("Runtime key store: footprint and expansion trade", lines)
+    assert fp_warm.compression > 1.9

@@ -1,40 +1,112 @@
 #!/usr/bin/env python
-"""Run the kernel microbenchmarks and record the perf trajectory.
+"""Run the kernel/keystore microbenchmarks and track the perf trajectory.
 
-Executes ``bench_kernels.py`` under pytest-benchmark and writes the raw
-results to ``BENCH_kernels.json`` at the repository root (checked in so
-future PRs can regress against it). Extra arguments are forwarded to
-pytest, e.g.::
+Executes ``bench_kernels.py`` and ``bench_keystore.py`` under
+pytest-benchmark and writes the raw results to ``BENCH_kernels.json`` at
+the repository root (checked in so future PRs can regress against it).
+Extra arguments are forwarded to pytest, e.g.::
 
-    python benchmarks/run_bench.py            # full kernel suite
+    python benchmarks/run_bench.py            # record a new baseline
     python benchmarks/run_bench.py -k ntt     # just the NTT benches
+    python benchmarks/run_bench.py --check    # compare against the baseline
+
+``--check`` runs the same suite into a scratch file and compares each
+benchmark's mean against the checked-in baseline: any benchmark slower
+than ``REGRESSION_LIMIT`` (1.3x) fails the run (exit code 1), which is
+what CI should call.
 """
 
 from __future__ import annotations
 
 import pathlib
 import sys
+import tempfile
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = ROOT / "BENCH_kernels.json"
+REGRESSION_LIMIT = 1.3
+
+SUITES = ("bench_kernels.py", "bench_keystore.py")
 
 
 def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    argv = [a for a in argv if a != "--check"]
     src = ROOT / "src"
     if str(src) not in sys.path:
         sys.path.insert(0, str(src))
     import pytest
 
+    output = OUTPUT
+    if check:
+        output = pathlib.Path(tempfile.mkdtemp()) / "bench_check.json"
     args = [
-        str(ROOT / "benchmarks" / "bench_kernels.py"),
+        *(str(ROOT / "benchmarks" / suite) for suite in SUITES),
         "-q",
-        f"--benchmark-json={OUTPUT}",
+        "-p",
+        "no:cacheprovider",
+        f"--benchmark-json={output}",
         *argv,
     ]
     code = pytest.main(args)
-    if code == 0 and OUTPUT.exists():
+    if code != 0:
+        return code
+    if check:
+        # A filtered run (-k/-m) legitimately covers a subset; any other
+        # run treats baseline benchmarks missing from it as failures.
+        filtered = any(a.startswith(("-k", "-m")) for a in argv)
+        return _check(output, full_run=not filtered)
+    if OUTPUT.exists():
         _slim(OUTPUT)
-    return code
+    return 0
+
+
+def _load_means(path: pathlib.Path) -> dict[str, float]:
+    import json
+
+    report = json.loads(path.read_text())
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in report.get("benchmarks", [])
+    }
+
+
+def _check(fresh_path: pathlib.Path, full_run: bool = True) -> int:
+    """Fail (1) when any benchmark regressed past REGRESSION_LIMIT, or
+    (on a full run) silently vanished from coverage."""
+    if not OUTPUT.exists():
+        print(f"no baseline at {OUTPUT}; run without --check first")
+        return 1
+    baseline = _load_means(OUTPUT)
+    fresh = _load_means(fresh_path)
+    regressions = []
+    print(f"\nperf check vs {OUTPUT.name} (fail above {REGRESSION_LIMIT:.1f}x):")
+    for name in sorted(fresh):
+        if name not in baseline:
+            print(f"  {name:45s} {'(new, no baseline)':>18s}")
+            continue
+        ratio = fresh[name] / baseline[name]
+        flag = "REGRESSED" if ratio > REGRESSION_LIMIT else "ok"
+        print(
+            f"  {name:45s} {baseline[name] * 1e3:8.2f} ms ->"
+            f" {fresh[name] * 1e3:8.2f} ms  {ratio:5.2f}x  {flag}"
+        )
+        if ratio > REGRESSION_LIMIT:
+            regressions.append((name, ratio))
+    missing = sorted(set(baseline) - set(fresh))
+    for name in missing:
+        print(f"  {name:45s} {'(missing from run)':>18s}")
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) regressed")
+        return 1
+    if missing and full_run:
+        print(
+            f"{len(missing)} baseline benchmark(s) missing from the run; "
+            "re-record the baseline if they were renamed/removed"
+        )
+        return 1
+    print("all benchmarks within the regression limit")
+    return 0
 
 
 def _slim(path: pathlib.Path) -> None:

@@ -33,7 +33,9 @@ def cmd_table3() -> None:
         paper = PAPER_TABLE3_MB[row.name]
         print(f"  {row.name:8s} N=2^{row.log_degree} L={row.max_level:<3d} "
               f"dnum={row.dnum:<3d} Pm {row.pt_mb:6.1f} MB  ct {row.ct_mb:6.1f} MB  "
-              f"evk {row.evk_mb:6.1f} MB  (paper {paper['pt']}/{paper['ct']}/{paper['evk']})")
+              f"evk {row.evk_mb:6.1f} MB  seeded {row.evk_seeded_mb:6.1f} MB "
+              f"({row.evk_compression:.2f}x)  "
+              f"(paper {paper['pt']}/{paper['ct']}/{paper['evk']})")
 
 
 def cmd_fig2() -> None:

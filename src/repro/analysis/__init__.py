@@ -9,7 +9,7 @@ from repro.analysis.compare import (
     PAPER_TABLE7,
     Published,
 )
-from repro.analysis.datasizes import table3_rows
+from repro.analysis.datasizes import keystore_footprint, table3_rows
 from repro.analysis.intensity import dft_intensity_table
 from repro.analysis.metrics import amortized_mult_time_per_slot
 
@@ -19,6 +19,7 @@ __all__ = [
     "PAPER_TABLE5",
     "PAPER_TABLE6",
     "PAPER_TABLE7",
+    "keystore_footprint",
     "table3_rows",
     "dft_intensity_table",
     "amortized_mult_time_per_slot",

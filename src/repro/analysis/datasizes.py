@@ -1,4 +1,12 @@
-"""Table III: representative parameter sets and their data sizes."""
+"""Table III: representative parameter sets and their data sizes.
+
+Extended with the runtime-generation columns (Section IV): alongside the
+fully materialized footprints the table now reports the *seed-compressed*
+evk footprint (``a`` halves stored as PRNG stream descriptors -- a ~2x
+reduction), and :func:`keystore_footprint` summarizes a live
+:class:`~repro.runtime.keystore.KeyStore`'s measured footprint and
+generated-vs-fetched traffic split.
+"""
 
 from __future__ import annotations
 
@@ -28,6 +36,12 @@ class Table3Row:
     pt_mb: float
     ct_mb: float
     evk_mb: float
+    evk_seeded_mb: float
+
+    @property
+    def evk_compression(self) -> float:
+        """Materialized-over-compressed evk footprint (→ ~2x)."""
+        return self.evk_mb / self.evk_seeded_mb if self.evk_seeded_mb else 1.0
 
 
 def table3_row(params: CkksParams) -> Table3Row:
@@ -41,8 +55,39 @@ def table3_row(params: CkksParams) -> Table3Row:
         pt_mb=params.plaintext_bytes() / MB,
         ct_mb=params.ciphertext_bytes() / MB,
         evk_mb=params.evk_bytes() / MB,
+        evk_seeded_mb=params.evk_seeded_bytes() / MB,
     )
 
 
 def table3_rows() -> list[Table3Row]:
     return [table3_row(p) for p in MODEL_PRESETS]
+
+
+# ----------------------------------------------------- live store footprint
+
+
+@dataclass
+class StoreFootprint:
+    """Measured footprint/traffic summary of one runtime KeyStore."""
+
+    stored_mb: float       # persistent: b halves + seeds
+    eager_mb: float        # what full materialization would need
+    cached_mb: float       # expanded a-parts currently resident
+    compression: float     # eager / stored
+    fetched_mb: float      # traffic served from stored material
+    generated_mb: float    # traffic expanded on the fly
+    hit_rate: float        # expanded-cache hit rate
+
+
+def keystore_footprint(store) -> StoreFootprint:
+    """Summarize a :class:`~repro.runtime.keystore.KeyStore` for reports."""
+    stats = store.stats
+    return StoreFootprint(
+        stored_mb=store.stored_bytes / MB,
+        eager_mb=store.eager_bytes / MB,
+        cached_mb=store.cached_bytes / MB,
+        compression=store.compression,
+        fetched_mb=stats.fetched_bytes / MB,
+        generated_mb=stats.generated_bytes / MB,
+        hit_rate=stats.hit_rate,
+    )

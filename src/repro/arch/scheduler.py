@@ -23,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arch.config import ArchConfig
-from repro.arch.fus import ALL_POOLS, POOL_HBM, op_cycles, pool_of
-from repro.arch.memory import ScratchpadCache
+from repro.arch.fus import ALL_POOLS, POOL_HBM, POOL_NTTU, op_cycles, pool_of
+from repro.arch.memory import GenerationPolicy, ScratchpadCache
 from repro.errors import ScheduleError
 from repro.plan.primops import MEMORY_KINDS, OpKind, Plan
 
@@ -127,14 +127,31 @@ def simulate(
                 finish[op.uid] = max(ready, entry.ready_time)
                 hbm_hit_bytes += entry.bytes
             else:
+                fetched = cache.fetch_bytes(op.tag, op.data_bytes)
                 duration = op_cycles(op, config, degree)
+                if op.data_bytes and fetched != op.data_bytes:
+                    duration *= fetched / op.data_bytes
                 start = _capacity_start(max(ready, pool_free[POOL_HBM]), op.data_bytes)
                 end = start + duration
                 pool_free[POOL_HBM] = end
                 pool_busy[POOL_HBM] += duration
+                gen_bytes = op.data_bytes - fetched
+                if gen_bytes > 0:
+                    # Runtime generation: the seeded fraction never crosses
+                    # HBM; its PRNG+NTT expansion occupies the NTTU pool
+                    # instead (the Section IV compute-for-bandwidth trade).
+                    gen_limbs = gen_bytes / (degree * plan.params.word_bytes)
+                    gen_duration = (
+                        gen_limbs * (degree / config.lanes) / config.clusters
+                    )
+                    gen_start = max(ready, pool_free[POOL_NTTU])
+                    gen_end = gen_start + gen_duration
+                    pool_free[POOL_NTTU] = gen_end
+                    pool_busy[POOL_NTTU] += gen_duration
+                    end = max(end, gen_end)
                 cache.insert(op.tag, op.data_bytes, ready_time=end)
                 finish[op.uid] = end
-                hbm_miss_bytes += op.data_bytes
+                hbm_miss_bytes += fetched
                 outstanding[op.uid] = [op.data_bytes, None]
         else:
             pool = pool_of(op)
@@ -164,6 +181,28 @@ def simulate(
         hbm_miss_bytes=hbm_miss_bytes,
         hbm_hit_bytes=hbm_hit_bytes,
     )
+
+
+def contrast_runtime_generation(
+    plan: Plan,
+    config: ArchConfig,
+    policy: GenerationPolicy | None = None,
+) -> dict[str, SimResult]:
+    """Simulate ``plan`` fetch-everything vs with runtime data generation.
+
+    Returns ``{"fetch": ..., "generate": ...}``; the generate run attaches
+    ``policy`` (default: evk ``a`` halves seeded, Section IV-A) to the
+    scratchpad so covered objects pay NTTU expansion instead of HBM
+    bandwidth. Comparing the two results gives the paper's traffic-removal
+    and makespan arguments directly from the simulator.
+    """
+    fetch = simulate(plan, config)
+    generating_cache = ScratchpadCache(
+        budget_bytes=config.evk_budget_bytes,
+        policy=policy if policy is not None else GenerationPolicy(),
+    )
+    generate = simulate(plan, config, cache=generating_cache)
+    return {"fetch": fetch, "generate": generate}
 
 
 @dataclass

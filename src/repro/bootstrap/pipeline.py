@@ -8,7 +8,10 @@ The pipeline accepts the same mode switches as the underlying transforms:
   (two evks per transform, Section IV-A);
 * ``pt_store``: a plaintext store; passing an
   :class:`~repro.ckks.oflimb.OnTheFlyPlaintextStore` enables OF-Limb
-  (Section IV-B).
+  (Section IV-B), while a
+  :class:`~repro.runtime.ptstore.RuntimePlaintextStore` generates the DFT
+  factor plaintexts on demand under a byte budget. A store passed to the
+  constructor becomes the default for every ``bootstrap()`` call.
 
 The incoming ciphertext must be at level 0 with the context's default
 scale; the result is a higher-level ciphertext encrypting (approximately)
@@ -47,6 +50,7 @@ class Bootstrapper:
         double_angles: int = 2,
         sine_degree: int = 47,
         baby_step: int | None = None,
+        pt_store=None,
     ):
         self.ctx = ctx
         params = ctx.params
@@ -58,6 +62,7 @@ class Bootstrapper:
         self.evalmod = EvalMod(
             ctx, range_k=range_k, double_angles=double_angles, degree=sine_degree
         )
+        self.pt_store = pt_store
         self.last_report: BootstrapReport | None = None
 
     def prepare_keys(self, mode: str = "minks") -> None:
@@ -73,6 +78,8 @@ class Bootstrapper:
         """Refresh a level-0 ciphertext to a usable level."""
         ctx = self.ctx
         ev = ctx.evaluator
+        if pt_store is None:
+            pt_store = self.pt_store
         if ct.slots != ctx.params.max_slots:
             raise ParameterError(
                 "functional bootstrapping runs at full slot packing "

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import rng as rng_streams
 from repro.params import CkksParams
 from repro.rns.basis import RnsBasis
+from repro.runtime.keystore import KeyStore
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.encryptor import Decryptor, Encryptor
@@ -39,7 +41,7 @@ class CkksContext:
         self.encoder = encoder
         self.keygen = keygen
         self.keys = keys
-        self.encryptor = Encryptor(params, basis, keys.public, rng=keygen.rng)
+        self.encryptor = Encryptor(params, basis, keys.public, seed=keygen.seed)
         self.decryptor = Decryptor(params, basis, keys.secret)
         self.evaluator = CkksEvaluator(params, basis, keys)
 
@@ -48,13 +50,24 @@ class CkksContext:
         cls,
         params: CkksParams,
         rotations: tuple[int, ...] = (),
-        seed: int = 2022,
+        seed: int = rng_streams.DEFAULT_SEED,
+        key_store: KeyStore | None = None,
     ) -> "CkksContext":
+        """Build a full context; pass ``key_store`` for seed-compressed keys.
+
+        The same ``seed`` yields bit-identical key material whether or not
+        a store is supplied (keys derive from per-key named RNG streams).
+        """
         basis = RnsBasis.generate(params)
         encoder = CkksEncoder(params.degree)
-        keygen = KeyGenerator(params, basis, rng=np.random.default_rng(seed))
+        keygen = KeyGenerator(params, basis, seed=seed, store=key_store)
         keys = keygen.key_chain(rotations=rotations)
         return cls(params, basis, encoder, keygen, keys)
+
+    @property
+    def key_store(self) -> KeyStore | None:
+        """The backing KeyStore, when created with seed-compressed keys."""
+        return self.keys.store
 
     # ------------------------------------------------------------- shortcuts
 
@@ -67,7 +80,7 @@ class CkksContext:
         for r in amounts:
             r = r % self.params.max_slots
             if r and r not in self.keys.rotations:
-                self.keys.rotations[r] = self.keygen.rotation_key(r)
+                self.keys.add_rotation(r, self.keygen.rotation_key(r))
 
     def encode(
         self,

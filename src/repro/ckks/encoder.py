@@ -77,13 +77,22 @@ class CkksEncoder:
     ) -> PolyRns:
         """Encode a message into a coefficient-representation RNS plaintext
         with the given ``scale`` (Δ) over ``moduli``."""
-        coeffs = self.embed(message) * scale
-        if np.max(np.abs(coeffs)) < 2**62:
-            ints = np.rint(coeffs).astype(np.int64)
+        ints = self.integer_coeffs(message, scale)
+        if ints is not None:
             return PolyRns.from_small_int_coeffs(self.degree, moduli, ints)
+        coeffs = self.embed(message) * scale
         return PolyRns.from_int_coeffs(
             self.degree, moduli, [int(round(c)) for c in coeffs]
         )
+
+    def integer_coeffs(self, message: np.ndarray, scale: float) -> np.ndarray | None:
+        """The rounded integer coefficients of ``encode``, when they fit
+        int64 (the compact form the runtime plaintext stores persist);
+        ``None`` signals the big-integer fallback path."""
+        coeffs = self.embed(message) * scale
+        if np.max(np.abs(coeffs)) < 2**62:
+            return np.rint(coeffs).astype(np.int64)
+        return None
 
     def decode(
         self, poly: PolyRns, scale: float, slots: int | None = None

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import rng as rng_streams
 from repro.errors import ParameterError
 from repro.params import CkksParams
 from repro.rns.basis import RnsBasis
@@ -13,7 +14,12 @@ from repro.ckks.keys import PublicKey, SecretKey
 
 
 class Encryptor:
-    """Public-key encryptor: ``ct = v*pk + (Pm + e0, e1)``."""
+    """Public-key encryptor: ``ct = v*pk + (Pm + e0, e1)``.
+
+    Ephemeral randomness (v, e0, e1) comes from the named ``encryptor``
+    stream of :mod:`repro.rng`, independent of every key-generation
+    stream; an explicit ``rng`` overrides it.
+    """
 
     def __init__(
         self,
@@ -21,11 +27,15 @@ class Encryptor:
         basis: RnsBasis,
         public_key: PublicKey,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
     ):
         self.params = params
         self.basis = basis
         self.public_key = public_key
-        self.rng = rng if rng is not None else np.random.default_rng(7)
+        if rng is None:
+            seed = rng_streams.DEFAULT_SEED if seed is None else seed
+            rng = rng_streams.stream(seed, rng_streams.ENCRYPTOR)
+        self.rng = rng
 
     def encrypt(self, plaintext: Plaintext, slots: int | None = None) -> Ciphertext:
         poly = plaintext.poly

@@ -204,11 +204,16 @@ class CkksEvaluator:
                 pending.append((amount, reduced))
         if not pending:
             return out
+        # Resolve every rotation key up front: with a partially generated
+        # key set this fails before the (expensive, shared) ModUp runs, and
+        # with a seed-compressed KeyStore it resolves the descriptors
+        # without materializing any a-part yet.
+        evks = {reduced: self.keys.rotation(reduced) for _, reduced in pending}
         self.stats["hoisted_modup"] += 1
         pieces = self.switcher.mod_up_all(-ct.a)
         for amount, reduced in pending:
             galois = pow(5, reduced, 2 * self.params.degree)
-            evk = self.keys.rotation(reduced)
+            evk = evks[reduced]
             self.stats["hrot_hoisted"] += 1
             self.stats[f"evk_load:rot:{reduced}"] += 1
             ks_b, ks_a = self.switcher.switch_hoisted(pieces, evk, galois)

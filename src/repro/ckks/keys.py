@@ -10,6 +10,15 @@ encryption under S (over the extended basis D = C ∪ B) of
 where ``Q̂_i = Q / Q_i``. ``F_i ≡ 1 (mod Q_i)`` and ``≡ 0`` modulo every
 other q-limb, which is what makes the ModUp/accumulate/ModDown pipeline of
 Alg. 2 reconstruct ``P * d2 * S'``.
+
+Runtime data generation (Section IV): every uniform ``a`` part is drawn
+from a *per-key named RNG stream* (:mod:`repro.rng`) via
+:class:`~repro.runtime.seeded.SeededPoly`, and the per-key error
+polynomials likewise get dedicated streams. Key material therefore depends
+only on ``(seed, kind)`` -- never on generation order -- and a key
+generator bound to a :class:`~repro.runtime.keystore.KeyStore` can emit
+seed-compressed :class:`~repro.runtime.keystore.StoredEvaluationKey`
+objects that are bit-identical to the eager ones when expanded.
 """
 
 from __future__ import annotations
@@ -18,10 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import rng as rng_streams
 from repro.errors import KeyError_
 from repro.params import CkksParams
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import PolyRns
+from repro.runtime.keystore import KeyStore, StoredEvaluationKey
+from repro.runtime.seeded import SeededPoly
 
 
 @dataclass
@@ -42,7 +54,7 @@ class PublicKey:
 
 @dataclass
 class EvaluationKey:
-    """dnum pairs of R_PQ polynomials (Table I: evk)."""
+    """dnum pairs of R_PQ polynomials (Table I: evk), fully materialized."""
 
     b_parts: list[PolyRns]  # eval rep over C + B
     a_parts: list[PolyRns]
@@ -52,6 +64,10 @@ class EvaluationKey:
     def dnum(self) -> int:
         return len(self.b_parts)
 
+    def fetch_parts(self) -> tuple[list[PolyRns], list[PolyRns]]:
+        """Both halves; same contract as the seed-compressed variant."""
+        return self.b_parts, self.a_parts
+
 
 @dataclass
 class KeyChain:
@@ -60,19 +76,41 @@ class KeyChain:
     ``rotation_keys_generated`` is the working-set statistic behind the
     paper's Min-KS argument: the baseline H-(I)DFT needs ~40 distinct
     rotation keys while Min-KS needs 2 per iteration.
+
+    When backed by a :class:`~repro.runtime.keystore.KeyStore` the chain
+    holds seed-compressed keys whose ``a`` parts materialize lazily
+    through the store's budgeted cache.
     """
 
     secret: SecretKey
     public: PublicKey
-    mult: EvaluationKey
-    rotations: dict[int, EvaluationKey] = field(default_factory=dict)
-    conjugation: EvaluationKey | None = None
+    mult: EvaluationKey | StoredEvaluationKey
+    rotations: dict[int, EvaluationKey | StoredEvaluationKey] = field(
+        default_factory=dict
+    )
+    conjugation: EvaluationKey | StoredEvaluationKey | None = None
+    store: KeyStore | None = None
 
-    def rotation(self, amount: int) -> EvaluationKey:
+    def rotation(self, amount: int) -> EvaluationKey | StoredEvaluationKey:
         key = self.rotations.get(amount)
+        if key is None and self.store is not None and f"rot:{amount}" in self.store:
+            key = self.store.get(f"rot:{amount}")
+            self.rotations[amount] = key
         if key is None:
-            raise KeyError_(f"no rotation key for amount {amount}")
+            available = self.rotation_amounts
+            raise KeyError_(
+                f"no rotation key for amount {amount} "
+                f"(generated amounts: {available if available else 'none'})"
+            )
         return key
+
+    def add_rotation(
+        self, amount: int, key: EvaluationKey | StoredEvaluationKey
+    ) -> None:
+        """Register a rotation key (and mirror it into the store, if any)."""
+        self.rotations[amount] = key
+        if self.store is not None and isinstance(key, StoredEvaluationKey):
+            self.store.put(key)
 
     @property
     def rotation_amounts(self) -> list[int]:
@@ -80,7 +118,14 @@ class KeyChain:
 
 
 class KeyGenerator:
-    """Generates all key material for one (params, basis) instantiation."""
+    """Generates all key material for one (params, basis) instantiation.
+
+    ``seed`` is the master seed of the named RNG streams; pass ``store`` to
+    emit seed-compressed keys (the expanded ``a`` arrays are dropped after
+    the ``b`` halves are computed, exactly the memory saving the paper
+    claims). A legacy ``rng`` argument overrides the secret-key stream
+    only.
+    """
 
     def __init__(
         self,
@@ -88,15 +133,39 @@ class KeyGenerator:
         basis: RnsBasis,
         rng: np.random.Generator | None = None,
         hamming_weight: int | None = None,
+        seed: int | None = None,
+        store: KeyStore | None = None,
     ):
         self.params = params
         self.basis = basis
-        self.rng = rng if rng is not None else np.random.default_rng(2022)
+        self.seed = rng_streams.DEFAULT_SEED if seed is None else seed
+        self.rng = rng if rng is not None else rng_streams.stream(
+            self.seed, rng_streams.KEYGEN
+        )
+        self.store = store
         self.full_moduli = tuple(basis.q_moduli) + tuple(basis.p_moduli)
         if hamming_weight is None:
             hamming_weight = min(64, params.degree // 4)
         self.hamming_weight = hamming_weight
         self._secret: SecretKey | None = None
+
+    # ------------------------------------------------------------- streams
+
+    def _uniform_seed(self, *stream_id) -> SeededPoly:
+        """Seed descriptor for one uniform ``a`` polynomial over D."""
+        return SeededPoly(
+            degree=self.params.degree,
+            moduli=self.full_moduli,
+            seed=self.seed,
+            stream=tuple(stream_id),
+        )
+
+    def _error(self, *stream_id) -> PolyRns:
+        """Per-key error polynomial from its own named noise stream."""
+        gen = rng_streams.stream(self.seed, rng_streams.NOISE, *stream_id)
+        return PolyRns.gaussian_error(
+            self.params.degree, self.full_moduli, gen
+        ).to_eval()
 
     # ------------------------------------------------------------- secrets
 
@@ -113,26 +182,32 @@ class KeyGenerator:
 
     def public_key(self) -> PublicKey:
         s = self.secret_key().poly.limbs(self.basis.q_moduli)
-        a = PolyRns.uniform_random(
-            self.params.degree, self.basis.q_moduli, self.rng
-        ).to_eval()
+        a = SeededPoly(
+            degree=self.params.degree,
+            moduli=self.basis.q_moduli,
+            seed=self.seed,
+            stream=("pk", "a"),
+        ).expand()
+        e_gen = rng_streams.stream(self.seed, rng_streams.NOISE, "pk")
         e = PolyRns.gaussian_error(
-            self.params.degree, self.basis.q_moduli, self.rng
+            self.params.degree, self.basis.q_moduli, e_gen
         ).to_eval()
         return PublicKey(b=a * s + e, a=a)
 
     # ------------------------------------------------------------- switch keys
 
-    def _switching_key(self, s_prime: PolyRns, kind: str) -> EvaluationKey:
+    def _switching_key(
+        self, s_prime: PolyRns, kind: str
+    ) -> EvaluationKey | StoredEvaluationKey:
         """Evk encrypting ``s_prime`` (over the full basis) under S."""
-        degree = self.params.degree
         s = self.secret_key().poly
         p_product = self.basis.p_product
         q_full = self.basis.q_product()
         groups = self.basis.limb_groups(self.params.dnum)
         b_parts: list[PolyRns] = []
         a_parts: list[PolyRns] = []
-        for group in groups:
+        a_seeds: list[SeededPoly] = []
+        for i, group in enumerate(groups):
             q_i = 1
             for q in group:
                 q_i *= q
@@ -142,22 +217,30 @@ class KeyGenerator:
             factor = p_product * q_hat * inv
             factor_per_limb = [factor % m for m in self.full_moduli]
             payload = s_prime.scalar_mul_per_limb(factor_per_limb)
-            a = PolyRns.uniform_random(degree, self.full_moduli, self.rng).to_eval()
-            e = PolyRns.gaussian_error(degree, self.full_moduli, self.rng).to_eval()
+            a_seed = self._uniform_seed("evk", kind, i)
+            a = a_seed.expand()
+            e = self._error("evk", kind, i)
             b_parts.append(a * s + e + payload)
             a_parts.append(a)
+            a_seeds.append(a_seed)
+        if self.store is not None:
+            # Seed-compressed: the expanded a arrays are dropped here and
+            # regenerated by the store when a key-switch first needs them.
+            return self.store.put(
+                StoredEvaluationKey(kind, b_parts, a_seeds, self.store)
+            )
         return EvaluationKey(b_parts=b_parts, a_parts=a_parts, kind=kind)
 
-    def mult_key(self) -> EvaluationKey:
+    def mult_key(self) -> EvaluationKey | StoredEvaluationKey:
         s = self.secret_key().poly
         return self._switching_key(s * s, kind="mult")
 
-    def rotation_key(self, amount: int) -> EvaluationKey:
+    def rotation_key(self, amount: int) -> EvaluationKey | StoredEvaluationKey:
         galois = self.galois_element(amount)
         s_rot = self.secret_key().poly.automorphism(galois)
         return self._switching_key(s_rot, kind=f"rot:{amount}")
 
-    def conjugation_key(self) -> EvaluationKey:
+    def conjugation_key(self) -> EvaluationKey | StoredEvaluationKey:
         galois = 2 * self.params.degree - 1
         s_conj = self.secret_key().poly.automorphism(galois)
         return self._switching_key(s_conj, kind="conj")
@@ -174,8 +257,9 @@ class KeyGenerator:
             secret=self.secret_key(),
             public=self.public_key(),
             mult=self.mult_key(),
+            store=self.store,
         )
         for r in rotations:
-            chain.rotations[r] = self.rotation_key(r)
+            chain.add_rotation(r, self.rotation_key(r))
         chain.conjugation = self.conjugation_key()
         return chain

@@ -12,6 +12,12 @@ Given a polynomial ``d`` (decryptable under S') and an evk encrypting
 
 This module also records an operation tally (`KeySwitchStats`) used by the
 tests to cross-check the op-level performance plans in `repro.plan`.
+
+Evks are accessed through ``evk.fetch_parts()``: for eager keys that is a
+plain attribute read, while seed-compressed keys
+(:class:`~repro.runtime.keystore.StoredEvaluationKey`) materialize their
+``a`` halves through the :class:`~repro.runtime.keystore.KeyStore`, which
+records the fetched-vs-generated traffic split of Section IV.
 """
 
 from __future__ import annotations
@@ -62,12 +68,13 @@ class KeySwitcher:
         groups = self.basis.limb_groups(self.params.dnum, level=level)
         extended_basis = tuple(active) + tuple(self.basis.p_moduli)
 
+        b_parts, a_parts = evk.fetch_parts()
         acc_b: PolyRns | None = None
         acc_a: PolyRns | None = None
         for i, group in enumerate(groups):
             piece = self._mod_up(d, group, extended_basis)
-            evk_b = evk.b_parts[i].limbs(extended_basis)
-            evk_a = evk.a_parts[i].limbs(extended_basis)
+            evk_b = b_parts[i].limbs(extended_basis)
+            evk_a = a_parts[i].limbs(extended_basis)
             self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
             term_b = piece * evk_b
             term_a = piece * evk_a
@@ -106,12 +113,13 @@ class KeySwitcher:
         active = tuple(
             m for m in extended_basis if m not in self.basis.p_moduli
         )
+        b_parts, a_parts = evk.fetch_parts()
         acc_b: PolyRns | None = None
         acc_a: PolyRns | None = None
         for i, piece in enumerate(pieces):
             rotated = piece.automorphism(galois)
-            evk_b = evk.b_parts[i].limbs(extended_basis)
-            evk_a = evk.a_parts[i].limbs(extended_basis)
+            evk_b = b_parts[i].limbs(extended_basis)
+            evk_a = a_parts[i].limbs(extended_basis)
             self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
             term_b = rotated * evk_b
             term_a = rotated * evk_a

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ParameterError
+from repro.rng import SEED_BYTES
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,16 @@ class CkksParams:
     def evk_bytes(self) -> int:
         """Bytes of one evaluation key: dnum pairs of R_PQ polynomials."""
         return self.dnum * 2 * self.total_limbs * self.degree * self.word_bytes
+
+    def evk_seeded_bytes(self) -> int:
+        """Bytes of one seed-compressed evaluation key (Section IV).
+
+        The uniform ``a`` half of every pair is stored as a PRNG stream
+        descriptor instead of (α+L+1)·N words, so only the ``b`` halves
+        remain materialized: a ~2x footprint reduction.
+        """
+        poly_bytes = self.total_limbs * self.degree * self.word_bytes
+        return self.dnum * (poly_bytes + SEED_BYTES)
 
     def with_overrides(self, **changes) -> "CkksParams":
         """Return a copy with the given fields replaced."""

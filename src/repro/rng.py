@@ -1,0 +1,63 @@
+"""Named, independent, counter-based RNG streams.
+
+All randomness in the functional layer flows through here. A *stream* is
+identified by a master ``seed`` plus a tuple of labels (its *stream id*),
+e.g. ``("keygen",)`` or ``("evk", "rot:5", 2, "a")``. The stream key is a
+SHA-256 digest of the canonical id, driving a counter-based Philox
+generator, which gives three properties the runtime subsystem relies on:
+
+* **Determinism** -- the same (seed, stream id) always produces the same
+  words, across processes and platforms (no salted ``hash()``).
+* **Independence** -- distinct stream ids give statistically independent
+  generators, so per-key streams can be (re)expanded in any order without
+  perturbing each other. This is what makes seed-compressed keys
+  *order-independent*: key material depends only on (seed, kind), never on
+  how many other keys were generated first.
+* **Compactness** -- a stream is fully described by its 16-byte Philox key
+  (:data:`SEED_BYTES` budgets the stored form including the id tag), which
+  is what a :class:`~repro.runtime.seeded.SeededPoly` persists in place of
+  an expanded polynomial.
+
+Standard stream names used across the stack:
+
+* ``keygen`` -- secret-key sampling (KeyGenerator)
+* ``encryptor`` -- ephemeral v/e0/e1 of public-key encryption
+* ``noise`` -- per-key error polynomials (suffixed with the key id)
+* ``pk`` / ``evk`` -- the uniform ``a`` parts (suffixed; seed-expandable)
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Default master seed of the functional layer (was the scattered
+#: ``default_rng(2022)`` / ``default_rng(7)`` literals).
+DEFAULT_SEED = 2022
+
+#: Bytes one *stored* stream descriptor costs an implementation: the
+#: 128-bit Philox key plus a 128-bit counter/stream tag. Used by the
+#: data-size analysis to price seed-compressed key material.
+SEED_BYTES = 32
+
+KEYGEN = "keygen"
+ENCRYPTOR = "encryptor"
+NOISE = "noise"
+
+StreamId = tuple
+
+
+def derive_key(seed: int, stream: StreamId) -> int:
+    """128-bit Philox key for one (seed, stream id) pair.
+
+    The id is serialized with ``repr``, which is canonical for the
+    int/str tuples used as stream ids.
+    """
+    payload = repr((int(seed), *stream)).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:16], "little")
+
+
+def stream(seed: int, *stream_id) -> np.random.Generator:
+    """A fresh generator for the named stream (always at counter zero)."""
+    return np.random.Generator(np.random.Philox(key=derive_key(seed, stream_id)))

@@ -1,0 +1,32 @@
+"""Runtime data generation (the paper's headline idea, Section IV).
+
+PRNG-expandable data -- the uniform ``a`` parts of evaluation keys and the
+bootstrapping plaintext factors -- is held as small seeds / compact
+descriptions and regenerated on the fly instead of being stored and
+fetched, trading (cheap, parallel) compute for memory capacity and
+bandwidth:
+
+* :mod:`repro.runtime.seeded` -- :class:`SeededPoly`, a (seed, stream id)
+  pair that expands bit-identically to the eagerly sampled polynomial.
+* :mod:`repro.runtime.keystore` -- :class:`KeyStore` /
+  :class:`StoredEvaluationKey`: evks held as ``(seed, b_parts)`` with
+  lazy ``a``-part materialization under an LRU byte budget.
+* :mod:`repro.runtime.ptstore` -- :class:`RuntimePlaintextStore`:
+  bootstrap DFT factor plaintexts generated on demand from compact
+  integer coefficients.
+* :mod:`repro.runtime.accounting` -- shared hit/miss/bytes bookkeeping.
+"""
+
+from repro.runtime.accounting import ByteBudgetCache, StoreStats
+from repro.runtime.keystore import KeyStore, StoredEvaluationKey
+from repro.runtime.ptstore import RuntimePlaintextStore
+from repro.runtime.seeded import SeededPoly
+
+__all__ = [
+    "ByteBudgetCache",
+    "KeyStore",
+    "RuntimePlaintextStore",
+    "SeededPoly",
+    "StoreStats",
+    "StoredEvaluationKey",
+]

@@ -1,0 +1,102 @@
+"""Shared bookkeeping for the runtime-generation stores.
+
+Both the key store and the plaintext store answer the same question the
+paper's memory model asks: of the bytes an operation *required*, how many
+were **fetched** from stored material and how many were **generated** on
+the fly? :class:`StoreStats` tracks that split plus the cache behaviour of
+the expanded-data working set (:class:`ByteBudgetCache`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class StoreStats:
+    """Traffic split and cache behaviour of one runtime store."""
+
+    hits: int = 0              # expanded data served from the cache
+    misses: int = 0            # expansions that had to run
+    evictions: int = 0         # expanded entries dropped for space
+    fetched_bytes: int = 0     # bytes served from *stored* material
+    generated_bytes: int = 0   # bytes expanded from seeds / descriptions
+
+    @property
+    def required_bytes(self) -> int:
+        """Total bytes consumers asked for, however they were served."""
+        return self.fetched_bytes + self.generated_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+        self.fetched_bytes = self.generated_bytes = 0
+
+
+@dataclass
+class ByteBudgetCache:
+    """LRU cache of expanded objects under a byte budget.
+
+    ``budget_bytes = None`` means unlimited (everything expanded once stays
+    resident); ``0`` disables caching entirely (pure streaming -- every
+    request regenerates). Mirrors the semantics of the architecture layer's
+    :class:`~repro.arch.memory.ScratchpadCache`, at object granularity.
+    """
+
+    budget_bytes: int | None = None
+    stats: StoreStats = field(default_factory=StoreStats)
+    _entries: "OrderedDict[Any, tuple[Any, int]]" = field(default_factory=OrderedDict)
+    _occupied: int = 0
+
+    @property
+    def occupied_bytes(self) -> int:
+        return self._occupied
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def get(
+        self, key: Any, expand: Callable[[], Any], nbytes: Callable[[Any], int]
+    ) -> Any:
+        """Serve ``key``, expanding on a miss and caching if it fits.
+
+        ``expand`` produces the object; ``nbytes`` prices it. Generated
+        bytes are recorded on every miss, whether or not the result is
+        retained.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
+        self.stats.misses += 1
+        value = expand()
+        size = nbytes(value)
+        self.stats.generated_bytes += size
+        self._insert(key, value, size)
+        return value
+
+    def _insert(self, key: Any, value: Any, size: int) -> None:
+        budget = self.budget_bytes
+        if budget is not None and size > budget:
+            return  # larger than the whole budget: streamed, never resident
+        if budget is not None:
+            while self._entries and self._occupied + size > budget:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._occupied -= dropped
+                self.stats.evictions += 1
+        self._entries[key] = (value, size)
+        self._occupied += size
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._occupied = 0

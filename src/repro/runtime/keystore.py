@@ -1,0 +1,162 @@
+"""Seed-compressed evaluation-key store with on-the-fly expansion.
+
+The paper's Table III point: an evk is ``dnum`` *pairs* of R_PQ
+polynomials, but the ``a`` half of every pair is uniformly random -- it
+can be stored as a PRNG seed and regenerated when the key-switch needs
+it. A :class:`StoredEvaluationKey` therefore holds its ``b`` parts
+materialized and its ``a`` parts as :class:`~repro.runtime.seeded.SeededPoly`
+seeds; the owning :class:`KeyStore` materializes ``a`` parts on demand and
+keeps the expanded working set in an LRU cache under a configurable byte
+budget (the scratchpad analogue), with hit/miss/bytes-generated/
+bytes-fetched accounting that feeds :mod:`repro.analysis.datasizes` and
+the :mod:`repro.arch.memory` traffic model.
+
+Duck-typing contract: both :class:`StoredEvaluationKey` and the eager
+:class:`~repro.ckks.keys.EvaluationKey` expose ``kind``, ``dnum``,
+``b_parts``, ``a_parts`` and ``fetch_parts()``, so the key-switcher never
+needs to know which variant it was handed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KeyError_
+from repro.rns.poly import PolyRns
+from repro.runtime.accounting import ByteBudgetCache, StoreStats
+from repro.runtime.seeded import SeededPoly
+
+
+class StoredEvaluationKey:
+    """dnum ``(b, seed-of-a)`` pairs, bound to the store that expands them."""
+
+    __slots__ = ("kind", "b_parts", "a_seeds", "store")
+
+    def __init__(
+        self,
+        kind: str,
+        b_parts: list[PolyRns],
+        a_seeds: list[SeededPoly],
+        store: "KeyStore",
+    ):
+        if len(b_parts) != len(a_seeds):
+            raise KeyError_(
+                f"evk {kind!r}: {len(b_parts)} b parts vs {len(a_seeds)} seeds"
+            )
+        self.kind = kind
+        self.b_parts = b_parts
+        self.a_seeds = a_seeds
+        self.store = store
+
+    @property
+    def dnum(self) -> int:
+        return len(self.b_parts)
+
+    @property
+    def a_parts(self) -> list[PolyRns]:
+        """Materialized ``a`` parts (cached by the store; no fetch stats)."""
+        return self.store.materialize(self)
+
+    def fetch_parts(self) -> tuple[list[PolyRns], list[PolyRns]]:
+        """One accounted key access: b is fetched, a is generated/cached."""
+        self.store.stats.fetched_bytes += self.b_bytes
+        return self.b_parts, self.store.materialize(self)
+
+    # ------------------------------------------------------------ footprint
+
+    @property
+    def b_bytes(self) -> int:
+        return sum(p.data.nbytes for p in self.b_parts)
+
+    @property
+    def seeded_bytes(self) -> int:
+        """Stored footprint: materialized b halves + seeds for the a halves."""
+        return self.b_bytes + sum(s.seeded_bytes for s in self.a_seeds)
+
+    @property
+    def eager_bytes(self) -> int:
+        """What eager storage of both halves would cost."""
+        return self.b_bytes + sum(s.expanded_bytes for s in self.a_seeds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StoredEvaluationKey(kind={self.kind!r}, dnum={self.dnum})"
+
+
+@dataclass
+class KeyStore:
+    """Holds seed-compressed evks; expands and caches ``a`` parts on demand.
+
+    ``budget_bytes`` bounds the *expanded* working set: ``None`` keeps every
+    expansion resident (generate-once), ``0`` caches nothing (regenerate on
+    every key-switch -- the paper's pure runtime-generation extreme), and
+    anything in between gives LRU behaviour over hot keys.
+    """
+
+    budget_bytes: int | None = None
+    _keys: dict = field(default_factory=dict)
+    _cache: ByteBudgetCache = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._cache is None:
+            self._cache = ByteBudgetCache(budget_bytes=self.budget_bytes)
+
+    # ------------------------------------------------------------- registry
+
+    def put(self, key: StoredEvaluationKey) -> StoredEvaluationKey:
+        self._keys[key.kind] = key
+        return key
+
+    def get(self, kind: str) -> StoredEvaluationKey:
+        key = self._keys.get(kind)
+        if key is None:
+            raise KeyError_(
+                f"key store holds no evk {kind!r} "
+                f"(available: {sorted(self._keys) or 'none'})"
+            )
+        return key
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._keys
+
+    def kinds(self) -> list[str]:
+        return sorted(self._keys)
+
+    # ---------------------------------------------------------- materialize
+
+    def materialize(self, key: StoredEvaluationKey) -> list[PolyRns]:
+        """The expanded ``a`` parts of ``key``, through the LRU cache."""
+        return self._cache.get(
+            key.kind,
+            expand=lambda: [seed.expand() for seed in key.a_seeds],
+            nbytes=lambda parts: sum(p.data.nbytes for p in parts),
+        )
+
+    # ------------------------------------------------------------ accounting
+
+    @property
+    def stats(self) -> StoreStats:
+        return self._cache.stats
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes of expanded a-parts currently resident."""
+        return self._cache.occupied_bytes
+
+    @property
+    def stored_bytes(self) -> int:
+        """Persistent footprint of the store (b halves + seeds)."""
+        return sum(k.seeded_bytes for k in self._keys.values())
+
+    @property
+    def eager_bytes(self) -> int:
+        """Footprint an eager (fully materialized) key set would need."""
+        return sum(k.eager_bytes for k in self._keys.values())
+
+    @property
+    def compression(self) -> float:
+        """Eager-over-stored footprint ratio (→ ~2x when b ≈ a in size)."""
+        stored = self.stored_bytes
+        return self.eager_bytes / stored if stored else 1.0
+
+    def reset_stats(self) -> None:
+        self._cache.stats.reset()

@@ -1,0 +1,97 @@
+"""Runtime-generated plaintext store (bootstrap DFT factors on demand).
+
+The H-(I)DFT matrices of bootstrapping contribute plaintext factor
+diagonals that are constants of the *parameter set*, not of the data: an
+accelerator need not fetch the (ℓ+1)·N-word encoded form from off-chip
+memory -- the compact integer coefficient vector (N words) fully
+determines every limb, and the expansion is a batch of mod-reductions
+plus NTTs on the kernel layer (the same Eq. 12 dataflow as OF-Limb, here
+generalized into a byte-budgeted store).
+
+:class:`RuntimePlaintextStore` implements the pluggable ``pt_store``
+protocol of :class:`~repro.ckks.linear.HomLinearTransform` /
+:class:`~repro.bootstrap.pipeline.Bootstrapper`: compact descriptions are
+kept forever (they are the "stored" data), while expanded plaintexts live
+in an LRU cache under ``budget_bytes`` with the shared
+hit/miss/generated/fetched accounting. Expansion is bit-identical to
+encoding at the requested level (both round the same embedded
+coefficients), so results through the store match the eager path exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ckks.ciphertext import Plaintext
+from repro.rns.poly import PolyRns
+from repro.runtime.accounting import ByteBudgetCache, StoreStats
+
+
+class RuntimePlaintextStore:
+    """Encoded plaintexts regenerated on demand from compact coefficients.
+
+    Callers own the ``key`` namespace: a key must identify one diagonal's
+    *values* (as the linear-transform layer's ``(name, j, i)`` keys do, so
+    a store must not be shared between transforms with colliding names).
+    The encoding ``scale`` is part of the cache identity here, so the same
+    key fetched at a different scale is re-described, never served stale.
+    """
+
+    def __init__(self, ctx, budget_bytes: int | None = None):
+        self.ctx = ctx
+        self._compact: dict = {}  # (key, scale) -> int64 coefficient vector
+        self._cache = ByteBudgetCache(budget_bytes=budget_bytes)
+        self.fetches = 0
+        self.words_loaded = 0  # compact words "fetched" (protocol parity)
+
+    # ----------------------------------------------------------- protocol
+
+    def get(self, key, values: np.ndarray, moduli: tuple[int, ...], scale: float) -> Plaintext:
+        """Serve the encoded plaintext for ``values`` over ``moduli``."""
+        ints = self._compact.get((key, scale))
+        if ints is None:
+            ints = self._describe(key, values, scale)
+        self.fetches += 1
+        degree = self.ctx.params.degree
+        self.words_loaded += degree
+        self.stats.fetched_bytes += ints.nbytes
+        poly = self._cache.get(
+            (key, scale, tuple(moduli)),
+            expand=lambda: self._expand(ints, tuple(moduli)),
+            nbytes=lambda p: p.data.nbytes,
+        )
+        return Plaintext(poly=poly, scale=scale)
+
+    # ------------------------------------------------------------- stages
+
+    def _describe(self, key, values: np.ndarray, scale: float) -> np.ndarray:
+        """Compact form: the exact integer coefficients of the encoding."""
+        ints = self.ctx.encoder.integer_coeffs(np.asarray(values), scale)
+        if ints is None:
+            raise ParameterError(
+                "plaintext coefficients overflow int64; the compact "
+                "N-word store cannot represent them exactly"
+            )
+        self._compact[(key, scale)] = ints
+        return ints
+
+    def _expand(self, ints: np.ndarray, moduli: tuple[int, ...]) -> PolyRns:
+        """Reduce the compact coefficients per limb and NTT (kernel layer)."""
+        degree = self.ctx.params.degree
+        return PolyRns.from_small_int_coeffs(degree, moduli, ints).to_eval()
+
+    # ---------------------------------------------------------- accounting
+
+    @property
+    def stats(self) -> StoreStats:
+        return self._cache.stats
+
+    @property
+    def stored_bytes(self) -> int:
+        """Persistent footprint: compact descriptions only."""
+        return sum(v.nbytes for v in self._compact.values())
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._cache.occupied_bytes

@@ -1,0 +1,46 @@
+"""Seed-compressed polynomials (ARK-style runtime data generation).
+
+A :class:`SeededPoly` stands in for a uniformly random :class:`PolyRns`
+-- the ``a`` part of a public or evaluation key -- and stores only the
+(seed, stream id) pair of the named RNG stream the eager path sampled it
+from. :meth:`expand` replays that stream and NTTs the result through the
+PR-1 lazy kernel layer, so the expansion is **bit-identical** to the
+polynomial the eager key generator produced (property-tested in
+``tests/runtime/test_seeded.py``).
+
+The expansion dataflow deliberately matches the paper's accounting: the
+PRNG supplies coefficient-domain words and the limb-batched NTT pays the
+on-the-fly compute that replaces the off-chip fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import rng as rng_streams
+from repro.rns.poly import PolyRns
+
+
+@dataclass(frozen=True)
+class SeededPoly:
+    """A uniform element of R_Q, stored as its generating stream."""
+
+    degree: int
+    moduli: tuple[int, ...]
+    seed: int
+    stream: tuple
+
+    @property
+    def seeded_bytes(self) -> int:
+        """Stored footprint: one stream descriptor, regardless of limbs."""
+        return rng_streams.SEED_BYTES
+
+    @property
+    def expanded_bytes(self) -> int:
+        """Footprint of the materialized polynomial (8-byte words)."""
+        return len(self.moduli) * self.degree * 8
+
+    def expand(self) -> PolyRns:
+        """Regenerate the polynomial (evaluation rep, via the kernel NTT)."""
+        gen = rng_streams.stream(self.seed, *self.stream)
+        return PolyRns.uniform_random(self.degree, self.moduli, gen).to_eval()

@@ -123,3 +123,15 @@ def test_published_constants_have_provenance():
 def test_paper_claims_sane():
     assert PAPER_CLAIMS["t_as_vs_100x"] == 563.0
     assert PAPER_TABLE7["BTS"]["on_chip_mb"] == 512
+
+
+def test_table3_seeded_evk_halves_the_footprint():
+    """Runtime generation: seed-compressed evks store only the b halves."""
+    for row in table3_rows():
+        assert row.evk_compression == pytest.approx(2.0, rel=0.001)
+        assert row.evk_seeded_mb == pytest.approx(row.evk_mb / 2, rel=0.001)
+
+
+def test_ark_seeded_evk_is_60_mb():
+    ark = next(r for r in table3_rows() if r.name == "ARK")
+    assert ark.evk_seeded_mb == pytest.approx(60.0, rel=0.01)

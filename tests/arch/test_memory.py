@@ -46,3 +46,45 @@ def test_byte_counters():
     assert cache.hit_bytes == 800
     cache.reset_stats()
     assert cache.hits == cache.misses == 0
+
+
+# ------------------------------------------------- runtime generation policy
+
+
+def test_generation_policy_splits_covered_tags():
+    from repro.arch.memory import GenerationPolicy
+
+    policy = GenerationPolicy(prefixes=("evk:",), generated_fraction=0.5)
+    assert policy.covers("evk:mult")
+    assert not policy.covers("pt:dft:0")
+    assert policy.fetched_bytes("evk:mult", 1000) == 500
+    assert policy.fetched_bytes("pt:dft:0", 1000) == 1000
+
+
+def test_cache_accounts_generated_bytes_under_policy():
+    from repro.arch.memory import GenerationPolicy
+
+    cache = ScratchpadCache(
+        budget_bytes=10_000, policy=GenerationPolicy(generated_fraction=0.5)
+    )
+    cache.insert("evk:mult", 4000, 0.0)
+    cache.insert("ct:in", 2000, 0.0)
+    assert cache.miss_bytes == 2000 + 2000  # half of the evk + all of the ct
+    assert cache.generated_bytes == 2000
+    # The expanded entry still occupies its full size on chip.
+    assert cache.entries["evk:mult"].bytes == 4000
+    cache.reset_stats()
+    assert cache.generated_bytes == 0
+
+
+def test_policy_never_changes_behaviour_without_coverage():
+    from repro.arch.memory import GenerationPolicy
+
+    plain = ScratchpadCache(budget_bytes=1000)
+    covered = ScratchpadCache(
+        budget_bytes=1000, policy=GenerationPolicy(prefixes=("nothing:",))
+    )
+    for cache in (plain, covered):
+        cache.insert("evk:x", 400, 0.0)
+        assert cache.miss_bytes == 400
+        assert cache.generated_bytes == 0

@@ -141,3 +141,51 @@ def test_makespan_monotone_in_work(limbs1, limbs2):
     plan.add(OpKind.NTT, limbs=1)
     longer = simulate(plan, ARK_BASE).cycles
     assert longer >= shorter
+
+
+# ------------------------------------------------- runtime data generation
+
+
+def memory_plan():
+    plan = Plan(ARK)
+    req = plan.add(OpKind.EVK, data_bytes=ARK.evk_bytes(), tag="evk:mult")
+    plan.add(OpKind.EWE, limbs=8, deps=(req,))
+    return plan
+
+
+def test_runtime_generation_cuts_hbm_traffic():
+    from repro.arch.scheduler import contrast_runtime_generation
+
+    res = contrast_runtime_generation(memory_plan(), ARK_BASE)
+    fetch, generate = res["fetch"], res["generate"]
+    assert fetch.hbm_miss_bytes == ARK.evk_bytes()
+    assert generate.hbm_miss_bytes == ARK.evk_bytes() // 2
+    assert generate.cache.generated_bytes == ARK.evk_bytes() // 2
+
+
+def test_runtime_generation_charges_nttu_for_expansion():
+    from repro.arch.scheduler import contrast_runtime_generation
+
+    res = contrast_runtime_generation(memory_plan(), ARK_BASE)
+    fetch, generate = res["fetch"], res["generate"]
+    assert fetch.pool_busy["nttu"] == 0.0
+    assert generate.pool_busy["nttu"] > 0.0
+    # Halving HBM time must outweigh the added NTTU time at ARK's balance.
+    assert generate.cycles < fetch.cycles
+
+
+def test_generation_policy_leaves_hits_alone():
+    from repro.arch.memory import GenerationPolicy, ScratchpadCache
+    from repro.arch.scheduler import simulate
+
+    plan = Plan(ARK)
+    a = plan.add(OpKind.EVK, data_bytes=1 << 20, tag="evk:mult")
+    b = plan.add(OpKind.EWE, limbs=8, deps=(a,))
+    c = plan.add(OpKind.EVK, data_bytes=1 << 20, tag="evk:mult", deps=(b,))
+    plan.add(OpKind.EWE, limbs=8, deps=(c,))
+    cache = ScratchpadCache(
+        budget_bytes=ARK_BASE.evk_budget_bytes, policy=GenerationPolicy()
+    )
+    res = simulate(plan, ARK_BASE, cache=cache)
+    assert cache.hits == 1 and cache.misses == 1
+    assert res.hbm_miss_bytes == (1 << 20) // 2

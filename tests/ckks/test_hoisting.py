@@ -72,3 +72,47 @@ def test_zero_rotation_shortcut(ctx, message):
 def test_empty_pieces_rejected(ctx):
     with pytest.raises(ParameterError):
         ctx.evaluator.switcher.switch_hoisted([], ctx.keys.rotation(1), 5)
+
+
+def test_hoisted_with_partial_key_set_fails_before_modup(ctx, message):
+    """A missing rotation key must surface before the shared ModUp runs,
+    with no partial work and no evk loads recorded."""
+    from repro.errors import KeyError_
+
+    ct = ctx.encrypt(message)
+    stats = ctx.evaluator.switcher.stats
+    stats.reset()
+    before_loads = {
+        k: v for k, v in ctx.evaluator.stats.items() if k.startswith("evk_load")
+    }
+    with pytest.raises(KeyError_) as err:
+        ctx.evaluator.rotate_many_hoisted(ct, AMOUNTS + [7])
+    assert "7" in str(err.value)
+    assert stats.counts["intt_limbs"] == 0  # no ModUp happened
+    after_loads = {
+        k: v for k, v in ctx.evaluator.stats.items() if k.startswith("evk_load")
+    }
+    assert after_loads == before_loads
+
+
+def test_hoisted_partial_set_with_keystore(message):
+    """Same upfront failure through a seed-compressed KeyStore, and the
+    miss resolves without materializing any a-part."""
+    from repro.errors import KeyError_
+    from repro.params import TOY
+    from repro.runtime.keystore import KeyStore
+    from repro.ckks.context import CkksContext
+
+    ctx = CkksContext.create(
+        TOY, rotations=(1, 2), seed=111, key_store=KeyStore()
+    )
+    ct = ctx.encrypt(message)
+    with pytest.raises(KeyError_):
+        ctx.evaluator.rotate_many_hoisted(ct, [1, 2, 5])
+    assert ctx.key_store.stats.misses == 0  # nothing was expanded
+    # After generating the missing key the same call succeeds.
+    ctx.ensure_rotation_keys([5])
+    out = ctx.evaluator.rotate_many_hoisted(ct, [1, 2, 5])
+    assert set(out) == {1, 2, 5}
+    for r in (1, 2, 5):
+        assert np.allclose(ctx.decrypt(out[r]), np.roll(message, -r), atol=1e-2)

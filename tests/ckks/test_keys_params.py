@@ -115,3 +115,34 @@ def test_ensure_rotation_keys_is_idempotent(ctx):
     before = len(ctx.keys.rotations)
     ctx.ensure_rotation_keys([1, 1, 0])
     assert len(ctx.keys.rotations) == before
+
+
+def test_missing_rotation_key_error_lists_available(ctx):
+    with pytest.raises(KeyError_) as err:
+        ctx.keys.rotation(17)
+    message = str(err.value)
+    assert "amount 17" in message
+    assert "generated amounts: [1]" in message
+
+
+def test_missing_rotation_key_on_empty_chain():
+    bare = CkksContext.create(TOY, rotations=(), seed=132)
+    with pytest.raises(KeyError_) as err:
+        bare.keys.rotation(3)
+    assert "none" in str(err.value)
+
+
+def test_rotation_key_negative_amount_not_conflated(ctx):
+    """Amount -1 is a distinct (missing) key, not rotation 1."""
+    with pytest.raises(KeyError_):
+        ctx.keys.rotation(-1)
+
+
+def test_seeded_chain_reports_store(ctx):
+    from repro.runtime.keystore import KeyStore
+
+    assert ctx.keys.store is None
+    seeded = CkksContext.create(TOY, rotations=(1,), seed=131, key_store=KeyStore())
+    assert seeded.key_store is seeded.keys.store
+    assert "rot:1" in seeded.key_store
+    assert seeded.key_store.kinds() == ["conj", "mult", "rot:1"]

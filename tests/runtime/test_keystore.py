@@ -1,0 +1,174 @@
+"""KeyStore behaviour: lazy a-part materialization, LRU byte budget,
+traffic accounting, and bit-identical HE results through the store path."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.datasizes import keystore_footprint
+from repro.errors import KeyError_
+from repro.params import TOY
+from repro.runtime.keystore import KeyStore
+from repro.ckks.context import CkksContext
+
+ROTS = (1, 2)
+
+
+def make_ctx(budget=None, seed=41):
+    return CkksContext.create(
+        TOY, rotations=ROTS, seed=seed, key_store=KeyStore(budget_bytes=budget)
+    )
+
+
+@pytest.fixture(scope="module")
+def eager_ctx():
+    return CkksContext.create(TOY, rotations=ROTS, seed=41)
+
+
+@pytest.fixture(scope="module")
+def store_ctx():
+    return make_ctx()
+
+
+@pytest.fixture(scope="module")
+def message():
+    rng = np.random.default_rng(3)
+    return rng.uniform(-1, 1, TOY.max_slots).astype(np.complex128)
+
+
+# -------------------------------------------------------------- bit-identity
+
+
+def test_hmult_bit_identical_through_store(eager_ctx, store_ctx, message):
+    ct_e = eager_ctx.encrypt(message)
+    ct_s = store_ctx.encrypt(message)
+    out_e = eager_ctx.evaluator.rescale(eager_ctx.evaluator.mul(ct_e, ct_e))
+    out_s = store_ctx.evaluator.rescale(store_ctx.evaluator.mul(ct_s, ct_s))
+    assert np.array_equal(out_e.b.data, out_s.b.data)
+    assert np.array_equal(out_e.a.data, out_s.a.data)
+
+
+def test_hrot_bit_identical_through_store(eager_ctx, store_ctx, message):
+    ct_e = eager_ctx.encrypt(message)
+    ct_s = store_ctx.encrypt(message)
+    for r in ROTS:
+        out_e = eager_ctx.evaluator.rotate(ct_e, r)
+        out_s = store_ctx.evaluator.rotate(ct_s, r)
+        assert np.array_equal(out_e.b.data, out_s.b.data)
+        assert np.array_equal(out_e.a.data, out_s.a.data)
+
+
+def test_hoisted_rotations_bit_identical_through_store(
+    eager_ctx, store_ctx, message
+):
+    ct_e = eager_ctx.encrypt(message)
+    ct_s = store_ctx.encrypt(message)
+    out_e = eager_ctx.evaluator.rotate_many_hoisted(ct_e, list(ROTS))
+    out_s = store_ctx.evaluator.rotate_many_hoisted(ct_s, list(ROTS))
+    for r in ROTS:
+        assert np.array_equal(out_e[r].b.data, out_s[r].b.data)
+        assert np.array_equal(out_e[r].a.data, out_s[r].a.data)
+
+
+def test_store_backed_results_decrypt(store_ctx, message):
+    ct = store_ctx.encrypt(message)
+    out = store_ctx.decrypt(store_ctx.evaluator.rotate(ct, 1))
+    assert np.allclose(out, np.roll(message, -1), atol=1e-2)
+
+
+# ---------------------------------------------------------------- accounting
+
+
+def test_generate_once_then_hit(message):
+    ctx = make_ctx()
+    store = ctx.key_store
+    store.reset_stats()
+    ct = ctx.encrypt(message)
+    ctx.evaluator.mul(ct, ct)
+    assert store.stats.misses == 1 and store.stats.hits == 0
+    one_key = TOY.dnum * TOY.total_limbs * TOY.degree * 8
+    assert store.stats.generated_bytes == one_key
+    assert store.stats.fetched_bytes == one_key  # b halves are the same size
+    ctx.evaluator.mul(ct, ct)
+    assert store.stats.hits == 1 and store.stats.misses == 1
+    # The hit fetched the b half again but generated nothing new.
+    assert store.stats.generated_bytes == one_key
+    assert store.stats.fetched_bytes == 2 * one_key
+
+
+def test_zero_budget_regenerates_every_time(message):
+    ctx = make_ctx(budget=0)
+    store = ctx.key_store
+    store.reset_stats()
+    ct = ctx.encrypt(message)
+    ctx.evaluator.mul(ct, ct)
+    ctx.evaluator.mul(ct, ct)
+    assert store.stats.misses == 2 and store.stats.hits == 0
+    assert store.cached_bytes == 0
+
+
+def test_lru_eviction_under_tight_budget(message):
+    # Budget fits exactly one key's expanded a-parts.
+    one_key = TOY.dnum * TOY.total_limbs * TOY.degree * 8
+    ctx = make_ctx(budget=one_key)
+    store = ctx.key_store
+    store.reset_stats()
+    ct = ctx.encrypt(message)
+    ctx.evaluator.rotate(ct, 1)   # miss, cache rot:1
+    ctx.evaluator.rotate(ct, 2)   # miss, evicts rot:1
+    ctx.evaluator.rotate(ct, 1)   # miss again
+    assert store.stats.misses == 3
+    assert store.stats.evictions >= 2
+    assert store.cached_bytes <= one_key
+
+
+def test_hot_key_stays_resident_under_tight_budget(message):
+    one_key = TOY.dnum * TOY.total_limbs * TOY.degree * 8
+    ctx = make_ctx(budget=one_key)
+    store = ctx.key_store
+    store.reset_stats()
+    ct = ctx.encrypt(message)
+    for _ in range(4):
+        ctx.evaluator.rotate(ct, 1)
+    assert store.stats.misses == 1 and store.stats.hits == 3
+    assert store.stats.hit_rate == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------- footprint
+
+
+def test_footprint_compression_is_about_2x(store_ctx):
+    store = store_ctx.key_store
+    assert store.stored_bytes < store.eager_bytes
+    assert store.compression == pytest.approx(2.0, rel=0.01)
+
+
+def test_keystore_footprint_report(message):
+    ctx = make_ctx()
+    store = ctx.key_store
+    ct = ctx.encrypt(message)
+    ctx.evaluator.mul(ct, ct)
+    fp = keystore_footprint(store)
+    assert fp.compression == pytest.approx(2.0, rel=0.01)
+    assert fp.generated_mb > 0
+    assert fp.fetched_mb > 0
+    assert fp.stored_mb == pytest.approx(fp.eager_mb / fp.compression)
+
+
+# -------------------------------------------------------------- error paths
+
+
+def test_store_get_unknown_kind_raises(store_ctx):
+    with pytest.raises(KeyError_) as err:
+        store_ctx.key_store.get("rot:999")
+    assert "rot:999" in str(err.value)
+    assert "available" in str(err.value)
+
+
+def test_chain_falls_back_to_store_registry(store_ctx):
+    """A key present in the store but not the chain dict is still found."""
+    chain = store_ctx.keys
+    key = chain.rotations.pop(1)
+    try:
+        assert chain.rotation(1) is key
+    finally:
+        chain.rotations[1] = key

@@ -1,0 +1,103 @@
+"""RuntimePlaintextStore: on-demand generation of linear-transform factor
+plaintexts, bit-identical to eager encoding, with budgeted caching."""
+
+import numpy as np
+import pytest
+
+from repro.params import TOY
+from repro.runtime.ptstore import RuntimePlaintextStore
+from repro.ckks.context import CkksContext
+from repro.ckks.linear import HomLinearTransform
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, rotations=(1, 2, 4, 8, 16), seed=77)
+
+
+@pytest.fixture(scope="module")
+def matrix(ctx):
+    n = ctx.params.max_slots
+    rng = np.random.default_rng(5)
+    # A banded matrix: few diagonals keeps the transform cheap.
+    m = np.zeros((n, n), dtype=np.complex128)
+    rows = np.arange(n)
+    for d in (0, 1, 2):
+        m[rows, (rows + d) % n] = rng.uniform(-1, 1, n)
+    return m
+
+
+@pytest.fixture(scope="module")
+def message(ctx):
+    rng = np.random.default_rng(6)
+    return rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+
+
+def test_generated_plaintexts_bit_identical_to_eager(ctx, matrix, message):
+    transform = HomLinearTransform(matrix, name="rtpt")
+    ct = ctx.encrypt(message)
+    store = RuntimePlaintextStore(ctx)
+    eager = transform.evaluate(ctx, ct, mode="minks")
+    generated = transform.evaluate(ctx, ct, mode="minks", pt_store=store)
+    assert np.array_equal(eager.b.data, generated.b.data)
+    assert np.array_equal(eager.a.data, generated.a.data)
+    assert store.fetches > 0
+
+
+def test_transform_through_store_is_correct(ctx, matrix, message):
+    transform = HomLinearTransform(matrix, name="rtpt2")
+    store = RuntimePlaintextStore(ctx)
+    out_ct = transform.evaluate(
+        ctx, ctx.encrypt(message), mode="minks", pt_store=store
+    )
+    out = ctx.decrypt(out_ct)
+    assert np.allclose(out, transform.reference(message), atol=1e-2)
+
+
+def test_accounting_and_reuse(ctx, matrix, message):
+    transform = HomLinearTransform(matrix, name="rtpt3")
+    store = RuntimePlaintextStore(ctx)
+    ct = ctx.encrypt(message)
+    transform.evaluate(ctx, ct, mode="minks", pt_store=store)
+    first_misses = store.stats.misses
+    assert first_misses > 0 and store.stats.hits == 0
+    assert store.stats.generated_bytes > 0
+    # Same transform at the same level: every expansion is reused.
+    transform.evaluate(ctx, ct, mode="minks", pt_store=store)
+    assert store.stats.misses == first_misses
+    assert store.stats.hits == first_misses
+
+
+def test_compact_storage_is_level_independent(ctx, matrix, message):
+    """Stored footprint is N words per diagonal, not (l+1)*N."""
+    transform = HomLinearTransform(matrix, name="rtpt4")
+    store = RuntimePlaintextStore(ctx)
+    transform.evaluate(ctx, ctx.encrypt(message), mode="minks", pt_store=store)
+    diagonals = len(store._compact)
+    assert store.stored_bytes == diagonals * ctx.params.degree * 8
+    assert store.cached_bytes > store.stored_bytes  # expanded forms are bigger
+
+
+def test_zero_budget_streams(ctx, matrix, message):
+    transform = HomLinearTransform(matrix, name="rtpt5")
+    store = RuntimePlaintextStore(ctx, budget_bytes=0)
+    ct = ctx.encrypt(message)
+    transform.evaluate(ctx, ct, mode="minks", pt_store=store)
+    first_misses = store.stats.misses
+    transform.evaluate(ctx, ct, mode="minks", pt_store=store)
+    assert store.stats.hits == 0
+    assert store.cached_bytes == 0
+    assert store.stats.misses == 2 * first_misses
+
+
+def test_same_key_at_new_scale_is_not_served_stale(ctx):
+    """Scale is part of the cache identity: a key re-fetched at a
+    different scale must be re-encoded, not mislabeled."""
+    store = RuntimePlaintextStore(ctx)
+    values = np.full(ctx.params.max_slots, 0.5)
+    moduli = ctx.basis.q_moduli
+    pt1 = store.get("diag", values, moduli, scale=2.0**28)
+    pt2 = store.get("diag", values, moduli, scale=2.0**20)
+    assert pt1.scale != pt2.scale
+    assert not np.array_equal(pt1.poly.data, pt2.poly.data)
+    assert len(store._compact) == 2

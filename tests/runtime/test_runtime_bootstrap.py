@@ -1,0 +1,67 @@
+"""End-to-end acceptance: a full bootstrap through the runtime subsystem
+(seed-compressed KeyStore + RuntimePlaintextStore) is bit-identical to the
+eager path."""
+
+import numpy as np
+import pytest
+
+from repro.params import TOY_BOOT
+from repro.bootstrap.pipeline import Bootstrapper
+from repro.runtime.keystore import KeyStore
+from repro.runtime.ptstore import RuntimePlaintextStore
+from repro.ckks.context import CkksContext
+
+SEED = 67
+
+
+@pytest.fixture(scope="module")
+def message():
+    rng = np.random.default_rng(1)
+    return rng.uniform(-0.25, 0.25, TOY_BOOT.degree // 2).astype(np.complex128)
+
+
+@pytest.fixture(scope="module")
+def results(message):
+    """One eager and one runtime-store bootstrap of the same ciphertext."""
+    eager = CkksContext.create(TOY_BOOT, seed=SEED)
+    runtime = CkksContext.create(TOY_BOOT, seed=SEED, key_store=KeyStore())
+    pt_store = RuntimePlaintextStore(runtime)
+    out = {}
+    for name, ctx, store in (("eager", eager, None), ("runtime", runtime, pt_store)):
+        boot = Bootstrapper(ctx, pt_store=store)
+        ct0 = ctx.evaluator.drop_to_level(ctx.encrypt(message), 0)
+        out[name] = (ctx, boot.bootstrap(ct0, mode="minks"))
+    return out, runtime.key_store, pt_store
+
+
+def test_bootstrap_bit_identical_through_runtime_stores(results):
+    out, _, _ = results
+    (_, eager_ct), (_, runtime_ct) = out["eager"], out["runtime"]
+    assert eager_ct.scale == runtime_ct.scale
+    assert np.array_equal(eager_ct.b.data, runtime_ct.b.data)
+    assert np.array_equal(eager_ct.a.data, runtime_ct.a.data)
+
+
+def test_bootstrap_through_stores_recovers_message(results, message):
+    out, _, _ = results
+    ctx, refreshed = out["runtime"]
+    decoded = ctx.decrypt(refreshed)
+    assert np.max(np.abs(decoded - message)) < 0.1
+
+
+def test_keystore_served_the_bootstrap(results):
+    _, key_store, _ = results
+    stats = key_store.stats
+    assert stats.misses > 0 and stats.generated_bytes > 0
+    # Min-KS reuses two rotation keys per transform heavily: the expanded
+    # working set must be hit far more often than it is generated.
+    assert stats.hits > 10 * stats.misses
+    assert key_store.compression == pytest.approx(2.0, rel=0.01)
+
+
+def test_ptstore_served_the_dft_factors(results):
+    _, _, pt_store = results
+    assert pt_store.fetches > 0
+    assert pt_store.stats.generated_bytes > 0
+    # Compact descriptions are one N-word vector per distinct diagonal.
+    assert pt_store.stored_bytes == len(pt_store._compact) * TOY_BOOT.degree * 8

@@ -1,0 +1,128 @@
+"""Seed expansion invariant: a SeededPoly expands bit-identically to the
+polynomial the eager path sampled, independent of order and other draws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng as rng_streams
+from repro.nt.primes import find_ntt_primes
+from repro.params import TOY
+from repro.rns.poly import PolyRns
+from repro.runtime.seeded import SeededPoly
+from repro.ckks.context import CkksContext
+from repro.runtime.keystore import KeyStore
+
+DEGREE = 64
+MODULI = tuple(find_ntt_primes(DEGREE, 28, 3))
+
+
+# ----------------------------------------------------------------- streams
+
+
+def test_streams_are_deterministic():
+    a = rng_streams.stream(7, "keygen").integers(0, 1 << 30, size=16)
+    b = rng_streams.stream(7, "keygen").integers(0, 1 << 30, size=16)
+    assert np.array_equal(a, b)
+
+
+def test_streams_are_independent_by_id():
+    a = rng_streams.stream(7, "keygen").integers(0, 1 << 30, size=16)
+    b = rng_streams.stream(7, "noise").integers(0, 1 << 30, size=16)
+    c = rng_streams.stream(8, "keygen").integers(0, 1 << 30, size=16)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_derive_key_is_stable_across_calls():
+    key = rng_streams.derive_key(2022, ("evk", "rot:5", 2))
+    assert key == rng_streams.derive_key(2022, ("evk", "rot:5", 2))
+    assert 0 <= key < 1 << 128
+
+
+# ---------------------------------------------------------------- expansion
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(min_value=0, max_value=2**63 - 1))
+def test_expansion_is_deterministic(seed):
+    sp = SeededPoly(DEGREE, MODULI, seed, ("evk", "mult", 0))
+    first = sp.expand()
+    second = sp.expand()
+    assert first.rep == "eval"
+    assert np.array_equal(first.data, second.data)
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=2**63 - 1))
+def test_expansion_matches_eager_sampling(seed):
+    """The exact dataflow the eager keygen uses: same stream, same words,
+    same kernel-layer NTT."""
+    sp = SeededPoly(DEGREE, MODULI, seed, ("evk", "conj", 1))
+    gen = rng_streams.stream(seed, "evk", "conj", 1)
+    eager = PolyRns.uniform_random(DEGREE, MODULI, gen).to_eval()
+    assert np.array_equal(sp.expand().data, eager.data)
+
+
+def test_expansion_is_order_independent():
+    """Draws on unrelated streams between expansions must not matter."""
+    sp = SeededPoly(DEGREE, MODULI, 99, ("evk", "rot:3", 0))
+    before = sp.expand()
+    rng_streams.stream(99, "keygen").normal(size=1000)
+    rng_streams.stream(99, "noise", "evk", "rot:3", 0).normal(size=1000)
+    assert np.array_equal(sp.expand().data, before.data)
+
+
+def test_footprint_properties():
+    sp = SeededPoly(DEGREE, MODULI, 1, ("pk", "a"))
+    assert sp.seeded_bytes == rng_streams.SEED_BYTES
+    assert sp.expanded_bytes == len(MODULI) * DEGREE * 8
+    assert sp.seeded_bytes < sp.expanded_bytes
+
+
+# ----------------------------------------------- eager vs seeded key material
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    eager = CkksContext.create(TOY, rotations=(1, 3), seed=17)
+    seeded = CkksContext.create(
+        TOY, rotations=(1, 3), seed=17, key_store=KeyStore()
+    )
+    return eager, seeded
+
+
+def test_seeded_keys_bit_identical_to_eager(contexts):
+    """The acceptance invariant: every evk half matches exactly."""
+    eager, seeded = contexts
+    pairs = [(eager.keys.mult, seeded.keys.mult),
+             (eager.keys.conjugation, seeded.keys.conjugation)]
+    for r in (1, 3):
+        pairs.append((eager.keys.rotation(r), seeded.keys.rotation(r)))
+    for ek, sk in pairs:
+        assert ek.kind == sk.kind
+        assert ek.dnum == sk.dnum
+        for i in range(ek.dnum):
+            assert np.array_equal(ek.b_parts[i].data, sk.b_parts[i].data)
+            assert np.array_equal(ek.a_parts[i].data, sk.a_parts[i].data)
+
+
+def test_secret_and_public_keys_match(contexts):
+    eager, seeded = contexts
+    assert np.array_equal(eager.keys.secret.poly.data, seeded.keys.secret.poly.data)
+    assert np.array_equal(eager.keys.public.b.data, seeded.keys.public.b.data)
+    assert np.array_equal(eager.keys.public.a.data, seeded.keys.public.a.data)
+
+
+def test_key_material_independent_of_generation_order():
+    """Per-key streams: generating rotations in a different order (or
+    lazily, after the fact) yields the same key material."""
+    a = CkksContext.create(TOY, rotations=(2, 5), seed=23)
+    b = CkksContext.create(TOY, rotations=(5,), seed=23)
+    b.ensure_rotation_keys([2])
+    for r in (2, 5):
+        ka, kb = a.keys.rotation(r), b.keys.rotation(r)
+        for i in range(ka.dnum):
+            assert np.array_equal(ka.b_parts[i].data, kb.b_parts[i].data)
+            assert np.array_equal(ka.a_parts[i].data, kb.a_parts[i].data)
