@@ -6,7 +6,7 @@ from repro.arch.config import ARK_BASE
 from repro.arch.scheduler import simulate
 from repro.params import ARK
 from repro.plan.bootplan import BootstrapPlan
-from repro.plan.workloads import build_helr, build_resnet20, build_sorting
+from repro.workloads import build_helr, build_resnet20, build_sorting
 
 CONFIGS = (
     ("Baseline (1/2 SRAM)", "baseline", False, True),

@@ -7,7 +7,7 @@ from repro.arch.power import PowerModel
 from repro.arch.scheduler import simulate
 from repro.params import ARK
 from repro.plan.bootplan import BootstrapPlan
-from repro.plan.workloads import build_helr, build_resnet20, build_sorting
+from repro.workloads import build_helr, build_resnet20, build_sorting
 
 VARIANTS = (
     ("ARK base", ARK_BASE),

@@ -4,7 +4,7 @@ scratchpad capacity (c/d) -- on HELR and ResNet-20."""
 import _tables
 from repro.arch.config import ARK_BASE
 from repro.params import ARK
-from repro.plan.workloads import build_helr, build_resnet20
+from repro.workloads import build_helr, build_resnet20
 
 MAC_SWEEP = (1, 2, 3, 4, 5, 6, 7, 8)
 SRAM_SWEEP = (192, 256, 320, 384, 448, 512, 576)

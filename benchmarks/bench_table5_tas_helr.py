@@ -7,8 +7,8 @@ from repro.arch.config import ARK_BASE
 from repro.arch.scheduler import simulate
 from repro.params import ARK
 from repro.plan.bootplan import BootstrapPlan
-from repro.plan.workloads import build_helr
-from repro.plan.workloads.helr import ITERATIONS_DEFAULT
+from repro.workloads import build_helr
+from repro.workloads.helr import ITERATIONS_DEFAULT
 
 
 def measure_ark():

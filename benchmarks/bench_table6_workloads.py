@@ -4,7 +4,7 @@ import _tables
 from repro.analysis.compare import PAPER_TABLE6
 from repro.arch.config import ARK_BASE
 from repro.params import ARK
-from repro.plan.workloads import build_resnet20, build_sorting
+from repro.workloads import build_resnet20, build_sorting
 
 
 def test_table6_complex_workloads(benchmark):

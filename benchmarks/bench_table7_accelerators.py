@@ -8,8 +8,8 @@ from repro.arch.power import PowerModel
 from repro.arch.scheduler import simulate
 from repro.params import ARK
 from repro.plan.bootplan import BootstrapPlan
-from repro.plan.workloads import build_helr, build_resnet20, build_sorting
-from repro.plan.workloads.helr import ITERATIONS_DEFAULT
+from repro.workloads import build_helr, build_resnet20, build_sorting
+from repro.workloads.helr import ITERATIONS_DEFAULT
 
 
 def measure_ark_row():

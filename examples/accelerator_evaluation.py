@@ -8,7 +8,7 @@ from repro import ARK, ARK_BASE, simulate
 from repro.analysis.metrics import amortized_mult_time_per_slot, measure_mult_times
 from repro.arch.power import PowerModel
 from repro.plan.bootplan import BootstrapPlan
-from repro.plan.workloads import build_resnet20
+from repro.workloads import build_resnet20
 
 
 def bootstrapping_ablation() -> None:

@@ -13,7 +13,8 @@ from repro.ckks.oflimb import OnTheFlyPlaintextStore, PrecomputedPlaintextStore
 
 
 def run(boot, ctx, ct0, message, mode, store):
-    label = f"{mode:9s} + {'OF-Limb' if isinstance(store, OnTheFlyPlaintextStore) else 'precomputed':11s}"
+    otf = isinstance(store, OnTheFlyPlaintextStore)
+    label = f"{mode:9s} + {'OF-Limb' if otf else 'precomputed':11s}"
     ctx.evaluator.stats.clear()
     start = time.time()
     refreshed = boot.bootstrap(ct0, mode=mode, pt_store=store)

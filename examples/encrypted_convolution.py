@@ -1,12 +1,15 @@
-"""Encrypted 2-D convolution: the ResNet-20 building block with the Min-KS
-rotation schedule (only rotation keys for amounts 1 and the raster start).
+"""Encrypted 2-D convolution through the unified session API: the
+ResNet-20 building block with the Min-KS rotation schedule (only rotation
+keys for amount 1 and the raster start), with per-key usage tracked by the
+session.
 
 Run:  python examples/encrypted_convolution.py
 """
 
 import numpy as np
 
-from repro import TOY, CkksContext
+import repro
+from repro import TOY
 from repro.workloads.cnn import encrypted_conv2d, plaintext_conv2d
 from repro.workloads.data import synthetic_image
 
@@ -22,27 +25,26 @@ KERNELS = {
 
 
 def main() -> None:
-    ctx = CkksContext.create(TOY, seed=5)
+    sess = repro.session(TOY, seed=5)
     height = width = 16
     image = synthetic_image(height, width, seed=2)
-    ct = ctx.encrypt(image.reshape(-1).astype(np.complex128))
+    ct = sess.encrypt(image.reshape(-1).astype(np.complex128), tag="ct:image")
     print(f"image {height}x{width} packed into {ct.slots} slots "
-          f"(N = {ctx.params.degree})")
+          f"(N = {sess.params.degree})")
 
     for name, kernel in KERNELS.items():
-        ctx.evaluator.stats.clear()
-        out_ct = encrypted_conv2d(ctx, ct, kernel, height, width)
-        out = ctx.decrypt(out_ct).real.reshape(height, width)
+        sess.evk_usage.clear()
+        sess.op_counts.clear()
+        out_ct = encrypted_conv2d(sess, ct, kernel, height, width)
+        out = sess.decrypt(out_ct).real.reshape(height, width)
         expected = plaintext_conv2d(image, kernel)
         err = float(np.max(np.abs(out - expected)))
-        keys = {
-            k.split("evk_load:rot:")[1]
-            for k in ctx.evaluator.stats
-            if k.startswith("evk_load:rot:")
-        }
+        keys = sorted(
+            k.split("evk:rot:")[1] for k in sess.evk_usage if k != "evk:mult"
+        )
         print(f"{name:14s}: max err {err:.2e}, rotations "
-              f"{ctx.evaluator.stats['hrot']:3d}, distinct rotation keys "
-              f"{sorted(keys)} (Min-KS schedule)")
+              f"{sess.op_counts['hrot']:3d}, distinct rotation keys "
+              f"{keys} (Min-KS schedule)")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,5 @@
-"""The HELR workload end to end: functional encrypted training at toy scale,
+"""The HELR workload end to end, through the unified program API:
+functional encrypted training at toy scale, a trace of the same program,
 then the full-scale op-level model on the ARK simulator (Table V).
 
 Run:  python examples/logistic_regression.py
@@ -6,28 +7,42 @@ Run:  python examples/logistic_regression.py
 
 import numpy as np
 
-from repro import ARK, ARK_BASE, TOY, CkksContext
-from repro.plan.workloads import build_helr
-from repro.plan.workloads.helr import ITERATIONS_DEFAULT
+import repro
+from repro import ARK, ARK_BASE, TOY
+from repro.workloads import build_helr
 from repro.workloads.data import synthetic_classification
-from repro.workloads.helr import EncryptedLogisticRegression
+from repro.workloads.helr import (
+    ITERATIONS_DEFAULT,
+    EncryptedLogisticRegression,
+    helr_gradient,
+)
 
 
 def functional_demo() -> None:
-    print("=== functional layer: encrypted SGD on synthetic data ===")
-    ctx = CkksContext.create(TOY, seed=3)
+    print("=== functional backend: encrypted SGD on synthetic data ===")
+    sess = repro.session(TOY, seed=3)
     features = 8
     x, y = synthetic_classification(64, features, seed=1)
-    model = EncryptedLogisticRegression(ctx, features)
+    model = EncryptedLogisticRegression(sess, features)
     print(f"initial accuracy: {model.accuracy(x, y):.2f}")
     for epoch in range(2):
         for xi, yi in zip(x[:24], y[:24]):
             model.step(xi, yi, lr=0.8)
         print(f"after epoch {epoch + 1}: accuracy {model.accuracy(x, y):.2f}")
+    reused = {k: v for k, v in sess.evk_usage.items() if v > 1}
+    print(f"evk reuse (the paper's key-reuse argument): {reused}")
+
+
+def trace_demo() -> None:
+    print("\n=== trace backend: the same gradient program, op counts only ===")
+    sess = repro.session(TOY, backend="trace")
+    ct_x = sess.encrypt(np.zeros(8), tag="ct:sample")
+    helr_gradient(sess, ct_x, np.zeros(8), 1.0, 8)
+    print("op stream tally:", dict(sess.backend.table2_counts()))
 
 
 def performance_model() -> None:
-    print("\n=== performance model: HELR on the ARK simulator ===")
+    print("\n=== plan backend: HELR on the ARK simulator ===")
     for mode, oflimb, label in (
         ("baseline", False, "baseline algorithms"),
         ("minks", True, "Min-KS + OF-Limb"),
@@ -42,4 +57,5 @@ def performance_model() -> None:
 
 if __name__ == "__main__":
     functional_demo()
+    trace_demo()
     performance_model()

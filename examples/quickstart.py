@@ -1,29 +1,30 @@
-"""Quickstart: encrypted arithmetic with the functional CKKS layer.
+"""Quickstart: encrypted arithmetic through the unified session API.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import TOY, CkksContext
+import repro
+from repro import TOY
 
 
 def main() -> None:
-    # One call builds primes, keys, encoder, encryptor and evaluator.
-    ctx = CkksContext.create(TOY, rotations=(1, 2), seed=7)
-    ev = ctx.evaluator
-    print(f"parameters: N = {ctx.params.degree}, L = {ctx.params.max_level}, "
-          f"dnum = {ctx.params.dnum}, scale = 2^{ctx.params.scale_bits}")
+    # One call builds primes, keys, encoder, encryptor and evaluator, and
+    # wraps them in a session with operator-overloaded handles.
+    sess = repro.session(TOY, seed=7)
+    print(f"parameters: N = {sess.params.degree}, L = {sess.params.max_level}, "
+          f"dnum = {sess.params.dnum}, scale = 2^{sess.params.scale_bits}")
 
     rng = np.random.default_rng(0)
-    a = rng.uniform(-1, 1, ctx.params.max_slots)
-    b = rng.uniform(-1, 1, ctx.params.max_slots)
-    ct_a, ct_b = ctx.encrypt(a), ctx.encrypt(b)
+    a = rng.uniform(-1, 1, sess.params.max_slots)
+    b = rng.uniform(-1, 1, sess.params.max_slots)
+    ct_a, ct_b = sess.encrypt(a), sess.encrypt(b)
 
     # Homomorphic add, multiply (+ rescale), rotate, conjugate.
-    total = ctx.decrypt(ev.add(ct_a, ct_b))
-    product = ctx.decrypt(ev.rescale(ev.mul(ct_a, ct_b)))
-    rotated = ctx.decrypt(ev.rotate(ct_a, 2))
+    total = sess.decrypt(ct_a + ct_b)
+    product = sess.decrypt((ct_a * ct_b).rescale())
+    rotated = sess.decrypt(ct_a.rotate(2))
 
     for label, got, want in (
         ("a + b", total, a + b),
@@ -34,15 +35,23 @@ def main() -> None:
         print(f"{label:8s} max error = {err:.2e}")
 
     # Multiplicative depth: square down to level 0.
-    ct = ctx.encrypt(np.full(ctx.params.max_slots, 0.9))
+    ct = sess.encrypt(np.full(sess.params.max_slots, 0.9))
     value = 0.9
     while ct.level > 0:
-        ct = ev.rescale(ev.mul(ct, ct))
+        ct = (ct * ct).rescale()
         value = value * value
-    print(f"after {ctx.params.max_level} squarings: "
-          f"{ctx.decrypt(ct)[0].real:.6f} (expected {value:.6f})")
+    print(f"after {sess.params.max_level} squarings: "
+          f"{sess.decrypt(ct)[0].real:.6f} (expected {value:.6f})")
     print("a level-0 ciphertext cannot multiply again -> see "
           "examples/bootstrapping_demo.py")
+
+    # The exact same expressions also run on the plan/trace backends --
+    # see examples/logistic_regression.py for the three-backend tour.
+    plan_sess = repro.session(TOY, backend="plan")
+    x = plan_sess.input("ct:x")
+    (x * x).rescale().rotate(None, key_tag="evk:rot:demo")
+    (_, plan), = plan_sess.backend.segments_final()
+    print(f"same program as an op-level plan: {len(plan.ops)} primary ops")
 
 
 if __name__ == "__main__":

@@ -15,14 +15,23 @@ This package provides both layers:
   that rebuilds the paper's evaluation -- every table and figure -- on an
   op-level simulator of the ARK microarchitecture.
 
+Both layers speak one program API (:mod:`repro.backend`): write a workload
+once against the Table II op surface and run it functionally, on the
+accelerator model, or as a structured op trace.
+
 Quickstart::
 
-    from repro import CkksContext, TOY
+    import repro
 
-    ctx = CkksContext.create(TOY, rotations=(1,))
-    ct = ctx.encrypt([0.5, -0.25, 0.125, 0.0625])
-    product = ctx.evaluator.rescale(ctx.evaluator.mul(ct, ct))
-    print(ctx.decrypt(product))
+    sess = repro.session(repro.TOY, seed=7)
+    x = sess.encrypt([0.5, -0.25, 0.125, 0.0625])
+    y = (x * x).rescale() + 1.0
+    print(sess.decrypt(y))
+
+    # The same program as an op-level plan for the ARK simulator:
+    plan_sess = repro.session(repro.ARK, backend="plan")
+    x = plan_sess.input("ct:x")
+    y = (x * x).rescale() + 1.0
 """
 
 from repro.params import ARK, F1, LATTIGO, TOY, TOY_BOOT, X100, CkksParams
@@ -30,8 +39,16 @@ from repro.ckks.context import CkksContext
 from repro.bootstrap.pipeline import Bootstrapper
 from repro.arch.config import ARK_BASE, ArchConfig
 from repro.arch.scheduler import simulate
+from repro.backend import (
+    FunctionalBackend,
+    HeBackend,
+    HeSession,
+    PlanBackend,
+    TraceBackend,
+    session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ARK",
@@ -46,4 +63,10 @@ __all__ = [
     "ArchConfig",
     "ARK_BASE",
     "simulate",
+    "HeBackend",
+    "HeSession",
+    "FunctionalBackend",
+    "PlanBackend",
+    "TraceBackend",
+    "session",
 ]

@@ -26,7 +26,7 @@ from repro.arch.config import ArchConfig
 from repro.arch.fus import ALL_POOLS, POOL_HBM, POOL_NTTU, op_cycles, pool_of
 from repro.arch.memory import GenerationPolicy, ScratchpadCache
 from repro.errors import ScheduleError
-from repro.plan.primops import MEMORY_KINDS, OpKind, Plan
+from repro.plan.primops import MEMORY_KINDS, Plan
 
 
 @dataclass

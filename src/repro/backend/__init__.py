@@ -1,0 +1,36 @@
+"""One HE program API, three executors (the unified-backend layer).
+
+Write a workload once against the Table II op surface of
+:class:`~repro.backend.api.HeBackend` (or the operator-overloaded
+:func:`~repro.backend.session.session` facade) and run it
+
+* functionally (`FunctionalBackend` -- real RNS-CKKS math),
+* on the accelerator model (`PlanBackend` -- primary-op plans for
+  :mod:`repro.arch.scheduler`),
+* or as a structured op stream (`TraceBackend`).
+
+See README "The unified program API" for the layer map.
+"""
+
+from repro.backend.api import TABLE2_OPS, HeBackend, HeCt, HePt
+from repro.backend.functional import FunctionalBackend
+from repro.backend.plan import PlanBackend, plan_table2_counts, run_workload_model
+from repro.backend.session import HeSession, SessionCt, SessionPt, session
+from repro.backend.trace import TraceBackend, TraceEvent
+
+__all__ = [
+    "TABLE2_OPS",
+    "HeBackend",
+    "HeCt",
+    "HePt",
+    "FunctionalBackend",
+    "PlanBackend",
+    "TraceBackend",
+    "TraceEvent",
+    "plan_table2_counts",
+    "run_workload_model",
+    "HeSession",
+    "SessionCt",
+    "SessionPt",
+    "session",
+]

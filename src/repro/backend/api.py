@@ -1,0 +1,437 @@
+"""The unified HE program API: one op surface, three execution backends.
+
+A *program* is ordinary Python that drives an :class:`HeBackend` through the
+Table II op surface (add / sub / mul / mul_plain / rotate / hoisted-rotate /
+conjugate / rescale / bootstrap, plus the constant/integer conveniences the
+workloads need). The same program can then run
+
+* **functionally** (:class:`~repro.backend.functional.FunctionalBackend`) --
+  real RNS-CKKS math through :class:`~repro.ckks.evaluator.CkksEvaluator`
+  and :class:`~repro.bootstrap.pipeline.Bootstrapper`;
+* **on the performance model**
+  (:class:`~repro.backend.plan.PlanBackend`) -- emitting primary-op plans
+  for :mod:`repro.arch.scheduler`;
+* **as a structured trace** (:class:`~repro.backend.trace.TraceBackend`) --
+  recording the op stream, standalone or wrapped around another backend.
+
+The base class owns all op *accounting* (``op_counts``, ``evk_usage``) and
+the level/scale bookkeeping on handles, and delegates only the payload work
+to per-backend ``_op`` hooks. Because the bookkeeping is shared, a program
+issues byte-for-byte the same op stream on every backend -- which is what
+makes the trace-vs-plan equivalence tests in ``tests/backend/`` meaningful
+rather than circular: they compare the stream against the *structure of the
+emitted plan* (EVK/PT/CT ops, tagged rescales) and against the functional
+evaluator's own counters.
+
+Counter keys deliberately match ``CkksEvaluator.stats``
+(see :data:`repro.ckks.evaluator.STAT_KEYS`): ``hmult``, ``hrot``,
+``hrot_hoisted``, ``hoisted_modup``, ``hconj``, ``pmult``, ``padd``,
+``hadd``, ``cadd``, ``cmult``, ``imult``, ``div_pow2``, ``rescale``,
+``negate`` -- plus backend-level ``input_ct`` and ``bootstrap``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import LevelError, ParameterError
+from repro.params import CkksParams
+
+# Nominal scales can only grow so far before float overflow on long
+# unrescaled squaring chains (the structural sorting model squares 36
+# times); symbolic backends clamp here. Functional backends track the
+# true scale from the ciphertext payload instead.
+SCALE_CLAMP = 2.0**1000
+
+#: The Table II op surface: backend method -> counter key. One entry per
+#: public op; this is the single registry the equivalence tests iterate.
+TABLE2_OPS = {
+    "add": "hadd",
+    "sub": "hadd",
+    "add_matched": "hadd",
+    "negate": "negate",
+    "add_plain": "padd",
+    "add_const": "cadd",
+    "mul": "hmult",
+    "mul_plain": "pmult",
+    "mul_const": "cmult",
+    "mul_int": "imult",
+    "div_by_pow2": "div_pow2",
+    "rotate": "hrot",
+    "rotate_hoisted": "hrot_hoisted",
+    "conjugate": "hconj",
+    "rescale": "rescale",
+    "bootstrap": "bootstrap",
+}
+
+
+@dataclass
+class HeCt:
+    """A backend-agnostic ciphertext handle.
+
+    ``payload`` is backend-specific (a functional
+    :class:`~repro.ckks.ciphertext.Ciphertext`, a plan uid, an inner
+    handle for a wrapping trace, or ``None``); ``level``/``scale``/``slots``
+    are the bookkeeping every backend keeps in sync.
+    """
+
+    backend: "HeBackend"
+    payload: Any
+    level: int
+    scale: float
+    slots: int
+
+
+@dataclass
+class HePt:
+    """A plaintext operand: a cache tag plus (optionally) real values.
+
+    Functional backends encode ``values`` (an array, or a zero-argument
+    callable producing one) at the consuming ciphertext's level; symbolic
+    backends only need ``tag`` for the scratchpad-cache identity.
+
+    ``store`` opts the plaintext into the session's pluggable plaintext
+    store (OF-Limb / runtime stores cache by tag, so only plaintexts whose
+    tag uniquely identifies their *content* — e.g. fixed DFT diagonals —
+    may set it; mutable data such as model weights must leave it False).
+    """
+
+    tag: str
+    values: Any = None
+    scale: float | None = None
+    store: bool = False
+
+    def materialize(self):
+        values = self.values
+        if callable(values):
+            values = values()
+        if values is None:
+            raise ParameterError(
+                f"plaintext {self.tag!r} carries no values; a functional "
+                "backend needs them"
+            )
+        return values
+
+
+class HeBackend(ABC):
+    """Abstract executor of HE programs (the Table II op surface)."""
+
+    name = "abstract"
+
+    def __init__(self, params: CkksParams, mode: str = "minks"):
+        self.params = params
+        self.mode = mode
+        self.op_counts: Counter = Counter()
+        self.evk_usage: Counter = Counter()
+
+    # ------------------------------------------------------------- utilities
+
+    @property
+    def delta(self) -> float:
+        """The nominal scale Δ = 2^scale_bits."""
+        return float(1 << self.params.scale_bits)
+
+    def default_rotation_tag(self, amount: int) -> str:
+        return f"evk:rot:{amount}"
+
+    def _out(self, payload: Any, level: int, scale: float, slots: int) -> HeCt:
+        h = HeCt(self, payload, level, min(scale, SCALE_CLAMP), slots)
+        self._sync(h)
+        return h
+
+    def _sync(self, h: HeCt) -> None:
+        """Hook: re-derive handle bookkeeping from the payload (functional
+        backends override to track the true scale/level)."""
+
+    def _check(self, *handles: HeCt) -> None:
+        for h in handles:
+            if h.backend is not self:
+                raise ParameterError(
+                    f"handle belongs to backend {h.backend.name!r}, "
+                    f"not {self.name!r}"
+                )
+
+    def _align(self, a: HeCt, b: HeCt) -> tuple[HeCt, HeCt]:
+        """Bring two handles to a common level (limb drops are free)."""
+        if a.level > b.level:
+            a = self.drop_to_level(a, b.level)
+        elif b.level > a.level:
+            b = self.drop_to_level(b, a.level)
+        if a.slots != b.slots:
+            raise ParameterError("slot counts differ")
+        return a, b
+
+    # --------------------------------------------------------------- sources
+
+    def input_ct(
+        self,
+        tag: str = "ct:input",
+        *,
+        level: int | None = None,
+        values=None,
+        slots: int | None = None,
+        scale: float | None = None,
+    ) -> HeCt:
+        """A fresh input ciphertext: encrypts ``values`` functionally, or an
+        off-chip CT load in the plan."""
+        level = self.params.max_level if level is None else level
+        scale = self.delta if scale is None else scale
+        if slots is None:
+            slots = len(values) if values is not None else self.params.max_slots
+        self.op_counts["input_ct"] += 1
+        payload = self._input_ct(tag, level, values, slots, scale)
+        return self._out(payload, level, scale, slots)
+
+    def plaintext(
+        self,
+        tag: str = "pt",
+        values=None,
+        scale: float | None = None,
+        store: bool = False,
+    ) -> HePt:
+        return HePt(tag=tag, values=values, scale=scale, store=store)
+
+    def read(self, a: HeCt):
+        """Decrypt-and-decode (functional backends only; others return None)."""
+        self._check(a)
+        return self._read(a)
+
+    # ------------------------------------------------------------- additive
+
+    def add(self, a: HeCt, b: HeCt) -> HeCt:
+        """HAdd of two equal-scale ciphertexts."""
+        self._check(a, b)
+        a, b = self._align(a, b)
+        self.op_counts["hadd"] += 1
+        return self._out(self._add(a, b), a.level, a.scale, a.slots)
+
+    def sub(self, a: HeCt, b: HeCt) -> HeCt:
+        self._check(a, b)
+        a, b = self._align(a, b)
+        self.op_counts["hadd"] += 1
+        return self._out(self._sub(a, b), a.level, a.scale, a.slots)
+
+    def add_matched(self, a: HeCt, b: HeCt) -> HeCt:
+        """HAdd after aligning levels and (functionally) exact scales."""
+        self._check(a, b)
+        a, b = self._align(a, b)
+        self.op_counts["hadd"] += 1
+        return self._out(self._add_matched(a, b), a.level, a.scale, a.slots)
+
+    def negate(self, a: HeCt) -> HeCt:
+        self._check(a)
+        self.op_counts["negate"] += 1
+        return self._out(self._negate(a), a.level, a.scale, a.slots)
+
+    def add_plain(self, a: HeCt, pt: HePt) -> HeCt:
+        """PAdd with an encoded plaintext."""
+        self._check(a)
+        self.op_counts["padd"] += 1
+        return self._out(self._add_plain(a, pt), a.level, a.scale, a.slots)
+
+    def add_const(self, a: HeCt, value: float) -> HeCt:
+        """CAdd of the same real constant to every slot."""
+        self._check(a)
+        self.op_counts["cadd"] += 1
+        return self._out(self._add_const(a, value), a.level, a.scale, a.slots)
+
+    # ------------------------------------------------------- multiplicative
+
+    def mul(self, a: HeCt, b: HeCt) -> HeCt:
+        """HMult with relinearization (uses ``evk:mult``)."""
+        self._check(a, b)
+        a, b = self._align(a, b)
+        self.op_counts["hmult"] += 1
+        self.evk_usage["evk:mult"] += 1
+        return self._out(self._mul(a, b), a.level, a.scale * b.scale, a.slots)
+
+    def square(self, a: HeCt) -> HeCt:
+        return self.mul(a, a)
+
+    def mul_plain(self, a: HeCt, pt: HePt) -> HeCt:
+        """PMult with an encoded plaintext; scales multiply."""
+        self._check(a)
+        self.op_counts["pmult"] += 1
+        pt_scale = pt.scale if pt.scale is not None else self.delta
+        return self._out(
+            self._mul_plain(a, pt), a.level, a.scale * pt_scale, a.slots
+        )
+
+    def mul_const(self, a: HeCt, value: float) -> HeCt:
+        """CMult by a real constant; the result has scale Δ^2."""
+        self._check(a)
+        self.op_counts["cmult"] += 1
+        return self._out(
+            self._mul_const(a, value), a.level, a.scale * a.scale, a.slots
+        )
+
+    def mul_int(self, a: HeCt, value: int) -> HeCt:
+        """Exact small-integer multiply (value changes, scale does not)."""
+        self._check(a)
+        self.op_counts["imult"] += 1
+        return self._out(self._mul_int(a, value), a.level, a.scale, a.slots)
+
+    def div_by_pow2(self, a: HeCt, power: int = 1) -> HeCt:
+        """Exact division by 2^power via scale retargeting (free)."""
+        self._check(a)
+        self.op_counts["div_pow2"] += 1
+        return self._out(
+            self._div_by_pow2(a, power), a.level, a.scale * (1 << power), a.slots
+        )
+
+    # ------------------------------------------------------------- rotation
+
+    def rotate(
+        self, a: HeCt, amount: int | None, *, key_tag: str | None = None
+    ) -> HeCt:
+        """HRot by ``amount`` slots; ``amount=None`` is a symbolic rotation
+        (plan/trace only) identified solely by ``key_tag``."""
+        self._check(a)
+        if amount is not None:
+            amount = amount % a.slots if a.slots else 0
+            if amount == 0:
+                return self._out(self._copy(a), a.level, a.scale, a.slots)
+        if key_tag is None:
+            if amount is None:
+                raise ParameterError("symbolic rotations need a key_tag")
+            key_tag = self.default_rotation_tag(amount)
+        self.op_counts["hrot"] += 1
+        self.evk_usage[key_tag] += 1
+        return self._out(self._rotate(a, amount, key_tag), a.level, a.scale, a.slots)
+
+    def rotate_hoisted(
+        self,
+        a: HeCt,
+        amounts: list[int],
+        *,
+        key_tags: dict[int, str] | None = None,
+    ) -> dict[int, HeCt]:
+        """Rotate one ciphertext by several amounts sharing one ModUp."""
+        self._check(a)
+        out: dict[int, HeCt] = {}
+        pending: list[tuple[int, int]] = []
+        for amount in amounts:
+            reduced = amount % a.slots if a.slots else 0
+            if reduced == 0:
+                out[amount] = self._out(self._copy(a), a.level, a.scale, a.slots)
+            else:
+                pending.append((amount, reduced))
+        if not pending:
+            return out
+        tags = {
+            reduced: (key_tags or {}).get(amount)
+            or self.default_rotation_tag(reduced)
+            for amount, reduced in pending
+        }
+        self.op_counts["hoisted_modup"] += 1
+        self.op_counts["hrot_hoisted"] += len(pending)
+        for reduced, tag in tags.items():
+            self.evk_usage[tag] += 1
+        payloads = self._rotate_hoisted(a, [r for _, r in pending], tags)
+        for amount, reduced in pending:
+            out[amount] = self._out(
+                payloads[reduced], a.level, a.scale, a.slots
+            )
+        return out
+
+    def conjugate(self, a: HeCt) -> HeCt:
+        """Complex-conjugate every slot (uses the conjugation key)."""
+        self._check(a)
+        self.op_counts["hconj"] += 1
+        self.evk_usage["evk:conj"] += 1
+        return self._out(self._conjugate(a), a.level, a.scale, a.slots)
+
+    # -------------------------------------------------------- level control
+
+    def rescale(self, a: HeCt) -> HeCt:
+        """HRescale: drop the last limb and divide by it."""
+        self._check(a)
+        if a.level == 0:
+            raise LevelError("cannot rescale a level-0 ciphertext")
+        self.op_counts["rescale"] += 1
+        return self._out(
+            self._rescale(a), a.level - 1, a.scale / self.delta, a.slots
+        )
+
+    def drop_to_level(self, a: HeCt, level: int) -> HeCt:
+        """Discard limbs so ``a`` sits at ``level`` (free, no division)."""
+        self._check(a)
+        if level > a.level:
+            raise LevelError("cannot raise a level by dropping limbs")
+        if level == a.level:
+            return a
+        self.op_counts["level_drop"] += 1
+        return self._out(self._drop(a, level), level, a.scale, a.slots)
+
+    def bootstrap(self, a: HeCt) -> HeCt:
+        """Refresh a level-0 ciphertext to the post-bootstrap level."""
+        self._check(a)
+        self.op_counts["bootstrap"] += 1
+        payload, level = self._bootstrap(a)
+        return self._out(payload, level, self.delta, a.slots)
+
+    # ------------------------------------------------------- payload hooks
+
+    @abstractmethod
+    def _input_ct(self, tag, level, values, slots, scale): ...
+
+    @abstractmethod
+    def _add(self, a, b): ...
+
+    @abstractmethod
+    def _sub(self, a, b): ...
+
+    @abstractmethod
+    def _negate(self, a): ...
+
+    @abstractmethod
+    def _add_plain(self, a, pt): ...
+
+    @abstractmethod
+    def _add_const(self, a, value): ...
+
+    @abstractmethod
+    def _mul(self, a, b): ...
+
+    @abstractmethod
+    def _mul_plain(self, a, pt): ...
+
+    @abstractmethod
+    def _mul_const(self, a, value): ...
+
+    @abstractmethod
+    def _mul_int(self, a, value): ...
+
+    @abstractmethod
+    def _div_by_pow2(self, a, power): ...
+
+    @abstractmethod
+    def _rotate(self, a, amount, key_tag): ...
+
+    @abstractmethod
+    def _rotate_hoisted(self, a, reduced_amounts, tags): ...
+
+    @abstractmethod
+    def _conjugate(self, a): ...
+
+    @abstractmethod
+    def _rescale(self, a): ...
+
+    @abstractmethod
+    def _bootstrap(self, a): ...
+
+    def _add_matched(self, a, b):
+        """Default: operands were already level-aligned by the caller."""
+        return self._add(a, b)
+
+    def _copy(self, a):
+        return a.payload
+
+    def _drop(self, a, level):
+        return a.payload
+
+    def _read(self, a):
+        return None

@@ -1,0 +1,153 @@
+"""FunctionalBackend: the HE program API over the real CKKS stack.
+
+Payloads are :class:`~repro.ckks.ciphertext.Ciphertext` objects; every op
+delegates to the bound :class:`~repro.ckks.evaluator.CkksEvaluator`, key
+switching runs through the key chain (optionally a seed-compressed
+:class:`~repro.runtime.keystore.KeyStore`), plaintexts encode on the fly at
+the consuming ciphertext's level (optionally through a plaintext store such
+as :class:`~repro.ckks.oflimb.OnTheFlyPlaintextStore` or the runtime
+:class:`~repro.runtime.ptstore.RuntimePlaintextStore`), and ``bootstrap``
+runs the full functional pipeline.
+
+Handles track the *true* scale and level from the payload after every op
+(`_sync`), so operator-overloaded session code sees exactly what the
+functional layer computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.api import HeBackend, HeCt, HePt
+from repro.errors import ParameterError
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+
+
+class FunctionalBackend(HeBackend):
+    """Runs programs as real RNS-CKKS computations."""
+
+    name = "functional"
+
+    def __init__(
+        self,
+        ctx: CkksContext,
+        mode: str = "minks",
+        pt_store=None,
+        bootstrapper=None,
+    ):
+        super().__init__(ctx.params, mode)
+        self.ctx = ctx
+        self.pt_store = pt_store
+        self._bootstrapper = bootstrapper
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def evaluator(self):
+        return self.ctx.evaluator
+
+    @property
+    def bootstrapper(self):
+        if self._bootstrapper is None:
+            from repro.bootstrap.pipeline import Bootstrapper
+
+            self._bootstrapper = Bootstrapper(self.ctx, pt_store=self.pt_store)
+        return self._bootstrapper
+
+    def wrap(self, ct: Ciphertext) -> HeCt:
+        """Adopt an existing functional ciphertext as a handle."""
+        return HeCt(self, ct, ct.level, ct.scale, ct.slots)
+
+    def _sync(self, h: HeCt) -> None:
+        ct = h.payload
+        h.level = ct.level
+        h.scale = ct.scale
+        h.slots = ct.slots
+
+    def _encode(self, a: HeCt, pt: HePt):
+        values = np.asarray(pt.materialize(), dtype=np.complex128)
+        scale = pt.scale if pt.scale is not None else self.ctx.default_scale
+        # Stores cache by tag, so only content-addressed plaintexts
+        # (pt.store=True) may go through one; anything whose values can
+        # change under a reused tag must encode fresh.
+        if pt.store and self.pt_store is not None:
+            return self.pt_store.get(pt.tag, values, a.payload.moduli, scale)
+        return self.ctx.encode(values, scale=scale, level=a.level)
+
+    # ------------------------------------------------------------ op hooks
+
+    def _input_ct(self, tag, level, values, slots, scale):
+        if values is None:
+            raise ParameterError(
+                "the functional backend needs real values for input_ct"
+            )
+        message = np.asarray(values, dtype=np.complex128)
+        ct = self.ctx.encrypt(message, scale=scale)
+        if level < ct.level:
+            ct = self.evaluator.drop_to_level(ct, level)
+        return ct
+
+    def _read(self, a):
+        return self.ctx.decrypt(a.payload)
+
+    def _add(self, a, b):
+        return self.evaluator.add(a.payload, b.payload)
+
+    def _sub(self, a, b):
+        return self.evaluator.sub(a.payload, b.payload)
+
+    def _add_matched(self, a, b):
+        return self.evaluator.add_matched(a.payload, b.payload)
+
+    def _negate(self, a):
+        return self.evaluator.negate(a.payload)
+
+    def _add_plain(self, a, pt):
+        return self.evaluator.add_plain(a.payload, self._encode(a, pt))
+
+    def _add_const(self, a, value):
+        return self.evaluator.add_const(a.payload, value)
+
+    def _mul(self, a, b):
+        return self.evaluator.mul(a.payload, b.payload)
+
+    def _mul_plain(self, a, pt):
+        return self.evaluator.mul_plain(a.payload, self._encode(a, pt))
+
+    def _mul_const(self, a, value):
+        return self.evaluator.mul_const(a.payload, value)
+
+    def _mul_int(self, a, value):
+        return self.evaluator.mul_int(a.payload, value)
+
+    def _div_by_pow2(self, a, power):
+        return self.evaluator.div_by_pow2(a.payload, power)
+
+    def _rotate(self, a, amount, key_tag):
+        if amount is None:
+            raise ParameterError(
+                "the functional backend cannot run symbolic rotations"
+            )
+        self.ctx.ensure_rotation_keys([amount])
+        return self.evaluator.rotate(a.payload, amount)
+
+    def _rotate_hoisted(self, a, reduced_amounts, tags):
+        self.ctx.ensure_rotation_keys(reduced_amounts)
+        return self.evaluator.rotate_many_hoisted(a.payload, reduced_amounts)
+
+    def _conjugate(self, a):
+        return self.evaluator.conjugate(a.payload)
+
+    def _rescale(self, a):
+        return self.evaluator.rescale(a.payload)
+
+    def _copy(self, a):
+        return a.payload.copy()
+
+    def _drop(self, a, level):
+        return self.evaluator.drop_to_level(a.payload, level)
+
+    def _bootstrap(self, a):
+        out = self.bootstrapper.bootstrap(a.payload, mode=self.mode)
+        return out, out.level

@@ -1,0 +1,189 @@
+"""PlanBackend: the HE program API emitting primary-op plans.
+
+Payloads are plan uids; every op appends its primary-function DAG through
+:class:`~repro.plan.heops.HeOpPlanner`, so a program run on this backend
+produces exactly the plans the :mod:`repro.arch.scheduler` simulator
+consumes. ``bootstrap`` closes the current compute segment and appends a
+full :class:`~repro.plan.bootplan.BootstrapPlan` as its own segment,
+mirroring the compute/bootstrap split of the paper's Fig. 7(b) -- call
+:meth:`PlanBackend.segments_final` (or :func:`run_workload_model`) to
+collect ``(label, Plan)`` segments for a
+:class:`~repro.arch.scheduler.WorkloadModel`.
+
+:func:`plan_table2_counts` derives Table II op counts back out of a raw
+plan's structure (EVK/PT/CT ops, tagged rescale INTTs). The equivalence
+tests compare these derived counts against a
+:class:`~repro.backend.trace.TraceBackend` stream of the same program,
+which checks the whole dispatch layer rather than the backend's own
+counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.backend.api import HeBackend
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.plan.bootplan import BootstrapPlan
+from repro.plan.heops import HeOpPlanner
+from repro.plan.primops import OpKind, Plan
+
+
+class PlanBackend(HeBackend):
+    """Runs programs as op-level plans for the accelerator model."""
+
+    name = "plan"
+
+    def __init__(
+        self,
+        params: CkksParams,
+        mode: str = "minks",
+        oflimb: bool = True,
+        plan_name: str | None = None,
+        phase: str = "compute",
+    ):
+        super().__init__(params, mode)
+        self.oflimb = oflimb
+        self.phase = phase
+        self._plan_name = plan_name or f"program[{mode}]"
+        self.segments: list[tuple[str, Plan]] = []
+        self._open_plan()
+
+    # ------------------------------------------------------------- segments
+
+    def _open_plan(self) -> None:
+        self.plan = Plan(self.params, name=self._plan_name)
+        self.plan.begin_phase(self.phase)
+        self.ops = HeOpPlanner(self.plan, oflimb=self.oflimb)
+
+    def _close_segment(self, label: str = "compute") -> None:
+        if self.plan.ops:
+            self.plan.validate()
+            self.segments.append((label, self.plan))
+        self._open_plan()
+
+    def segments_final(self) -> list[tuple[str, Plan]]:
+        """Close the trailing compute segment and return all segments."""
+        self._close_segment()
+        return list(self.segments)
+
+    def _uid(self, a) -> int:
+        if a.payload is None:
+            raise ParameterError(
+                "this handle left the current plan segment (e.g. a bootstrap "
+                "output); start the next segment with input_ct"
+            )
+        return a.payload
+
+    # ------------------------------------------------------------ op hooks
+
+    def _input_ct(self, tag, level, values, slots, scale):
+        return self.ops.fresh_ciphertext(level, tag)
+
+    def _add(self, a, b):
+        if a.payload == b.payload:
+            return self.ops.hadd(a.level, self._uid(a))
+        return self.ops.hadd(a.level, self._uid(a), self._uid(b))
+
+    _sub = _add
+    _add_matched = _add
+
+    def _negate(self, a):
+        return self.ops.hadd(a.level, self._uid(a))
+
+    def _add_plain(self, a, pt):
+        return self.ops.padd(a.level, pt.tag, self._uid(a))
+
+    def _add_const(self, a, value):
+        return self.ops.cadd(a.level, self._uid(a))
+
+    def _mul(self, a, b):
+        if a.payload == b.payload:
+            return self.ops.hmult(a.level, self._uid(a))
+        return self.ops.hmult(a.level, self._uid(a), self._uid(b))
+
+    def _mul_plain(self, a, pt):
+        return self.ops.pmult(a.level, pt.tag, self._uid(a))
+
+    def _mul_const(self, a, value):
+        return self.ops.cmult(a.level, self._uid(a))
+
+    def _mul_int(self, a, value):
+        return self.ops.cmult(a.level, self._uid(a))
+
+    def _div_by_pow2(self, a, power):
+        return a.payload  # pure scale bookkeeping, no hardware op
+
+    def _rotate(self, a, amount, key_tag):
+        return self.ops.hrot(a.level, key_tag, self._uid(a))
+
+    def _rotate_hoisted(self, a, reduced_amounts, tags):
+        outputs = self.ops.hoisted_rotations(
+            a.level, [tags[r] for r in reduced_amounts], self._uid(a)
+        )
+        return dict(zip(reduced_amounts, outputs))
+
+    def _conjugate(self, a):
+        return self.ops.hrot(a.level, "evk:conj", self._uid(a))
+
+    def _rescale(self, a):
+        return self.ops.rescale(a.level, self._uid(a))
+
+    def _bootstrap(self, a):
+        boot = BootstrapPlan(
+            self.params, a.slots, mode=self.mode, oflimb=self.oflimb
+        )
+        boot_plan = boot.build()
+        self._close_segment()
+        self.segments.append(("bootstrap", boot_plan))
+        self._open_plan()
+        return None, boot.output_level
+
+
+def run_workload_model(
+    program,
+    params: CkksParams,
+    *,
+    name: str,
+    mode: str = "minks",
+    oflimb: bool = True,
+    repetitions: int = 1,
+    plan_name: str | None = None,
+):
+    """Run a one-iteration ``program(backend)`` on a :class:`PlanBackend`
+    and assemble the repeated-segment :class:`WorkloadModel`."""
+    from repro.arch.scheduler import WorkloadModel
+
+    backend = PlanBackend(params, mode=mode, oflimb=oflimb, plan_name=plan_name)
+    program(backend)
+    model = WorkloadModel(name=name)
+    for label, plan in backend.segments_final():
+        model.add_segment(label, plan, repetitions=repetitions)
+    return model
+
+
+def plan_table2_counts(plan: Plan) -> Counter:
+    """Derive Table II op counts from a raw plan's structure.
+
+    Independent of the backend's own tallies: keyswitched ops surface as
+    EVK requirements (tag ``evk:mult`` for HMult, ``evk:conj`` for
+    conjugation, anything else for rotations), plaintext ops as PT
+    requirements, inputs as CT loads, and rescales as their tagged INTTs.
+    """
+    out: Counter = Counter()
+    for op in plan.ops:
+        if op.kind == OpKind.EVK:
+            if op.tag == "evk:mult":
+                out["hmult"] += 1
+            elif op.tag == "evk:conj":
+                out["hconj"] += 1
+            else:
+                out["hrot"] += 1
+        elif op.kind == OpKind.PT:
+            out["pt"] += 1
+        elif op.kind == OpKind.CT:
+            out["input_ct"] += 1
+        elif op.kind == OpKind.INTT and op.tag == "rescale":
+            out["rescale"] += 1
+    return out

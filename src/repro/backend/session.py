@@ -1,0 +1,356 @@
+"""The high-level session facade over any :class:`HeBackend`.
+
+``repro.session(...)`` builds a backend and wraps it in :class:`HeSession`,
+whose ciphertext handles (:class:`SessionCt`) carry operator overloads with
+automatic level alignment (and, functionally, exact scale matching through
+``add_matched``):
+
+    sess = repro.session(TOY, seed=7)
+    x = sess.encrypt([0.5, -0.25, 0.125, 0.0625])
+    y = ((x * x).rescale() + 1.0).rotate(1)
+    print(sess.decrypt(y))
+
+The same program runs unchanged with ``backend="plan"`` (op-level plans for
+the accelerator simulator) or ``backend="trace"`` (structured op streams);
+``trace=True`` wraps any backend in a recording
+:class:`~repro.backend.trace.TraceBackend`. Key material and plaintexts are
+pluggable: pass ``key_store=`` (seed-compressed evks,
+:class:`~repro.runtime.keystore.KeyStore`) and/or ``pt_store=`` (e.g.
+OF-Limb or the runtime plaintext store). ``sess.evk_usage`` aggregates
+which evaluation keys the program touched and how often -- the paper's
+inter-operation key-reuse analysis at program granularity.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro import rng as rng_streams
+from repro.backend.api import HeBackend, HeCt, HePt
+from repro.backend.functional import FunctionalBackend
+from repro.backend.plan import PlanBackend
+from repro.backend.trace import TraceBackend
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+
+BACKENDS = ("functional", "plan", "trace")
+
+
+class SessionCt:
+    """An operator-overloaded ciphertext handle bound to a session."""
+
+    __slots__ = ("sess", "h")
+
+    def __init__(self, sess: "HeSession", h: HeCt):
+        self.sess = sess
+        self.h = h
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def level(self) -> int:
+        return self.h.level
+
+    @property
+    def scale(self) -> float:
+        return self.h.scale
+
+    @property
+    def slots(self) -> int:
+        return self.h.slots
+
+    @property
+    def payload(self):
+        """The backend payload (functionally: the raw Ciphertext)."""
+        return self.h.payload
+
+    def _wrap(self, h: HeCt) -> "SessionCt":
+        return SessionCt(self.sess, h)
+
+    def _backend(self) -> HeBackend:
+        return self.sess.backend
+
+    @staticmethod
+    def _pt(other) -> HePt | None:
+        if isinstance(other, HePt):
+            return other
+        if isinstance(other, SessionPt):
+            return other.pt
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionCt(level={self.level}, scale={self.scale:.3e}, "
+            f"slots={self.slots}, backend={self._backend().name})"
+        )
+
+    # ------------------------------------------------------------ operators
+
+    def __add__(self, other):
+        be = self._backend()
+        if isinstance(other, SessionCt):
+            return self._wrap(be.add_matched(self.h, other.h))
+        pt = self._pt(other)
+        if pt is not None:
+            return self._wrap(be.add_plain(self.h, pt))
+        if isinstance(other, numbers.Real):
+            return self._wrap(be.add_const(self.h, float(other)))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        be = self._backend()
+        if isinstance(other, SessionCt):
+            return self._wrap(be.sub(self.h, other.h))
+        if isinstance(other, numbers.Real):
+            return self._wrap(be.add_const(self.h, -float(other)))
+        return NotImplemented
+
+    def __neg__(self):
+        return self._wrap(self._backend().negate(self.h))
+
+    def __mul__(self, other):
+        be = self._backend()
+        if isinstance(other, SessionCt):
+            return self._wrap(be.mul(self.h, other.h))
+        pt = self._pt(other)
+        if pt is not None:
+            return self._wrap(be.mul_plain(self.h, pt))
+        if isinstance(other, numbers.Real):
+            return self._wrap(be.mul_const(self.h, float(other)))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------- methods
+
+    def add(self, other: "SessionCt") -> "SessionCt":
+        """Strict HAdd (scales must already match exactly)."""
+        be = self._backend()
+        return self._wrap(be.add(self.h, other.h))
+
+    def square(self) -> "SessionCt":
+        return self._wrap(self._backend().square(self.h))
+
+    def times_int(self, value: int) -> "SessionCt":
+        return self._wrap(self._backend().mul_int(self.h, value))
+
+    def div_by_pow2(self, power: int = 1) -> "SessionCt":
+        return self._wrap(self._backend().div_by_pow2(self.h, power))
+
+    def rotate(self, amount: int | None, key_tag: str | None = None):
+        return self._wrap(
+            self._backend().rotate(self.h, amount, key_tag=key_tag)
+        )
+
+    def rotate_hoisted(self, amounts, key_tags=None):
+        out = self._backend().rotate_hoisted(self.h, amounts, key_tags=key_tags)
+        return {r: self._wrap(h) for r, h in out.items()}
+
+    def conjugate(self) -> "SessionCt":
+        return self._wrap(self._backend().conjugate(self.h))
+
+    def rescale(self) -> "SessionCt":
+        return self._wrap(self._backend().rescale(self.h))
+
+    def drop_to(self, level: int) -> "SessionCt":
+        return self._wrap(self._backend().drop_to_level(self.h, level))
+
+    def bootstrap(self) -> "SessionCt":
+        return self._wrap(self._backend().bootstrap(self.h))
+
+    def decrypt(self):
+        return self.sess.decrypt(self)
+
+
+class SessionPt:
+    """A plaintext operand handle (thin wrapper over :class:`HePt`)."""
+
+    __slots__ = ("pt",)
+
+    def __init__(self, pt: HePt):
+        self.pt = pt
+
+    @property
+    def tag(self) -> str:
+        return self.pt.tag
+
+
+class HeSession:
+    """One HE program context over a chosen backend."""
+
+    def __init__(self, backend: HeBackend):
+        self.backend = backend
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def params(self) -> CkksParams:
+        return self.backend.params
+
+    @property
+    def mode(self) -> str:
+        return self.backend.mode
+
+    @property
+    def op_counts(self):
+        return self.backend.op_counts
+
+    @property
+    def evk_usage(self):
+        """Per-key usage tally: the program-level key-reuse analysis."""
+        return self.backend.evk_usage
+
+    @property
+    def distinct_evks(self) -> int:
+        return len(self.backend.evk_usage)
+
+    @property
+    def ctx(self) -> CkksContext | None:
+        """The functional context, when this session runs real math."""
+        backend = self.backend
+        if isinstance(backend, TraceBackend) and backend.inner is not None:
+            backend = backend.inner
+        return backend.ctx if isinstance(backend, FunctionalBackend) else None
+
+    # --------------------------------------------------------------- inputs
+
+    def encrypt(self, values, *, level=None, scale=None, tag="ct:input"):
+        """Encrypt real values (functional) / declare an input (symbolic)."""
+        return SessionCt(
+            self,
+            self.backend.input_ct(tag, level=level, values=values, scale=scale),
+        )
+
+    def input(self, tag: str = "ct:input", *, level=None, slots=None):
+        """A symbolic input ciphertext for plan/trace backends."""
+        return SessionCt(
+            self, self.backend.input_ct(tag, level=level, slots=slots)
+        )
+
+    def plaintext(
+        self, values=None, *, tag="pt", scale=None, store=False
+    ) -> SessionPt:
+        """A plaintext operand. Set ``store=True`` only when ``tag``
+        uniquely identifies the content (routes through the session's
+        pluggable plaintext store, which caches by tag)."""
+        return SessionPt(
+            self.backend.plaintext(tag, values=values, scale=scale, store=store)
+        )
+
+    def wrap(self, ct) -> SessionCt:
+        """Adopt a raw functional Ciphertext (or an HeCt) as a handle."""
+        if isinstance(ct, SessionCt):
+            return ct
+        if isinstance(ct, HeCt):
+            return SessionCt(self, ct)
+        if isinstance(ct, Ciphertext):
+            backend = self.backend
+            if isinstance(backend, FunctionalBackend):
+                return SessionCt(self, backend.wrap(ct))
+            if (
+                isinstance(backend, TraceBackend)
+                and backend.inner is not None
+                and isinstance(backend.inner, FunctionalBackend)
+            ):
+                inner_h = backend.inner.wrap(ct)
+                return SessionCt(
+                    self,
+                    HeCt(backend, inner_h, ct.level, ct.scale, ct.slots),
+                )
+        raise ParameterError(
+            f"cannot wrap {type(ct).__name__} on the {self.backend.name} backend"
+        )
+
+    def decrypt(self, sct: SessionCt):
+        out = self.backend.read(sct.h)
+        if out is None:
+            raise ParameterError(
+                f"the {self.backend.name} backend cannot decrypt"
+            )
+        return out
+
+    # -------------------------------------------------------------- helpers
+
+    def slot_sum(self, sct: SessionCt, count: int, mode: str | None = None):
+        """Sum ``count`` adjacent slots into every slot of the group.
+
+        ``minks`` chains ``count - 1`` rotations by 1 (one evk, the
+        arithmetic-progression pattern); ``baseline`` uses the log-depth
+        rotate-and-add tree (one evk per power-of-two amount). Mirrors
+        :func:`repro.ckks.linear.slot_sum` op for op, but runs on any
+        backend.
+        """
+        if count & (count - 1) or count <= 0:
+            raise ParameterError("slot_sum count must be a positive power of two")
+        mode = mode if mode is not None else self.mode
+        if mode == "baseline":
+            acc = sct
+            shift = 1
+            while shift < count:
+                acc = acc.add(acc.rotate(shift))
+                shift *= 2
+            return acc
+        if mode != "minks":
+            raise ParameterError("slot_sum mode must be 'baseline' or 'minks'")
+        acc = sct
+        rotated = sct
+        for _ in range(count - 1):
+            rotated = rotated.rotate(1)
+            acc = acc.add(rotated)
+        return acc
+
+
+def session(
+    params: CkksParams | None = None,
+    *,
+    backend: str = "functional",
+    ctx: CkksContext | None = None,
+    rotations: tuple[int, ...] = (),
+    seed: int = rng_streams.DEFAULT_SEED,
+    key_store=None,
+    pt_store=None,
+    mode: str = "minks",
+    oflimb: bool = True,
+    bootstrapper=None,
+    trace: bool = False,
+    plan_name: str | None = None,
+) -> HeSession:
+    """Build an :class:`HeSession` -- the one entry point for HE programs.
+
+    * ``backend="functional"`` (default): real CKKS math. Builds a
+      :class:`CkksContext` from ``params`` (or adopts ``ctx``), with
+      optional seed-compressed ``key_store`` and plaintext ``pt_store``.
+    * ``backend="plan"``: op-level plans for the accelerator simulator
+      (``mode``/``oflimb`` select Min-KS and OF-Limb).
+    * ``backend="trace"``: a standalone structured op recorder.
+
+    ``trace=True`` wraps the chosen backend in a recording TraceBackend
+    (run real math *and* capture the stream in one pass).
+    """
+    if backend not in BACKENDS:
+        raise ParameterError(f"backend must be one of {BACKENDS}")
+    if backend == "functional":
+        if ctx is None:
+            if params is None:
+                raise ParameterError("session needs params or a ctx")
+            ctx = CkksContext.create(
+                params, rotations=rotations, seed=seed, key_store=key_store
+            )
+        be: HeBackend = FunctionalBackend(
+            ctx, mode=mode, pt_store=pt_store, bootstrapper=bootstrapper
+        )
+    elif backend == "plan":
+        if params is None:
+            raise ParameterError("the plan backend needs params")
+        be = PlanBackend(params, mode=mode, oflimb=oflimb, plan_name=plan_name)
+    else:
+        if params is None:
+            raise ParameterError("the trace backend needs params")
+        be = TraceBackend(params=params, mode=mode)
+    if trace and not isinstance(be, TraceBackend):
+        be = TraceBackend(inner=be)
+    return HeSession(be)

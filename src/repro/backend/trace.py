@@ -1,0 +1,204 @@
+"""TraceBackend: records a structured HE op stream, standalone or wrapped.
+
+Standalone (``TraceBackend(params=TOY)``) it is a dry-run executor: levels
+and nominal scales are tracked by the shared bookkeeping, payloads stay
+``None``, and the result is an ordered list of :class:`TraceEvent` plus the
+``op_counts`` / ``evk_usage`` tallies every backend keeps.
+
+Wrapped (``TraceBackend(inner=FunctionalBackend(ctx))``) it forwards every
+op to the inner backend and syncs handle bookkeeping from the inner
+result, so one run yields real ciphertexts *and* the structured stream --
+this is what makes the old hand-maintained "functional stats vs plan op
+count" cross-checks derivable: compare ``trace.op_counts`` with
+:func:`repro.backend.plan.plan_table2_counts` of the same program's plan,
+and with the inner evaluator's own counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.backend.api import HeBackend
+from repro.params import CkksParams
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded HE op: kind, the level it ran at, and its key/pt tag."""
+
+    op: str
+    level: int
+    tag: str = ""
+    amount: int | None = None
+
+
+class TraceBackend(HeBackend):
+    """Records programs as structured op streams."""
+
+    name = "trace"
+
+    def __init__(
+        self,
+        params: CkksParams | None = None,
+        inner: HeBackend | None = None,
+        mode: str = "minks",
+    ):
+        if inner is not None:
+            params = inner.params
+            mode = inner.mode
+        if params is None:
+            raise ValueError("TraceBackend needs params or an inner backend")
+        super().__init__(params, mode)
+        self.inner = inner
+        self.events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------- analysis
+
+    def _record(self, op, level, tag="", amount=None):
+        self.events.append(TraceEvent(op, level, tag, amount))
+
+    def events_by_op(self) -> dict[str, list[TraceEvent]]:
+        out: dict[str, list[TraceEvent]] = {}
+        for event in self.events:
+            out.setdefault(event.op, []).append(event)
+        return out
+
+    def table2_counts(self) -> Counter:
+        """Event tally in the shared counter-key scheme."""
+        return Counter(event.op for event in self.events)
+
+    def _sync(self, h) -> None:
+        if self.inner is not None and h.payload is not None:
+            h.level = h.payload.level
+            h.scale = h.payload.scale
+            h.slots = h.payload.slots
+
+    # ------------------------------------------------------------ op hooks
+
+    def _input_ct(self, tag, level, values, slots, scale):
+        self._record("input_ct", level, tag)
+        if self.inner is not None:
+            return self.inner.input_ct(
+                tag, level=level, values=values, slots=slots, scale=scale
+            )
+        return None
+
+    def _read(self, a):
+        if self.inner is not None:
+            return self.inner.read(a.payload)
+        return None
+
+    def _add(self, a, b):
+        self._record("hadd", min(a.level, b.level))
+        if self.inner is not None:
+            return self.inner.add(a.payload, b.payload)
+        return None
+
+    def _sub(self, a, b):
+        self._record("hadd", min(a.level, b.level))
+        if self.inner is not None:
+            return self.inner.sub(a.payload, b.payload)
+        return None
+
+    def _add_matched(self, a, b):
+        self._record("hadd", min(a.level, b.level))
+        if self.inner is not None:
+            return self.inner.add_matched(a.payload, b.payload)
+        return None
+
+    def _negate(self, a):
+        self._record("negate", a.level)
+        if self.inner is not None:
+            return self.inner.negate(a.payload)
+        return None
+
+    def _add_plain(self, a, pt):
+        self._record("padd", a.level, pt.tag)
+        if self.inner is not None:
+            return self.inner.add_plain(a.payload, pt)
+        return None
+
+    def _add_const(self, a, value):
+        self._record("cadd", a.level)
+        if self.inner is not None:
+            return self.inner.add_const(a.payload, value)
+        return None
+
+    def _mul(self, a, b):
+        self._record("hmult", min(a.level, b.level), "evk:mult")
+        if self.inner is not None:
+            return self.inner.mul(a.payload, b.payload)
+        return None
+
+    def _mul_plain(self, a, pt):
+        self._record("pmult", a.level, pt.tag)
+        if self.inner is not None:
+            return self.inner.mul_plain(a.payload, pt)
+        return None
+
+    def _mul_const(self, a, value):
+        self._record("cmult", a.level)
+        if self.inner is not None:
+            return self.inner.mul_const(a.payload, value)
+        return None
+
+    def _mul_int(self, a, value):
+        self._record("imult", a.level)
+        if self.inner is not None:
+            return self.inner.mul_int(a.payload, value)
+        return None
+
+    def _div_by_pow2(self, a, power):
+        self._record("div_pow2", a.level)
+        if self.inner is not None:
+            return self.inner.div_by_pow2(a.payload, power)
+        return None
+
+    def _rotate(self, a, amount, key_tag):
+        self._record("hrot", a.level, key_tag, amount)
+        if self.inner is not None:
+            return self.inner.rotate(a.payload, amount, key_tag=key_tag)
+        return None
+
+    def _rotate_hoisted(self, a, reduced_amounts, tags):
+        self._record("hoisted_modup", a.level)
+        for reduced in reduced_amounts:
+            self._record("hrot_hoisted", a.level, tags[reduced], reduced)
+        if self.inner is not None:
+            inner_out = self.inner.rotate_hoisted(
+                a.payload,
+                reduced_amounts,
+                key_tags={r: tags[r] for r in reduced_amounts},
+            )
+            return {r: inner_out[r] for r in reduced_amounts}
+        return {r: None for r in reduced_amounts}
+
+    def _conjugate(self, a):
+        self._record("hconj", a.level, "evk:conj")
+        if self.inner is not None:
+            return self.inner.conjugate(a.payload)
+        return None
+
+    def _rescale(self, a):
+        self._record("rescale", a.level)
+        if self.inner is not None:
+            return self.inner.rescale(a.payload)
+        return None
+
+    def _copy(self, a):
+        if self.inner is not None and a.payload is not None:
+            return self.inner._copy(a.payload)
+        return a.payload
+
+    def _drop(self, a, level):
+        if self.inner is not None:
+            return self.inner.drop_to_level(a.payload, level)
+        return a.payload
+
+    def _bootstrap(self, a):
+        self._record("bootstrap", a.level)
+        if self.inner is not None:
+            out = self.inner.bootstrap(a.payload)
+            return out, out.level
+        return None, self.params.levels_after_boot

@@ -100,5 +100,12 @@ class CkksContext:
         return self.encryptor.encrypt(pt, slots=len(message))
 
     def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        # Accept unified-API handles (SessionCt / HeCt, possibly nested
+        # through a wrapping TraceBackend) over this context.
+        while not isinstance(ct, Ciphertext):
+            payload = getattr(ct, "payload", None)
+            if payload is None:
+                break
+            ct = payload
         pt = self.decryptor.decrypt(ct)
         return self.encoder.decode(pt.poly, pt.scale, slots=ct.slots)

@@ -7,6 +7,17 @@ Scale management follows the paper: multiplications square the scale and
 The evaluator shares an operation tally with its :class:`KeySwitcher`
 (`self.switcher.stats`) plus its own counters (``evaluator.stats``), which
 the tests use to cross-check the op-level plans of :mod:`repro.plan`.
+
+**Counter-key scheme.** :data:`STAT_KEYS` below is the single registry:
+every public op bumps exactly the static keys listed for it (the tests
+assert the registry is complete). On top of the static keys, key-switching
+ops also record *dynamic* per-key usage under ``evk_load:mult`` and
+``evk_load:rot:{amount}`` -- the raw material of the paper's key-reuse
+analysis. Two deliberate wrinkles: ``sub`` tallies as ``hadd`` (Table II
+groups additive ops), and ops that delegate (``square`` -> ``mul``,
+``add_matched`` -> ``add`` after optional ``adjust_scale``/``rescale``,
+``rescale_to_match`` -> ``rescale``) tally through the ops they call.
+Rotation by 0 is the identity and deliberately tallies nothing.
 """
 
 from __future__ import annotations
@@ -25,6 +36,31 @@ from repro.rns.poly import PolyRns
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.keys import EvaluationKey, KeyChain
 from repro.ckks.keyswitch import KeySwitcher
+
+#: Public evaluator op -> the static ``stats`` keys it bumps (see the
+#: module docstring for the scheme; dynamic ``evk_load:*`` keys excluded).
+STAT_KEYS: dict[str, tuple[str, ...]] = {
+    "add": ("hadd",),
+    "sub": ("hadd",),
+    "negate": ("negate",),
+    "add_plain": ("padd",),
+    "add_const": ("cadd",),
+    "mul_const": ("cmult",),
+    "mul_int": ("imult",),
+    "div_by_pow2": ("div_pow2",),
+    "mul_plain": ("pmult",),
+    "mul": ("hmult",),
+    "square": ("hmult",),
+    "rotate": ("hrot",),
+    "rotate_many_hoisted": ("hoisted_modup", "hrot_hoisted"),
+    "conjugate": ("hconj",),
+    "mul_by_monomial": ("monomial_mult",),
+    "adjust_scale": ("scale_adjust",),
+    "add_matched": ("hadd",),
+    "rescale": ("rescale",),
+    "rescale_to_match": ("rescale",),
+    "drop_to_level": ("level_drop",),
+}
 
 
 class CkksEvaluator:
@@ -55,6 +91,7 @@ class CkksEvaluator:
         )
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
+        self.stats["negate"] += 1
         return Ciphertext(b=-ct.b, a=-ct.a, scale=ct.scale, slots=ct.slots)
 
     def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
@@ -357,6 +394,7 @@ class CkksEvaluator:
         """Discard limbs (no division) so that ct sits at ``level``."""
         if level > ct.level:
             raise LevelError("cannot raise a level by dropping limbs")
+        self.stats["level_drop"] += 1
         keep = ct.moduli[: level + 1]
         return Ciphertext(
             b=ct.b.limbs(keep), a=ct.a.limbs(keep), scale=ct.scale, slots=ct.slots

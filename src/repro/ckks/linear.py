@@ -29,7 +29,6 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.context import CkksContext
-from repro.ckks.evaluator import CkksEvaluator
 
 MODES = ("baseline", "minks")
 
@@ -207,22 +206,12 @@ def slot_sum(
     each needing its own evk); ``minks`` forces the arithmetic-progression
     form the paper describes for slot accumulation -- ``count-1`` rotations
     all by 1 slot, reusing a single evk.
+
+    Thin functional wrapper over the backend-generic
+    :meth:`repro.backend.session.HeSession.slot_sum` (the one
+    implementation of the accumulation schedules).
     """
-    if count & (count - 1) or count <= 0:
-        raise ParameterError("slot_sum count must be a positive power of two")
-    evaluator = ctx.evaluator
-    if mode == "baseline":
-        shift = 1
-        while shift < count:
-            evaluator_ct = evaluator.rotate(ct, shift)
-            ct = evaluator.add(ct, evaluator_ct)
-            shift *= 2
-        return ct
-    if mode != "minks":
-        raise ParameterError(f"mode must be one of {MODES}")
-    acc = ct
-    rotated = ct
-    for _ in range(count - 1):
-        rotated = evaluator.rotate(rotated, 1)
-        acc = evaluator.add(acc, rotated)
-    return acc
+    from repro.backend.session import session
+
+    sess = session(ctx=ctx)
+    return sess.slot_sum(sess.wrap(ct), count, mode=mode).payload

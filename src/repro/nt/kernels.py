@@ -365,10 +365,10 @@ class NttKernel:
         xb, tb = buf["a32"], buf["b32"]
         plan = []
         run = start_run
-        l = h // run
+        half_len = h // run
         stages = len(self._fw_tw) - (0 if start_run == 1 else 1)
         for _ in range(stages):
-            if l < 1:
+            if half_len < 1:
                 break
             if run == 1 and _LITTLE_ENDIAN:
                 entry = {
@@ -378,24 +378,23 @@ class NttKernel:
                     "y64": y.view(np.uint64),
                 }
             else:
-                xv = x.reshape(rows, 2, l, run)
-                yv = y.reshape(rows, l, 2, run)
+                xv = x.reshape(rows, 2, half_len, run)
                 r2 = run // 2
                 entry = {
                     "pack": False,
                     "u": xv[:, 0],
                     "v": xv[:, 1],
-                    "u64u": x.view(np.uint64).reshape(rows, 2, l, r2)[:, 0],
-                    "u64v": x.view(np.uint64).reshape(rows, 2, l, r2)[:, 1],
-                    "xb64": xb.view(np.uint64).reshape(rows, l, r2),
-                    "tb64": tb.view(np.uint64).reshape(rows, l, r2),
-                    "xbv": xb.reshape(rows, l, run),
-                    "yv0_64": y.view(np.uint64).reshape(rows, l, 2, r2)[:, :, 0],
-                    "yv1_64": y.view(np.uint64).reshape(rows, l, 2, r2)[:, :, 1],
+                    "u64u": x.view(np.uint64).reshape(rows, 2, half_len, r2)[:, 0],
+                    "u64v": x.view(np.uint64).reshape(rows, 2, half_len, r2)[:, 1],
+                    "xb64": xb.view(np.uint64).reshape(rows, half_len, r2),
+                    "tb64": tb.view(np.uint64).reshape(rows, half_len, r2),
+                    "xbv": xb.reshape(rows, half_len, run),
+                    "yv0_64": y.view(np.uint64).reshape(rows, half_len, 2, r2)[:, :, 0],
+                    "yv1_64": y.view(np.uint64).reshape(rows, half_len, 2, r2)[:, :, 1],
                 }
             plan.append(entry)
             x, y = y, x
-            l //= 2
+            half_len //= 2
             run *= 2
         self._plans[key] = plan
         return plan
@@ -421,7 +420,6 @@ class NttKernel:
         plain strided stores elsewhere.
         """
         rows = x.shape[0]
-        h = max(self.degree // 2, 1)
         xb, tb = buf["a32"], buf["b32"]
         qh = buf["qh64"]
         th = buf["th64"]

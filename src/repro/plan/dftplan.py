@@ -87,7 +87,6 @@ class HomDftPlan:
         ops = HeOpPlanner(plan, oflimb=self.oflimb)
         current = dep
         level = start_level
-        d = self.direction
         for s, radix in enumerate(self.radices):
             babies, giants = self.bsgs_shape(radix)
             if self.mode == "baseline":

@@ -209,7 +209,7 @@ class HeOpPlanner:
 
     def pmult(self, level: int, pt_tag: str, dep: int) -> int:
         """PMult; with OF-Limb the limbs are regenerated on chip (Eq. 12)."""
-        plan, p = self.plan, self.params
+        plan = self.plan
         pt_req = plan.add(
             OpKind.PT, data_bytes=self.plaintext_bytes_at(level), tag=pt_tag
         )
@@ -244,10 +244,20 @@ class HeOpPlanner:
     def cmult(self, level: int, dep: int) -> int:
         return self.plan.add(OpKind.EWE, limbs=2 * (level + 1), deps=(dep,))
 
+    def cadd(self, level: int, dep: int) -> int:
+        """CAdd: a broadcast constant add on the b half (no modmults)."""
+        return self.plan.add(
+            OpKind.EWE, limbs=level + 1, deps=(dep,), mult_limbs=0
+        )
+
     def rescale(self, level: int, dep: int) -> int:
-        """HRescale: INTT the dropped limb, re-reduce, NTT, subtract-scale."""
+        """HRescale: INTT the dropped limb, re-reduce, NTT, subtract-scale.
+
+        The INTT is tagged ``rescale`` so op-level rescale counts stay
+        derivable from a raw plan (`backend.plan.plan_table2_counts`).
+        """
         plan = self.plan
-        intt = plan.add(OpKind.INTT, limbs=2, deps=(dep,))
+        intt = plan.add(OpKind.INTT, limbs=2, tag="rescale", deps=(dep,))
         ntt = plan.add(OpKind.NTT, limbs=2 * level, deps=(intt,))
         return plan.add(
             OpKind.EWE, limbs=4 * level, deps=(ntt,), mult_limbs=2 * level

@@ -1,18 +1,14 @@
-"""Op-level plans for the paper's FHE workloads (Section VII-A):
+"""Compatibility shim: the workload builders moved to :mod:`repro.workloads`.
 
-* HELR -- binary logistic-regression training, 1,024 images/iteration
-* ResNet-20 -- CNN inference on CIFAR-10 (Lee et al. [64] structure)
-* Sorting -- k-way sorting network (Hong et al. [47])
-
-Each builder returns a :class:`~repro.arch.scheduler.WorkloadModel` whose
-segments separate bootstrapping from the rest, providing the Fig. 7(b)
-split. Structural counts (rotation/multiplication mixes, bootstrap
-cadence) are derived from the cited implementations; see EXPERIMENTS.md
-for the calibration notes.
+Each workload (HELR, ResNet-20, sorting) is now defined exactly once, as a
+backend-generic program; ``build_*`` runs it on a
+:class:`~repro.backend.plan.PlanBackend` to produce the op-level
+:class:`~repro.arch.scheduler.WorkloadModel`. Import from
+``repro.workloads`` directly in new code.
 """
 
-from repro.plan.workloads.helr import build_helr
-from repro.plan.workloads.resnet import build_resnet20
-from repro.plan.workloads.sorting import build_sorting
+from repro.workloads.cnn import build_resnet20
+from repro.workloads.helr import build_helr
+from repro.workloads.sorting import build_sorting
 
 __all__ = ["build_helr", "build_resnet20", "build_sorting"]

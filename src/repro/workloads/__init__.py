@@ -1,20 +1,59 @@
-"""Functional encrypted applications at laptop scale: the paper's three
-workloads (logistic regression, CNN convolution, sorting) running real
-CKKS math on synthetic data. The full-scale op-level models live in
-:mod:`repro.plan.workloads`; these modules prove the algorithms compute
-the right thing."""
+"""The paper's workloads (HELR, ResNet-20/CNN, sorting), defined once.
+
+Each module holds everything about its workload: the real algorithm
+written against the unified backend API (runs functionally at laptop
+scale *and* symbolically on the plan/trace backends), the full-scale
+structural program, the shared constants, and the ``build_*`` op-level
+:class:`~repro.arch.scheduler.WorkloadModel` builders for the accelerator
+simulator. ``repro.plan.workloads`` re-exports the builders for
+compatibility.
+"""
 
 from repro.workloads.data import synthetic_classification, synthetic_image
-from repro.workloads.helr import EncryptedLogisticRegression
-from repro.workloads.cnn import encrypted_conv2d, plaintext_conv2d
-from repro.workloads.sorting import encrypted_compare_swap, sign_approx
+from repro.workloads.helr import (
+    EncryptedLogisticRegression,
+    build_helr,
+    helr_gradient,
+    helr_iteration_program,
+    sigmoid_poly,
+)
+from repro.workloads.cnn import (
+    build_resnet20,
+    encrypted_conv2d,
+    plaintext_conv2d,
+    resnet_layer_program,
+)
+from repro.workloads.sorting import (
+    build_sorting,
+    encrypted_compare_swap,
+    sign_approx,
+    sign_approx_reference,
+    sorting_round_program,
+)
+
+#: The unified one-iteration programs, for tooling that sweeps workloads.
+WORKLOAD_PROGRAMS = {
+    "helr": helr_iteration_program,
+    "resnet20": resnet_layer_program,
+    "sorting": sorting_round_program,
+}
 
 __all__ = [
     "synthetic_classification",
     "synthetic_image",
     "EncryptedLogisticRegression",
+    "helr_gradient",
+    "helr_iteration_program",
+    "sigmoid_poly",
     "encrypted_conv2d",
     "plaintext_conv2d",
+    "resnet_layer_program",
     "encrypted_compare_swap",
     "sign_approx",
+    "sign_approx_reference",
+    "sorting_round_program",
+    "build_helr",
+    "build_resnet20",
+    "build_sorting",
+    "WORKLOAD_PROGRAMS",
 ]

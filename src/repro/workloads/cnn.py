@@ -1,24 +1,43 @@
-"""Encrypted 2-D convolution (the ResNet-20 building block, Lee et al. [64]).
+"""Encrypted 2-D convolution and ResNet-20, defined once.
 
-The image is packed row-major into the slot vector; a 3x3 convolution is a
-sum of nine rotated-and-masked copies:
-
-    out = Σ_{dy,dx} kernel[dy,dx] * rot(image, dy*W + dx)
-
-For each kernel row the three rotation amounts form an arithmetic
-progression, the pattern Min-KS exploits in the paper's convolution layers
-(Section VII-B applies Min-KS and OF-Limb to ResNet-20's convolutions).
-Boundary handling uses multiplicative masks, also encoded as plaintexts
-(OF-Limb-eligible).
+* :func:`encrypted_conv2d` -- the real algorithm (the ResNet-20 building
+  block, Lee et al. [64]): a row-major-packed image convolved as a sum of
+  rotated-and-masked copies, with the Min-KS chained-rotation schedule
+  (per kernel row the offsets form an arithmetic progression with common
+  difference 1, so only the rotation key for amount 1 -- plus the raster
+  start -- is needed). Written against the unified session API, it runs
+  functionally or on the plan/trace backends.
+* :func:`resnet_layer_program` / :func:`build_resnet20` -- the full-scale
+  structural model of one multiplexed-parallel-convolution layer
+  (kernel-offset AP rotations -> Min-KS, weight PMults -> OF-Limb,
+  channel accumulations, the high-degree polynomial ReLU), with one
+  full-slot (n = 2^15) bootstrapping per layer; 19 layers total.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.api import HeBackend
+from repro.backend.plan import run_workload_model
+from repro.backend.session import HeSession, session
 from repro.errors import ParameterError
+from repro.params import CkksParams
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.context import CkksContext
+
+# Structural counts per full-scale ResNet-20 layer.
+RESNET_SLOTS_LOG2 = 15
+CONV_LAYERS = 19
+KERNEL_AP_ROTATIONS = 8      # 3x3 kernel offsets (AP after repacking)
+CHANNEL_AP_ROTATIONS = 4     # channel accumulation (AP)
+NON_AP_ROTATIONS = 2         # repacking moves outside the progression
+WEIGHT_PMULTS = 64           # multiplexed weight plaintexts per layer
+RELU_HMULTS = 14             # ~degree-27 minimax composition
+RELU_CMULTS = 4
+
+
+# ---------------------------------------------------------------- references
 
 
 def plaintext_conv2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
@@ -54,25 +73,33 @@ def _boundary_mask(height: int, width: int, dy: int, dx: int) -> np.ndarray:
     return mask
 
 
+# ------------------------------------------------------------ real algorithm
+
+
 def encrypted_conv2d(
-    ctx: CkksContext,
-    ct_image: Ciphertext,
+    sess: HeSession | CkksContext,
+    ct_image,
     kernel: np.ndarray,
     height: int,
     width: int,
-) -> Ciphertext:
+):
     """Homomorphic 'same' convolution of a row-major-packed image.
 
     Rotation amounts are ``dy*width + dx`` -- per kernel row an arithmetic
     progression with common difference 1, evaluated by chaining rotations
-    from the previous offset (the Min-KS pattern). Only rotation keys for
-    amounts 1 and width are required.
+    from the previous offset (the Min-KS pattern).
+
+    Accepts a session over any backend, or (for compatibility) a raw
+    :class:`CkksContext` plus :class:`Ciphertext`, in which case a raw
+    ciphertext is returned.
     """
-    if ct_image.slots != height * width:
+    raw = isinstance(sess, CkksContext)
+    if raw:
+        sess = session(ctx=sess)
+    ct = sess.wrap(ct_image) if isinstance(ct_image, Ciphertext) else ct_image
+    if ct.slots != height * width:
         raise ParameterError("ciphertext packing does not match image shape")
     kh, kw = kernel.shape
-    ev = ctx.evaluator
-    ctx.ensure_rotation_keys([1])
     half_h, half_w = kh // 2, kw // 2
 
     # Start from the most negative offset and walk the offsets in raster
@@ -81,24 +108,77 @@ def encrypted_conv2d(
     # the two keys above -- the generalized Min-KS schedule.
     n = height * width
     start = (-half_h * width - half_w) % n
-    ctx.ensure_rotation_keys([start])
-    rotated = ev.rotate(ct_image, start) if start else ct_image
+    rotated = ct.rotate(start) if start else ct
     acc = None
     for dy in range(-half_h, half_h + 1):
         for dx in range(-half_w, half_w + 1):
             weight = float(kernel[dy + half_h, dx + half_w])
             mask = _boundary_mask(height, width, dy, dx) * weight
-            pt = ctx.encode(
-                mask.reshape(-1).astype(np.complex128), level=rotated.level
+            pt = sess.plaintext(
+                mask.reshape(-1).astype(np.complex128),
+                tag=f"pt:conv:{dy}:{dx}",
             )
-            term = ev.mul_plain(rotated, pt)
-            acc = term if acc is None else ev.add(acc, term)
+            term = rotated * pt
+            acc = term if acc is None else acc + term
             is_last = dy == half_h and dx == half_w
             if not is_last:
                 if dx == half_w:  # row step: rotate by width - (kw - 1)
                     for _ in range(width - (kw - 1)):
-                        rotated = ev.rotate(rotated, 1)
+                        rotated = rotated.rotate(1)
                 else:
-                    rotated = ev.rotate(rotated, 1)
+                    rotated = rotated.rotate(1)
     assert acc is not None
-    return ev.rescale(acc)
+    out = acc.rescale()
+    return out.payload if raw else out
+
+
+# ------------------------------------------------------- full-scale model
+
+
+def resnet_layer_program(be: HeBackend) -> None:
+    """One convolution + activation layer, then its bootstrap."""
+    level = be.params.levels_after_boot
+    ct = be.input_ct("ct:resnet-act", level=level, slots=1 << RESNET_SLOTS_LOG2)
+    # Convolution: kernel-offset rotations (Min-KS reuses one key).
+    for i in range(KERNEL_AP_ROTATIONS):
+        tag = (
+            "evk:rot:conv:kernel"
+            if be.mode == "minks"
+            else f"evk:rot:conv:kernel:{i}"
+        )
+        ct = be.rotate(ct, None, key_tag=tag)
+    for i in range(WEIGHT_PMULTS):
+        ct = be.mul_plain(ct, be.plaintext(tag=f"pt:resnet:w{i}"))
+    ct = be.rescale(ct)
+    for i in range(CHANNEL_AP_ROTATIONS):
+        tag = (
+            "evk:rot:conv:chan"
+            if be.mode == "minks"
+            else f"evk:rot:conv:chan:{i}"
+        )
+        ct = be.rotate(ct, None, key_tag=tag)
+    for i in range(NON_AP_ROTATIONS):
+        ct = be.rotate(ct, None, key_tag=f"evk:rot:conv:repack:{i}")
+    # ReLU approximation: ct-ct mults with the reused evk_mult.
+    for i in range(RELU_HMULTS):
+        ct = be.mul(ct, ct)
+        if i % 2 == 1 and ct.level > 1:
+            ct = be.rescale(ct)
+    for _ in range(RELU_CMULTS):
+        ct = be.mul_const(ct, 1.0)
+    be.bootstrap(ct)
+
+
+def build_resnet20(
+    params: CkksParams, mode: str = "minks", oflimb: bool = True
+):
+    """Full ResNet-20 inference: 19 layers, one bootstrap per layer."""
+    return run_workload_model(
+        resnet_layer_program,
+        params,
+        name=f"ResNet-20[{mode}{'+of' if oflimb else ''}]",
+        mode=mode,
+        oflimb=oflimb,
+        repetitions=CONV_LAYERS,
+        plan_name=f"resnet-layer[{mode}]",
+    )

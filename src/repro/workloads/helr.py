@@ -1,27 +1,50 @@
-"""Encrypted logistic-regression training step (the HELR workload [43]).
+"""HELR [43]: homomorphic logistic-regression training, defined once.
 
-One gradient-descent step on an encrypted sample, with the feature vector
-packed in slots:
+This module is the single source of truth for the workload: the sigmoid
+approximation, the structural per-iteration op counts, and both program
+levels are defined here and nowhere else.
 
-1. ``z = <w, x>``      -- PMult by the plaintext weights + slot accumulation
-   (the arithmetic-progression rotation pattern Min-KS targets);
-2. ``p = sigmoid(z)``  -- HELR's degree-3 polynomial approximation;
-3. ``g = (p - y) x``   -- HMult by the (replicated) residual;
-4. ``w <- w - lr g``   -- done by the model owner on the decrypted gradient
-   in this demo (the full protocol keeps w encrypted; the op pattern is
-   identical).
+* :func:`helr_gradient` -- the real algorithm (one encrypted gradient),
+  written against the unified session API: it runs functionally at toy
+  scale (:class:`EncryptedLogisticRegression`, verified against
+  :func:`plaintext_gradient` math) and symbolically on the plan/trace
+  backends, where the identical op stream feeds the equivalence tests.
+* :func:`helr_iteration_program` -- the full-scale structural model of one
+  training iteration (mini-batch of 1,024 14x14-pixel images), expressed
+  through the same :class:`~repro.backend.api.HeBackend` surface:
+  batch weighted sums whose rotation amounts do *not* form an arithmetic
+  progression (the memory-bound part of Section VII-C), mini-batch data
+  PMults (OF-Limb applies), Min-KS-able feature accumulations, the
+  degree-3 sigmoid HMults, and one bootstrapping per iteration at
+  n = 256 slots (only 256 of 32,768 slots are used, which caps ARK's
+  benefit -- Section VII-B).
+* :func:`build_helr` -- the op-level :class:`WorkloadModel` for the
+  accelerator simulator, i.e. the structural program run on a
+  :class:`~repro.backend.plan.PlanBackend`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.api import HeBackend
+from repro.backend.plan import run_workload_model
+from repro.backend.session import HeSession, SessionCt, session
 from repro.errors import ParameterError
+from repro.params import CkksParams
 from repro.ckks.context import CkksContext
-from repro.ckks.linear import slot_sum
 
 # HELR's least-squares degree-3 sigmoid approximation on [-8, 8].
 SIGMOID_COEFFS = (0.5, 0.15012, -0.001593)
+
+# Structural counts per full-scale iteration, from the HELR computation
+# pattern (shared by the plan model and the analysis layer).
+HELR_SLOTS = 256             # only 256 of the 32,768 slots are used
+DISTINCT_ROTATIONS = 100     # batch weighted sums: amounts not in AP
+AP_ROTATIONS = 24            # feature-sum accumulations: Min-KS-able
+DATA_PMULTS = 40             # mini-batch data plaintexts
+SIGMOID_HMULTS = 12          # degree-3 sigmoid approx across blocks
+ITERATIONS_DEFAULT = 30
 
 
 def sigmoid_poly(z: np.ndarray) -> np.ndarray:
@@ -30,53 +53,75 @@ def sigmoid_poly(z: np.ndarray) -> np.ndarray:
     return c0 + c1 * z + c3 * z**3
 
 
+# ------------------------------------------------------------ real algorithm
+
+
+def helr_gradient(
+    sess: HeSession,
+    ct_x: SessionCt,
+    weights: np.ndarray,
+    label: float,
+    features: int,
+    mode: str = "minks",
+) -> SessionCt:
+    """Gradient of the log-loss wrt ``weights`` for one encrypted sample.
+
+    Returns a handle whose first ``features`` slots hold
+    ``(sigmoid(<w, x>) - y) * x``. Backend-generic: the op stream is the
+    same whether it runs functionally or on the plan/trace backends.
+    """
+    pt_w = sess.plaintext(
+        np.asarray(weights, dtype=np.complex128), tag="pt:helr:weights"
+    )
+    # z = <w, x>, replicated into every slot by the Min-KS slot sum.
+    prods = (ct_x * pt_w).rescale()
+    z = sess.slot_sum(prods, features, mode=mode)
+    # p = sigmoid(z) via the degree-3 polynomial.
+    c0, c1, c3 = SIGMOID_COEFFS
+    z2 = (z * z).rescale()
+    z3 = (z2 * z).rescale()
+    term1 = (z * c1).rescale()
+    term3 = (z3 * c3).rescale()
+    p = (term1 + term3) + c0
+    # residual = p - y, then gradient = residual * x.
+    residual = p - label
+    grad = residual * ct_x.drop_to(residual.level)
+    return grad.rescale()
+
+
 class EncryptedLogisticRegression:
     """A binary classifier trained on encrypted samples."""
 
-    def __init__(self, ctx: CkksContext, features: int):
+    def __init__(self, ctx: CkksContext | HeSession, features: int):
+        sess = ctx if isinstance(ctx, HeSession) else session(ctx=ctx)
         if features & (features - 1):
             raise ParameterError("feature count must be a power of two")
-        if features > ctx.params.max_slots:
+        if features > sess.params.max_slots:
             raise ParameterError("too many features for the ring")
-        self.ctx = ctx
+        self.sess = sess
         self.features = features
         self.weights = np.zeros(features)
-        ctx.ensure_rotation_keys([1])
+
+    @property
+    def ctx(self) -> CkksContext | None:
+        return self.sess.ctx
 
     # ------------------------------------------------------------ encrypted
 
-    def encrypted_gradient(self, ct_x, label: float):
-        """Gradient of the log-loss wrt w for one encrypted sample.
-
-        Returns a ciphertext whose first ``features`` slots hold
-        ``(sigmoid(<w, x>) - y) * x``.
-        """
-        ctx = self.ctx
-        ev = ctx.evaluator
-        # z = <w, x>, replicated into every slot by the Min-KS slot sum.
-        pt_w = ctx.encode(
-            self.weights.astype(np.complex128), level=ct_x.level
+    def encrypted_gradient(self, ct_x, label: float) -> SessionCt:
+        return helr_gradient(
+            self.sess,
+            self.sess.wrap(ct_x),
+            self.weights,
+            label,
+            self.features,
         )
-        prods = ev.rescale(ev.mul_plain(ct_x, pt_w))
-        z = slot_sum(ctx, prods, self.features, mode="minks")
-        # p = sigmoid(z) via the degree-3 polynomial.
-        c0, c1, c3 = SIGMOID_COEFFS
-        z2 = ev.rescale(ev.mul(z, z))
-        z3 = ev.rescale(ev.mul(z2, z))
-        term1 = ev.rescale(ev.mul_const(z, c1))
-        term3 = ev.rescale(ev.mul_const(z3, c3))
-        p = ev.add_const(ev.add_matched(term1, term3), c0)
-        # residual = p - y, then gradient = residual * x.
-        residual = ev.add_const(p, -label)
-        ct_x_aligned = ev.drop_to_level(ct_x, residual.level)
-        grad = ev.mul(residual, ct_x_aligned)
-        return ev.rescale(grad)
 
     def step(self, x: np.ndarray, label: float, lr: float = 0.5) -> None:
         """One encrypted SGD step (encrypt -> gradient -> decrypt-update)."""
-        ct_x = self.ctx.encrypt(x.astype(np.complex128))
+        ct_x = self.sess.encrypt(x.astype(np.complex128), tag="ct:helr:sample")
         grad_ct = self.encrypted_gradient(ct_x, label)
-        grad = self.ctx.decrypt(grad_ct).real[: self.features]
+        grad = self.sess.decrypt(grad_ct).real[: self.features]
         self.weights -= lr * grad
 
     # ------------------------------------------------------------ reference
@@ -91,3 +136,53 @@ class EncryptedLogisticRegression:
     def accuracy(self, xs: np.ndarray, ys: np.ndarray) -> float:
         predictions = [1.0 if self.predict(x) > 0.5 else 0.0 for x in xs]
         return float(np.mean(np.array(predictions) == ys))
+
+
+# ------------------------------------------------------- full-scale model
+
+
+def helr_iteration_program(be: HeBackend) -> None:
+    """One full-scale training iteration (compute + bootstrap)."""
+    level = be.params.levels_after_boot
+    ct = be.input_ct("ct:helr-model", level=level, slots=HELR_SLOTS)
+    # Batch weighted sums at the top level: rotation amounts with no
+    # arithmetic progression, so every key is distinct in either mode
+    # (Min-KS not applicable -- the memory-bound part of Section VII-C).
+    for i in range(DISTINCT_ROTATIONS):
+        ct = be.rotate(ct, None, key_tag=f"evk:rot:helr:w{i}")
+    # Mini-batch data products (OF-Limb applies to these plaintexts).
+    for i in range(DATA_PMULTS):
+        ct = be.mul_plain(ct, be.plaintext(tag=f"pt:helr:data:{i}"))
+    # Feature accumulation: arithmetic-progression rotations. Min-KS reuses
+    # a single key; the baseline loads one key per amount.
+    for i in range(AP_ROTATIONS):
+        tag = (
+            "evk:rot:helr:acc"
+            if be.mode == "minks"
+            else f"evk:rot:helr:acc:{i}"
+        )
+        ct = be.rotate(ct, None, key_tag=tag)
+    # Sigmoid evaluation: HMults with the (reused) multiplication key.
+    for i in range(SIGMOID_HMULTS):
+        ct = be.mul(ct, ct)
+        if i % 3 == 2 and ct.level > 1:
+            ct = be.rescale(ct)
+    be.bootstrap(ct)
+
+
+def build_helr(
+    params: CkksParams,
+    mode: str = "minks",
+    oflimb: bool = True,
+    iterations: int = ITERATIONS_DEFAULT,
+):
+    """The full HELR training run (default: the paper's 30 iterations)."""
+    return run_workload_model(
+        helr_iteration_program,
+        params,
+        name=f"HELR[{mode}{'+of' if oflimb else ''}]",
+        mode=mode,
+        oflimb=oflimb,
+        repetitions=iterations,
+        plan_name=f"helr-compute[{mode}]",
+    )

@@ -1,22 +1,41 @@
-"""Encrypted compare-and-swap: the sorting-network primitive of [47].
+"""Homomorphic sorting (Hong et al. [47]), defined once.
 
-Sorting networks need ``min`` / ``max`` of encrypted values:
+* :func:`sign_approx` / :func:`encrypted_compare_swap` -- the real
+  compare-and-swap primitive of the sorting network:
 
-    max(a, b) = (a + b)/2 + (a - b)/2 * sgn(a - b)
+      max(a, b) = (a + b)/2 + (a - b)/2 * sgn(a - b)
 
-with the sign function approximated by the composite polynomial
-``g(x) = (3x - x^3)/2`` iterated k times -- the standard minimax-composition
-trick (each iteration sharpens the transition around 0). Comparisons
-dominate sorting's cost, which is why the workload is HMult/bootstrapping
-bound in the performance model (:mod:`repro.plan.workloads.sorting`).
+  with the sign function approximated by the composite polynomial
+  ``g(x) = (3x - x^3)/2`` iterated k times (each iteration sharpens the
+  transition around 0). Written against the unified session API, it runs
+  functionally or on the plan/trace backends.
+* :func:`sorting_round_program` / :func:`build_sorting` -- the full-scale
+  structural model of one k-way network round: the high-degree minimax
+  comparison composition (HMult-heavy, all reusing evk_mult), a few
+  arithmetic-progression permutation rotations (Min-KS), two masking
+  plaintexts, and one bootstrapping per round. Outside bootstrapping only
+  OF-Limb applies to sorting and its effect is < 1%; the compute segment
+  accordingly carries almost no plaintext traffic.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.api import HeBackend
+from repro.backend.plan import run_workload_model
+from repro.backend.session import HeSession, session
+from repro.params import CkksParams
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.context import CkksContext
+
+# Structural counts per full-scale network round.
+SORT_SLOTS_LOG2 = 15
+NETWORK_ROUNDS = 300          # network rounds over 2^15 elements
+COMPARE_HMULTS = 36           # deg-7 x deg-7 x deg-7 minimax composition
+COMPARE_CMULTS = 6
+ROUND_AP_ROTATIONS = 4
+ROUND_PMULTS = 2              # masking plaintexts
 
 
 def sign_approx_reference(x: np.ndarray, iterations: int = 2) -> np.ndarray:
@@ -27,38 +46,92 @@ def sign_approx_reference(x: np.ndarray, iterations: int = 2) -> np.ndarray:
     return y
 
 
+# ------------------------------------------------------------ real algorithm
+
+
+def _session_of(sess: HeSession | CkksContext) -> tuple[HeSession, bool]:
+    if isinstance(sess, CkksContext):
+        return session(ctx=sess), True
+    return sess, False
+
+
 def sign_approx(
-    ctx: CkksContext, ct: Ciphertext, iterations: int = 2
-) -> Ciphertext:
+    sess: HeSession | CkksContext, ct, iterations: int = 2
+):
     """Homomorphic sgn(x) for slot values in [-1, 1].
 
     Each iteration evaluates ``g(x) = x*(3 - x^2) / 2`` in two levels: one
     squaring, one product; the /2 is the free scale-doubling trick.
+    Accepts a session over any backend, or a raw context + ciphertext.
     """
-    ev = ctx.evaluator
-    current = ct
+    sess, raw = _session_of(sess)
+    current = sess.wrap(ct) if isinstance(ct, Ciphertext) else ct
     for _ in range(iterations):
-        sq = ev.mul(current, current)               # scale Δ^2
-        inner = ev.add_const(ev.negate(sq), 3.0)    # 3 - x^2 at Δ^2
-        prod = ev.mul(current, inner)               # x(3 - x^2) at Δ^3
-        prod = ev.rescale(ev.rescale(prod))
-        current = ev.div_by_pow2(prod, 1)
-    return current
+        sq = current * current                  # scale Δ^2
+        inner = (-sq) + 3.0                     # 3 - x^2 at Δ^2
+        prod = current * inner                  # x(3 - x^2) at Δ^3
+        prod = prod.rescale().rescale()
+        current = prod.div_by_pow2(1)
+    return current.payload if raw else current
 
 
 def encrypted_compare_swap(
-    ctx: CkksContext,
-    ct_a: Ciphertext,
-    ct_b: Ciphertext,
+    sess: HeSession | CkksContext,
+    ct_a,
+    ct_b,
     iterations: int = 2,
-) -> tuple[Ciphertext, Ciphertext]:
-    """Return (ct_min, ct_max) slot-wise, via the sign approximation."""
-    ev = ctx.evaluator
-    avg = ev.div_by_pow2(ev.add(ct_a, ct_b), 1)
-    half_diff = ev.div_by_pow2(ev.sub(ct_a, ct_b), 1)
-    sign = sign_approx(ctx, half_diff, iterations=iterations)
-    half_diff_aligned = ev.drop_to_level(half_diff, sign.level)
-    spread = ev.rescale(ev.mul(half_diff_aligned, sign))
-    ct_max = ev.add_matched(avg, spread)
-    ct_min = ev.add_matched(avg, ev.negate(spread))
+):
+    """Return (min, max) slot-wise, via the sign approximation."""
+    sess, raw = _session_of(sess)
+    a = sess.wrap(ct_a) if isinstance(ct_a, Ciphertext) else ct_a
+    b = sess.wrap(ct_b) if isinstance(ct_b, Ciphertext) else ct_b
+    avg = (a + b).div_by_pow2(1)
+    half_diff = (a - b).div_by_pow2(1)
+    sign = sign_approx(sess, half_diff, iterations=iterations)
+    half_diff_aligned = half_diff.drop_to(sign.level)
+    spread = (half_diff_aligned * sign).rescale()
+    ct_max = avg + spread
+    ct_min = avg + (-spread)
+    if raw:
+        return ct_min.payload, ct_max.payload
     return ct_min, ct_max
+
+
+# ------------------------------------------------------- full-scale model
+
+
+def sorting_round_program(be: HeBackend) -> None:
+    """One sorting-network round (compare + permute), then its bootstrap."""
+    level = be.params.levels_after_boot
+    ct = be.input_ct("ct:sort-state", level=level, slots=1 << SORT_SLOTS_LOG2)
+    for i in range(COMPARE_HMULTS):
+        ct = be.mul(ct, ct)
+        if i % 4 == 3 and ct.level > 1:
+            ct = be.rescale(ct)
+    for _ in range(COMPARE_CMULTS):
+        ct = be.mul_const(ct, 1.0)
+    for i in range(ROUND_AP_ROTATIONS):
+        tag = (
+            "evk:rot:sort:net"
+            if be.mode == "minks"
+            else f"evk:rot:sort:net:{i}"
+        )
+        ct = be.rotate(ct, None, key_tag=tag)
+    for i in range(ROUND_PMULTS):
+        ct = be.mul_plain(ct, be.plaintext(tag=f"pt:sort:mask:{i}"))
+    be.bootstrap(ct)
+
+
+def build_sorting(
+    params: CkksParams, mode: str = "minks", oflimb: bool = True
+):
+    """The full sorting run: 300 network rounds, one bootstrap per round."""
+    return run_workload_model(
+        sorting_round_program,
+        params,
+        name=f"Sorting[{mode}{'+of' if oflimb else ''}]",
+        mode=mode,
+        oflimb=oflimb,
+        repetitions=NETWORK_ROUNDS,
+        plan_name=f"sort-round[{mode}]",
+    )

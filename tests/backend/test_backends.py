@@ -1,0 +1,193 @@
+"""Behavior of the three HeBackend implementations (unified program API)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    FunctionalBackend,
+    PlanBackend,
+    TraceBackend,
+    plan_table2_counts,
+)
+from repro.errors import LevelError, ParameterError
+from repro.params import ARK, TOY
+from repro.plan.primops import OpKind
+from repro.ckks.context import CkksContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, rotations=(1, 2), seed=21)
+
+
+@pytest.fixture()
+def fb(ctx):
+    return FunctionalBackend(ctx)
+
+
+@pytest.fixture()
+def message(ctx):
+    rng = np.random.default_rng(0)
+    return rng.uniform(-1, 1, ctx.params.max_slots).astype(np.complex128)
+
+
+# ------------------------------------------------------------- functional
+
+
+def test_functional_ops_match_direct_evaluator(ctx, fb, message):
+    h = fb.input_ct("ct:x", values=message)
+    out = fb.rescale(fb.mul(h, h))
+    # Same math as driving the evaluator directly (fresh encryption noise
+    # differs, so compare against the plaintext product).
+    direct = ctx.evaluator.rescale(
+        ctx.evaluator.mul(ctx.encrypt(message), ctx.encrypt(message))
+    )
+    assert np.allclose(fb.read(out), message * message, atol=1e-2)
+    assert np.allclose(ctx.decrypt(direct), message * message, atol=1e-2)
+
+
+def test_functional_handles_track_true_scale_and_level(fb, message):
+    h = fb.input_ct("ct:x", values=message)
+    assert h.level == TOY.max_level
+    prod = fb.mul(h, h)
+    assert prod.scale == h.scale * h.scale
+    rescaled = fb.rescale(prod)
+    assert rescaled.level == h.level - 1
+    # The true scale divides by the actual dropped prime, not nominal Δ.
+    assert rescaled.scale == pytest.approx(prod.scale / prod.payload.moduli[-1])
+
+
+def test_functional_rotate_generates_missing_keys(ctx, fb, message):
+    h = fb.input_ct("ct:x", values=message)
+    out = fb.rotate(h, 5)  # no rotation key for 5 was created
+    assert np.allclose(fb.read(out), np.roll(message, -5), atol=1e-2)
+
+
+def test_functional_rejects_symbolic_rotation(fb, message):
+    h = fb.input_ct("ct:x", values=message)
+    with pytest.raises(ParameterError):
+        fb.rotate(h, None, key_tag="evk:rot:sym")
+
+
+def test_functional_input_requires_values(fb):
+    with pytest.raises(ParameterError):
+        fb.input_ct("ct:x")
+
+
+def test_zero_rotation_is_identity_and_tallies_nothing(fb, message):
+    h = fb.input_ct("ct:x", values=message)
+    before = fb.op_counts["hrot"]
+    out = fb.rotate(h, 0)
+    assert fb.op_counts["hrot"] == before
+    assert np.allclose(fb.read(out), message, atol=1e-3)
+
+
+def test_evk_usage_tracks_key_reuse(fb, message):
+    h = fb.input_ct("ct:x", values=message)
+    for _ in range(3):
+        h = fb.rotate(h, 1)
+    fb.mul(h, h)
+    assert fb.evk_usage["evk:rot:1"] == 3
+    assert fb.evk_usage["evk:mult"] == 1
+    assert len(fb.evk_usage) == 2  # Min-KS-style reuse: two distinct evks
+
+
+def test_handles_are_bound_to_their_backend(ctx, fb, message):
+    other = FunctionalBackend(ctx)
+    h = fb.input_ct("ct:x", values=message)
+    with pytest.raises(ParameterError):
+        other.rescale(h)
+
+
+# ------------------------------------------------------------------- plan
+
+
+def test_plan_backend_emits_primops():
+    be = PlanBackend(TOY)
+    h = be.input_ct("ct:x", level=5)
+    h = be.rotate(h, None, key_tag="evk:rot:a")
+    h = be.mul(h, h)
+    h = be.rescale(h)
+    (label, plan), = be.segments_final()
+    assert label == "compute"
+    derived = plan_table2_counts(plan)
+    assert derived["hrot"] == 1
+    assert derived["hmult"] == 1
+    assert derived["rescale"] == 1
+    assert derived["input_ct"] == 1
+
+
+def test_plan_bootstrap_splits_segments():
+    be = PlanBackend(ARK)
+    h = be.input_ct("ct:x", level=ARK.levels_after_boot, slots=256)
+    h = be.mul(h, h)
+    out = be.bootstrap(h)
+    assert out.level == ARK.levels_after_boot
+    segments = be.segments_final()
+    assert [label for label, _ in segments] == ["compute", "bootstrap"]
+    # A handle that crossed the segment boundary cannot be reused.
+    with pytest.raises(ParameterError):
+        be.mul(out, out)
+
+
+def test_plan_rescale_decrements_level_and_nominal_scale():
+    be = PlanBackend(TOY)
+    h = be.input_ct("ct:x", level=4)
+    prod = be.mul(h, h)
+    out = be.rescale(prod)
+    assert out.level == 3
+    assert out.scale == pytest.approx(prod.scale / be.delta)
+
+
+def test_plan_hoisted_rotations_share_modup():
+    be = PlanBackend(TOY)
+    h = be.input_ct("ct:x", level=TOY.max_level)
+    out = be.rotate_hoisted(h, [1, 2, 3])
+    assert set(out) == {1, 2, 3}
+    (_, plan), = be.segments_final()
+    # One EVK per amount, but the ModUp BConvRoutines run once: fewer INTTs
+    # than three separate keyswitches would need.
+    assert plan.count(OpKind.EVK) == 3
+
+
+def test_plan_level_zero_rescale_raises():
+    be = PlanBackend(TOY)
+    h = be.input_ct("ct:x", level=0)
+    with pytest.raises(LevelError):
+        be.rescale(h)
+
+
+# ------------------------------------------------------------------ trace
+
+
+def test_trace_records_ordered_events():
+    be = TraceBackend(params=TOY)
+    h = be.input_ct("ct:x", level=5)
+    h = be.mul(h, h)
+    h = be.rescale(h)
+    be.rotate(h, 7)
+    ops = [e.op for e in be.events]
+    assert ops == ["input_ct", "hmult", "rescale", "hrot"]
+    rot = be.events[-1]
+    assert rot.amount == 7
+    assert rot.tag == "evk:rot:7"
+    assert rot.level == 4
+
+
+def test_trace_wrapping_functional_computes_and_records(ctx, message):
+    be = TraceBackend(inner=FunctionalBackend(ctx))
+    h = be.input_ct("ct:x", values=message)
+    out = be.rescale(be.mul(h, h))
+    assert np.allclose(be.read(out), message * message, atol=1e-2)
+    assert be.table2_counts()["hmult"] == 1
+    # Handle bookkeeping syncs from the inner (functional) truth.
+    assert out.level == TOY.max_level - 1
+    assert out.scale == out.payload.payload.scale
+
+
+def test_trace_nominal_scale_is_clamped_on_long_squaring_chains():
+    be = TraceBackend(params=ARK)
+    h = be.input_ct("ct:x", level=ARK.levels_after_boot)
+    for _ in range(40):
+        h = be.mul(h, h)
+    assert np.isfinite(h.scale)

@@ -1,0 +1,193 @@
+"""The repro.session facade: operator sugar, alignment, pluggable stores."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ParameterError
+from repro.params import TOY
+from repro.runtime.keystore import KeyStore
+
+
+@pytest.fixture(scope="module")
+def sess():
+    return repro.session(TOY, rotations=(1,), seed=33)
+
+
+@pytest.fixture()
+def messages(sess):
+    rng = np.random.default_rng(1)
+    n = sess.params.max_slots
+    return (
+        rng.uniform(-1, 1, n).astype(np.complex128),
+        rng.uniform(-1, 1, n).astype(np.complex128),
+    )
+
+
+def test_operator_add_sub_neg(sess, messages):
+    m1, m2 = messages
+    a, b = sess.encrypt(m1), sess.encrypt(m2)
+    assert np.allclose(sess.decrypt(a + b), m1 + m2, atol=1e-3)
+    assert np.allclose(sess.decrypt(a - b), m1 - m2, atol=1e-3)
+    assert np.allclose(sess.decrypt(-a), -m1, atol=1e-3)
+
+
+def test_operator_scalars(sess, messages):
+    m1, _ = messages
+    a = sess.encrypt(m1)
+    assert np.allclose(sess.decrypt(a + 0.25), m1 + 0.25, atol=1e-3)
+    assert np.allclose(sess.decrypt(a - 0.25), m1 - 0.25, atol=1e-3)
+    assert np.allclose(sess.decrypt((a * 0.5).rescale()), 0.5 * m1, atol=1e-2)
+    assert np.allclose(sess.decrypt((0.5 * a).rescale()), 0.5 * m1, atol=1e-2)
+    assert np.allclose(sess.decrypt(0.25 + a), m1 + 0.25, atol=1e-3)
+
+
+def test_operator_mul_and_plaintext(sess, messages):
+    m1, m2 = messages
+    a = sess.encrypt(m1)
+    b = sess.encrypt(m2)
+    assert np.allclose(sess.decrypt((a * b).rescale()), m1 * m2, atol=1e-2)
+    pt = sess.plaintext(m2, tag="pt:m2")
+    assert np.allclose(sess.decrypt((a * pt).rescale()), m1 * m2, atol=1e-2)
+    assert np.allclose(sess.decrypt(a + pt), m1 + m2, atol=1e-3)
+
+
+def test_add_auto_aligns_levels_and_scales(sess, messages):
+    m1, m2 = messages
+    low = (sess.encrypt(m1) * 1.0).rescale()   # one level down, odd scale
+    high = sess.encrypt(m2)
+    out = low + high                            # add_matched handles both
+    assert np.allclose(sess.decrypt(out), m1 + m2, atol=2e-2)
+
+
+def test_rotate_and_conjugate(sess, messages):
+    m1, _ = messages
+    a = sess.encrypt(m1)
+    assert np.allclose(sess.decrypt(a.rotate(1)), np.roll(m1, -1), atol=1e-3)
+    m = m1 + 0.3j * np.roll(m1, 2)
+    c = sess.encrypt(m)
+    assert np.allclose(sess.decrypt(c.conjugate()), np.conj(m), atol=1e-3)
+
+
+def test_slot_sum_modes_agree(sess):
+    rng = np.random.default_rng(5)
+    n = sess.params.max_slots
+    m = np.zeros(n, dtype=np.complex128)
+    m[:8] = rng.uniform(-1, 1, 8)
+    want = np.sum(m[:8])
+    for mode in ("minks", "baseline"):
+        out = sess.decrypt(sess.slot_sum(sess.encrypt(m), 8, mode=mode))
+        assert abs(out[0] - want) < 1e-2
+    # Min-KS needs exactly one rotation key; the tree needs log2(8).
+    minks_sess = repro.session(TOY, seed=33)
+    minks_sess.slot_sum(minks_sess.encrypt(m), 8, mode="minks")
+    assert set(minks_sess.evk_usage) == {"evk:rot:1"}
+
+
+def test_session_evk_usage_aggregates(sess, messages):
+    m1, _ = messages
+    before_mult = sess.evk_usage["evk:mult"]
+    a = sess.encrypt(m1)
+    ((a * a).rescale()).rotate(1)
+    assert sess.evk_usage["evk:mult"] == before_mult + 1
+    assert sess.evk_usage["evk:rot:1"] >= 1
+
+
+def test_session_with_seed_compressed_keystore(messages):
+    m1, _ = messages
+    plain = repro.session(TOY, rotations=(1,), seed=33)
+    stored = repro.session(TOY, rotations=(1,), seed=33, key_store=KeyStore())
+    a_p = plain.encrypt(m1)
+    a_s = stored.encrypt(m1)
+    out_p = plain.decrypt(((a_p * a_p).rescale()).rotate(1))
+    out_s = stored.decrypt(((a_s * a_s).rescale()).rotate(1))
+    # Same seed -> bit-identical results through the seeded key store.
+    assert np.array_equal(out_p, out_s)
+    assert stored.ctx.key_store is not None
+
+
+def test_pt_store_only_used_for_content_addressed_plaintexts(messages):
+    """A tag-keyed plaintext store must not serve stale encodings for
+    plaintexts whose values change under a reused tag (e.g. HELR's
+    weights); only store=True plaintexts go through it."""
+    from repro.ckks.oflimb import PrecomputedPlaintextStore
+
+    m1, _ = messages
+    sess = repro.session(TOY, seed=33)
+    sess.backend.pt_store = PrecomputedPlaintextStore(sess.ctx)
+    a = sess.encrypt(np.ones_like(m1))
+    first = sess.decrypt((a * sess.plaintext(2.0 * np.ones_like(m1), tag="pt:w")).rescale())
+    second = sess.decrypt((a * sess.plaintext(5.0 * np.ones_like(m1), tag="pt:w")).rescale())
+    assert np.allclose(first.real, 2.0, atol=1e-2)
+    assert np.allclose(second.real, 5.0, atol=1e-2)
+    # Opting in (store=True) caches by tag, as the OF-Limb dataflow needs.
+    cached1 = sess.decrypt(
+        (a * sess.plaintext(3.0 * np.ones_like(m1), tag="pt:diag", store=True)).rescale()
+    )
+    cached2 = sess.decrypt(
+        (a * sess.plaintext(9.0 * np.ones_like(m1), tag="pt:diag", store=True)).rescale()
+    )
+    assert np.allclose(cached1.real, 3.0, atol=1e-2)
+    assert np.allclose(cached2.real, 3.0, atol=1e-2)  # tag-cached by design
+
+
+def test_trace_forwards_hoisted_key_tags_to_inner_plan():
+    """A wrapping TraceBackend must not replace custom hoisted rotation
+    key tags with defaults in the inner plan (EVK tag identity drives the
+    simulator's caching and the key-reuse analysis)."""
+    from repro.plan.primops import OpKind
+
+    tags = {1: "evk:rot:conv:kernel", 2: "evk:rot:conv:kernel"}
+    plain = repro.session(TOY, backend="plan")
+    plain.input("ct:x").rotate_hoisted([1, 2], key_tags=tags)
+    traced = repro.session(TOY, backend="plan", trace=True)
+    traced.input("ct:x").rotate_hoisted([1, 2], key_tags=tags)
+
+    def evk_tags(sess):
+        be = sess.backend.inner if hasattr(sess.backend, "inner") else sess.backend
+        return sorted(
+            op.tag
+            for _, plan in be.segments_final()
+            for op in plan.ops
+            if op.kind == OpKind.EVK
+        )
+
+    assert evk_tags(traced) == evk_tags(plain) == ["evk:rot:conv:kernel"] * 2
+
+
+def test_plan_session_cannot_decrypt():
+    sess = repro.session(TOY, backend="plan")
+    x = sess.input("ct:x")
+    with pytest.raises(ParameterError):
+        sess.decrypt(x)
+
+
+def test_plan_session_runs_same_program():
+    sess = repro.session(TOY, backend="plan")
+    x = sess.input("ct:x")
+    y = ((x * x).rescale() + 1.0).rotate(None, key_tag="evk:rot:giant")
+    assert y.level == TOY.max_level - 1
+    assert sess.evk_usage == {"evk:mult": 1, "evk:rot:giant": 1}
+
+
+def test_wrap_raw_ciphertext(sess, messages):
+    m1, _ = messages
+    raw = sess.ctx.encrypt(m1)
+    h = sess.wrap(raw)
+    assert np.allclose(sess.decrypt(h.rotate(1)), np.roll(m1, -1), atol=1e-3)
+
+
+def test_session_requires_params_or_ctx():
+    with pytest.raises(ParameterError):
+        repro.session()
+    with pytest.raises(ParameterError):
+        repro.session(TOY, backend="nonesuch")
+
+
+def test_trace_flag_wraps_functional(messages):
+    m1, _ = messages
+    sess = repro.session(TOY, seed=33, trace=True)
+    x = sess.encrypt(m1)
+    (x * x).rescale()
+    assert [e.op for e in sess.backend.events] == ["input_ct", "hmult", "rescale"]
+    assert sess.ctx is not None  # reaches through the trace wrapper

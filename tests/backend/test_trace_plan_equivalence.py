@@ -1,0 +1,211 @@
+"""Auto-generated trace-vs-plan equivalence checks.
+
+These replace the hand-maintained "functional op tally vs plan op count"
+cross-check tests: for every Table II op (a micro-program each) and every
+unified workload program, the same program runs on a TraceBackend and on a
+PlanBackend, and the trace-derived op counts must match the counts derived
+*from the structure of the emitted plan* (EVK/PT/CT requirement ops and
+tagged rescale INTTs -- :func:`repro.backend.plan.plan_table2_counts`), not
+from the backend's own tallies. At toy scale the micro-programs also run
+functionally with a wrapping trace, asserting the evaluator's own counters
+agree with the recorded stream.
+
+(The limb-granularity keyswitch cross-check stays in
+``tests/plan/test_heops.py`` -- it checks a deeper invariant than op
+counts.)
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backend import plan_table2_counts
+from repro.params import ARK, TOY
+from repro.workloads import WORKLOAD_PROGRAMS
+from repro.workloads.helr import helr_gradient
+from repro.workloads.cnn import encrypted_conv2d
+from repro.workloads.sorting import encrypted_compare_swap
+
+# ------------------------------------------------------------ micro-programs
+# One tiny session program per Table II op. Each takes (sess, values) and
+# must issue the same op stream on every backend.
+
+
+def _two(sess, m):
+    return sess.encrypt(m, tag="ct:a"), sess.encrypt(m, tag="ct:b")
+
+
+MICRO_PROGRAMS = {
+    "hadd": lambda s, m: (lambda a, b: a + b)(*_two(s, m)),
+    "hsub": lambda s, m: (lambda a, b: a - b)(*_two(s, m)),
+    "negate": lambda s, m: -s.encrypt(m),
+    "padd": lambda s, m: s.encrypt(m) + s.plaintext(m, tag="pt:x"),
+    "cadd": lambda s, m: s.encrypt(m) + 0.25,
+    "hmult": lambda s, m: (lambda a, b: (a * b).rescale())(*_two(s, m)),
+    "square": lambda s, m: (lambda a: (a * a).rescale())(s.encrypt(m)),
+    "pmult": lambda s, m: (s.encrypt(m) * s.plaintext(m, tag="pt:x")).rescale(),
+    "cmult": lambda s, m: (s.encrypt(m) * 0.5).rescale(),
+    "imult": lambda s, m: s.encrypt(m).times_int(2),
+    "div_pow2": lambda s, m: s.encrypt(m).div_by_pow2(1),
+    "hrot": lambda s, m: s.encrypt(m).rotate(1),
+    "hrot_hoisted": lambda s, m: s.encrypt(m).rotate_hoisted([1, 2, 3]),
+    "hconj": lambda s, m: s.encrypt(m).conjugate(),
+    "rescale": lambda s, m: (s.encrypt(m) * 0.5).rescale(),
+}
+
+# Trace op -> how it surfaces in a plan's structure. Ops absent from the
+# map leave no distinguishable plan footprint (additive EWEs, free scale
+# bookkeeping) and are checked via stream identity instead.
+_PLAN_VISIBLE = {
+    "hmult": "hmult",
+    "hconj": "hconj",
+    "pmult": "pt",
+    "padd": "pt",
+    "rescale": "rescale",
+    "input_ct": "input_ct",
+}
+
+
+def _derived_from_trace(trace_counts: Counter) -> Counter:
+    out: Counter = Counter()
+    for op, count in trace_counts.items():
+        if op in _PLAN_VISIBLE:
+            out[_PLAN_VISIBLE[op]] += count
+        elif op in ("hrot", "hrot_hoisted"):
+            # Every rotation needs one EVK requirement, hoisted or not.
+            out["hrot"] += count
+    return out
+
+
+def _message(n):
+    rng = np.random.default_rng(7)
+    return rng.uniform(-1, 1, n).astype(np.complex128)
+
+
+@pytest.fixture(scope="module")
+def functional_sess():
+    return repro.session(TOY, rotations=(1, 2, 3), seed=41, trace=True)
+
+
+@pytest.mark.parametrize("op", sorted(MICRO_PROGRAMS))
+def test_trace_stream_matches_plan_structure(op):
+    program = MICRO_PROGRAMS[op]
+    m = _message(TOY.max_slots)
+
+    trace_sess = repro.session(TOY, backend="trace")
+    program(trace_sess, m)
+    trace_counts = trace_sess.backend.table2_counts()
+
+    plan_sess = repro.session(TOY, backend="plan")
+    program(plan_sess, m)
+    segments = plan_sess.backend.segments_final()
+    derived = Counter()
+    for _, plan in segments:
+        derived.update(plan_table2_counts(plan))
+
+    assert derived == _derived_from_trace(trace_counts)
+    # Uniform dispatch: both backends tallied the identical op stream.
+    assert trace_sess.op_counts == plan_sess.op_counts
+
+
+@pytest.mark.parametrize("op", sorted(MICRO_PROGRAMS))
+def test_functional_stats_match_trace(functional_sess, op):
+    """The evaluator's own counters must agree with the recorded stream."""
+    program = MICRO_PROGRAMS[op]
+    m = _message(TOY.max_slots)
+    evaluator = functional_sess.ctx.evaluator
+    evaluator.stats.clear()
+    start = len(functional_sess.backend.events)
+    program(functional_sess, m)
+    trace_counts = Counter(
+        e.op for e in functional_sess.backend.events[start:]
+    )
+    for key in (
+        "hadd", "negate", "padd", "cadd", "hmult", "pmult", "cmult",
+        "imult", "div_pow2", "hrot", "hrot_hoisted", "hoisted_modup",
+        "hconj", "rescale",
+    ):
+        assert evaluator.stats[key] == trace_counts[key], (op, key)
+
+
+# --------------------------------------------------------------- workloads
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOAD_PROGRAMS))
+@pytest.mark.parametrize("mode", ["baseline", "minks"])
+def test_workload_trace_matches_plan(workload, mode):
+    """Every unified full-scale workload: trace-derived counts == plan."""
+    program = WORKLOAD_PROGRAMS[workload]
+
+    from repro.backend import PlanBackend, TraceBackend
+
+    tb = TraceBackend(params=ARK, mode=mode)
+    program(tb)
+    trace_counts = tb.table2_counts()
+
+    pb = PlanBackend(ARK, mode=mode, oflimb=True)
+    program(pb)
+    segments = pb.segments_final()
+    labels = [label for label, _ in segments]
+    assert labels.count("bootstrap") == trace_counts["bootstrap"] == 1
+    derived = Counter()
+    for label, plan in segments:
+        if label == "compute":
+            derived.update(plan_table2_counts(plan))
+
+    want = _derived_from_trace(trace_counts)
+    want.pop("bootstrap", None)
+    assert derived == want
+    assert tb.op_counts == pb.op_counts
+
+
+REAL_PROGRAMS = {
+    "helr_gradient": lambda s, m: helr_gradient(
+        s, s.encrypt(m[:8], tag="ct:x"), np.arange(8) / 16.0, 1.0, 8
+    ),
+    "conv2d": lambda s, m: encrypted_conv2d(
+        s,
+        s.encrypt(m[:64], tag="ct:img"),
+        np.array([[0.05, 0.1, 0.05], [0.1, 0.4, 0.1], [0.05, 0.1, 0.05]]),
+        8,
+        8,
+    ),
+    "compare_swap": lambda s, m: encrypted_compare_swap(
+        s, s.encrypt(m, tag="ct:a"), s.encrypt(-m, tag="ct:b")
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(REAL_PROGRAMS))
+def test_real_algorithm_trace_matches_plan(name):
+    """The real-math programs issue one op stream across all backends."""
+    program = REAL_PROGRAMS[name]
+    m = _message(TOY.max_slots)
+
+    trace_sess = repro.session(TOY, backend="trace")
+    program(trace_sess, m)
+    trace_counts = trace_sess.backend.table2_counts()
+
+    plan_sess = repro.session(TOY, backend="plan")
+    program(plan_sess, m)
+    derived = Counter()
+    for _, plan in plan_sess.backend.segments_final():
+        derived.update(plan_table2_counts(plan))
+
+    assert derived == _derived_from_trace(trace_counts)
+    assert trace_counts["hmult"] > 0 or trace_counts["pmult"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(REAL_PROGRAMS))
+def test_real_algorithm_functional_stats_match_trace(name):
+    program = REAL_PROGRAMS[name]
+    m = _message(TOY.max_slots)
+    sess = repro.session(TOY, seed=41, trace=True)
+    program(sess, m)
+    trace_counts = sess.backend.table2_counts()
+    stats = sess.ctx.evaluator.stats
+    # Core Table II ops that scale/level alignment can never silently add.
+    for key in ("hmult", "hrot", "hconj", "pmult", "hoisted_modup"):
+        assert stats[key] == trace_counts[key], (name, key)

@@ -157,6 +157,60 @@ def test_rescale_tracks_scale(ctx, messages):
     assert abs(after - before / q_last) < 1e-6
 
 
+def test_stat_registry_covers_every_public_op():
+    """STAT_KEYS (the one documented counter-key scheme) must list every
+    public evaluator op, and nothing else."""
+    from repro.ckks.evaluator import STAT_KEYS, CkksEvaluator
+
+    public_ops = {
+        name
+        for name in dir(CkksEvaluator)
+        if not name.startswith("_") and callable(getattr(CkksEvaluator, name))
+    }
+    assert public_ops == set(STAT_KEYS)
+
+
+def test_every_public_op_tallies(ctx, messages):
+    """Invoking each public op must bump exactly its registered keys."""
+    from repro.ckks.evaluator import STAT_KEYS
+
+    m1, m2 = messages
+    ev = ctx.evaluator
+    ct = ctx.encrypt(m1)
+    ct2 = ctx.encrypt(m2)
+    low = ev.rescale(ev.mul_const(ct, 1.0))
+    calls = {
+        "add": lambda: ev.add(ct, ct2),
+        "sub": lambda: ev.sub(ct, ct2),
+        "negate": lambda: ev.negate(ct),
+        "add_plain": lambda: ev.add_plain(ct, ctx.encode(m2)),
+        "add_const": lambda: ev.add_const(ct, 0.5),
+        "mul_const": lambda: ev.mul_const(ct, 0.5),
+        "mul_int": lambda: ev.mul_int(ct, 2),
+        "div_by_pow2": lambda: ev.div_by_pow2(ct),
+        "mul_plain": lambda: ev.mul_plain(ct, ctx.encode(m2)),
+        "mul": lambda: ev.mul(ct, ct2),
+        "square": lambda: ev.square(ct),
+        "rotate": lambda: ev.rotate(ct, 1),
+        "rotate_many_hoisted": lambda: ev.rotate_many_hoisted(ct, [1, 2]),
+        "conjugate": lambda: ev.conjugate(ct),
+        "mul_by_monomial": lambda: ev.mul_by_monomial(ct, 8),
+        "adjust_scale": lambda: ev.adjust_scale(ct, ct.scale * 1.5),
+        "add_matched": lambda: ev.add_matched(ct, ct2),
+        "rescale": lambda: ev.rescale(ev.mul(ct, ct2)),
+        "rescale_to_match": lambda: ev.rescale_to_match(
+            ev.mul(ct, ct2), ct.scale * ct2.scale / ct.moduli[-1]
+        ),
+        "drop_to_level": lambda: ev.drop_to_level(ct, low.level),
+    }
+    assert set(calls) == set(STAT_KEYS)
+    for op, call in calls.items():
+        before = dict(ev.stats)
+        call()
+        for key in STAT_KEYS[op]:
+            assert ev.stats[key] > before.get(key, 0), (op, key)
+
+
 def test_stats_counters_increment(ctx, messages):
     m1, m2 = messages
     ctx.evaluator.stats.clear()

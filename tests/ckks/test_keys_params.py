@@ -1,6 +1,5 @@
 """Key material structure and parameter-set invariants."""
 
-import numpy as np
 import pytest
 
 from repro.errors import KeyError_, ParameterError

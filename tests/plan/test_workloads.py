@@ -4,8 +4,8 @@ import pytest
 
 from repro.arch.config import ARK_BASE
 from repro.params import ARK
-from repro.plan.workloads import build_helr, build_resnet20, build_sorting
-from repro.plan.workloads.helr import ITERATIONS_DEFAULT
+from repro.workloads import build_helr, build_resnet20, build_sorting
+from repro.workloads.helr import ITERATIONS_DEFAULT
 
 
 @pytest.fixture(scope="module")

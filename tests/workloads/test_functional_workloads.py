@@ -1,8 +1,14 @@
-"""Functional encrypted workloads against plaintext references."""
+"""Functional encrypted workloads against plaintext references.
+
+The workload algorithms are written once against the unified backend API;
+these tests drive them both through the compatibility surface (raw
+CkksContext + Ciphertext) and through the session facade.
+"""
 
 import numpy as np
 import pytest
 
+import repro
 from repro.errors import ParameterError
 from repro.params import TOY
 from repro.ckks.context import CkksContext
@@ -87,6 +93,23 @@ def test_sigmoid_poly_is_sigmoid_like():
     # HELR's coefficients are fit over [-8, 8]; on [-4, 4] the worst-case
     # deviation sits near |z| = 2 at ~0.095.
     assert np.max(np.abs(approx - true)) < 0.12
+
+
+def test_helr_over_session_and_key_reuse(ctx):
+    """The same workload through the session facade, with the session's
+    evk-usage tally showing the Min-KS reuse pattern."""
+    sess = repro.session(ctx=ctx)
+    features = 8
+    model = EncryptedLogisticRegression(sess, features)
+    rng = np.random.default_rng(14)
+    model.weights = rng.uniform(-0.5, 0.5, features)
+    x = rng.uniform(-1, 1, features)
+    ct_x = sess.encrypt(x.astype(np.complex128))
+    grad = sess.decrypt(model.encrypted_gradient(ct_x, 1.0)).real[:features]
+    assert np.allclose(grad, model.plaintext_gradient(x, 1.0), atol=0.05)
+    # The gradient's slot sum chains rotations by 1: a single rotation key.
+    rot_keys = [k for k in sess.evk_usage if k.startswith("evk:rot:")]
+    assert rot_keys == ["evk:rot:1"]
 
 
 # ------------------------------------------------------------------- CNN
