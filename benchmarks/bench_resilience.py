@@ -1,0 +1,90 @@
+"""Resilience-layer microbenchmarks: what digest verification costs.
+
+The integrity layer re-digests every evk part an HMult touches (two
+stored ``b`` halves on fetch, two cached ``a`` halves on hit), so the
+acceptance question is the warm-path overhead of verified vs unverified
+key-switching. The weighted-sum digest is a single vectorized pass over
+each part, so the expected overhead is ~1% of an HMult; the gate here
+fails the suite if it ever exceeds 10%.
+"""
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+import _tables
+from repro.params import TOY
+from repro.resilience import ResilienceContext
+from repro.runtime.keystore import KeyStore
+from repro.ckks.context import CkksContext
+
+pytestmark = pytest.mark.benchmark(
+    warmup="on", warmup_iterations=5, min_rounds=15
+)
+
+
+def _warm_ctx(verify: bool) -> CkksContext:
+    ctx = CkksContext.create(TOY, seed=91, key_store=KeyStore())
+    ctx.key_store.resilience = ResilienceContext(verify=verify)
+    ct = ctx.encrypt(np.zeros(TOY.max_slots))
+    ctx.evaluator.mul(ct, ct)  # expand + cache the mult key a-parts
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def verified_ctx():
+    return _warm_ctx(verify=True)
+
+
+@pytest.fixture(scope="module")
+def unverified_ctx():
+    return _warm_ctx(verify=False)
+
+
+@pytest.fixture(scope="module")
+def message():
+    rng = np.random.default_rng(12)
+    return rng.uniform(-1, 1, TOY.max_slots).astype(np.complex128)
+
+
+def test_bench_hmult_verified(benchmark, verified_ctx, message):
+    """HMult with every evk part digest-verified on fetch/hit."""
+    ct = verified_ctx.encrypt(message)
+    benchmark(verified_ctx.evaluator.mul, ct, ct)
+
+
+def test_bench_hmult_unverified(benchmark, unverified_ctx, message):
+    """The same HMult with verification switched off (verify=False)."""
+    ct = unverified_ctx.encrypt(message)
+    benchmark(unverified_ctx.evaluator.mul, ct, ct)
+
+
+def test_verification_overhead_under_ten_percent(
+    verified_ctx, unverified_ctx, message
+):
+    """The digest layer must stay in the noise of a warm HMult (<10%)."""
+
+    def median_hmult(ctx, reps=40):
+        ct = ctx.encrypt(message)
+        for _ in range(5):
+            ctx.evaluator.mul(ct, ct)  # warm caches and allocator
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            ctx.evaluator.mul(ct, ct)
+            samples.append(time.perf_counter() - t0)
+        return statistics.median(samples)
+
+    base = median_hmult(unverified_ctx)
+    checked = median_hmult(verified_ctx)
+    overhead = checked / base - 1.0
+    _tables.record(
+        "Resilience: digest verification overhead on warm HMult",
+        [
+            f"unverified {base * 1e3:.2f} ms, verified {checked * 1e3:.2f} ms "
+            f"({overhead:+.1%} overhead; gate < +10%)",
+        ],
+    )
+    assert overhead < 0.10, f"digest verification costs {overhead:.1%} per HMult"

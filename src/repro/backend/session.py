@@ -32,6 +32,13 @@ from repro.backend.plan import PlanBackend
 from repro.backend.trace import TraceBackend
 from repro.errors import ParameterError
 from repro.params import CkksParams
+from repro.resilience.faults import Fault, FaultInjector, FaultPlan
+from repro.resilience.guards import (
+    SessionGuard,
+    install_kernel_guard,
+    uninstall_kernel_guard,
+)
+from repro.resilience.policy import ResilienceContext
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.context import CkksContext
 
@@ -67,7 +74,7 @@ class SessionCt:
         return self.h.payload
 
     def _wrap(self, h: HeCt) -> "SessionCt":
-        return SessionCt(self.sess, h)
+        return SessionCt(self.sess, self.sess._check(h))
 
     def _backend(self) -> HeBackend:
         return self.sess.backend
@@ -180,12 +187,54 @@ class SessionPt:
 
 
 class HeSession:
-    """One HE program context over a chosen backend."""
+    """One HE program context over a chosen backend.
 
-    def __init__(self, backend: HeBackend):
+    Functional sessions carry a
+    :class:`~repro.resilience.policy.ResilienceContext` shared with the
+    key and plaintext stores (digest verification is on by default) and a
+    :class:`~repro.resilience.guards.SessionGuard` that checks every
+    wrapped handle for scale overflow. When built with ``faults=`` or an
+    explicit ``resilience=``, a kernel output guard is also installed
+    process-wide; use the session as a context manager (or call
+    :meth:`close`) to remove it.
+    """
+
+    def __init__(
+        self,
+        backend: HeBackend,
+        resilience: ResilienceContext | None = None,
+        kernel_guard=None,
+        session_guard: SessionGuard | None = None,
+    ):
         self.backend = backend
+        self.resilience = resilience
+        self._kernel_guard = kernel_guard
+        self._session_guard = session_guard
+
+    def __enter__(self) -> "HeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release process-global hooks (the kernel output guard)."""
+        if self._kernel_guard is not None:
+            uninstall_kernel_guard(self._kernel_guard)
+            self._kernel_guard = None
+
+    def _check(self, h: HeCt) -> HeCt:
+        """Overflow-guard hook run on every handle this session wraps."""
+        if self._session_guard is not None and isinstance(h, HeCt):
+            self._session_guard.check(h)
+        return h
 
     # ------------------------------------------------------------- plumbing
+
+    @property
+    def fault_stats(self):
+        """The session's FaultStats ledger (None on symbolic backends)."""
+        return self.resilience.stats if self.resilience is not None else None
 
     @property
     def params(self) -> CkksParams:
@@ -222,7 +271,9 @@ class HeSession:
         """Encrypt real values (functional) / declare an input (symbolic)."""
         return SessionCt(
             self,
-            self.backend.input_ct(tag, level=level, values=values, scale=scale),
+            self._check(
+                self.backend.input_ct(tag, level=level, values=values, scale=scale)
+            ),
         )
 
     def input(self, tag: str = "ct:input", *, level=None, slots=None):
@@ -250,7 +301,7 @@ class HeSession:
         if isinstance(ct, Ciphertext):
             backend = self.backend
             if isinstance(backend, FunctionalBackend):
-                return SessionCt(self, backend.wrap(ct))
+                return SessionCt(self, self._check(backend.wrap(ct)))
             if (
                 isinstance(backend, TraceBackend)
                 and backend.inner is not None
@@ -304,6 +355,17 @@ class HeSession:
         return acc
 
 
+def _as_injector(faults) -> FaultInjector:
+    """Coerce ``faults=`` input (plan / injector / iterable) to an injector."""
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return faults.injector()
+    if isinstance(faults, Fault):
+        faults = (faults,)
+    return FaultInjector(tuple(faults))
+
+
 def session(
     params: CkksParams | None = None,
     *,
@@ -318,6 +380,8 @@ def session(
     bootstrapper=None,
     trace: bool = False,
     plan_name: str | None = None,
+    faults=None,
+    resilience: ResilienceContext | None = None,
 ) -> HeSession:
     """Build an :class:`HeSession` -- the one entry point for HE programs.
 
@@ -330,20 +394,54 @@ def session(
 
     ``trace=True`` wraps the chosen backend in a recording TraceBackend
     (run real math *and* capture the stream in one pass).
+
+    Resilience (functional backend only): every session gets a
+    :class:`~repro.resilience.policy.ResilienceContext` shared with its
+    key/plaintext stores, so store material is digest-verified by
+    default. ``faults=`` (a :class:`~repro.resilience.faults.FaultPlan`,
+    injector, or iterable of Faults) arms seeded fault injection, and
+    passing ``faults=`` or ``resilience=`` additionally installs the
+    process-wide kernel output guard -- close the session (it is a
+    context manager) to remove it.
     """
     if backend not in BACKENDS:
         raise ParameterError(f"backend must be one of {BACKENDS}")
+    if backend != "functional" and (faults is not None or resilience is not None):
+        raise ParameterError(
+            "faults/resilience need the functional backend (symbolic "
+            "backends hold no runtime store material to corrupt or verify)"
+        )
     if backend == "functional":
+        explicit = faults is not None or resilience is not None
+        rc = resilience if resilience is not None else ResilienceContext()
+        if faults is not None:
+            injector = _as_injector(faults)
+            injector.stats = rc.stats
+            rc.injector = injector
         if ctx is None:
             if params is None:
                 raise ParameterError("session needs params or a ctx")
             ctx = CkksContext.create(
                 params, rotations=rotations, seed=seed, key_store=key_store
             )
+        if ctx.key_store is not None:
+            ctx.key_store.resilience = rc
+        if pt_store is not None and hasattr(pt_store, "resilience"):
+            pt_store.resilience = rc
         be: HeBackend = FunctionalBackend(
             ctx, mode=mode, pt_store=pt_store, bootstrapper=bootstrapper
         )
-    elif backend == "plan":
+        kernel_guard = install_kernel_guard(rc) if explicit else None
+        session_guard = SessionGuard(be.params, stats=rc.stats)
+        if trace:
+            be = TraceBackend(inner=be)
+        return HeSession(
+            be,
+            resilience=rc,
+            kernel_guard=kernel_guard,
+            session_guard=session_guard,
+        )
+    if backend == "plan":
         if params is None:
             raise ParameterError("the plan backend needs params")
         be = PlanBackend(params, mode=mode, oflimb=oflimb, plan_name=plan_name)

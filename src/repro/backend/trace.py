@@ -20,6 +20,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.backend.api import HeBackend
+from repro.errors import ParameterError
 from repro.params import CkksParams
 
 
@@ -48,7 +49,7 @@ class TraceBackend(HeBackend):
             params = inner.params
             mode = inner.mode
         if params is None:
-            raise ValueError("TraceBackend needs params or an inner backend")
+            raise ParameterError("TraceBackend needs params or an inner backend")
         super().__init__(params, mode)
         self.inner = inner
         self.events: list[TraceEvent] = []

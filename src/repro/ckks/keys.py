@@ -28,8 +28,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import rng as rng_streams
-from repro.errors import KeyError_
+from repro.errors import MissingEvkError
 from repro.params import CkksParams
+from repro.resilience.digest import parts_digest
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import PolyRns
 from repro.runtime.keystore import KeyStore, StoredEvaluationKey
@@ -98,7 +99,7 @@ class KeyChain:
             self.rotations[amount] = key
         if key is None:
             available = self.rotation_amounts
-            raise KeyError_(
+            raise MissingEvkError(
                 f"no rotation key for amount {amount} "
                 f"(generated amounts: {available if available else 'none'})"
             )
@@ -222,12 +223,21 @@ class KeyGenerator:
             e = self._error("evk", kind, i)
             b_parts.append(a * s + e + payload)
             a_parts.append(a)
-            a_seeds.append(a_seed)
+            # The expanded a is in hand exactly once, at generation: stamp
+            # its content digest on the seed so every later expansion and
+            # cache hit can be verified against it.
+            a_seeds.append(a_seed.stamped(a))
         if self.store is not None:
             # Seed-compressed: the expanded a arrays are dropped here and
             # regenerated by the store when a key-switch first needs them.
             return self.store.put(
-                StoredEvaluationKey(kind, b_parts, a_seeds, self.store)
+                StoredEvaluationKey(
+                    kind,
+                    b_parts,
+                    a_seeds,
+                    self.store,
+                    b_digests=parts_digest(b_parts),
+                )
             )
         return EvaluationKey(b_parts=b_parts, a_parts=a_parts, kind=kind)
 

@@ -28,10 +28,20 @@ from dataclasses import dataclass, field
 from repro.errors import ParameterError
 from repro.nt.modarith import modinv
 from repro.params import CkksParams
+from repro.resilience.policy import fetch_with_retry
 from repro.rns.basis import RnsBasis
 from repro.rns.bconv import get_converter
 from repro.rns.poly import PolyRns
 from repro.ckks.keys import EvaluationKey
+
+
+def _fetch(evk):
+    """``evk.fetch_parts()``, retrying transient faults when the key's
+    store carries a resilience context (eager keys have no store)."""
+    rc = getattr(getattr(evk, "store", None), "resilience", None)
+    if rc is None:
+        return evk.fetch_parts()
+    return fetch_with_retry(evk, rc)
 
 
 @dataclass
@@ -68,7 +78,7 @@ class KeySwitcher:
         groups = self.basis.limb_groups(self.params.dnum, level=level)
         extended_basis = tuple(active) + tuple(self.basis.p_moduli)
 
-        b_parts, a_parts = evk.fetch_parts()
+        b_parts, a_parts = _fetch(evk)
         acc_b: PolyRns | None = None
         acc_a: PolyRns | None = None
         for i, group in enumerate(groups):
@@ -113,7 +123,7 @@ class KeySwitcher:
         active = tuple(
             m for m in extended_basis if m not in self.basis.p_moduli
         )
-        b_parts, a_parts = evk.fetch_parts()
+        b_parts, a_parts = _fetch(evk)
         acc_b: PolyRns | None = None
         acc_a: PolyRns | None = None
         for i, piece in enumerate(pieces):

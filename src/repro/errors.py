@@ -1,4 +1,12 @@
-"""Exception hierarchy for the ARK reproduction library."""
+"""Exception hierarchy for the ARK reproduction library.
+
+Library code raises :class:`ReproError` subclasses only -- never bare
+``ValueError``/``AssertionError`` -- so callers (and the chaos test
+harness in ``tests/resilience/``) can distinguish *typed, recoverable or
+at least diagnosable* failures from genuine bugs. The rule is enforced
+for :mod:`repro.runtime` and :mod:`repro.backend` by
+``tools/check_raises.py`` in CI.
+"""
 
 
 class ReproError(Exception):
@@ -19,11 +27,63 @@ class LevelError(ReproError):
     (for example, rescaling a level-0 ciphertext)."""
 
 
-class KeyError_(ReproError):
+class MissingEvkError(ReproError):
     """A required evaluation key (for a rotation amount or for
     multiplication) is missing from the key store."""
+
+
+#: Deprecated alias of :class:`MissingEvkError` (the pre-resilience name).
+#: Kept so ``except KeyError_`` in external code keeps working; new code
+#: should catch :class:`MissingEvkError`.
+KeyError_ = MissingEvkError
 
 
 class ScheduleError(ReproError):
     """The architecture scheduler was given an inconsistent plan (cyclic
     dependence graph, unknown resource, ...)."""
+
+
+class IntegrityError(ReproError):
+    """Stored or cached data failed its content-digest verification.
+
+    Raised when material that is *not* seed-recoverable (an evk ``b``
+    half, for example) no longer matches the digest recorded at
+    generation time. Seed-derived material (``a`` parts, plaintext
+    diagonals) is instead discarded and regenerated transparently; only
+    when regeneration cannot converge does the failure surface, as
+    :class:`RecoveryExhaustedError`.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """A fault deliberately injected by a :class:`~repro.resilience.faults.
+    FaultInjector` surfaced as an operation failure.
+
+    ``transient`` distinguishes faults that a bounded retry may clear
+    (e.g. a fetch that fails N times then succeeds) from persistent ones.
+    Recovery layers retry transient faults under their
+    :class:`~repro.resilience.policy.RetryPolicy` and propagate the rest.
+    """
+
+    def __init__(self, message: str, transient: bool = False):
+        super().__init__(message)
+        self.transient = transient
+
+
+class RecoveryExhaustedError(ReproError):
+    """Bounded recovery (discard-and-regenerate, or retry of a transient
+    fault) ran out of attempts without producing verified data.
+
+    Indicates a *persistent* corruption -- e.g. a corrupted seed whose
+    every re-expansion fails the recorded digest -- rather than a one-off
+    bit flip, which recovery would have absorbed silently.
+    """
+
+
+class ScaleOverflowError(ReproError):
+    """A ciphertext's scale outgrew the capacity of its remaining moduli.
+
+    Decoding such a ciphertext yields garbage; the session-level guard
+    fails fast instead. The message carries a recovery hint (rescale
+    earlier, or bootstrap to regain levels).
+    """

@@ -57,6 +57,24 @@ LAZY_MAX_PRIME = 1 << 30
 #: kernels fall back to strided views of the power tables.
 _FLAT_TWIDDLE_BUDGET_WORDS = 1 << 22
 
+#: Optional output guard consulted by every kernel transform. Kernels are
+#: process-wide cached singletons shared by every context, so the hook is
+#: module-global rather than per-instance; it is installed/removed by
+#: :mod:`repro.resilience.guards` (``install_kernel_guard``). Called as
+#: ``guard(kernel, direction, x, out)`` with the checked 2-D input and the
+#: 2-D canonical output; returns the output to hand to the caller.
+_OUTPUT_GUARD = None
+
+
+def set_output_guard(guard) -> None:
+    """Install (or, with ``None``, remove) the module-wide output guard."""
+    global _OUTPUT_GUARD
+    _OUTPUT_GUARD = guard
+
+
+def get_output_guard():
+    return _OUTPUT_GUARD
+
 
 # --------------------------------------------------------------- primitives
 
@@ -567,6 +585,8 @@ class NttKernel:
         x = self._dif_stages(x, y, self._fw_tw[1:], h // 2, 2, buf)
         np.minimum(x, x - self._p32, out=x)
         out = x[:, self._rev].astype(np.uint64)
+        if _OUTPUT_GUARD is not None:
+            out = _OUTPUT_GUARD(self, "forward", a, out)
         return out[0] if squeeze else out
 
     def inverse(self, data: np.ndarray) -> np.ndarray:
@@ -596,6 +616,8 @@ class NttKernel:
         np.multiply(x, self._post, out=t64)
         np.subtract(t64, q64, out=t64)
         out = cond_sub(t64, p64)
+        if _OUTPUT_GUARD is not None:
+            out = _OUTPUT_GUARD(self, "inverse", a, out)
         return out[0] if squeeze else out
 
 

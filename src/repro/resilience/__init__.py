@@ -1,0 +1,68 @@
+"""Fault injection, integrity verification, and seed-based recovery.
+
+The paper's memory argument -- evaluation keys and bootstrap plaintexts
+regenerate on the fly from tiny seeds -- is also a *fault-tolerance*
+argument: every byte the runtime stores compress is a byte the runtime
+can recover instead of trusting. This package cashes that in:
+
+* :mod:`~repro.resilience.digest` -- cheap position-sensitive content
+  digests, computed at generation time for evk halves, seeded-polynomial
+  expansions, and plaintext diagonals, verified on every cache hit.
+* :mod:`~repro.resilience.policy` -- :class:`RetryPolicy` (bounded,
+  deterministic backoff hooks; no wall-clock in tests) and the
+  :class:`ResilienceContext` that ties policy, stats, and injector
+  together for one session.
+* :mod:`~repro.resilience.stats` -- the :class:`FaultStats` ledger every
+  detection / recovery / fallback event flows into, alongside the
+  fetched/generated accounting of :mod:`repro.runtime.accounting`.
+* :mod:`~repro.resilience.faults` -- a seeded :class:`FaultInjector`
+  driven by declarative :class:`Fault` plans (flip cached limb words,
+  corrupt seeds, evict evks mid-program, fail fetches transiently,
+  poison plaintext diagonals, overflow kernel outputs), installed via
+  ``repro.session(..., faults=...)``.
+* :mod:`~repro.resilience.guards` -- range-invariant checks on the lazy
+  kernel outputs with per-op fallback to the ``%``-based reference
+  oracle, and session-level scale/level overflow guards that fail fast
+  with recovery hints.
+
+The contract, property-tested by the chaos suite in
+``tests/resilience/test_chaos.py``: every injected fault is either
+recovered **bit-identically** (verified against a fault-free run) or
+surfaces as a typed :class:`~repro.errors.ReproError` -- never silent
+corruption.
+"""
+
+from repro.resilience.digest import array_digest, parts_digest
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    random_fault_plan,
+)
+from repro.resilience.guards import (
+    KernelGuard,
+    SessionGuard,
+    install_kernel_guard,
+    uninstall_kernel_guard,
+)
+from repro.resilience.policy import ResilienceContext, RetryPolicy, fetch_with_retry
+from repro.resilience.stats import FaultStats
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "KernelGuard",
+    "ResilienceContext",
+    "RetryPolicy",
+    "SessionGuard",
+    "array_digest",
+    "fetch_with_retry",
+    "install_kernel_guard",
+    "parts_digest",
+    "random_fault_plan",
+    "uninstall_kernel_guard",
+]

@@ -1,0 +1,63 @@
+"""Cheap position-sensitive content digests for runtime-store material.
+
+The integrity layer needs a digest it can afford to verify on *every*
+cache hit, sitting in the data path of each key-switch. A cryptographic
+hash is ~10x too slow at evk sizes; instead each array is digested as a
+weighted sum
+
+    digest = (sum_i data_i * w_i + size * SALT) mod 2^64
+
+where ``w`` is a fixed pseudo-random vector of **odd** uint64 weights
+(one cached vector per array size, all drawn from the same counter-based
+Philox stream, so digests are deterministic across processes). Because
+every weight is odd -- a unit mod 2^64 -- any change to a single word
+changes the digest: a bit flip of magnitude ``d`` at position ``i``
+moves the sum by ``d * w_i != 0``. Position-dependence likewise catches
+word swaps and shifts, and folding the element count in catches
+truncation. Multi-word corruptions cancel only with probability
+~2^-64, which is far below the silent-corruption rates this layer is
+built to catch (the injector flips a handful of words at a time).
+
+This is an *integrity* digest (random and hardware faults), not an
+authentication tag: an adversary who can write the arrays can also
+write the digests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Mixed into every digest so an all-zero array of size n and one of
+#: size m digest differently (and neither digests to 0).
+_SIZE_SALT = 0x9E3779B97F4A7C15
+
+#: Philox key of the weight stream (fixed: digests must be stable across
+#: processes and sessions).
+_WEIGHT_KEY = 0x5265636F76657261  # "Recovera"
+
+_WEIGHTS: dict[int, np.ndarray] = {}
+
+_U64 = np.uint64
+
+
+def _weights(size: int) -> np.ndarray:
+    """The fixed odd-weight vector for arrays of ``size`` elements."""
+    w = _WEIGHTS.get(size)
+    if w is None:
+        gen = np.random.Generator(np.random.Philox(key=_WEIGHT_KEY))
+        w = gen.integers(0, 1 << 63, size=size, dtype=np.uint64) | _U64(1)
+        _WEIGHTS[size] = w
+    return w
+
+
+def array_digest(data: np.ndarray) -> int:
+    """64-bit content digest of a numpy array (any integer dtype/shape)."""
+    flat = np.ascontiguousarray(data, dtype=np.uint64).ravel()
+    with np.errstate(over="ignore"):
+        acc = int(np.multiply(flat, _weights(flat.size)).sum(dtype=np.uint64))
+    return (acc + flat.size * _SIZE_SALT) & 0xFFFFFFFFFFFFFFFF
+
+
+def parts_digest(parts) -> list[int]:
+    """Per-part digests of a list of :class:`~repro.rns.poly.PolyRns`."""
+    return [array_digest(p.data) for p in parts]

@@ -1,0 +1,285 @@
+"""Seeded, declarative fault injection for the runtime stores and kernels.
+
+A fault plan is data: a tuple of :class:`Fault` records saying *what* to
+break (``kind``), *where* (``target``: an evk kind, a plaintext-key
+prefix, a kernel direction, or ``"*"``), *when* (``at_access``: the
+n-th matching access), and *how much* (``times``: words to flip, or
+consecutive transient failures). A :class:`FaultInjector` built from a
+plan and a seed is fully deterministic -- the same plan corrupts the
+same words of the same arrays on every run -- which is what lets the
+chaos suite compare faulty runs bit-for-bit against fault-free ones.
+
+Fault kinds and the failure they model:
+
+* ``flip_evk_a`` -- bit-flip in a *cached* expanded evk ``a`` part (SEU
+  in the scratchpad working set). Seed-derived: detected by digest,
+  discarded, regenerated -- recovered bit-identically.
+* ``flip_evk_b`` -- bit-flip in a stored evk ``b`` half. Not
+  seed-derived: detected, surfaces as ``IntegrityError``.
+* ``corrupt_seed`` -- the seed itself is bad: every (re-)expansion of
+  the targeted key yields the same wrong data, so bounded regeneration
+  exhausts and surfaces as ``RecoveryExhaustedError``.
+* ``evict_evk`` -- drop expanded entries from the key-store cache
+  mid-program (memory-pressure eviction). Transparently regenerated.
+* ``fetch_fail`` -- ``fetch_parts()`` raises a *transient*
+  ``FaultInjectedError`` for ``times`` consecutive accesses (link
+  glitch); recovered by the key switcher's bounded retry.
+* ``poison_pt`` -- bit-flip in a cached expanded plaintext diagonal.
+  Seed/description-derived: detected, regenerated.
+* ``poison_compact`` -- bit-flip in a plaintext's *compact* coefficient
+  vector; recovered by re-describing from the caller's values.
+* ``kernel_overflow`` -- lazy-kernel output words pushed out of the
+  canonical range (a lazy-reduction overflow bug); caught by the range
+  guard, recomputed on the ``%``-based reference oracle.
+
+The injector mutates real arrays in place -- detection is downstream and
+honest, never informed of the injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_streams
+from repro.errors import FaultInjectedError, ParameterError
+from repro.resilience.stats import FaultStats
+
+FAULT_KINDS = (
+    "flip_evk_a",
+    "flip_evk_b",
+    "corrupt_seed",
+    "evict_evk",
+    "fetch_fail",
+    "poison_pt",
+    "poison_compact",
+    "kernel_overflow",
+)
+
+#: Which injector hook each fault kind fires from.
+_HOOK_OF = {
+    "flip_evk_a": "cached_a",
+    "flip_evk_b": "stored_b",
+    "corrupt_seed": "expand",
+    "evict_evk": "fetch",
+    "fetch_fail": "fetch",
+    "poison_pt": "pt",
+    "poison_compact": "compact",
+    "kernel_overflow": "kernel",
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One declarative fault: kind, target, trigger access, and magnitude."""
+
+    kind: str
+    target: str = "*"
+    at_access: int = 0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ParameterError(
+                f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})"
+            )
+        if self.at_access < 0 or self.times < 1:
+            raise ParameterError("fault needs at_access >= 0 and times >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible chaos scenario: faults plus the injector seed."""
+
+    faults: tuple[Fault, ...]
+    seed: int = 0
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self.faults, seed=self.seed)
+
+
+def _matches(target: str, name: str) -> bool:
+    return target == "*" or name == target or name.startswith(target)
+
+
+class _Armed:
+    """Mutable per-run state of one planned fault."""
+
+    __slots__ = ("fault", "seen")
+
+    def __init__(self, fault: Fault):
+        self.fault = fault
+        self.seen = 0
+
+
+class FaultInjector:
+    """Executes a fault plan deterministically against live runtime state.
+
+    The stores and guards call the hook methods below at well-defined
+    access points; the injector decides, from each fault's own access
+    counter, whether to fire. All randomness (which word, which bit)
+    derives from ``seed`` through the named-stream scheme of
+    :mod:`repro.rng`, so a plan is exactly reproducible.
+    """
+
+    def __init__(
+        self,
+        faults,
+        seed: int = 0,
+        stats: FaultStats | None = None,
+    ):
+        self.plan = tuple(faults)
+        self.seed = seed
+        self.stats = stats if stats is not None else FaultStats()
+        self._armed = [_Armed(f) for f in self.plan]
+
+    # -------------------------------------------------------------- firing
+
+    def _fire(self, hook: str, name: str) -> list[Fault]:
+        """Armed faults of ``hook`` matching ``name`` that trigger now."""
+        fired: list[Fault] = []
+        for state in self._armed:
+            fault = state.fault
+            if _HOOK_OF[fault.kind] != hook or not _matches(fault.target, name):
+                continue
+            idx = state.seen
+            state.seen += 1
+            if fault.kind == "fetch_fail":
+                hit = fault.at_access <= idx < fault.at_access + fault.times
+            elif fault.kind == "corrupt_seed":
+                hit = idx >= fault.at_access  # a bad seed stays bad
+            else:
+                hit = idx == fault.at_access
+            if hit:
+                fired.append(fault)
+        return fired
+
+    def _rng(self, fault: Fault, salt: int) -> np.random.Generator:
+        key = rng_streams.derive_key(
+            self.seed,
+            ("fault", fault.kind, fault.target, fault.at_access, salt),
+        )
+        return np.random.Generator(np.random.Philox(key=key))
+
+    def _flip_words(self, arrays, fault: Fault, salt: int) -> None:
+        """XOR one random bit of ``fault.times`` random words, in place."""
+        gen = self._rng(fault, salt)
+        for _ in range(fault.times):
+            arr = arrays[int(gen.integers(len(arrays)))]
+            pos = np.unravel_index(int(gen.integers(arr.size)), arr.shape)
+            arr[pos] = np.uint64(int(arr[pos]) ^ (1 << int(gen.integers(63))))
+
+    # --------------------------------------------------------------- hooks
+
+    def on_fetch(self, kind: str, store) -> None:
+        """Key-store fetch access point: evictions and transient failures."""
+        transient: Fault | None = None
+        for fault in self._fire("fetch", kind):
+            if fault.kind == "evict_evk":
+                if fault.target == "*":
+                    store.clear_cache()
+                else:
+                    store.discard_cached(fault.target)
+                self.stats.record_injected("evict_evk")
+            else:
+                transient = fault
+        if transient is not None:
+            self.stats.record_injected("fetch_fail")
+            raise FaultInjectedError(
+                f"injected transient fetch failure for evk {kind!r}",
+                transient=True,
+            )
+
+    def corrupt_cached_a(self, kind: str, parts) -> None:
+        """Cache-hit access point for expanded evk ``a`` parts."""
+        for fault in self._fire("cached_a", kind):
+            self._flip_words([p.data for p in parts], fault, salt=0)
+            self.stats.record_injected("flip_evk_a")
+
+    def corrupt_stored_b(self, kind: str, parts) -> None:
+        """Fetch access point for the stored evk ``b`` halves."""
+        for fault in self._fire("stored_b", kind):
+            self._flip_words([p.data for p in parts], fault, salt=1)
+            self.stats.record_injected("flip_evk_b")
+
+    def corrupt_expansion(self, kind: str, parts) -> None:
+        """Expansion access point: models a corrupted seed.
+
+        Fires identically on *every* expansion of the targeted key (salt
+        is fixed and the fault stays armed), exactly as a flipped seed
+        word would corrupt every regeneration the same way.
+        """
+        for fault in self._fire("expand", kind):
+            self._flip_words([p.data for p in parts], fault, salt=2)
+            self.stats.record_injected("corrupt_seed")
+
+    def corrupt_pt(self, key: str, poly_data: np.ndarray) -> None:
+        """Cache-hit access point for expanded plaintext diagonals."""
+        for fault in self._fire("pt", key):
+            self._flip_words([poly_data], fault, salt=3)
+            self.stats.record_injected("poison_pt")
+
+    def corrupt_compact(self, key: str, ints: np.ndarray) -> None:
+        """Access point for a plaintext's compact coefficient vector."""
+        for fault in self._fire("compact", key):
+            gen = self._rng(fault, 4)
+            for _ in range(fault.times):
+                pos = int(gen.integers(ints.size))
+                ints[pos] = np.int64(int(ints[pos]) ^ (1 << int(gen.integers(40))))
+            self.stats.record_injected("poison_compact")
+
+    def corrupt_kernel(self, direction: str, out: np.ndarray, row_mods) -> None:
+        """Guarded-kernel output access point: inject out-of-range words."""
+        for fault in self._fire("kernel", direction):
+            gen = self._rng(fault, 5)
+            rows, cols = out.shape
+            for _ in range(fault.times):
+                r = int(gen.integers(rows))
+                c = int(gen.integers(cols))
+                p = int(row_mods[r if len(row_mods) > 1 else 0])
+                out[r, c] = np.uint64(p + 1 + int(gen.integers(1 << 16)))
+            self.stats.record_injected("kernel_overflow")
+
+
+# ------------------------------------------------------------- random plans
+
+
+def random_fault_plan(
+    seed: int,
+    *,
+    evk_targets=("mult", "*"),
+    pt_targets=("*",),
+    kinds=FAULT_KINDS,
+    max_faults: int = 3,
+    max_access: int = 5,
+) -> FaultPlan:
+    """A reproducible random fault plan for chaos/property testing.
+
+    Samples 1..``max_faults`` faults from ``kinds``; evk-directed faults
+    target ``evk_targets``, plaintext faults target ``pt_targets``,
+    kernel faults target a transform direction. The same ``seed`` always
+    yields the same plan.
+    """
+    gen = np.random.Generator(
+        np.random.Philox(key=rng_streams.derive_key(seed, ("fault-plan",)))
+    )
+    count = int(gen.integers(1, max_faults + 1))
+    faults = []
+    for _ in range(count):
+        kind = kinds[int(gen.integers(len(kinds)))]
+        if kind in ("poison_pt", "poison_compact"):
+            pool = pt_targets
+        elif kind == "kernel_overflow":
+            pool = ("forward", "inverse", "*")
+        else:
+            pool = evk_targets
+        faults.append(
+            Fault(
+                kind=kind,
+                target=pool[int(gen.integers(len(pool)))],
+                at_access=int(gen.integers(max_access)),
+                times=int(gen.integers(1, 3)),
+            )
+        )
+    return FaultPlan(faults=tuple(faults), seed=seed)

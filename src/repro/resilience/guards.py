@@ -1,0 +1,175 @@
+"""Graceful degradation: kernel range guards and session overflow guards.
+
+Two cheap invariant layers that catch wrong-but-well-typed state before it
+propagates:
+
+* :class:`KernelGuard` hooks the lazy NTT kernels' module-level output
+  guard (:func:`repro.nt.kernels.set_output_guard`). Every transform
+  output is checked against the canonical-range invariant ``out < p``
+  row-wise -- the invariant a lazy-reduction overflow bug (or an injected
+  fault) breaks first. A violating op falls back *per-op* to the
+  ``%``-based reference transforms of :class:`~repro.nt.ntt.NttContext`,
+  which are bit-identical to a correct kernel, so degraded mode is slower
+  but exact. The kernels are process-wide cached singletons, so the hook
+  is global: install/uninstall explicitly (the session facade does this
+  and removes the guard when used as a context manager).
+
+* :class:`SessionGuard` checks every ciphertext handle a session wraps
+  for scale/level overflow: once ``log2(scale)`` exceeds the modulus
+  capacity remaining at the handle's level, decryption is already
+  unrecoverable, so the guard fails fast with a
+  :class:`~repro.errors.ScaleOverflowError` carrying a recovery hint
+  instead of letting the program run to a garbage answer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ScaleOverflowError
+from repro.nt import kernels as nt_kernels
+from repro.resilience.policy import ResilienceContext
+
+
+class KernelGuard:
+    """Range-invariant check on lazy-kernel outputs with reference fallback.
+
+    Called by the kernels as ``guard(kernel, direction, x, out)`` with the
+    checked 2-D input and the canonical 2-D output; returns the output to
+    hand to the caller (the reference recomputation when the range
+    invariant fails). Also the injection point for ``kernel_overflow``
+    faults, which corrupt ``out`` *before* the check runs -- detection is
+    never informed of the injection.
+    """
+
+    def __init__(self, rc: ResilienceContext):
+        self.rc = rc
+
+    def __call__(
+        self, kernel, direction: str, x: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        rc = self.rc
+        if rc.injector is not None:
+            rc.injector.corrupt_kernel(direction, out, kernel.moduli)
+        if not rc.verify:
+            return out
+        if len(kernel.moduli) == 1:
+            in_range = bool((out < np.uint64(kernel.moduli[0])).all())
+        else:
+            p_col = np.array(kernel.moduli, dtype=np.uint64)[:, None]
+            in_range = bool((out < p_col).all())
+        if in_range:
+            return out
+        rc.stats.record_detected("kernel_range")
+        fixed = self._reference(kernel, direction, x)
+        rc.stats.record_recovered("kernel_fallback")
+        return fixed
+
+    @staticmethod
+    def _reference(kernel, direction: str, x: np.ndarray) -> np.ndarray:
+        """Recompute the transform on the ``%``-based reference oracle.
+
+        Row ``i`` uses the context of limb ``i``'s modulus; with a single
+        modulus the rows are a batch over one prime. ``get_ntt_context``
+        yields the default-root context -- the same root the cached
+        kernels are built from -- so the recomputation is bit-identical
+        to an uncorrupted kernel output.
+        """
+        from repro.nt.ntt import get_ntt_context  # runtime import: ntt imports kernels
+
+        mods = kernel.moduli
+        out = np.empty_like(x)
+        if len(mods) == 1:
+            ctx = get_ntt_context(kernel.degree, mods[0])
+            ref = (
+                ctx.forward_reference(x)
+                if direction == "forward"
+                else ctx.inverse_reference(x)
+            )
+            np.copyto(out, ref)
+            return out
+        for i, q in enumerate(mods):
+            ctx = get_ntt_context(kernel.degree, q)
+            out[i] = (
+                ctx.forward_reference(x[i])
+                if direction == "forward"
+                else ctx.inverse_reference(x[i])
+            )
+        return out
+
+
+def install_kernel_guard(rc: ResilienceContext) -> KernelGuard:
+    """Build a :class:`KernelGuard` and install it as the kernels' hook."""
+    guard = KernelGuard(rc)
+    nt_kernels.set_output_guard(guard)
+    return guard
+
+
+def uninstall_kernel_guard(guard: KernelGuard | None = None) -> None:
+    """Remove the kernels' output guard.
+
+    With an argument, removes it only if that specific guard is still the
+    installed one (so a session tearing down cannot clobber a guard a
+    newer session installed after it).
+    """
+    if guard is None or nt_kernels.get_output_guard() is guard:
+        nt_kernels.set_output_guard(None)
+
+
+class SessionGuard:
+    """Fail-fast scale/level overflow checks on session ciphertext handles.
+
+    At level ``l`` the ciphertext modulus holds roughly
+    ``q0_bits + l * scale_bits`` bits; a scale at or beyond that capacity
+    can never be divided back out by the remaining rescales, so the
+    message is already lost. The guard checks every handle the session
+    wraps and raises :class:`~repro.errors.ScaleOverflowError` with a
+    recovery hint at the first op whose *result* crosses the capacity,
+    instead of letting the program run to a garbage decrypt.
+
+    ``margin_bits`` (default 0) tightens the bound to reserve headroom
+    for the message magnitude; the default only trips on scales that are
+    unrecoverable outright (a post-rescale scale sits just under one
+    prime's width below capacity, so any positive margin risks false
+    alarms on legitimate level-0 ciphertexts).
+    """
+
+    def __init__(self, params, stats=None, margin_bits: int = 0):
+        self.params = params
+        self.stats = stats
+        self.margin_bits = margin_bits
+
+    def capacity_bits(self, level: int) -> float:
+        return (
+            self.params.q0_bits
+            + max(level, 0) * self.params.scale_bits
+            - self.margin_bits
+        )
+
+    def check(self, h) -> None:
+        scale = h.scale
+        level = h.level
+        if scale is None:
+            return
+        if not math.isfinite(scale) or scale <= 0:
+            err = ScaleOverflowError(
+                f"ciphertext scale is {scale!r} -- the scale bookkeeping has "
+                "diverged; re-encrypt the inputs or rebuild the session"
+            )
+            if self.stats is not None:
+                self.stats.record_raised(err)
+            raise err
+        log2_scale = math.log2(scale)
+        cap = self.capacity_bits(level)
+        if log2_scale > cap:
+            err = ScaleOverflowError(
+                f"scale 2^{log2_scale:.1f} exceeds the 2^{cap:.0f} modulus "
+                f"capacity at level {level}; rescale() between "
+                "multiplications, or encrypt at a higher level / larger "
+                "q0_bits to buy headroom"
+            )
+            if self.stats is not None:
+                self.stats.record_raised(err)
+            raise err

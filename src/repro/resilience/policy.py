@@ -1,0 +1,94 @@
+"""Bounded recovery: RetryPolicy, ResilienceContext, and retrying fetches.
+
+Recovery in this library is always *bounded and deterministic*: a
+:class:`RetryPolicy` caps the attempts and exposes a backoff **hook**
+instead of sleeping, so tests drive hundreds of fault plans without any
+wall-clock dependence (a production deployment would plug
+``time.sleep``-based backoff into the hook).
+
+A :class:`ResilienceContext` bundles the policy with the shared
+:class:`~repro.resilience.stats.FaultStats` ledger and an optional
+:class:`~repro.resilience.faults.FaultInjector`; the runtime stores, the
+key switcher, and the guards all read the same context object, installed
+per session by ``repro.session(..., faults=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import FaultInjectedError, ParameterError, RecoveryExhaustedError
+from repro.resilience.stats import FaultStats
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a recoverable failure, and how to wait.
+
+    ``backoff`` is called as ``backoff(attempt)`` between attempts
+    (attempt numbering starts at 0 for the wait after the first
+    failure). The default is no-op -- deterministic and instant -- which
+    is correct for regeneration from seeds: the data source is a PRNG,
+    not a flaky network, so waiting buys nothing in-process.
+    """
+
+    max_attempts: int = 3
+    backoff: Callable[[int], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError("RetryPolicy needs max_attempts >= 1")
+
+    def wait(self, attempt: int) -> None:
+        if self.backoff is not None:
+            self.backoff(attempt)
+
+
+@dataclass
+class ResilienceContext:
+    """Policy + stats + (optional) injector shared by one session's stores.
+
+    ``verify=False`` turns digest verification off wholesale (the stores
+    then behave exactly as before this layer existed) -- used by the
+    overhead benchmarks to price verification, and available to callers
+    who prefer raw speed over integrity.
+    """
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    stats: FaultStats = field(default_factory=FaultStats)
+    injector: "FaultInjector | None" = None  # noqa: F821 - see faults.py
+    verify: bool = True
+
+
+def fetch_with_retry(evk, rc: ResilienceContext):
+    """``evk.fetch_parts()`` with bounded retry of *transient* faults.
+
+    Persistent faults (``FaultInjectedError(transient=False)``) and
+    integrity failures propagate immediately; transient fetch failures
+    are retried under ``rc.policy`` and surface as
+    :class:`~repro.errors.RecoveryExhaustedError` only once the policy
+    is exhausted.
+    """
+    policy = rc.policy
+    last: FaultInjectedError | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            parts = evk.fetch_parts()
+        except FaultInjectedError as err:
+            if not err.transient:
+                rc.stats.record_raised(err)
+                raise
+            rc.stats.record_detected("fetch_fault")
+            last = err
+            policy.wait(attempt)
+            continue
+        if attempt:
+            rc.stats.record_recovered("fetch_retry")
+        return parts
+    exhausted = RecoveryExhaustedError(
+        f"evk {getattr(evk, 'kind', '?')!r}: fetch_parts failed "
+        f"{policy.max_attempts} consecutive times"
+    )
+    rc.stats.record_raised(exhausted)
+    raise exhausted from last

@@ -1,0 +1,90 @@
+"""The FaultStats ledger: every detection/recovery/fallback event, counted.
+
+One :class:`FaultStats` instance rides on a
+:class:`~repro.resilience.policy.ResilienceContext` and is shared by the
+key store, plaintext store, key switcher, kernel guard, and session
+guard, so a workload's whole fault history reads out of one object --
+the resilience analogue of the PR-2 fetched/generated traffic split
+(:class:`~repro.runtime.accounting.StoreStats`), which it is reported
+alongside.
+
+Event namespaces (the Counter keys are free-form strings; these are the
+ones the library emits):
+
+* ``injected[kind]`` -- faults the injector actually fired, by fault kind.
+* ``detected[what]`` -- integrity/fault detections: ``evk_a``, ``evk_b``,
+  ``pt``, ``pt_compact``, ``seeded``, ``kernel_range``, ``fetch_fault``.
+* ``recovered[how]`` -- successful recoveries: ``evk_a_regen``,
+  ``pt_regen``, ``pt_redescribe``, ``kernel_fallback``, ``fetch_retry``,
+  ``evk_reexpand``.
+* ``raised[error]`` -- typed errors surfaced to the caller, by class name.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultStats:
+    """Ledger of injected faults, detections, recoveries, and errors."""
+
+    injected: Counter = field(default_factory=Counter)
+    detected: Counter = field(default_factory=Counter)
+    recovered: Counter = field(default_factory=Counter)
+    raised: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------ recording
+
+    def record_injected(self, kind: str, times: int = 1) -> None:
+        self.injected[kind] += times
+
+    def record_detected(self, what: str) -> None:
+        self.detected[what] += 1
+
+    def record_recovered(self, how: str) -> None:
+        self.recovered[how] += 1
+
+    def record_raised(self, error: BaseException) -> None:
+        self.raised[type(error).__name__] += 1
+
+    # ------------------------------------------------------------- summary
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_detected(self) -> int:
+        return sum(self.detected.values())
+
+    @property
+    def total_recovered(self) -> int:
+        return sum(self.recovered.values())
+
+    @property
+    def total_raised(self) -> int:
+        return sum(self.raised.values())
+
+    @property
+    def silent(self) -> bool:
+        """True when faults were injected but nothing was detected, recovered,
+        or raised -- the state the chaos suite asserts never coincides with a
+        corrupted result."""
+        return self.total_injected > 0 and (
+            self.total_detected + self.total_recovered + self.total_raised == 0
+        )
+
+    def reset(self) -> None:
+        self.injected.clear()
+        self.detected.clear()
+        self.recovered.clear()
+        self.raised.clear()
+
+    def summary(self) -> str:
+        return (
+            f"FaultStats(injected={self.total_injected}, "
+            f"detected={self.total_detected}, "
+            f"recovered={self.total_recovered}, raised={self.total_raised})"
+        )

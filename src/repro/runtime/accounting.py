@@ -21,6 +21,7 @@ class StoreStats:
     hits: int = 0              # expanded data served from the cache
     misses: int = 0            # expansions that had to run
     evictions: int = 0         # expanded entries dropped for space
+    discards: int = 0          # entries dropped for failing integrity checks
     fetched_bytes: int = 0     # bytes served from *stored* material
     generated_bytes: int = 0   # bytes expanded from seeds / descriptions
 
@@ -35,7 +36,7 @@ class StoreStats:
         return self.hits / total if total else 0.0
 
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        self.hits = self.misses = self.evictions = self.discards = 0
         self.fetched_bytes = self.generated_bytes = 0
 
 
@@ -73,22 +74,45 @@ class ByteBudgetCache:
         bytes are recorded on every miss, whether or not the result is
         retained.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
+        value = self.peek(key)
+        if value is not None:
             self.stats.hits += 1
-            return entry[0]
+            return value
         self.stats.misses += 1
         value = expand()
         size = nbytes(value)
         self.stats.generated_bytes += size
-        self._insert(key, value, size)
+        self.insert(key, value, size)
         return value
 
-    def _insert(self, key: Any, value: Any, size: int) -> None:
+    def peek(self, key: Any) -> Any | None:
+        """The cached value for ``key`` (refreshing LRU order), or None.
+
+        No hit/miss accounting -- callers that verify entries before
+        serving them (the integrity layer) account for the outcome
+        themselves.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def insert(self, key: Any, value: Any, size: int) -> None:
+        """Retain ``value`` if the budget allows, evicting LRU entries.
+
+        A zero (or negative) budget disables caching entirely -- nothing
+        is ever retained, not even zero-sized values. An entry larger
+        than the whole budget is streamed: handed to the caller without
+        ever being resident.
+        """
         budget = self.budget_bytes
+        if budget is not None and budget <= 0:
+            return  # caching disabled: pure streaming
         if budget is not None and size > budget:
             return  # larger than the whole budget: streamed, never resident
+        if key in self._entries:
+            self.discard(key)
         if budget is not None:
             while self._entries and self._occupied + size > budget:
                 _, (_, dropped) = self._entries.popitem(last=False)
@@ -96,6 +120,14 @@ class ByteBudgetCache:
                 self.stats.evictions += 1
         self._entries[key] = (value, size)
         self._occupied += size
+
+    def discard(self, key: Any) -> bool:
+        """Drop ``key`` if cached (no eviction accounting); True if dropped."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._occupied -= entry[1]
+        return True
 
     def clear(self) -> None:
         self._entries.clear()

@@ -21,16 +21,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import KeyError_
+from repro.errors import IntegrityError, MissingEvkError, RecoveryExhaustedError
+from repro.resilience.digest import parts_digest
 from repro.rns.poly import PolyRns
 from repro.runtime.accounting import ByteBudgetCache, StoreStats
 from repro.runtime.seeded import SeededPoly
 
 
 class StoredEvaluationKey:
-    """dnum ``(b, seed-of-a)`` pairs, bound to the store that expands them."""
+    """dnum ``(b, seed-of-a)`` pairs, bound to the store that expands them.
 
-    __slots__ = ("kind", "b_parts", "a_seeds", "store")
+    ``b_digests`` optionally pins generation-time content digests of the
+    ``b`` halves (the ``a`` halves carry theirs on the seeds); when the
+    owning store has a :class:`~repro.resilience.policy.ResilienceContext`
+    every fetch verifies them. A ``b`` half that fails its digest is
+    unrecoverable -- it is stored material with no generating seed -- so
+    the failure surfaces as :class:`~repro.errors.IntegrityError`.
+    """
+
+    __slots__ = ("kind", "b_parts", "a_seeds", "store", "b_digests")
 
     def __init__(
         self,
@@ -38,15 +47,17 @@ class StoredEvaluationKey:
         b_parts: list[PolyRns],
         a_seeds: list[SeededPoly],
         store: "KeyStore",
+        b_digests: list[int] | None = None,
     ):
         if len(b_parts) != len(a_seeds):
-            raise KeyError_(
+            raise MissingEvkError(
                 f"evk {kind!r}: {len(b_parts)} b parts vs {len(a_seeds)} seeds"
             )
         self.kind = kind
         self.b_parts = b_parts
         self.a_seeds = a_seeds
         self.store = store
+        self.b_digests = b_digests
 
     @property
     def dnum(self) -> int:
@@ -58,9 +69,34 @@ class StoredEvaluationKey:
         return self.store.materialize(self)
 
     def fetch_parts(self) -> tuple[list[PolyRns], list[PolyRns]]:
-        """One accounted key access: b is fetched, a is generated/cached."""
-        self.store.stats.fetched_bytes += self.b_bytes
-        return self.b_parts, self.store.materialize(self)
+        """One accounted key access: b is fetched, a is generated/cached.
+
+        Under a resilience context this is also the fault access point
+        (transient fetch failures, mid-program evictions) and the ``b``
+        integrity checkpoint.
+        """
+        store = self.store
+        store.stats.fetched_bytes += self.b_bytes
+        rc = store.resilience
+        if rc is not None:
+            injector = rc.injector
+            if injector is not None:
+                injector.on_fetch(self.kind, store)
+                injector.corrupt_stored_b(self.kind, self.b_parts)
+            if (
+                rc.verify
+                and self.b_digests is not None
+                and parts_digest(self.b_parts) != self.b_digests
+            ):
+                rc.stats.record_detected("evk_b")
+                err = IntegrityError(
+                    f"evk {self.kind!r}: a stored b half failed its content "
+                    "digest; b halves have no generating seed, so the key "
+                    "cannot be regenerated in place -- re-run key generation"
+                )
+                rc.stats.record_raised(err)
+                raise err
+        return self.b_parts, store.materialize(self)
 
     # ------------------------------------------------------------ footprint
 
@@ -95,6 +131,9 @@ class KeyStore:
     budget_bytes: int | None = None
     _keys: dict = field(default_factory=dict)
     _cache: ByteBudgetCache = field(default=None)  # type: ignore[assignment]
+    #: Optional ResilienceContext; when set, cache hits and expansions are
+    #: digest-verified and seed-derived corruption recovers in place.
+    resilience: object | None = None
 
     def __post_init__(self) -> None:
         if self._cache is None:
@@ -109,7 +148,7 @@ class KeyStore:
     def get(self, kind: str) -> StoredEvaluationKey:
         key = self._keys.get(kind)
         if key is None:
-            raise KeyError_(
+            raise MissingEvkError(
                 f"key store holds no evk {kind!r} "
                 f"(available: {sorted(self._keys) or 'none'})"
             )
@@ -124,12 +163,75 @@ class KeyStore:
     # ---------------------------------------------------------- materialize
 
     def materialize(self, key: StoredEvaluationKey) -> list[PolyRns]:
-        """The expanded ``a`` parts of ``key``, through the LRU cache."""
-        return self._cache.get(
-            key.kind,
-            expand=lambda: [seed.expand() for seed in key.a_seeds],
-            nbytes=lambda parts: sum(p.data.nbytes for p in parts),
+        """The expanded ``a`` parts of ``key``, through the LRU cache.
+
+        With a resilience context, cached parts are verified against the
+        seeds' generation-time digests on every hit: a corrupted entry is
+        discarded and regenerated (seed-derived material is always
+        recoverable), and expansion itself is verified under the bounded
+        retry policy -- a persistently wrong expansion (corrupt seed)
+        surfaces as :class:`~repro.errors.RecoveryExhaustedError`.
+        """
+        rc = self.resilience
+        cache = self._cache
+        if rc is None:
+            return cache.get(
+                key.kind,
+                expand=lambda: [seed.expand() for seed in key.a_seeds],
+                nbytes=lambda parts: sum(p.data.nbytes for p in parts),
+            )
+        stats = cache.stats
+        injector = rc.injector
+        recovering = False
+        parts = cache.peek(key.kind)
+        if parts is not None:
+            stats.hits += 1
+            if injector is not None:
+                injector.corrupt_cached_a(key.kind, parts)
+            if not rc.verify or self._a_parts_ok(key, parts):
+                return parts
+            rc.stats.record_detected("evk_a")
+            cache.discard(key.kind)
+            stats.discards += 1
+            recovering = True
+        policy = rc.policy
+        for attempt in range(policy.max_attempts):
+            stats.misses += 1
+            parts = [seed.expand() for seed in key.a_seeds]
+            if injector is not None:
+                injector.corrupt_expansion(key.kind, parts)
+            size = sum(p.data.nbytes for p in parts)
+            stats.generated_bytes += size
+            if not rc.verify or self._a_parts_ok(key, parts):
+                cache.insert(key.kind, parts, size)
+                if recovering or attempt:
+                    rc.stats.record_recovered("evk_a_regen")
+                return parts
+            rc.stats.record_detected("seeded")
+            stats.discards += 1
+            if attempt < policy.max_attempts - 1:
+                policy.wait(attempt)
+        err = RecoveryExhaustedError(
+            f"evk {key.kind!r}: a-part expansion failed digest verification "
+            f"{policy.max_attempts} consecutive times -- the seed itself (or "
+            "its generation-time digest) is corrupt; re-run key generation"
         )
+        rc.stats.record_raised(err)
+        raise err
+
+    @staticmethod
+    def _a_parts_ok(key: StoredEvaluationKey, parts: list[PolyRns]) -> bool:
+        return all(
+            seed.verify(part) for seed, part in zip(key.a_seeds, parts)
+        )
+
+    def discard_cached(self, kind: str) -> bool:
+        """Drop ``kind``'s expanded a-parts; the next access regenerates."""
+        return self._cache.discard(kind)
+
+    def clear_cache(self) -> None:
+        """Drop every expanded a-part (seeds and b halves are untouched)."""
+        self._cache.clear()
 
     # ------------------------------------------------------------ accounting
 

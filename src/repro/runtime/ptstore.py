@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ParameterError
+from repro.errors import IntegrityError, ParameterError, RecoveryExhaustedError
 from repro.ckks.ciphertext import Plaintext
+from repro.resilience.digest import array_digest
 from repro.rns.poly import PolyRns
 from repro.runtime.accounting import ByteBudgetCache, StoreStats
 
@@ -38,10 +39,13 @@ class RuntimePlaintextStore:
     key fetched at a different scale is re-described, never served stale.
     """
 
-    def __init__(self, ctx, budget_bytes: int | None = None):
+    def __init__(self, ctx, budget_bytes: int | None = None, resilience=None):
         self.ctx = ctx
         self._compact: dict = {}  # (key, scale) -> int64 coefficient vector
+        self._compact_digests: dict = {}   # (key, scale) -> int
+        self._poly_digests: dict = {}      # (key, scale, moduli) -> int
         self._cache = ByteBudgetCache(budget_bytes=budget_bytes)
+        self.resilience = resilience
         self.fetches = 0
         self.words_loaded = 0  # compact words "fetched" (protocol parity)
 
@@ -49,18 +53,20 @@ class RuntimePlaintextStore:
 
     def get(self, key, values: np.ndarray, moduli: tuple[int, ...], scale: float) -> Plaintext:
         """Serve the encoded plaintext for ``values`` over ``moduli``."""
-        ints = self._compact.get((key, scale))
-        if ints is None:
-            ints = self._describe(key, values, scale)
+        ints = self._ensure_compact(key, values, scale)
         self.fetches += 1
         degree = self.ctx.params.degree
         self.words_loaded += degree
         self.stats.fetched_bytes += ints.nbytes
-        poly = self._cache.get(
-            (key, scale, tuple(moduli)),
-            expand=lambda: self._expand(ints, tuple(moduli)),
-            nbytes=lambda p: p.data.nbytes,
-        )
+        cache_key = (key, scale, tuple(moduli))
+        if self.resilience is None:
+            poly = self._cache.get(
+                cache_key,
+                expand=lambda: self._expand(ints, tuple(moduli)),
+                nbytes=lambda p: p.data.nbytes,
+            )
+        else:
+            poly = self._verified_poly(key, cache_key, ints, tuple(moduli))
         return Plaintext(poly=poly, scale=scale)
 
     # ------------------------------------------------------------- stages
@@ -74,7 +80,97 @@ class RuntimePlaintextStore:
                 "N-word store cannot represent them exactly"
             )
         self._compact[(key, scale)] = ints
+        self._compact_digests[(key, scale)] = array_digest(ints)
         return ints
+
+    def _ensure_compact(self, key, values, scale: float) -> np.ndarray:
+        """The compact vector for ``key``, digest-verified when resilient.
+
+        A corrupted compact vector is recoverable as long as the caller
+        still supplies ``values``: it is re-described from scratch and
+        checked against the digest stamped at first description (so a
+        caller silently changing the values behind a key is caught too).
+        """
+        compact_key = (key, scale)
+        ints = self._compact.get(compact_key)
+        if ints is None:
+            return self._describe(key, values, scale)
+        rc = self.resilience
+        if rc is None:
+            return ints
+        if rc.injector is not None:
+            rc.injector.corrupt_compact(str(key), ints)
+        want = self._compact_digests.get(compact_key)
+        if not rc.verify or want is None or array_digest(ints) == want:
+            return ints
+        rc.stats.record_detected("pt_compact")
+        if values is None:
+            err = IntegrityError(
+                f"plaintext {key!r}: compact coefficients failed their "
+                "digest and no values were supplied to re-describe from"
+            )
+            rc.stats.record_raised(err)
+            raise err
+        fresh = self.ctx.encoder.integer_coeffs(np.asarray(values), scale)
+        if fresh is None or array_digest(fresh) != want:
+            err = IntegrityError(
+                f"plaintext {key!r}: re-described coefficients do not match "
+                "the digest stamped at first description -- the supplied "
+                "values differ from the originals for this key"
+            )
+            rc.stats.record_raised(err)
+            raise err
+        self._compact[compact_key] = fresh
+        rc.stats.record_recovered("pt_redescribe")
+        return fresh
+
+    def _verified_poly(self, key, cache_key, ints, moduli) -> PolyRns:
+        """Cache-hit verification and bounded re-expansion of one diagonal."""
+        rc = self.resilience
+        cache = self._cache
+        stats = cache.stats
+        injector = rc.injector
+        recovering = False
+        poly = cache.peek(cache_key)
+        if poly is not None:
+            stats.hits += 1
+            if injector is not None:
+                injector.corrupt_pt(str(key), poly.data)
+            want = self._poly_digests.get(cache_key)
+            if not rc.verify or want is None or array_digest(poly.data) == want:
+                return poly
+            rc.stats.record_detected("pt")
+            cache.discard(cache_key)
+            stats.discards += 1
+            recovering = True
+        policy = rc.policy
+        for attempt in range(policy.max_attempts):
+            stats.misses += 1
+            poly = self._expand(ints, moduli)
+            size = poly.data.nbytes
+            stats.generated_bytes += size
+            want = self._poly_digests.get(cache_key)
+            if want is None:
+                if rc.verify:
+                    self._poly_digests[cache_key] = array_digest(poly.data)
+                cache.insert(cache_key, poly, size)
+                return poly
+            if not rc.verify or array_digest(poly.data) == want:
+                cache.insert(cache_key, poly, size)
+                if recovering or attempt:
+                    rc.stats.record_recovered("pt_regen")
+                return poly
+            rc.stats.record_detected("pt")
+            stats.discards += 1
+            if attempt < policy.max_attempts - 1:
+                policy.wait(attempt)
+        err = RecoveryExhaustedError(
+            f"plaintext {key!r}: expansion failed digest verification "
+            f"{policy.max_attempts} consecutive times -- the compact "
+            "description (or its digest) is corrupt beyond re-description"
+        )
+        rc.stats.record_raised(err)
+        raise err
 
     def _expand(self, ints: np.ndarray, moduli: tuple[int, ...]) -> PolyRns:
         """Reduce the compact coefficients per limb and NTT (kernel layer)."""

@@ -15,20 +15,29 @@ on-the-fly compute that replaces the off-chip fetch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro import rng as rng_streams
+from repro.resilience.digest import array_digest
 from repro.rns.poly import PolyRns
 
 
 @dataclass(frozen=True)
 class SeededPoly:
-    """A uniform element of R_Q, stored as its generating stream."""
+    """A uniform element of R_Q, stored as its generating stream.
+
+    ``digest`` optionally pins the content digest of the expansion,
+    stamped at generation time (:meth:`stamped`) while the eager
+    polynomial is still in hand; the integrity layer verifies cache hits
+    and re-expansions against it. It is excluded from equality: a seeded
+    poly *is* its generating stream, digest or not.
+    """
 
     degree: int
     moduli: tuple[int, ...]
     seed: int
     stream: tuple
+    digest: int | None = field(default=None, compare=False)
 
     @property
     def seeded_bytes(self) -> int:
@@ -44,3 +53,11 @@ class SeededPoly:
         """Regenerate the polynomial (evaluation rep, via the kernel NTT)."""
         gen = rng_streams.stream(self.seed, *self.stream)
         return PolyRns.uniform_random(self.degree, self.moduli, gen).to_eval()
+
+    def stamped(self, poly: PolyRns) -> "SeededPoly":
+        """A copy carrying the digest of ``poly`` (this seed's expansion)."""
+        return replace(self, digest=array_digest(poly.data))
+
+    def verify(self, poly: PolyRns) -> bool:
+        """Whether ``poly`` matches the stamped digest (True if unstamped)."""
+        return self.digest is None or array_digest(poly.data) == self.digest

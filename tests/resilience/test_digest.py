@@ -1,0 +1,62 @@
+"""Digest properties: determinism, sensitivity to every corruption shape
+the injector produces (word flips, swaps, truncation), and cheapness of
+the parts helper."""
+
+import numpy as np
+
+from repro.resilience import array_digest, parts_digest
+
+
+def test_digest_deterministic():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1 << 30, size=(4, 256), dtype=np.uint64)
+    assert array_digest(data) == array_digest(data.copy())
+
+
+def test_digest_sensitive_to_single_bit_flips():
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 1 << 30, size=1024, dtype=np.uint64)
+    base = array_digest(data)
+    for pos in (0, 1, 511, 1023):
+        for bit in (0, 13, 29, 62):
+            flipped = data.copy()
+            flipped[pos] ^= np.uint64(1 << bit)
+            assert array_digest(flipped) != base, (pos, bit)
+
+
+def test_digest_sensitive_to_word_swap():
+    data = np.arange(1, 257, dtype=np.uint64)
+    swapped = data.copy()
+    swapped[3], swapped[200] = swapped[200], swapped[3]
+    assert array_digest(swapped) != array_digest(data)
+
+
+def test_digest_sensitive_to_truncation_and_padding():
+    data = np.arange(1, 257, dtype=np.uint64)
+    assert array_digest(data[:-1]) != array_digest(data)
+    assert array_digest(np.concatenate([data, [np.uint64(0)]])) != array_digest(data)
+
+
+def test_digest_distinguishes_zero_arrays_by_size():
+    assert array_digest(np.zeros(8, np.uint64)) != array_digest(
+        np.zeros(9, np.uint64)
+    )
+    assert array_digest(np.zeros(8, np.uint64)) != 0
+
+
+def test_digest_shape_independent_content_dependent():
+    """The digest reads the flattened content; layout does not matter."""
+    data = np.arange(64, dtype=np.uint64)
+    assert array_digest(data) == array_digest(data.reshape(8, 8))
+
+
+def test_parts_digest_is_per_part():
+    class Part:
+        def __init__(self, data):
+            self.data = data
+
+    a = Part(np.arange(16, dtype=np.uint64))
+    b = Part(np.arange(16, 32, dtype=np.uint64))
+    digests = parts_digest([a, b])
+    assert digests == [array_digest(a.data), array_digest(b.data)]
+    assert digests[0] != digests[1]

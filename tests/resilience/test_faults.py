@@ -1,0 +1,157 @@
+"""FaultInjector unit tests: plan validation, determinism, and firing
+semantics -- exercised against bare numpy arrays, no HE state needed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectedError, ParameterError
+from repro.resilience import FAULT_KINDS, Fault, FaultInjector, FaultPlan
+from repro.resilience.faults import random_fault_plan
+
+
+class Part:
+    def __init__(self, data):
+        self.data = data
+
+
+def make_parts(seed=0, n=2, shape=(3, 64)):
+    rng = np.random.default_rng(seed)
+    return [
+        Part(rng.integers(0, 1 << 30, size=shape, dtype=np.uint64))
+        for _ in range(n)
+    ]
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_fault_rejects_unknown_kind():
+    with pytest.raises(ParameterError):
+        Fault(kind="melt_cpu")
+
+
+def test_fault_rejects_bad_schedule():
+    with pytest.raises(ParameterError):
+        Fault(kind="flip_evk_a", at_access=-1)
+    with pytest.raises(ParameterError):
+        Fault(kind="fetch_fail", times=0)
+
+
+# ------------------------------------------------------------ determinism
+
+
+def test_same_plan_same_seed_corrupts_identically():
+    plan = (Fault(kind="flip_evk_a", target="mult"),)
+    a = make_parts(seed=3)
+    b = make_parts(seed=3)
+    FaultInjector(plan, seed=11).corrupt_cached_a("mult", a)
+    FaultInjector(plan, seed=11).corrupt_cached_a("mult", b)
+    for pa, pb in zip(a, b):
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_different_injector_seed_corrupts_differently():
+    plan = (Fault(kind="flip_evk_a", target="mult", times=2),)
+    a = make_parts(seed=3)
+    b = make_parts(seed=3)
+    FaultInjector(plan, seed=11).corrupt_cached_a("mult", a)
+    FaultInjector(plan, seed=12).corrupt_cached_a("mult", b)
+    assert any(not np.array_equal(pa.data, pb.data) for pa, pb in zip(a, b))
+
+
+def test_corruption_changes_exactly_targeted_words():
+    plan = (Fault(kind="flip_evk_a", target="mult", times=1),)
+    parts = make_parts(seed=5)
+    before = [p.data.copy() for p in parts]
+    FaultInjector(plan, seed=0).corrupt_cached_a("mult", parts)
+    diffs = sum(
+        int((p.data != old).sum()) for p, old in zip(parts, before)
+    )
+    assert diffs == 1  # one word flipped, everything else untouched
+
+
+def test_random_fault_plan_is_deterministic_and_valid():
+    p1 = random_fault_plan(42)
+    p2 = random_fault_plan(42)
+    assert p1 == p2
+    assert 1 <= len(p1.faults) <= 3
+    for fault in p1.faults:
+        assert fault.kind in FAULT_KINDS
+    assert random_fault_plan(43) != p1
+
+
+# -------------------------------------------------------- firing semantics
+
+
+def test_fault_fires_only_at_scheduled_access():
+    plan = (Fault(kind="flip_evk_a", target="mult", at_access=2),)
+    inj = FaultInjector(plan, seed=0)
+    parts = make_parts(seed=7)
+    for access in range(4):
+        before = [p.data.copy() for p in parts]
+        inj.corrupt_cached_a("mult", parts)
+        changed = any(
+            not np.array_equal(p.data, old)
+            for p, old in zip(parts, before)
+        )
+        assert changed == (access == 2), access
+    assert inj.stats.injected["flip_evk_a"] == 1
+
+
+def test_fault_target_prefix_matching():
+    plan = (Fault(kind="poison_pt", target="pt:helr"),)
+    inj = FaultInjector(plan, seed=0)
+    other = np.arange(32, dtype=np.uint64)
+    inj.corrupt_pt("pt:sort:mask", other)
+    assert np.array_equal(other, np.arange(32, dtype=np.uint64))
+    mine = np.arange(32, dtype=np.uint64)
+    inj.corrupt_pt("pt:helr:weights", mine)
+    assert not np.array_equal(mine, np.arange(32, dtype=np.uint64))
+
+
+def test_fetch_fail_fires_for_times_consecutive_accesses():
+    plan = (Fault(kind="fetch_fail", target="mult", at_access=1, times=2),)
+    inj = FaultInjector(plan, seed=0)
+
+    class Store:
+        pass
+
+    inj.on_fetch("mult", Store())  # access 0: before the window
+    for _ in range(2):  # accesses 1, 2: inside the window
+        with pytest.raises(FaultInjectedError) as exc:
+            inj.on_fetch("mult", Store())
+        assert exc.value.transient
+    inj.on_fetch("mult", Store())  # access 3: window exhausted
+    assert inj.stats.injected["fetch_fail"] == 2
+
+
+def test_corrupt_seed_fires_on_every_expansion_identically():
+    plan = (Fault(kind="corrupt_seed", target="mult"),)
+    inj = FaultInjector(plan, seed=9)
+    first = make_parts(seed=1)
+    second = make_parts(seed=1)
+    inj.corrupt_expansion("mult", first)
+    inj.corrupt_expansion("mult", second)  # re-expansion: same bad seed
+    for pa, pb in zip(first, second):
+        assert np.array_equal(pa.data, pb.data)
+    assert not np.array_equal(first[0].data, make_parts(seed=1)[0].data) or (
+        not np.array_equal(first[1].data, make_parts(seed=1)[1].data)
+    )
+    assert inj.stats.injected["corrupt_seed"] == 2
+
+
+def test_kernel_overflow_puts_words_out_of_range():
+    plan = (Fault(kind="kernel_overflow", target="forward", times=3),)
+    inj = FaultInjector(plan, seed=2)
+    mods = (97, 193)
+    out = np.zeros((2, 16), dtype=np.uint64)
+    inj.corrupt_kernel("forward", out, mods)
+    p_col = np.array(mods, dtype=np.uint64)[:, None]
+    assert (out >= p_col).any()
+
+
+def test_fault_plan_injector_carries_seed():
+    plan = FaultPlan(faults=(Fault(kind="evict_evk"),), seed=77)
+    inj = plan.injector()
+    assert inj.seed == 77
+    assert inj.plan == plan.faults

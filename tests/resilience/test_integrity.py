@@ -1,0 +1,232 @@
+"""Directed end-to-end tests: one scenario per fault kind, through the
+session facade, asserting the exact detect/recover/raise contract each
+material class promises (seed-derived -> bit-identical recovery; stored
+material -> typed IntegrityError; bad seeds -> bounded exhaustion)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    IntegrityError,
+    ParameterError,
+    RecoveryExhaustedError,
+    ScaleOverflowError,
+)
+from repro.nt import kernels as nt_kernels
+from repro.params import TOY
+from repro.resilience import (
+    Fault,
+    FaultPlan,
+    ResilienceContext,
+    RetryPolicy,
+)
+from repro.runtime.keystore import KeyStore
+from repro.runtime.ptstore import RuntimePlaintextStore
+from repro.ckks.context import CkksContext
+
+VALUES = [0.5, -0.25, 0.125, 0.0625]
+
+
+def run_two_muls(faults=None, resilience=None):
+    """Square twice through a seed-compressed key store; the second mul
+    re-hits the cached mult-key a-parts."""
+    with repro.session(
+        TOY, seed=7, key_store=KeyStore(), faults=faults, resilience=resilience
+    ) as sess:
+        x = sess.encrypt(VALUES)
+        y = (x * x).rescale()
+        z = (y * y).rescale()
+        return np.asarray(sess.decrypt(z)), sess.fault_stats
+
+
+def run_pt_store(faults=None, resilience=None):
+    """Multiply by one stored plaintext twice at the same level; the
+    second use re-hits the expanded diagonal."""
+    ctx = CkksContext.create(TOY, seed=7)
+    store = RuntimePlaintextStore(ctx)
+    with repro.session(
+        ctx=ctx, pt_store=store, faults=faults, resilience=resilience
+    ) as sess:
+        x = sess.encrypt(VALUES)
+        pt = sess.plaintext([1.0, 2.0, 3.0, 4.0], tag="pt:test:w", store=True)
+        a = x * pt
+        b = x * pt
+        return np.asarray(sess.decrypt((a + b).rescale())), sess.fault_stats
+
+
+@pytest.fixture(scope="module")
+def mul_reference():
+    out, stats = run_two_muls()
+    assert stats.total_injected == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def pt_reference():
+    out, _ = run_pt_store()
+    return out
+
+
+# ------------------------------------------------- seed-derived: recovered
+
+
+def test_flip_evk_a_recovered_bit_identically(mul_reference):
+    plan = FaultPlan(
+        faults=(Fault(kind="flip_evk_a", target="mult", at_access=0),), seed=5
+    )
+    out, stats = run_two_muls(faults=plan)
+    assert np.array_equal(out, mul_reference)
+    assert stats.injected["flip_evk_a"] == 1
+    assert stats.detected["evk_a"] == 1
+    assert stats.recovered["evk_a_regen"] == 1
+    assert stats.total_raised == 0
+
+
+def test_evict_evk_is_transparent(mul_reference):
+    plan = FaultPlan(
+        faults=(Fault(kind="evict_evk", target="mult", at_access=1),), seed=5
+    )
+    out, stats = run_two_muls(faults=plan)
+    assert np.array_equal(out, mul_reference)
+    assert stats.injected["evict_evk"] == 1
+    # eviction needs no detection event: regeneration is a plain cache miss
+    assert stats.total_raised == 0
+
+
+def test_fetch_fail_recovered_with_backoff(mul_reference):
+    waited = []
+    rc = ResilienceContext(policy=RetryPolicy(max_attempts=3, backoff=waited.append))
+    plan = FaultPlan(
+        faults=(Fault(kind="fetch_fail", target="mult", at_access=0, times=2),),
+        seed=5,
+    )
+    out, stats = run_two_muls(faults=plan, resilience=rc)
+    assert np.array_equal(out, mul_reference)
+    assert stats.injected["fetch_fail"] == 2
+    assert stats.detected["fetch_fault"] == 2
+    assert stats.recovered["fetch_retry"] == 1
+    assert waited == [0, 1]
+
+
+def test_poison_pt_recovered_bit_identically(pt_reference):
+    plan = FaultPlan(
+        faults=(Fault(kind="poison_pt", target="pt:test", at_access=0),), seed=5
+    )
+    out, stats = run_pt_store(faults=plan)
+    assert np.array_equal(out, pt_reference)
+    assert stats.injected["poison_pt"] == 1
+    assert stats.detected["pt"] == 1
+    assert stats.recovered["pt_regen"] == 1
+
+
+def test_poison_compact_recovered_by_redescription(pt_reference):
+    plan = FaultPlan(
+        faults=(Fault(kind="poison_compact", target="pt:test", at_access=0),),
+        seed=5,
+    )
+    out, stats = run_pt_store(faults=plan)
+    assert np.array_equal(out, pt_reference)
+    assert stats.injected["poison_compact"] == 1
+    assert stats.detected["pt_compact"] == 1
+    assert stats.recovered["pt_redescribe"] == 1
+
+
+def test_kernel_overflow_falls_back_to_reference(mul_reference):
+    plan = FaultPlan(
+        faults=(Fault(kind="kernel_overflow", target="*", at_access=3),), seed=5
+    )
+    out, stats = run_two_muls(faults=plan)
+    assert np.array_equal(out, mul_reference)
+    assert stats.injected["kernel_overflow"] == 1
+    assert stats.detected["kernel_range"] == 1
+    assert stats.recovered["kernel_fallback"] == 1
+
+
+# ------------------------------------------------ unrecoverable: typed raise
+
+
+def test_flip_evk_b_raises_integrity_error():
+    rc = ResilienceContext()
+    plan = FaultPlan(
+        faults=(Fault(kind="flip_evk_b", target="mult", at_access=0),), seed=5
+    )
+    with pytest.raises(IntegrityError):
+        run_two_muls(faults=plan, resilience=rc)
+    assert rc.stats.detected["evk_b"] == 1
+    assert rc.stats.raised["IntegrityError"] == 1
+
+
+def test_corrupt_seed_exhausts_bounded_retries():
+    rc = ResilienceContext(policy=RetryPolicy(max_attempts=2))
+    plan = FaultPlan(
+        faults=(Fault(kind="corrupt_seed", target="mult", at_access=0),), seed=5
+    )
+    with pytest.raises(RecoveryExhaustedError):
+        run_two_muls(faults=plan, resilience=rc)
+    assert rc.stats.detected["seeded"] == 2  # one per bounded attempt
+    assert rc.stats.raised["RecoveryExhaustedError"] == 1
+
+
+# ----------------------------------------------------------- verify switch
+
+
+def test_verify_off_lets_corruption_through(mul_reference):
+    """With verification explicitly disabled the same fault goes
+    undetected and the decrypt is wrong -- the behaviour the digest
+    layer exists to rule out."""
+    rc = ResilienceContext(verify=False)
+    plan = FaultPlan(
+        faults=(Fault(kind="flip_evk_a", target="mult", at_access=0),), seed=5
+    )
+    out, stats = run_two_muls(faults=plan, resilience=rc)
+    assert stats.injected["flip_evk_a"] == 1
+    assert stats.total_detected == 0
+    assert stats.silent
+    assert not np.array_equal(out, mul_reference)
+
+
+# ----------------------------------------------------------- session guard
+
+
+def test_scale_overflow_fails_fast_with_hint():
+    with repro.session(TOY, seed=7) as sess:
+        x = sess.encrypt(VALUES)
+        y = x.drop_to(0)
+        with pytest.raises(ScaleOverflowError) as exc:
+            _ = y * y  # scale 2^56 at level 0: no rescale can save it
+        assert "rescale()" in str(exc.value)
+        assert sess.fault_stats.raised["ScaleOverflowError"] == 1
+
+
+# ------------------------------------------------------ guard installation
+
+
+def test_kernel_guard_only_installed_on_explicit_optin():
+    assert nt_kernels.get_output_guard() is None
+    with repro.session(TOY, seed=7):
+        assert nt_kernels.get_output_guard() is None
+
+
+def test_kernel_guard_removed_on_session_close():
+    plan = FaultPlan(faults=(Fault(kind="evict_evk"),), seed=1)
+    with repro.session(TOY, seed=7, key_store=KeyStore(), faults=plan):
+        assert nt_kernels.get_output_guard() is not None
+    assert nt_kernels.get_output_guard() is None
+
+
+def test_closing_stale_session_keeps_newer_guard():
+    plan = FaultPlan(faults=(Fault(kind="evict_evk"),), seed=1)
+    a = repro.session(TOY, seed=7, key_store=KeyStore(), faults=plan)
+    b = repro.session(TOY, seed=7, key_store=KeyStore(), faults=plan)
+    guard_b = nt_kernels.get_output_guard()
+    a.close()  # must not clobber b's guard
+    assert nt_kernels.get_output_guard() is guard_b
+    b.close()
+    assert nt_kernels.get_output_guard() is None
+
+
+def test_faults_rejected_on_symbolic_backends():
+    plan = FaultPlan(faults=(Fault(kind="evict_evk"),), seed=1)
+    with pytest.raises(ParameterError):
+        repro.session(TOY, backend="plan", faults=plan)

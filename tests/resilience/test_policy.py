@@ -1,0 +1,130 @@
+"""RetryPolicy / FaultStats / fetch_with_retry unit tests (no HE state)."""
+
+import pytest
+
+from repro.errors import (
+    FaultInjectedError,
+    ParameterError,
+    RecoveryExhaustedError,
+)
+from repro.resilience import (
+    FaultStats,
+    ResilienceContext,
+    RetryPolicy,
+    fetch_with_retry,
+)
+
+
+class FlakyEvk:
+    """fetch_parts() raises the scripted errors, then returns parts."""
+
+    kind = "mult"
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        self.calls = 0
+
+    def fetch_parts(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return ("b", "a")
+
+
+def transient():
+    return FaultInjectedError("glitch", transient=True)
+
+
+# ------------------------------------------------------------- RetryPolicy
+
+
+def test_retry_policy_rejects_zero_attempts():
+    with pytest.raises(ParameterError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_retry_policy_backoff_hook_receives_attempt_index():
+    waited = []
+    policy = RetryPolicy(max_attempts=4, backoff=waited.append)
+    rc = ResilienceContext(policy=policy)
+    evk = FlakyEvk([transient(), transient()])
+    assert fetch_with_retry(evk, rc) == ("b", "a")
+    assert waited == [0, 1]
+
+
+def test_retry_policy_default_backoff_is_noop():
+    RetryPolicy().wait(0)  # must not raise or sleep
+
+
+# --------------------------------------------------------- fetch_with_retry
+
+
+def test_fetch_with_retry_clean_fetch_records_nothing():
+    rc = ResilienceContext()
+    evk = FlakyEvk([])
+    assert fetch_with_retry(evk, rc) == ("b", "a")
+    assert rc.stats.total_detected == 0
+    assert rc.stats.total_recovered == 0
+
+
+def test_fetch_with_retry_recovers_transient_faults():
+    rc = ResilienceContext()
+    evk = FlakyEvk([transient(), transient()])
+    assert fetch_with_retry(evk, rc) == ("b", "a")
+    assert evk.calls == 3
+    assert rc.stats.detected["fetch_fault"] == 2
+    assert rc.stats.recovered["fetch_retry"] == 1
+
+
+def test_fetch_with_retry_exhaustion_raises_typed_error():
+    rc = ResilienceContext(policy=RetryPolicy(max_attempts=2))
+    evk = FlakyEvk([transient(), transient(), transient()])
+    with pytest.raises(RecoveryExhaustedError):
+        fetch_with_retry(evk, rc)
+    assert evk.calls == 2
+    assert rc.stats.raised["RecoveryExhaustedError"] == 1
+
+
+def test_fetch_with_retry_persistent_fault_propagates_immediately():
+    rc = ResilienceContext()
+    evk = FlakyEvk([FaultInjectedError("dead", transient=False)])
+    with pytest.raises(FaultInjectedError):
+        fetch_with_retry(evk, rc)
+    assert evk.calls == 1
+    assert rc.stats.raised["FaultInjectedError"] == 1
+
+
+# --------------------------------------------------------------- FaultStats
+
+
+def test_fault_stats_totals_and_summary():
+    stats = FaultStats()
+    stats.record_injected("flip_evk_a")
+    stats.record_injected("fetch_fail", times=2)
+    stats.record_detected("evk_a")
+    stats.record_recovered("evk_a_regen")
+    stats.record_raised(RecoveryExhaustedError("x"))
+    assert stats.total_injected == 3
+    assert stats.total_detected == 1
+    assert stats.total_recovered == 1
+    assert stats.raised["RecoveryExhaustedError"] == 1
+    assert "injected=3" in stats.summary()
+
+
+def test_fault_stats_silent_flag():
+    stats = FaultStats()
+    assert not stats.silent  # nothing injected -> nothing to be silent about
+    stats.record_injected("flip_evk_a")
+    assert stats.silent
+    stats.record_detected("evk_a")
+    assert not stats.silent
+
+
+def test_fault_stats_reset():
+    stats = FaultStats()
+    stats.record_injected("poison_pt")
+    stats.record_detected("pt")
+    stats.reset()
+    assert stats.total_injected == 0
+    assert stats.total_detected == 0
+    assert not stats.silent

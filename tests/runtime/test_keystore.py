@@ -5,8 +5,9 @@ import numpy as np
 import pytest
 
 from repro.analysis.datasizes import keystore_footprint
-from repro.errors import KeyError_
+from repro.errors import KeyError_, MissingEvkError
 from repro.params import TOY
+from repro.runtime.accounting import ByteBudgetCache
 from repro.runtime.keystore import KeyStore
 from repro.ckks.context import CkksContext
 
@@ -106,6 +107,46 @@ def test_zero_budget_regenerates_every_time(message):
     assert store.cached_bytes == 0
 
 
+def test_zero_budget_disables_caching_even_for_empty_entries():
+    """Budget 0 means *no* caching -- a zero-sized value must not sneak in
+    (0 + 0 <= 0 would have admitted it under a naive fit check)."""
+    cache = ByteBudgetCache(budget_bytes=0)
+    calls = []
+
+    def expand():
+        calls.append(1)
+        return []
+
+    cache.get("k", expand=expand, nbytes=lambda v: 0)
+    cache.get("k", expand=expand, nbytes=lambda v: 0)
+    assert len(calls) == 2
+    assert len(cache) == 0 and cache.occupied_bytes == 0
+
+
+def test_oversized_key_streams_without_pinning(message):
+    """A single key larger than the whole budget is expanded and handed
+    out but never becomes resident (it would otherwise pin the cache)."""
+    one_key = TOY.dnum * TOY.total_limbs * TOY.degree * 8
+    ctx = make_ctx(budget=one_key - 1)
+    store = ctx.key_store
+    store.reset_stats()
+    ct = ctx.encrypt(message)
+    ctx.evaluator.mul(ct, ct)
+    ctx.evaluator.mul(ct, ct)
+    assert store.stats.misses == 2 and store.stats.hits == 0
+    assert store.cached_bytes == 0
+    assert store.stats.evictions == 0  # nothing resident to evict
+
+
+def test_oversized_insert_does_not_evict_smaller_residents():
+    cache = ByteBudgetCache(budget_bytes=100)
+    cache.get("small", expand=lambda: "s", nbytes=lambda v: 40)
+    cache.get("big", expand=lambda: "B", nbytes=lambda v: 1000)
+    assert cache.occupied_bytes == 40
+    assert cache.peek("small") == "s"
+    assert "big" not in cache
+
+
 def test_lru_eviction_under_tight_budget(message):
     # Budget fits exactly one key's expanded a-parts.
     one_key = TOY.dnum * TOY.total_limbs * TOY.degree * 8
@@ -154,7 +195,49 @@ def test_keystore_footprint_report(message):
     assert fp.stored_mb == pytest.approx(fp.eager_mb / fp.compression)
 
 
+# ----------------------------------------------------- eviction mid-program
+
+
+def test_fetch_parts_after_midprogram_eviction_bit_identical(message):
+    """Expand -> evict -> re-fetch must regenerate the exact same a-parts
+    (the seed is the source of truth, the cache is only an accelerator)."""
+    ctx = make_ctx()
+    store = ctx.key_store
+    evk = store.get("mult")
+    _, first = evk.fetch_parts()
+    first_copies = [p.data.copy() for p in first]
+    assert store.discard_cached("mult")
+    _, again = evk.fetch_parts()
+    for old, new in zip(first_copies, again):
+        assert np.array_equal(old, new.data)
+
+
+def test_results_bit_identical_across_clear_cache(message):
+    """A full cache flush between ops changes nothing but the accounting."""
+    eager = CkksContext.create(TOY, rotations=ROTS, seed=41)
+    ctx = make_ctx()
+    store = ctx.key_store
+    ct_e = eager.encrypt(message)
+    ct_s = ctx.encrypt(message)
+    out_e = eager.evaluator.mul(ct_e, ct_e)
+    out_s = ctx.evaluator.mul(ct_s, ct_s)
+    store.clear_cache()
+    out_e2 = eager.evaluator.mul(out_e, out_e)
+    out_s2 = ctx.evaluator.mul(out_s, out_s)
+    assert np.array_equal(out_e2.b.data, out_s2.b.data)
+    assert np.array_equal(out_e2.a.data, out_s2.a.data)
+    assert store.stats.misses >= 2  # the flush forced a regeneration
+
+
 # -------------------------------------------------------------- error paths
+
+
+def test_missing_evk_error_name_and_alias(store_ctx):
+    """`MissingEvkError` is the real name; `KeyError_` stays as a
+    deprecated alias so existing call sites keep working."""
+    assert KeyError_ is MissingEvkError
+    with pytest.raises(MissingEvkError):
+        store_ctx.key_store.get("conj:nope")
 
 
 def test_store_get_unknown_kind_raises(store_ctx):

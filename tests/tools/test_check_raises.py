@@ -1,0 +1,64 @@
+"""The raise-lint gate, run as a tier-1 test: the guarded trees must be
+clean, and the checker itself must actually catch offenders."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+TOOL = ROOT / "tools" / "check_raises.py"
+
+sys.path.insert(0, str(ROOT / "tools"))
+import check_raises  # noqa: E402
+
+
+def test_guarded_trees_are_clean():
+    trees = [ROOT / tree for tree in check_raises.DEFAULT_TREES]
+    assert check_raises.check_trees(trees) == []
+
+
+def test_whole_library_is_clean():
+    """Stricter than the CI default: no bare raises anywhere in repro."""
+    assert check_raises.check_trees([ROOT / "src" / "repro"]) == []
+
+
+def test_checker_flags_offenders(tmp_path):
+    offender = tmp_path / "bad.py"
+    offender.write_text(
+        "def f(x):\n"
+        "    if x:\n"
+        "        raise ValueError('nope')\n"
+        "    raise AssertionError\n"
+    )
+    findings = check_raises.check_file(offender)
+    assert [(line, name) for _, line, name in findings] == [
+        (3, "ValueError"),
+        (4, "AssertionError"),
+    ]
+
+
+def test_checker_ignores_typed_and_re_raises(tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text(
+        "from repro.errors import ParameterError\n"
+        "def f():\n"
+        "    try:\n"
+        "        raise ParameterError('typed')\n"
+        "    except ParameterError:\n"
+        "        raise\n"
+    )
+    assert check_raises.check_file(clean) == []
+
+
+def test_cli_exit_codes(tmp_path):
+    offender = tmp_path / "bad.py"
+    offender.write_text("raise ValueError('x')\n")
+    ok = subprocess.run(
+        [sys.executable, str(TOOL)], cwd=ROOT, capture_output=True
+    )
+    assert ok.returncode == 0, ok.stdout
+    bad = subprocess.run(
+        [sys.executable, str(TOOL), str(offender)], cwd=ROOT, capture_output=True
+    )
+    assert bad.returncode == 1
+    assert b"ValueError" in bad.stdout

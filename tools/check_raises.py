@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""AST lint: library code must raise typed ReproError subclasses.
+
+Walks the given source trees (default: the runtime stores and the backend
+layer, where recovery logic catches exceptions by type) and flags any
+``raise ValueError(...)`` / ``raise AssertionError(...)``: callers of the
+resilience layer dispatch on :class:`repro.errors.ReproError` subclasses,
+so a bare builtin escaping a store would bypass every recovery path.
+
+Exit code 1 when findings exist (CI gate); the findings name the file,
+line, and the typed error to use instead. Usage::
+
+    python tools/check_raises.py                 # default trees
+    python tools/check_raises.py src/repro       # whole library
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+FORBIDDEN = {
+    "ValueError": "ParameterError (or a more specific ReproError)",
+    "AssertionError": "a typed ReproError -- asserts vanish under -O",
+}
+DEFAULT_TREES = ("src/repro/runtime", "src/repro/backend")
+
+
+def check_file(path: pathlib.Path) -> list[tuple[pathlib.Path, int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in FORBIDDEN:
+            findings.append((path, node.lineno, exc.id))
+    return sorted(findings)
+
+
+def check_trees(trees) -> list[tuple[pathlib.Path, int, str]]:
+    findings = []
+    for tree in trees:
+        root = pathlib.Path(tree)
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            findings.extend(check_file(path))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    trees = argv or list(DEFAULT_TREES)
+    findings = check_trees(trees)
+    for path, lineno, name in findings:
+        print(f"{path}:{lineno}: raise {name} -- use {FORBIDDEN[name]}")
+    if findings:
+        print(f"{len(findings)} forbidden raise(s); see repro/errors.py")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
