@@ -1,0 +1,130 @@
+"""Telemetry overhead microbenchmarks: observing must stay near-free.
+
+Three variants of the same warm HMult through the backend op surface:
+
+* ``raw``       -- the undecorated op (``mul.__wrapped__``), the pre-
+                   telemetry baseline;
+* ``disabled``  -- the decorated op with no telemetry attached (one
+                   attribute read + None check, the default for every
+                   session);
+* ``enabled``   -- spans + key-switch spans + kernel probes all live.
+
+The explicit gate test measures the three interleaved (min-of-rounds, so
+scheduler noise cancels) and enforces the budget: disabled < 2% over
+raw, fully enabled < 15%.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import _tables
+from repro import TOY, Telemetry
+from repro.backend.session import session as make_session
+from repro.obs import hooks
+
+pytestmark = pytest.mark.benchmark(
+    warmup="on", warmup_iterations=5, min_rounds=15
+)
+
+DISABLED_LIMIT = 1.02  # < 2% overhead with telemetry off
+ENABLED_LIMIT = 1.15   # < 15% overhead fully instrumented
+
+
+@pytest.fixture(scope="module")
+def sess():
+    s = make_session(TOY, seed=91)
+    yield s
+    s.close()
+
+
+@pytest.fixture(scope="module")
+def handles(sess):
+    rng = np.random.default_rng(12)
+    msg = rng.uniform(-1, 1, TOY.max_slots).astype(np.complex128)
+    return sess.encrypt(msg).h, sess.encrypt(msg).h
+
+
+def _raw_mul(be):
+    """The op as it was before the telemetry decorator."""
+    return type(be).mul.__wrapped__
+
+
+def test_bench_hmult_obs_raw(benchmark, sess, handles):
+    be = sess.backend
+    benchmark(_raw_mul(be), be, *handles)
+
+
+def test_bench_hmult_obs_disabled(benchmark, sess, handles):
+    be = sess.backend
+    assert be.telemetry is None and hooks.active() is None
+    benchmark(be.mul, *handles)
+
+
+def test_bench_hmult_obs_enabled(benchmark, sess, handles):
+    be = sess.backend
+    telemetry = Telemetry()
+    be.telemetry = telemetry
+    hooks.install(telemetry)
+    try:
+        benchmark(be.mul, *handles)
+    finally:
+        be.telemetry = None
+        hooks.uninstall(telemetry)
+
+
+def test_obs_overhead_gate(sess, handles):
+    """Interleaved min-of-rounds comparison enforcing the overhead budget."""
+    be = sess.backend
+    raw = _raw_mul(be)
+    telemetry = Telemetry()
+
+    def run_raw():
+        raw(be, *handles)
+
+    def run_disabled():
+        be.mul(*handles)
+
+    def run_enabled():
+        be.mul(*handles)
+
+    def timed(fn, iters=3):
+        t0 = time.perf_counter_ns()
+        for _ in range(iters):
+            fn()
+        return (time.perf_counter_ns() - t0) / iters
+
+    for fn in (run_raw, run_disabled, run_enabled):  # warm every path
+        fn()
+    best = {"raw": float("inf"), "disabled": float("inf"), "enabled": float("inf")}
+    for _ in range(9):
+        best["raw"] = min(best["raw"], timed(run_raw))
+        best["disabled"] = min(best["disabled"], timed(run_disabled))
+        be.telemetry = telemetry
+        hooks.install(telemetry)
+        try:
+            best["enabled"] = min(best["enabled"], timed(run_enabled))
+        finally:
+            be.telemetry = None
+            hooks.uninstall(telemetry)
+        telemetry.clear()
+
+    disabled_ratio = best["disabled"] / best["raw"]
+    enabled_ratio = best["enabled"] / best["raw"]
+    _tables.record(
+        "Telemetry overhead on a warm HMult (min-of-rounds)",
+        [
+            f"raw       {best['raw'] / 1e6:8.3f} ms",
+            f"disabled  {best['disabled'] / 1e6:8.3f} ms  "
+            f"({100 * (disabled_ratio - 1):+5.2f}%, limit +2%)",
+            f"enabled   {best['enabled'] / 1e6:8.3f} ms  "
+            f"({100 * (enabled_ratio - 1):+5.2f}%, limit +15%)",
+        ],
+    )
+    assert disabled_ratio < DISABLED_LIMIT, (
+        f"telemetry-off overhead {disabled_ratio:.3f}x exceeds {DISABLED_LIMIT}x"
+    )
+    assert enabled_ratio < ENABLED_LIMIT, (
+        f"telemetry-on overhead {enabled_ratio:.3f}x exceeds {ENABLED_LIMIT}x"
+    )

@@ -26,7 +26,12 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = ROOT / "BENCH_kernels.json"
 REGRESSION_LIMIT = 1.3
 
-SUITES = ("bench_kernels.py", "bench_keystore.py", "bench_resilience.py")
+SUITES = (
+    "bench_kernels.py",
+    "bench_keystore.py",
+    "bench_resilience.py",
+    "bench_obs.py",
+)
 
 
 def main(argv: list[str]) -> int:

@@ -47,6 +47,7 @@ from repro.backend import (
     TraceBackend,
     session,
 )
+from repro.obs import MetricsRegistry, SpanTracer, Telemetry
 
 __version__ = "1.1.0"
 
@@ -69,4 +70,7 @@ __all__ = [
     "PlanBackend",
     "TraceBackend",
     "session",
+    "Telemetry",
+    "MetricsRegistry",
+    "SpanTracer",
 ]

@@ -8,6 +8,11 @@ Usage::
     python -m repro boot          # Fig. 7a bootstrapping ablation
     python -m repro workloads     # Fig. 7b / Tables V-VII summary
     python -m repro all           # everything above
+    python -m repro profile helr --toy   # measured per-op wall-time profile
+
+``profile`` runs a workload *functionally* with telemetry attached and
+prints the measured per-op breakdown next to the simulator's Fig. 4-style
+prediction, writing a Perfetto-loadable Chrome trace alongside.
 """
 
 from __future__ import annotations
@@ -15,16 +20,23 @@ from __future__ import annotations
 import argparse
 import sys
 
+import numpy as np
+
 from repro.analysis.breakdown import PAPER_FIG4, hrot_breakdown
 from repro.analysis.datasizes import PAPER_TABLE3_MB, table3_rows
 from repro.analysis.intensity import dft_intensity_table, traffic_removed_fraction
 from repro.analysis.metrics import amortized_mult_time_per_slot, measure_mult_times
 from repro.arch.config import ARK_BASE
 from repro.arch.scheduler import simulate
-from repro.params import ARK
+from repro.errors import ParameterError
+from repro.obs import Telemetry
+from repro.obs.profile import format_breakdown, measured_breakdown
+from repro.obs.tracing import validate_chrome_trace_file
+from repro.params import ARK, TOY
 from repro.plan.bootplan import BootstrapPlan
 from repro.workloads import build_helr, build_resnet20, build_sorting
-from repro.workloads.helr import ITERATIONS_DEFAULT
+from repro.workloads.helr import EncryptedLogisticRegression, ITERATIONS_DEFAULT
+from repro.workloads.sorting import encrypted_compare_swap
 
 
 def cmd_table3() -> None:
@@ -93,6 +105,62 @@ def cmd_workloads() -> None:
     print(f"  Sorting     {sorting:8.2f} s     (paper 1.99 s)")
 
 
+# ------------------------------------------------------------------ profiling
+
+
+def _profile_helr(telemetry: Telemetry, iters: int) -> None:
+    from repro.backend.session import session
+
+    with session(TOY, seed=11, rotations=(1,), telemetry=telemetry) as sess:
+        rng = np.random.default_rng(11)
+        model = EncryptedLogisticRegression(sess, features=4)
+        for i in range(iters):
+            model.step(rng.uniform(-1, 1, 4), float(i % 2))
+
+
+def _profile_sorting(telemetry: Telemetry, iters: int) -> None:
+    from repro.backend.session import session
+
+    with session(TOY, seed=11, telemetry=telemetry) as sess:
+        rng = np.random.default_rng(11)
+        for _ in range(iters):
+            a = sess.encrypt(rng.uniform(-0.5, 0.5, 8), tag="ct:sort:a")
+            b = sess.encrypt(rng.uniform(-0.5, 0.5, 8), tag="ct:sort:b")
+            encrypted_compare_swap(sess, a, b)
+
+
+PROFILE_WORKLOADS = {
+    "helr": (_profile_helr, 2),
+    "sorting": (_profile_sorting, 1),
+}
+
+
+def cmd_profile(args: argparse.Namespace) -> None:
+    """Run a workload functionally with telemetry; print the measured profile."""
+    if not args.toy:
+        raise ParameterError(
+            "only --toy profiling is supported (full-scale parameters are "
+            "simulator-only; see 'python -m repro workloads')"
+        )
+    runner, default_iters = PROFILE_WORKLOADS[args.workload]
+    iters = args.iters if args.iters is not None else default_iters
+    telemetry = Telemetry(kernels=not args.no_kernels)
+    runner(telemetry, iters)
+
+    print(f"Measured profile: {args.workload} (TOY parameters, {iters} iteration(s))")
+    print(telemetry.report())
+    print()
+    measured = measured_breakdown(telemetry)
+    simulated = hrot_breakdown(TOY)
+    print(format_breakdown(measured, simulated))
+    print(f"  paper (ARK, dnum=4): {PAPER_FIG4[4]}")
+
+    trace_path = args.trace_out or f"profile_{args.workload}.trace.json"
+    telemetry.write_trace(trace_path)
+    validate_chrome_trace_file(trace_path)
+    print(f"\ntrace written: {trace_path} (open in ui.perfetto.dev)")
+
+
 COMMANDS = {
     "table3": cmd_table3,
     "fig2": cmd_fig2,
@@ -105,11 +173,30 @@ COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate ARK's evaluation tables.",
+        description="Regenerate ARK's evaluation tables, or profile a run.",
     )
-    parser.add_argument("command", choices=[*COMMANDS, "all"])
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in (*COMMANDS, "all"):
+        sub.add_parser(name)
+    profile = sub.add_parser(
+        "profile", help="run a workload functionally with telemetry attached"
+    )
+    profile.add_argument("workload", choices=sorted(PROFILE_WORKLOADS))
+    profile.add_argument(
+        "--toy", action="store_true", default=True,
+        help="profile at TOY scale (the only supported scale; default)",
+    )
+    profile.add_argument("--iters", type=int, default=None,
+                         help="iterations to run (default: workload-specific)")
+    profile.add_argument("--trace-out", default=None,
+                         help="Chrome-trace output path "
+                              "(default: profile_<workload>.trace.json)")
+    profile.add_argument("--no-kernels", action="store_true",
+                         help="skip the kernel probes (op/ks spans only)")
     args = parser.parse_args(argv)
-    if args.command == "all":
+    if args.command == "profile":
+        cmd_profile(args)
+    elif args.command == "all":
         for fn in COMMANDS.values():
             fn()
             print()

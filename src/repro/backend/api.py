@@ -32,6 +32,7 @@ Counter keys deliberately match ``CkksEvaluator.stats``
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from collections import Counter
 from dataclasses import dataclass
@@ -39,6 +40,30 @@ from typing import Any
 
 from repro.errors import LevelError, ParameterError
 from repro.params import CkksParams
+
+
+def _traced(name: str):
+    """Wrap a backend op in a telemetry span named after its counter key.
+
+    The disabled path is one attribute read and a ``None`` check on top of
+    the undecorated call (the raw function stays reachable as
+    ``__wrapped__``; ``benchmarks/bench_obs.py`` gates both paths).
+    Only the outermost backend of a wrapping chain carries a telemetry
+    handle, so wrapped inner backends never double-record spans.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            telemetry = self.telemetry
+            if telemetry is None:
+                return fn(self, *args, **kwargs)
+            with telemetry.tracer.span(name, "op"):
+                return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return deco
 
 # Nominal scales can only grow so far before float overflow on long
 # unrescaled squaring chains (the structural sorting model squares 36
@@ -126,6 +151,9 @@ class HeBackend(ABC):
         self.mode = mode
         self.op_counts: Counter = Counter()
         self.evk_usage: Counter = Counter()
+        #: Optional :class:`~repro.obs.telemetry.Telemetry`; set by
+        #: ``session(..., telemetry=...)`` on the outermost backend only.
+        self.telemetry = None
 
     # ------------------------------------------------------------- utilities
 
@@ -166,6 +194,7 @@ class HeBackend(ABC):
 
     # --------------------------------------------------------------- sources
 
+    @_traced("input_ct")
     def input_ct(
         self,
         tag: str = "ct:input",
@@ -194,6 +223,7 @@ class HeBackend(ABC):
     ) -> HePt:
         return HePt(tag=tag, values=values, scale=scale, store=store)
 
+    @_traced("read")
     def read(self, a: HeCt):
         """Decrypt-and-decode (functional backends only; others return None)."""
         self._check(a)
@@ -201,6 +231,7 @@ class HeBackend(ABC):
 
     # ------------------------------------------------------------- additive
 
+    @_traced("hadd")
     def add(self, a: HeCt, b: HeCt) -> HeCt:
         """HAdd of two equal-scale ciphertexts."""
         self._check(a, b)
@@ -208,12 +239,14 @@ class HeBackend(ABC):
         self.op_counts["hadd"] += 1
         return self._out(self._add(a, b), a.level, a.scale, a.slots)
 
+    @_traced("hadd")
     def sub(self, a: HeCt, b: HeCt) -> HeCt:
         self._check(a, b)
         a, b = self._align(a, b)
         self.op_counts["hadd"] += 1
         return self._out(self._sub(a, b), a.level, a.scale, a.slots)
 
+    @_traced("hadd")
     def add_matched(self, a: HeCt, b: HeCt) -> HeCt:
         """HAdd after aligning levels and (functionally) exact scales."""
         self._check(a, b)
@@ -221,17 +254,20 @@ class HeBackend(ABC):
         self.op_counts["hadd"] += 1
         return self._out(self._add_matched(a, b), a.level, a.scale, a.slots)
 
+    @_traced("negate")
     def negate(self, a: HeCt) -> HeCt:
         self._check(a)
         self.op_counts["negate"] += 1
         return self._out(self._negate(a), a.level, a.scale, a.slots)
 
+    @_traced("padd")
     def add_plain(self, a: HeCt, pt: HePt) -> HeCt:
         """PAdd with an encoded plaintext."""
         self._check(a)
         self.op_counts["padd"] += 1
         return self._out(self._add_plain(a, pt), a.level, a.scale, a.slots)
 
+    @_traced("cadd")
     def add_const(self, a: HeCt, value: float) -> HeCt:
         """CAdd of the same real constant to every slot."""
         self._check(a)
@@ -240,6 +276,7 @@ class HeBackend(ABC):
 
     # ------------------------------------------------------- multiplicative
 
+    @_traced("hmult")
     def mul(self, a: HeCt, b: HeCt) -> HeCt:
         """HMult with relinearization (uses ``evk:mult``)."""
         self._check(a, b)
@@ -251,6 +288,7 @@ class HeBackend(ABC):
     def square(self, a: HeCt) -> HeCt:
         return self.mul(a, a)
 
+    @_traced("pmult")
     def mul_plain(self, a: HeCt, pt: HePt) -> HeCt:
         """PMult with an encoded plaintext; scales multiply."""
         self._check(a)
@@ -260,6 +298,7 @@ class HeBackend(ABC):
             self._mul_plain(a, pt), a.level, a.scale * pt_scale, a.slots
         )
 
+    @_traced("cmult")
     def mul_const(self, a: HeCt, value: float) -> HeCt:
         """CMult by a real constant; the result has scale Δ^2."""
         self._check(a)
@@ -268,12 +307,14 @@ class HeBackend(ABC):
             self._mul_const(a, value), a.level, a.scale * a.scale, a.slots
         )
 
+    @_traced("imult")
     def mul_int(self, a: HeCt, value: int) -> HeCt:
         """Exact small-integer multiply (value changes, scale does not)."""
         self._check(a)
         self.op_counts["imult"] += 1
         return self._out(self._mul_int(a, value), a.level, a.scale, a.slots)
 
+    @_traced("div_pow2")
     def div_by_pow2(self, a: HeCt, power: int = 1) -> HeCt:
         """Exact division by 2^power via scale retargeting (free)."""
         self._check(a)
@@ -298,6 +339,12 @@ class HeBackend(ABC):
             if amount is None:
                 raise ParameterError("symbolic rotations need a key_tag")
             key_tag = self.default_rotation_tag(amount)
+        return self._rotate_counted(a, amount, key_tag)
+
+    @_traced("hrot")
+    def _rotate_counted(self, a: HeCt, amount: int | None, key_tag: str) -> HeCt:
+        """The counted (non-trivial) rotation path; amount-0 copies in
+        :meth:`rotate` bypass it so span counts match ``op_counts``."""
         self.op_counts["hrot"] += 1
         self.evk_usage[key_tag] += 1
         return self._out(self._rotate(a, amount, key_tag), a.level, a.scale, a.slots)
@@ -326,6 +373,13 @@ class HeBackend(ABC):
             or self.default_rotation_tag(reduced)
             for amount, reduced in pending
         }
+        self._rotate_hoisted_counted(a, pending, tags, out)
+        return out
+
+    @_traced("hrot_hoisted")
+    def _rotate_hoisted_counted(self, a, pending, tags, out) -> None:
+        """One span per hoisted fan (the span ``arg``-free count is the
+        ``hoisted_modup`` tally; ``hrot_hoisted`` counts the fan width)."""
         self.op_counts["hoisted_modup"] += 1
         self.op_counts["hrot_hoisted"] += len(pending)
         for reduced, tag in tags.items():
@@ -335,8 +389,8 @@ class HeBackend(ABC):
             out[amount] = self._out(
                 payloads[reduced], a.level, a.scale, a.slots
             )
-        return out
 
+    @_traced("hconj")
     def conjugate(self, a: HeCt) -> HeCt:
         """Complex-conjugate every slot (uses the conjugation key)."""
         self._check(a)
@@ -346,6 +400,7 @@ class HeBackend(ABC):
 
     # -------------------------------------------------------- level control
 
+    @_traced("rescale")
     def rescale(self, a: HeCt) -> HeCt:
         """HRescale: drop the last limb and divide by it."""
         self._check(a)
@@ -366,6 +421,7 @@ class HeBackend(ABC):
         self.op_counts["level_drop"] += 1
         return self._out(self._drop(a, level), level, a.scale, a.slots)
 
+    @_traced("bootstrap")
     def bootstrap(self, a: HeCt) -> HeCt:
         """Refresh a level-0 ciphertext to the post-bootstrap level."""
         self._check(a)

@@ -31,6 +31,7 @@ from repro.backend.functional import FunctionalBackend
 from repro.backend.plan import PlanBackend
 from repro.backend.trace import TraceBackend
 from repro.errors import ParameterError
+from repro.obs import hooks as obs_hooks
 from repro.params import CkksParams
 from repro.resilience.faults import Fault, FaultInjector, FaultPlan
 from repro.resilience.guards import (
@@ -205,11 +206,13 @@ class HeSession:
         resilience: ResilienceContext | None = None,
         kernel_guard=None,
         session_guard: SessionGuard | None = None,
+        telemetry=None,
     ):
         self.backend = backend
         self.resilience = resilience
         self._kernel_guard = kernel_guard
         self._session_guard = session_guard
+        self._telemetry = telemetry
 
     def __enter__(self) -> "HeSession":
         return self
@@ -218,10 +221,13 @@ class HeSession:
         self.close()
 
     def close(self) -> None:
-        """Release process-global hooks (the kernel output guard)."""
+        """Release process-global hooks (kernel guard, telemetry)."""
         if self._kernel_guard is not None:
             uninstall_kernel_guard(self._kernel_guard)
             self._kernel_guard = None
+        if self._telemetry is not None:
+            obs_hooks.uninstall(self._telemetry)
+            self._telemetry = None
 
     def _check(self, h: HeCt) -> HeCt:
         """Overflow-guard hook run on every handle this session wraps."""
@@ -235,6 +241,21 @@ class HeSession:
     def fault_stats(self):
         """The session's FaultStats ledger (None on symbolic backends)."""
         return self.resilience.stats if self.resilience is not None else None
+
+    @property
+    def telemetry(self):
+        """The session's :class:`~repro.obs.telemetry.Telemetry`, or None."""
+        return self._telemetry
+
+    def metrics(self):
+        """The unified metrics snapshot over every stat surface this
+        session carries (see :func:`repro.obs.adapters.collect_session`).
+        Works with or without telemetry attached."""
+        if self._telemetry is not None:
+            return self._telemetry.snapshot(self)
+        from repro.obs.adapters import collect_session
+
+        return collect_session(self).snapshot()
 
     @property
     def params(self) -> CkksParams:
@@ -382,6 +403,7 @@ def session(
     plan_name: str | None = None,
     faults=None,
     resilience: ResilienceContext | None = None,
+    telemetry=None,
 ) -> HeSession:
     """Build an :class:`HeSession` -- the one entry point for HE programs.
 
@@ -403,6 +425,11 @@ def session(
     passing ``faults=`` or ``resilience=`` additionally installs the
     process-wide kernel output guard -- close the session (it is a
     context manager) to remove it.
+
+    ``telemetry=`` (a :class:`~repro.obs.telemetry.Telemetry`) arms span
+    tracing on the backend ops and -- like the kernel guard -- installs
+    process-wide hooks (key-switch/store spans, kernel timing probes)
+    that ``close()`` removes; one telemetry at a time per process.
     """
     if backend not in BACKENDS:
         raise ParameterError(f"backend must be one of {BACKENDS}")
@@ -435,11 +462,15 @@ def session(
         session_guard = SessionGuard(be.params, stats=rc.stats)
         if trace:
             be = TraceBackend(inner=be)
+        if telemetry is not None:
+            be.telemetry = telemetry
+            obs_hooks.install(telemetry)
         return HeSession(
             be,
             resilience=rc,
             kernel_guard=kernel_guard,
             session_guard=session_guard,
+            telemetry=telemetry,
         )
     if backend == "plan":
         if params is None:
@@ -451,4 +482,7 @@ def session(
         be = TraceBackend(params=params, mode=mode)
     if trace and not isinstance(be, TraceBackend):
         be = TraceBackend(inner=be)
-    return HeSession(be)
+    if telemetry is not None:
+        be.telemetry = telemetry
+        obs_hooks.install(telemetry)
+    return HeSession(be, telemetry=telemetry)

@@ -69,6 +69,43 @@ class TraceBackend(HeBackend):
         """Event tally in the shared counter-key scheme."""
         return Counter(event.op for event in self.events)
 
+    def to_chrome_trace(self) -> dict:
+        """The op stream as Chrome-trace instant events (sequence timeline).
+
+        Symbolic traces carry no wall time, so events land at their stream
+        index (1 µs apart) -- a structural timeline for Perfetto, not a
+        profile (that is :meth:`repro.obs.telemetry.Telemetry.write_trace`).
+        """
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "ts": 0,
+                "args": {"name": f"trace:{self.params.name}"},
+            }
+        ]
+        for i, event in enumerate(self.events):
+            args = {"level": event.level}
+            if event.tag:
+                args["tag"] = event.tag
+            if event.amount is not None:
+                args["amount"] = event.amount
+            events.append(
+                {
+                    "name": event.op,
+                    "cat": "op",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": float(i),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
     def _sync(self, h) -> None:
         if self.inner is not None and h.payload is not None:
             h.level = h.payload.level

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ParameterError
 from repro.nt.modarith import modinv
+from repro.obs import hooks
 from repro.params import CkksParams
 from repro.resilience.policy import fetch_with_retry
 from repro.rns.basis import RnsBasis
@@ -73,25 +74,27 @@ class KeySwitcher:
         """Run Alg. 2 on ``d`` (evaluation rep over active q-limbs)."""
         if d.rep != "eval":
             raise ParameterError("key-switch input must be in evaluation rep")
-        active = d.moduli
-        level = len(active) - 1
-        groups = self.basis.limb_groups(self.params.dnum, level=level)
-        extended_basis = tuple(active) + tuple(self.basis.p_moduli)
+        with hooks.maybe_span("keyswitch", "ks", getattr(evk, "kind", None)):
+            active = d.moduli
+            level = len(active) - 1
+            groups = self.basis.limb_groups(self.params.dnum, level=level)
+            extended_basis = tuple(active) + tuple(self.basis.p_moduli)
 
-        b_parts, a_parts = _fetch(evk)
-        acc_b: PolyRns | None = None
-        acc_a: PolyRns | None = None
-        for i, group in enumerate(groups):
-            piece = self._mod_up(d, group, extended_basis)
-            evk_b = b_parts[i].limbs(extended_basis)
-            evk_a = a_parts[i].limbs(extended_basis)
-            self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
-            term_b = piece * evk_b
-            term_a = piece * evk_a
-            acc_b = term_b if acc_b is None else acc_b + term_b
-            acc_a = term_a if acc_a is None else acc_a + term_a
-        assert acc_b is not None and acc_a is not None
-        return self._mod_down(acc_b, active), self._mod_down(acc_a, active)
+            b_parts, a_parts = _fetch(evk)
+            acc_b: PolyRns | None = None
+            acc_a: PolyRns | None = None
+            for i, group in enumerate(groups):
+                piece = self._mod_up(d, group, extended_basis)
+                with hooks.maybe_span("evk_ip", "ks"):
+                    evk_b = b_parts[i].limbs(extended_basis)
+                    evk_a = a_parts[i].limbs(extended_basis)
+                    self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
+                    term_b = piece * evk_b
+                    term_a = piece * evk_a
+                    acc_b = term_b if acc_b is None else acc_b + term_b
+                    acc_a = term_a if acc_a is None else acc_a + term_a
+            assert acc_b is not None and acc_a is not None
+            return self._mod_down(acc_b, active), self._mod_down(acc_a, active)
 
     # ----------------------------------------------------------- hoisting
 
@@ -107,11 +110,12 @@ class KeySwitcher:
         """
         if d.rep != "eval":
             raise ParameterError("hoisting input must be in evaluation rep")
-        active = d.moduli
-        level = len(active) - 1
-        groups = self.basis.limb_groups(self.params.dnum, level=level)
-        extended_basis = tuple(active) + tuple(self.basis.p_moduli)
-        return [self._mod_up(d, group, extended_basis) for group in groups]
+        with hooks.maybe_span("hoisted_modup", "ks"):
+            active = d.moduli
+            level = len(active) - 1
+            groups = self.basis.limb_groups(self.params.dnum, level=level)
+            extended_basis = tuple(active) + tuple(self.basis.p_moduli)
+            return [self._mod_up(d, group, extended_basis) for group in groups]
 
     def switch_hoisted(
         self, pieces: list[PolyRns], evk: EvaluationKey, galois: int
@@ -119,24 +123,28 @@ class KeySwitcher:
         """Finish one rotation's key-switch from shared ModUp pieces."""
         if not pieces:
             raise ParameterError("no ModUp pieces supplied")
-        extended_basis = pieces[0].moduli
-        active = tuple(
-            m for m in extended_basis if m not in self.basis.p_moduli
-        )
-        b_parts, a_parts = _fetch(evk)
-        acc_b: PolyRns | None = None
-        acc_a: PolyRns | None = None
-        for i, piece in enumerate(pieces):
-            rotated = piece.automorphism(galois)
-            evk_b = b_parts[i].limbs(extended_basis)
-            evk_a = a_parts[i].limbs(extended_basis)
-            self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
-            term_b = rotated * evk_b
-            term_a = rotated * evk_a
-            acc_b = term_b if acc_b is None else acc_b + term_b
-            acc_a = term_a if acc_a is None else acc_a + term_a
-        assert acc_b is not None and acc_a is not None
-        return self._mod_down(acc_b, active), self._mod_down(acc_a, active)
+        with hooks.maybe_span(
+            "keyswitch_hoisted", "ks", getattr(evk, "kind", None)
+        ):
+            extended_basis = pieces[0].moduli
+            active = tuple(
+                m for m in extended_basis if m not in self.basis.p_moduli
+            )
+            b_parts, a_parts = _fetch(evk)
+            acc_b: PolyRns | None = None
+            acc_a: PolyRns | None = None
+            for i, piece in enumerate(pieces):
+                rotated = piece.automorphism(galois)
+                with hooks.maybe_span("evk_ip", "ks"):
+                    evk_b = b_parts[i].limbs(extended_basis)
+                    evk_a = a_parts[i].limbs(extended_basis)
+                    self.stats.add("evk_mult_limbs", 2 * len(extended_basis))
+                    term_b = rotated * evk_b
+                    term_a = rotated * evk_a
+                    acc_b = term_b if acc_b is None else acc_b + term_b
+                    acc_a = term_a if acc_a is None else acc_a + term_a
+            assert acc_b is not None and acc_a is not None
+            return self._mod_down(acc_b, active), self._mod_down(acc_a, active)
 
     # -------------------------------------------------------------- stages
 
@@ -147,31 +155,33 @@ class KeySwitcher:
         extended_basis: tuple[int, ...],
     ) -> PolyRns:
         """Line 3 of Alg. 2: extend [d]_Ci to the full basis D."""
-        piece = d.limbs(group)
-        target = tuple(m for m in extended_basis if m not in group)
-        coeff = piece.to_coeff()
-        self.stats.add("intt_limbs", len(group))
-        conv = get_converter(tuple(group), target)
-        extension_data = conv.convert(coeff.data)
-        self.stats.add("bconv_output_limbs", len(target))
-        extension = PolyRns(d.degree, target, extension_data, rep="coeff").to_eval()
-        self.stats.add("ntt_limbs", len(target))
-        # The Ci-group limbs are already in evaluation rep in `piece`;
-        # NTT(INTT(x)) == x exactly, so reuse them instead of transforming
-        # the round-tripped coefficients back.
-        return piece.concat(extension).limbs(extended_basis)
+        with hooks.maybe_span("modup", "ks"):
+            piece = d.limbs(group)
+            target = tuple(m for m in extended_basis if m not in group)
+            coeff = piece.to_coeff()
+            self.stats.add("intt_limbs", len(group))
+            conv = get_converter(tuple(group), target)
+            extension_data = conv.convert(coeff.data)
+            self.stats.add("bconv_output_limbs", len(target))
+            extension = PolyRns(d.degree, target, extension_data, rep="coeff").to_eval()
+            self.stats.add("ntt_limbs", len(target))
+            # The Ci-group limbs are already in evaluation rep in `piece`;
+            # NTT(INTT(x)) == x exactly, so reuse them instead of transforming
+            # the round-tripped coefficients back.
+            return piece.concat(extension).limbs(extended_basis)
 
     def _mod_down(self, x: PolyRns, active: tuple[int, ...]) -> PolyRns:
         """Lines 6-8 of Alg. 2: back to R_Q and divide by P."""
-        special = tuple(self.basis.p_moduli)
-        x_c = x.limbs(active)
-        x_b = x.limbs(special).to_coeff()
-        self.stats.add("intt_limbs", len(special))
-        conv = get_converter(special, active)
-        correction_data = conv.convert(x_b.data)
-        self.stats.add("bconv_output_limbs", len(active))
-        correction = PolyRns(x.degree, active, correction_data, rep="coeff").to_eval()
-        self.stats.add("ntt_limbs", len(active))
-        diff = x_c - correction
-        p_inv = [modinv(self.basis.p_product % q, q) for q in active]
-        return diff.scalar_mul_per_limb(p_inv)
+        with hooks.maybe_span("moddown", "ks"):
+            special = tuple(self.basis.p_moduli)
+            x_c = x.limbs(active)
+            x_b = x.limbs(special).to_coeff()
+            self.stats.add("intt_limbs", len(special))
+            conv = get_converter(special, active)
+            correction_data = conv.convert(x_b.data)
+            self.stats.add("bconv_output_limbs", len(active))
+            correction = PolyRns(x.degree, active, correction_data, rep="coeff").to_eval()
+            self.stats.add("ntt_limbs", len(active))
+            diff = x_c - correction
+            p_inv = [modinv(self.basis.p_product % q, q) for q in active]
+            return diff.scalar_mul_per_limb(p_inv)

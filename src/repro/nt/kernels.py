@@ -38,6 +38,7 @@ library they assume single-threaded use. Returned arrays are always fresh.
 from __future__ import annotations
 
 import sys
+import time
 
 import numpy as np
 
@@ -74,6 +75,26 @@ def set_output_guard(guard) -> None:
 
 def get_output_guard():
     return _OUTPUT_GUARD
+
+
+#: Optional timing probe consulted by the kernel transforms (and by the
+#: BConv accumulation in :mod:`repro.rns.bconv`). Same module-global
+#: rationale as the output guard: kernels are process-wide singletons.
+#: Installed/removed by :mod:`repro.obs.hooks`; called as
+#: ``probe(kind, rows, t0_ns, t1_ns)`` with ``kind`` in
+#: ``("ntt", "intt", "bconv")`` and raw ``time.perf_counter_ns`` readings.
+#: When None (the default) the only cost on a transform is one global read.
+_KERNEL_PROBE = None
+
+
+def set_kernel_probe(probe) -> None:
+    """Install (or, with ``None``, remove) the module-wide timing probe."""
+    global _KERNEL_PROBE
+    _KERNEL_PROBE = probe
+
+
+def get_kernel_probe():
+    return _KERNEL_PROBE
 
 
 # --------------------------------------------------------------- primitives
@@ -538,6 +559,8 @@ class NttKernel:
 
     def forward(self, data: np.ndarray) -> np.ndarray:
         """Negacyclic NTT rows: natural coeff order -> bit-reversed eval."""
+        probe = _KERNEL_PROBE
+        t0 = time.perf_counter_ns() if probe is not None else 0
         a = self._check(data)
         squeeze = np.asarray(data).ndim == 1
         n = self.degree
@@ -587,10 +610,14 @@ class NttKernel:
         out = x[:, self._rev].astype(np.uint64)
         if _OUTPUT_GUARD is not None:
             out = _OUTPUT_GUARD(self, "forward", a, out)
+        if probe is not None:
+            probe("ntt", rows, t0, time.perf_counter_ns())
         return out[0] if squeeze else out
 
     def inverse(self, data: np.ndarray) -> np.ndarray:
         """Inverse NTT rows: bit-reversed eval order -> natural coeff."""
+        probe = _KERNEL_PROBE
+        t0 = time.perf_counter_ns() if probe is not None else 0
         a = self._check(data)
         squeeze = np.asarray(data).ndim == 1
         n = self.degree
@@ -618,6 +645,8 @@ class NttKernel:
         out = cond_sub(t64, p64)
         if _OUTPUT_GUARD is not None:
             out = _OUTPUT_GUARD(self, "inverse", a, out)
+        if probe is not None:
+            probe("intt", rows, t0, time.perf_counter_ns())
         return out[0] if squeeze else out
 
 

@@ -1,0 +1,43 @@
+"""Unified observability: metrics registry, span tracing, kernel profiling.
+
+Everything mounts behind one handle::
+
+    from repro import Telemetry, session
+
+    t = Telemetry()
+    with session(params, telemetry=t) as sess:
+        ...
+    print(t.report())               # per-op wall-time profile
+    t.write_trace("run.json")       # Perfetto-loadable Chrome trace
+    print(t.to_prometheus(sess))    # all five stat surfaces, one namespace
+
+See :mod:`repro.obs.hooks` for the process-global enable/disable story and
+why the disabled path stays near-free.
+"""
+
+from repro.obs.metrics import (
+    MetricCounter,
+    MetricGauge,
+    MetricHistogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import KERNEL_KINDS, Telemetry
+from repro.obs.tracing import (
+    Span,
+    SpanTracer,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
+
+__all__ = [
+    "KERNEL_KINDS",
+    "MetricCounter",
+    "MetricGauge",
+    "MetricHistogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]

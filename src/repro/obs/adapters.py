@@ -1,0 +1,199 @@
+"""Adapters mounting the runtime's scattered stat surfaces into one registry.
+
+The library already counts everything that matters -- but across five
+ad-hoc surfaces: ``evaluator.stats`` (Table II op tallies),
+``switcher.stats`` (limb-granular key-switch work),
+:class:`~repro.runtime.accounting.StoreStats` on the key/plaintext stores,
+:class:`~repro.resilience.stats.FaultStats`, and the session's
+``op_counts``/``evk_usage``. :func:`collect_session` reads them all into
+one namespaced :class:`~repro.obs.metrics.MetricsRegistry` snapshot, and
+:func:`collect_telemetry` adds the kernel-probe timing accumulators.
+
+Collection *sets* each series to the surface's current cumulative value,
+so collecting repeatedly is idempotent -- the registry mirrors the
+sources rather than re-accumulating them (safe to scrape in a loop).
+Everything is duck-typed: sessions without a functional context, stores
+without byte accounting, or absent fault stats simply contribute nothing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+_EVK_LOAD_PREFIX = "evk_load:"
+
+
+def _set(counter_metric, value: float, **labels) -> None:
+    """Pin a labelled counter series to a cumulative value read elsewhere."""
+    counter_metric.labels(**labels).value = value
+
+
+def _store_metrics(registry: MetricsRegistry):
+    events = registry.counter(
+        "repro_store_events_total",
+        "Cache events of the runtime stores (hits/misses/evictions/discards)",
+        labelnames=("store", "event"),
+    )
+    traffic = registry.counter(
+        "repro_store_bytes_total",
+        "Byte traffic of the runtime stores by kind "
+        "(fetched/generated/evicted/discarded)",
+        labelnames=("store", "kind"),
+    )
+    return events, traffic
+
+
+def _collect_store(registry: MetricsRegistry, store_label: str, stats) -> None:
+    events, traffic = _store_metrics(registry)
+    for event in ("hits", "misses", "evictions", "discards"):
+        _set(events, getattr(stats, event), store=store_label, event=event)
+    for kind in ("fetched", "generated", "evicted", "discarded"):
+        _set(
+            traffic,
+            getattr(stats, f"{kind}_bytes", 0),
+            store=store_label,
+            kind=kind,
+        )
+
+
+def _collect_store_footprint(registry: MetricsRegistry, store_label: str, store):
+    cached = registry.gauge(
+        "repro_store_cached_bytes",
+        "Expanded working set currently resident in a store's cache",
+        labelnames=("store",),
+    )
+    stored = registry.gauge(
+        "repro_store_stored_bytes",
+        "Persistent (compressed/stored) footprint of a store",
+        labelnames=("store",),
+    )
+    if hasattr(store, "cached_bytes"):
+        cached.labels(store=store_label).set(store.cached_bytes)
+    if hasattr(store, "stored_bytes"):
+        stored.labels(store=store_label).set(store.stored_bytes)
+
+
+def collect_session(sess, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Mount every stat surface ``sess`` carries into ``registry``.
+
+    Works for any backend; functional sessions additionally contribute the
+    evaluator, key-switcher, store, and fault surfaces.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+
+    ops = registry.counter(
+        "repro_session_ops_total",
+        "Backend op counts for the session (Table II counter-key scheme)",
+        labelnames=("op",),
+    )
+    for op, count in sess.op_counts.items():
+        _set(ops, count, op=op)
+    usage = registry.counter(
+        "repro_session_evk_usage_total",
+        "Evaluation-key usage tally by key tag (the key-reuse analysis)",
+        labelnames=("key",),
+    )
+    for key, count in sess.evk_usage.items():
+        _set(usage, count, key=key)
+
+    ctx = getattr(sess, "ctx", None)
+    if ctx is not None:
+        ev_ops = registry.counter(
+            "repro_evaluator_ops_total",
+            "CkksEvaluator op tallies (STAT_KEYS scheme)",
+            labelnames=("op",),
+        )
+        ev_loads = registry.counter(
+            "repro_evaluator_evk_loads_total",
+            "Evaluation-key loads recorded by the evaluator, by key",
+            labelnames=("key",),
+        )
+        for key, count in ctx.evaluator.stats.items():
+            if key.startswith(_EVK_LOAD_PREFIX):
+                _set(ev_loads, count, key=key[len(_EVK_LOAD_PREFIX):])
+            else:
+                _set(ev_ops, count, op=key)
+        ks = registry.counter(
+            "repro_keyswitch_limbs_total",
+            "Key-switch primary-function invocations at limb granularity",
+            labelnames=("stage",),
+        )
+        for stage, count in ctx.evaluator.switcher.stats.counts.items():
+            _set(ks, count, stage=stage)
+        key_store = getattr(ctx, "key_store", None)
+        if key_store is not None and hasattr(key_store, "stats"):
+            _collect_store(registry, "evk", key_store.stats)
+            _collect_store_footprint(registry, "evk", key_store)
+
+    backend = sess.backend
+    inner = getattr(backend, "inner", None)
+    if inner is not None:
+        backend = inner
+    pt_store = getattr(backend, "pt_store", None)
+    if pt_store is not None:
+        if hasattr(pt_store, "stats"):
+            _collect_store(registry, "pt", pt_store.stats)
+        _collect_store_footprint(registry, "pt", pt_store)
+        fetches = registry.counter(
+            "repro_pt_fetches_total",
+            "Plaintext-store fetches (one per served plaintext)",
+            labelnames=("store",),
+        )
+        words = registry.counter(
+            "repro_pt_words_loaded_total",
+            "Words an accelerator would fetch off-chip for plaintexts",
+            labelnames=("store",),
+        )
+        if hasattr(pt_store, "fetches"):
+            _set(fetches, pt_store.fetches, store="pt")
+        if hasattr(pt_store, "words_loaded"):
+            _set(words, pt_store.words_loaded, store="pt")
+
+    fault_stats = getattr(sess, "fault_stats", None)
+    if fault_stats is not None:
+        faults = registry.counter(
+            "repro_faults_total",
+            "Resilience ledger: injected/detected/recovered/raised by kind",
+            labelnames=("event", "kind"),
+        )
+        for event in ("injected", "detected", "recovered", "raised"):
+            for kind, count in getattr(fault_stats, event).items():
+                _set(faults, count, event=event, kind=kind)
+
+    return registry
+
+
+def collect_telemetry(
+    telemetry, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Mount a telemetry's kernel-probe and span accumulators."""
+    registry = registry if registry is not None else MetricsRegistry()
+    kernel_ns = registry.counter(
+        "repro_kernel_time_ns_total",
+        "Wall time inside the measured kernels (NTT/INTT/BConv)",
+        labelnames=("kind",),
+    )
+    kernel_calls = registry.counter(
+        "repro_kernel_calls_total",
+        "Measured kernel invocations by kind",
+        labelnames=("kind",),
+    )
+    for kind, ns in telemetry.kernel_ns.items():
+        _set(kernel_ns, ns, kind=kind)
+    for kind, calls in telemetry.kernel_calls.items():
+        _set(kernel_calls, calls, kind=kind)
+    spans = registry.counter(
+        "repro_spans_total",
+        "Recorded spans by category",
+        labelnames=("cat",),
+    )
+    by_cat: dict[str, int] = {}
+    for span in telemetry.tracer.spans:
+        by_cat[span.cat] = by_cat.get(span.cat, 0) + 1
+    for cat, count in by_cat.items():
+        _set(spans, count, cat=cat)
+    registry.gauge(
+        "repro_spans_dropped",
+        "Spans dropped after the tracer hit its limit",
+    ).set(telemetry.tracer.dropped)
+    return registry

@@ -1,0 +1,71 @@
+"""Process-global telemetry attach point for the hot paths.
+
+The kernel tier, key switcher, and runtime stores cannot thread a
+``Telemetry`` handle through every call without widening long-stable
+signatures, so -- exactly like the kernel output guard in
+:mod:`repro.nt.kernels` -- the active telemetry is a module global that
+:func:`install` sets and :func:`uninstall` clears.
+:meth:`repro.backend.session.HeSession.close` (and the session context
+manager) uninstalls what it installed, so the usual ``with
+session(...)`` pattern cannot leak an active handle; only one telemetry
+can be active per process at a time.
+
+The disabled path is the one that matters for PR-1's kernel wins:
+:func:`maybe_span` returns one shared no-op context manager when nothing
+is installed -- no allocation, no timer reads -- and the kernel probe
+indirection is a single global-``None`` check inside the kernels.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+from repro.nt import kernels
+
+#: The active telemetry, or None. Read by maybe_span() and the stores.
+_ACTIVE = None
+
+_NULL = nullcontext()
+
+
+def install(telemetry) -> None:
+    """Make ``telemetry`` the process-active sink (spans + kernel probe)."""
+    global _ACTIVE
+    _ACTIVE = telemetry
+    if telemetry is not None and telemetry.kernels:
+        kernels.set_kernel_probe(telemetry.kernel_probe)
+    else:
+        kernels.set_kernel_probe(None)
+
+
+def uninstall(telemetry=None) -> None:
+    """Clear the active telemetry.
+
+    With an argument, clears only if that telemetry is the active one --
+    so an outer session's handle survives an inner session's close.
+    """
+    global _ACTIVE
+    if telemetry is not None and _ACTIVE is not telemetry:
+        return
+    _ACTIVE = None
+    kernels.set_kernel_probe(None)
+
+
+def active():
+    """The installed :class:`~repro.obs.telemetry.Telemetry`, or None."""
+    return _ACTIVE
+
+
+def maybe_span(name: str, cat: str = "op", arg=None):
+    """A span context manager on the active tracer, or a shared no-op."""
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return _NULL
+    return telemetry.tracer.span(name, cat, arg)
+
+
+def maybe_instant(name: str, cat: str = "op", arg=None) -> None:
+    """Record an instant marker if telemetry is active."""
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.tracer.instant(name, cat, arg)

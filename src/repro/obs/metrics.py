@@ -1,0 +1,366 @@
+"""A small labelled-metrics registry with JSON and Prometheus export.
+
+Three instrument types cover everything the runtime reports: monotone
+:class:`MetricCounter` (op tallies, byte totals), :class:`MetricGauge`
+(cache occupancy, budgets), and :class:`MetricHistogram` (latency
+distributions, bucketed in nanoseconds by default). Each instrument may
+declare label names; per-label-value children are created lazily on
+:meth:`labels` and share the parent's metadata.
+
+The registry is deliberately dependency-free: ``to_prometheus`` emits the
+text exposition format by hand, so a scrape endpoint (the planned serving
+PR) only has to return the string.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable
+
+from repro.errors import ParameterError
+
+_DEFAULT_BUCKETS = tuple(float(10**e) for e in range(3, 11))  # 1 µs .. 10 s, in ns
+
+
+def _check_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise ParameterError(f"invalid metric name {name!r}")
+
+
+class _Metric:
+    """Shared base: name, help text, label names, child management."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()):
+        _check_name(name)
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            _check_name(label)
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def _key(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ParameterError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[label]) for label in self.labelnames)
+
+    def labels(self, **labels: str):
+        """The child instrument for one label-value combination."""
+        if not self.labelnames:
+            raise ParameterError(f"metric {self.name!r} is unlabelled")
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _series(self):
+        """Yield (labelvalues, child-or-self) for every recorded series."""
+        if self.labelnames:
+            yield from sorted(self._children.items())
+        else:
+            yield (), self
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ParameterError("counters only go up")
+        self.value += amount
+
+
+class MetricCounter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._self = _CounterChild()
+
+    def _make_child(self):
+        return _CounterChild()
+
+    def inc(self, amount: float = 1) -> None:
+        if self.labelnames:
+            raise ParameterError(f"metric {self.name!r} needs .labels(...)")
+        self._self.inc(amount)
+
+    @property
+    def value(self):
+        return self._self.value
+
+    def _series(self):
+        if self.labelnames:
+            yield from sorted(self._children.items())
+        else:
+            yield (), self._self
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class MetricGauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._self = _GaugeChild()
+
+    def _make_child(self):
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        if self.labelnames:
+            raise ParameterError(f"metric {self.name!r} needs .labels(...)")
+        self._self.set(value)
+
+    def inc(self, amount: float = 1) -> None:
+        if self.labelnames:
+            raise ParameterError(f"metric {self.name!r} needs .labels(...)")
+        self._self.inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self):
+        return self._self.value
+
+    def _series(self):
+        if self.labelnames:
+            yield from sorted(self._children.items())
+        else:
+            yield (), self._self
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last bucket is +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[int]:
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricHistogram(_Metric):
+    """An observed-value distribution with fixed upper-bound buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(), buckets=_DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ParameterError("histogram buckets must be strictly increasing")
+        self.buckets = bounds
+        self._self = _HistogramChild(bounds)
+
+    def _make_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        if self.labelnames:
+            raise ParameterError(f"metric {self.name!r} needs .labels(...)")
+        self._self.observe(value)
+
+    def _series(self):
+        if self.labelnames:
+            yield from sorted(self._children.items())
+        else:
+            yield (), self._self
+
+
+class MetricsRegistry:
+    """A namespace of instruments with get-or-create semantics.
+
+    Re-requesting an existing name returns the same instrument, provided
+    the type and label names match (a mismatch is a
+    :class:`~repro.errors.ParameterError` -- silent divergence would make
+    the export lie).
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ParameterError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name, help="", labelnames=()) -> MetricCounter:
+        return self._get_or_create(MetricCounter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()) -> MetricGauge:
+        return self._get_or_create(MetricGauge, name, help, labelnames)
+
+    def histogram(
+        self, name, help="", labelnames=(), buckets=_DEFAULT_BUCKETS
+    ) -> MetricHistogram:
+        return self._get_or_create(
+            MetricHistogram, name, help, labelnames, buckets=buckets
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise ParameterError(f"no metric named {name!r}")
+        return metric
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # --------------------------------------------------------------- export
+
+    def snapshot(self) -> dict[str, Any]:
+        """All series as a plain nested dict (the JSON export's payload)."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            series = []
+            for labelvalues, child in metric._series():
+                labels = dict(zip(metric.labelnames, labelvalues))
+                if metric.kind == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.total,
+                            "buckets": {
+                                _format_bound(b): c
+                                for b, c in zip(
+                                    list(metric.buckets) + [math.inf],
+                                    child.cumulative(),
+                                )
+                            },
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for labelvalues, child in metric._series():
+                labels = dict(zip(metric.labelnames, labelvalues))
+                if metric.kind == "histogram":
+                    for bound, cum in zip(
+                        list(metric.buckets) + [math.inf], child.cumulative()
+                    ):
+                        bucket_labels = dict(labels, le=_format_bound(bound))
+                        lines.append(
+                            f"{name}_bucket{_format_labels(bucket_labels)} {cum}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_format_labels(labels)} "
+                        f"{_format_value(child.total)}"
+                    )
+                    lines.append(f"{name}_count{_format_labels(labels)} {child.count}")
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,157 @@
+"""Per-op wall-time profiles from a recorded span stream.
+
+:func:`aggregate` folds a :class:`~repro.obs.tracing.SpanTracer`'s spans
+into per-(name, category) rows with call counts, cumulative time (sum of
+span durations, children included) and self time (durations minus time in
+child spans); :func:`format_profile` renders them as the table the
+``python -m repro profile`` CLI prints.
+
+:func:`measured_breakdown` reduces a telemetry's kernel accumulators to
+the paper's Fig. 4 axes -- the (I)NTT / BConv / evk-mult split of
+key-switch compute -- so a measured run can sit next to the simulator's
+modmult-count prediction (:func:`repro.analysis.breakdown.hrot_breakdown`).
+The measured split is wall time of a software RNS implementation, not
+modmult counts on ARK's datapath, so alignment is directional: both must
+show NTT dominating and BConv as the next-largest slice at dnum=4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.tracing import SpanTracer
+
+#: Display order for span categories in the profile table.
+_CAT_ORDER = {"op": 0, "ks": 1, "store": 2, "kernel": 3}
+
+
+@dataclass(frozen=True)
+class OpStat:
+    """Aggregated timing for one span name within one category."""
+
+    name: str
+    cat: str
+    count: int
+    cum_ns: int
+    self_ns: int
+
+    @property
+    def cum_ms(self) -> float:
+        return self.cum_ns / 1e6
+
+    @property
+    def self_ms(self) -> float:
+        return self.self_ns / 1e6
+
+    @property
+    def mean_us(self) -> float:
+        return (self.cum_ns / self.count) / 1e3 if self.count else 0.0
+
+
+def aggregate(tracer: SpanTracer, cats=None) -> list[OpStat]:
+    """Fold the tracer's complete spans into per-op rows.
+
+    ``cats`` restricts to the given categories (``None`` keeps all).
+    Rows come back grouped by category (op, ks, store, kernel) and sorted
+    by cumulative time within each group.
+    """
+    wanted = set(cats) if cats is not None else None
+    acc: dict[tuple[str, str], list[int]] = {}
+    for span in tracer.spans:
+        if span.ph != "X":
+            continue
+        if wanted is not None and span.cat not in wanted:
+            continue
+        row = acc.setdefault((span.name, span.cat), [0, 0, 0])
+        row[0] += 1
+        row[1] += span.dur_ns
+        row[2] += span.self_ns
+    stats = [
+        OpStat(name, cat, count, cum, self_ns)
+        for (name, cat), (count, cum, self_ns) in acc.items()
+    ]
+    stats.sort(key=lambda s: (_CAT_ORDER.get(s.cat, 99), -s.cum_ns, s.name))
+    return stats
+
+
+def format_profile(stats: list[OpStat], title: str | None = None) -> str:
+    """Render aggregated rows as an aligned text table.
+
+    Self-time percentages are taken within each category, so the op tier
+    (whose spans nest everything else) and the kernel tier each sum to
+    ~100% of their own layer rather than mixing layers.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    if not stats:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    cat_self: dict[str, int] = {}
+    for s in stats:
+        cat_self[s.cat] = cat_self.get(s.cat, 0) + s.self_ns
+    header = (
+        f"  {'op':<18s} {'cat':<7s} {'calls':>7s} "
+        f"{'self ms':>9s} {'self %':>7s} {'cum ms':>9s} {'mean us':>9s}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    last_cat = None
+    for s in stats:
+        if last_cat is not None and s.cat != last_cat:
+            lines.append("")
+        last_cat = s.cat
+        denom = cat_self.get(s.cat, 0)
+        pct = 100.0 * s.self_ns / denom if denom else 0.0
+        lines.append(
+            f"  {s.name:<18s} {s.cat:<7s} {s.count:>7d} "
+            f"{s.self_ms:>9.3f} {pct:>6.1f}% {s.cum_ms:>9.3f} {s.mean_us:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def measured_breakdown(telemetry) -> dict[str, float]:
+    """The measured wall-time split over the paper's Fig. 4 categories.
+
+    ``ntt`` folds forward and inverse transforms together (the figure's
+    "(I)NTT"), ``bconv`` is the base-conversion kernel, and ``evk_mult``
+    is the self time of the key-switch inner-product spans (the evk
+    multiply-accumulate minus the kernels it calls into). Fractions are
+    over the sum of the three, matching how ``hrot_breakdown``'s "others"
+    category is folded out for comparison.
+    """
+    ntt = telemetry.kernel_ns.get("ntt", 0) + telemetry.kernel_ns.get("intt", 0)
+    bconv = telemetry.kernel_ns.get("bconv", 0)
+    evk_mult = sum(
+        s.self_ns
+        for s in telemetry.tracer.spans
+        if s.ph == "X" and s.cat == "ks" and s.name == "evk_ip"
+    )
+    total = ntt + bconv + evk_mult
+    if total <= 0:
+        return {"ntt": 0.0, "bconv": 0.0, "evk_mult": 0.0}
+    return {
+        "ntt": ntt / total,
+        "bconv": bconv / total,
+        "evk_mult": evk_mult / total,
+    }
+
+
+def format_breakdown(
+    measured: dict[str, float], simulated: dict[str, float]
+) -> str:
+    """Side-by-side Fig. 4-style comparison of measured vs simulated split.
+
+    ``simulated`` is renormalized over the three shared categories (its
+    "others" slice, absent from the measured wall-time split, is dropped).
+    """
+    keys = ("ntt", "bconv", "evk_mult")
+    sim_total = sum(simulated.get(k, 0.0) for k in keys) or 1.0
+    lines = [
+        "  key-switch compute split (Fig. 4 axes)",
+        f"  {'category':<10s} {'measured':>9s} {'simulated':>10s}",
+    ]
+    for key in keys:
+        sim = simulated.get(key, 0.0) / sim_total
+        lines.append(f"  {key:<10s} {100 * measured[key]:>8.1f}% {100 * sim:>9.1f}%")
+    return "\n".join(lines)

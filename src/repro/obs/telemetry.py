@@ -1,0 +1,95 @@
+"""The user-facing telemetry handle: tracer + registry + kernel tallies.
+
+One :class:`Telemetry` object bundles everything a monitored run needs::
+
+    from repro import Telemetry, session
+
+    t = Telemetry()
+    with session(params, rotations=[1], telemetry=t) as sess:
+        ...workload...
+    print(t.report())                 # per-op wall-time profile
+    t.write_trace("run.trace.json")   # open in ui.perfetto.dev
+    print(t.to_prometheus(sess))      # scrape-format metrics
+
+Passing it to :func:`repro.session` installs it process-globally (see
+:mod:`repro.obs.hooks`); the session's ``close()`` uninstalls it. The
+kernel probe bypasses span context managers entirely -- kernels call
+:meth:`kernel_probe` with raw ``perf_counter_ns`` readings, which both
+feeds the per-kind accumulators and attaches a leaf span to the trace.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
+
+#: Kernel-probe kinds the runtime reports.
+KERNEL_KINDS = ("ntt", "intt", "bconv")
+
+
+class Telemetry:
+    """Collects spans, metrics, and kernel timings for one monitored run.
+
+    ``max_spans`` bounds trace memory (see :class:`SpanTracer`);
+    ``kernels=False`` skips installing the kernel probe, keeping kernel
+    inner loops completely untouched while still recording op-level spans.
+    """
+
+    def __init__(self, *, max_spans: int = 1 << 20, kernels: bool = True):
+        if max_spans <= 0:
+            raise ParameterError("max_spans must be positive")
+        self.tracer = SpanTracer(limit=max_spans)
+        self.registry = MetricsRegistry()
+        self.kernels = bool(kernels)
+        self.kernel_ns: dict[str, int] = {}
+        self.kernel_calls: dict[str, int] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, cat: str = "op", arg=None):
+        """A timed-span context manager on this telemetry's tracer."""
+        return self.tracer.span(name, cat, arg)
+
+    def kernel_probe(self, kind: str, rows: int, t0_ns: int, t1_ns: int) -> None:
+        """Called by the kernel tier around each NTT/INTT/BConv invocation."""
+        self.kernel_ns[kind] = self.kernel_ns.get(kind, 0) + (t1_ns - t0_ns)
+        self.kernel_calls[kind] = self.kernel_calls.get(kind, 0) + 1
+        self.tracer.add_complete(kind, "kernel", t0_ns, t1_ns, rows)
+
+    def clear(self) -> None:
+        """Drop all recorded spans and kernel tallies (metrics persist)."""
+        self.tracer.clear()
+        self.kernel_ns.clear()
+        self.kernel_calls.clear()
+
+    # -------------------------------------------------------------- exports
+
+    def snapshot(self, sess=None) -> dict:
+        """The unified metrics snapshot; pass a session to fold in all of
+        its stat surfaces (see :func:`repro.obs.adapters.collect_session`)."""
+        from repro.obs.adapters import collect_session, collect_telemetry
+
+        collect_telemetry(self, self.registry)
+        if sess is not None:
+            collect_session(sess, self.registry)
+        return self.registry.snapshot()
+
+    def to_json(self, sess=None, indent: int | None = None) -> str:
+        import json
+
+        return json.dumps(self.snapshot(sess), indent=indent)
+
+    def to_prometheus(self, sess=None) -> str:
+        self.snapshot(sess)
+        return self.registry.to_prometheus()
+
+    def write_trace(self, path) -> None:
+        """Write the span stream as Chrome-trace JSON (Perfetto-loadable)."""
+        self.tracer.write_chrome_trace(path)
+
+    def report(self, cats=("op", "ks", "store", "kernel")) -> str:
+        """The per-op self/cumulative wall-time profile as a table."""
+        from repro.obs.profile import aggregate, format_profile
+
+        return format_profile(aggregate(self.tracer, cats=cats))

@@ -1,0 +1,240 @@
+"""Nested wall-clock span tracing with Chrome-trace-event export.
+
+A :class:`SpanTracer` records *complete* spans (name, category, start,
+duration) on a single logical timeline, maintaining the nesting stack so
+every span also knows its **self time** (duration minus the time spent in
+child spans) and depth. The recorded stream exports as Chrome trace-event
+JSON (``{"traceEvents": [...]}``) loadable in Perfetto or
+``chrome://tracing``, and feeds the per-op profile aggregation of
+:mod:`repro.obs.profile`.
+
+Recording is built for hot paths: entering/leaving a span costs two
+``time.perf_counter_ns`` calls plus one small-object append, and leaf
+timings measured externally (the kernel probes) attach through
+:meth:`SpanTracer.add_complete` without a context-manager round trip.
+Like the kernel layer, a tracer assumes single-threaded use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from repro.errors import ParameterError
+
+_NS_PER_US = 1000.0
+
+
+class Span:
+    """One finished span (or instant event, when ``ph`` is ``"i"``)."""
+
+    __slots__ = ("name", "cat", "ph", "start_ns", "dur_ns", "self_ns", "depth", "arg")
+
+    def __init__(self, name, cat, ph, start_ns, dur_ns, self_ns, depth, arg):
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.start_ns = start_ns
+        self.dur_ns = dur_ns
+        self.self_ns = self_ns
+        self.depth = depth
+        self.arg = arg
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, cat={self.cat!r}, dur={self.dur_ns}ns, "
+            f"self={self.self_ns}ns, depth={self.depth})"
+        )
+
+
+class _SpanHandle:
+    """Context manager for one open span (fresh per entry: reentrancy-safe)."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_arg", "_t0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str, arg):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._arg = arg
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._stack.append(0)
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter_ns()
+        tracer = self._tracer
+        child_ns = tracer._stack.pop()
+        dur = t1 - self._t0
+        if tracer._stack:
+            tracer._stack[-1] += dur
+        tracer._push(
+            Span(
+                self._name, self._cat, "X", self._t0, dur, dur - child_ns,
+                len(tracer._stack), self._arg,
+            )
+        )
+        return False
+
+
+class SpanTracer:
+    """Records nested timed spans; exports Chrome trace-event JSON.
+
+    ``limit`` bounds memory on long runs: once reached, further spans are
+    counted in :attr:`dropped` instead of stored (the nesting arithmetic
+    stays correct for the spans that are kept).
+    """
+
+    def __init__(self, limit: int = 1 << 20):
+        if limit <= 0:
+            raise ParameterError("span limit must be positive")
+        self.limit = limit
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[int] = []
+        self.origin_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, cat: str = "op", arg=None) -> _SpanHandle:
+        """A context manager timing one nested span."""
+        return _SpanHandle(self, name, cat, arg)
+
+    def add_complete(
+        self, name: str, cat: str, t0_ns: int, t1_ns: int, arg=None
+    ) -> None:
+        """Attach an externally timed leaf span (the kernel-probe path).
+
+        ``t0_ns``/``t1_ns`` are raw ``time.perf_counter_ns`` readings taken
+        by the caller; the whole duration counts as self time and is
+        credited as child time to whatever span is currently open.
+        """
+        dur = t1_ns - t0_ns
+        if self._stack:
+            self._stack[-1] += dur
+        self._push(Span(name, cat, "X", t0_ns, dur, dur, len(self._stack), arg))
+
+    def instant(self, name: str, cat: str = "op", arg=None) -> None:
+        """Record a zero-duration marker event."""
+        now = time.perf_counter_ns()
+        self._push(Span(name, cat, "i", now, 0, 0, len(self._stack), arg))
+
+    def _push(self, span: Span) -> None:
+        if len(self.spans) < self.limit:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+        self._stack.clear()
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def counts(self, cat: str | None = None) -> dict[str, int]:
+        """Span tally by name (``ph == "X"`` spans only)."""
+        out: dict[str, int] = {}
+        for span in self.spans:
+            if span.ph != "X" or (cat is not None and span.cat != cat):
+                continue
+            out[span.name] = out.get(span.name, 0) + 1
+        return out
+
+    @property
+    def total_ns(self) -> int:
+        """Wall time covered by top-level spans (depth 0)."""
+        return sum(s.dur_ns for s in self.spans if s.depth == 0 and s.ph == "X")
+
+    # --------------------------------------------------------------- export
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The recorded stream as a Chrome trace-event JSON object.
+
+        Complete spans become ``ph: "X"`` events and instants become
+        ``ph: "i"``; timestamps are microseconds relative to the tracer's
+        origin. Loadable in Perfetto (ui.perfetto.dev) and
+        ``chrome://tracing``.
+        """
+        events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "ts": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        origin = self.origin_ns
+        for span in self.spans:
+            event: dict[str, Any] = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": span.ph,
+                "ts": (span.start_ns - origin) / _NS_PER_US,
+                "pid": 1,
+                "tid": 1,
+            }
+            if span.ph == "X":
+                event["dur"] = span.dur_ns / _NS_PER_US
+                event["args"] = {"self_us": span.self_ns / _NS_PER_US}
+            else:
+                event["s"] = "t"
+                event["args"] = {}
+            if span.arg is not None:
+                event["args"]["arg"] = str(span.arg)
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_spans": self.dropped},
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+
+# ------------------------------------------------------------------ validation
+
+
+def validate_chrome_trace(obj) -> None:
+    """Raise :class:`~repro.errors.ParameterError` unless ``obj`` is a
+    well-formed Chrome trace-event JSON object (the schema the CI smoke
+    step gates on before uploading the artifact)."""
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ParameterError("trace must be an object with a 'traceEvents' list")
+    events = obj["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ParameterError("'traceEvents' must be a non-empty list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ParameterError(f"traceEvents[{i}] is not an object")
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                raise ParameterError(f"traceEvents[{i}] misses field {field!r}")
+        if not isinstance(event["ts"], (int, float)):
+            raise ParameterError(f"traceEvents[{i}].ts is not numeric")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ParameterError(
+                    f"traceEvents[{i}] is a complete event without a valid dur"
+                )
+        elif event["ph"] not in ("i", "I", "M", "B", "E"):
+            raise ParameterError(
+                f"traceEvents[{i}].ph {event['ph']!r} is not a supported phase"
+            )
+
+
+def validate_chrome_trace_file(path) -> None:
+    """Validate a trace file on disk (used by the CI smoke step)."""
+    with open(path) as fh:
+        validate_chrome_trace(json.load(fh))

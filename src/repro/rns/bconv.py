@@ -19,9 +19,12 @@ that EvalMod removes.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import ParameterError, RepresentationError
+from repro.nt import kernels
 from repro.nt.kernels import shoup_mul, shoup_precompute
 from repro.nt.modarith import modinv
 
@@ -75,6 +78,8 @@ class BaseConverter:
         (only meaningful for a single-prime source, used by ModRaise) the
         lift is taken in ``[-p/2, p/2)`` instead of ``[0, p)``.
         """
+        probe = kernels.get_kernel_probe()
+        t0 = time.perf_counter_ns() if probe is not None else 0
         residues = np.asarray(residues, dtype=np.uint64)
         if residues.ndim != 2 or residues.shape[0] != len(self.src_moduli):
             raise ParameterError(
@@ -97,7 +102,10 @@ class BaseConverter:
             lifted = y[0].astype(np.int64)
             lifted = np.where(lifted >= p // 2 + 1, lifted - p, lifted)
             dst = self._dst_mods.astype(np.int64)[:, None]
-            return np.mod(lifted[None, :], dst).astype(np.uint64)
+            out = np.mod(lifted[None, :], dst).astype(np.uint64)
+            if probe is not None:
+                probe("bconv", len(self.dst_moduli), t0, time.perf_counter_ns())
+            return out
         # Step 2: out_i = sum_j y_j * table[j, i] mod q_i. Each lazy Shoup
         # term is < 2 q_i < 2^32, so a uint64 accumulator holds billions of
         # terms without overflow and a single vectorized `%` per output
@@ -126,7 +134,10 @@ class BaseConverter:
             np.subtract(target, q, out=target)
             if j:
                 np.add(acc, t, out=acc)
-        return acc % dst_col
+        out = acc % dst_col
+        if probe is not None:
+            probe("bconv", num_dst, t0, time.perf_counter_ns())
+        return out
 
     def convert_reference(
         self, residues: np.ndarray, *, centered: bool = False

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import IntegrityError, MissingEvkError, RecoveryExhaustedError
+from repro.obs import hooks
 from repro.resilience.digest import parts_digest
 from repro.rns.poly import PolyRns
 from repro.runtime.accounting import ByteBudgetCache, StoreStats
@@ -75,28 +76,29 @@ class StoredEvaluationKey:
         (transient fetch failures, mid-program evictions) and the ``b``
         integrity checkpoint.
         """
-        store = self.store
-        store.stats.fetched_bytes += self.b_bytes
-        rc = store.resilience
-        if rc is not None:
-            injector = rc.injector
-            if injector is not None:
-                injector.on_fetch(self.kind, store)
-                injector.corrupt_stored_b(self.kind, self.b_parts)
-            if (
-                rc.verify
-                and self.b_digests is not None
-                and parts_digest(self.b_parts) != self.b_digests
-            ):
-                rc.stats.record_detected("evk_b")
-                err = IntegrityError(
-                    f"evk {self.kind!r}: a stored b half failed its content "
-                    "digest; b halves have no generating seed, so the key "
-                    "cannot be regenerated in place -- re-run key generation"
-                )
-                rc.stats.record_raised(err)
-                raise err
-        return self.b_parts, store.materialize(self)
+        with hooks.maybe_span("evk_fetch", "store", self.kind):
+            store = self.store
+            store.stats.fetched_bytes += self.b_bytes
+            rc = store.resilience
+            if rc is not None:
+                injector = rc.injector
+                if injector is not None:
+                    injector.on_fetch(self.kind, store)
+                    injector.corrupt_stored_b(self.kind, self.b_parts)
+                if (
+                    rc.verify
+                    and self.b_digests is not None
+                    and parts_digest(self.b_parts) != self.b_digests
+                ):
+                    rc.stats.record_detected("evk_b")
+                    err = IntegrityError(
+                        f"evk {self.kind!r}: a stored b half failed its content "
+                        "digest; b halves have no generating seed, so the key "
+                        "cannot be regenerated in place -- re-run key generation"
+                    )
+                    rc.stats.record_raised(err)
+                    raise err
+            return self.b_parts, store.materialize(self)
 
     # ------------------------------------------------------------ footprint
 
@@ -177,7 +179,7 @@ class KeyStore:
         if rc is None:
             return cache.get(
                 key.kind,
-                expand=lambda: [seed.expand() for seed in key.a_seeds],
+                expand=lambda: self._expand_a(key),
                 nbytes=lambda parts: sum(p.data.nbytes for p in parts),
             )
         stats = cache.stats
@@ -191,13 +193,13 @@ class KeyStore:
             if not rc.verify or self._a_parts_ok(key, parts):
                 return parts
             rc.stats.record_detected("evk_a")
-            cache.discard(key.kind)
+            cache.discard(key.kind, account=True)
             stats.discards += 1
             recovering = True
         policy = rc.policy
         for attempt in range(policy.max_attempts):
             stats.misses += 1
-            parts = [seed.expand() for seed in key.a_seeds]
+            parts = self._expand_a(key)
             if injector is not None:
                 injector.corrupt_expansion(key.kind, parts)
             size = sum(p.data.nbytes for p in parts)
@@ -209,6 +211,7 @@ class KeyStore:
                 return parts
             rc.stats.record_detected("seeded")
             stats.discards += 1
+            stats.discarded_bytes += size
             if attempt < policy.max_attempts - 1:
                 policy.wait(attempt)
         err = RecoveryExhaustedError(
@@ -218,6 +221,12 @@ class KeyStore:
         )
         rc.stats.record_raised(err)
         raise err
+
+    @staticmethod
+    def _expand_a(key: StoredEvaluationKey) -> list[PolyRns]:
+        """Regenerate the ``a`` parts from their seeds (one traced expansion)."""
+        with hooks.maybe_span("evk_expand", "store", key.kind):
+            return [seed.expand() for seed in key.a_seeds]
 
     @staticmethod
     def _a_parts_ok(key: StoredEvaluationKey, parts: list[PolyRns]) -> bool:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import IntegrityError, ParameterError, RecoveryExhaustedError
 from repro.ckks.ciphertext import Plaintext
+from repro.obs import hooks
 from repro.resilience.digest import array_digest
 from repro.rns.poly import PolyRns
 from repro.runtime.accounting import ByteBudgetCache, StoreStats
@@ -53,21 +54,22 @@ class RuntimePlaintextStore:
 
     def get(self, key, values: np.ndarray, moduli: tuple[int, ...], scale: float) -> Plaintext:
         """Serve the encoded plaintext for ``values`` over ``moduli``."""
-        ints = self._ensure_compact(key, values, scale)
-        self.fetches += 1
-        degree = self.ctx.params.degree
-        self.words_loaded += degree
-        self.stats.fetched_bytes += ints.nbytes
-        cache_key = (key, scale, tuple(moduli))
-        if self.resilience is None:
-            poly = self._cache.get(
-                cache_key,
-                expand=lambda: self._expand(ints, tuple(moduli)),
-                nbytes=lambda p: p.data.nbytes,
-            )
-        else:
-            poly = self._verified_poly(key, cache_key, ints, tuple(moduli))
-        return Plaintext(poly=poly, scale=scale)
+        with hooks.maybe_span("pt_fetch", "store", key):
+            ints = self._ensure_compact(key, values, scale)
+            self.fetches += 1
+            degree = self.ctx.params.degree
+            self.words_loaded += degree
+            self.stats.fetched_bytes += ints.nbytes
+            cache_key = (key, scale, tuple(moduli))
+            if self.resilience is None:
+                poly = self._cache.get(
+                    cache_key,
+                    expand=lambda: self._expand(ints, tuple(moduli)),
+                    nbytes=lambda p: p.data.nbytes,
+                )
+            else:
+                poly = self._verified_poly(key, cache_key, ints, tuple(moduli))
+            return Plaintext(poly=poly, scale=scale)
 
     # ------------------------------------------------------------- stages
 
@@ -140,7 +142,7 @@ class RuntimePlaintextStore:
             if not rc.verify or want is None or array_digest(poly.data) == want:
                 return poly
             rc.stats.record_detected("pt")
-            cache.discard(cache_key)
+            cache.discard(cache_key, account=True)
             stats.discards += 1
             recovering = True
         policy = rc.policy
@@ -162,6 +164,7 @@ class RuntimePlaintextStore:
                 return poly
             rc.stats.record_detected("pt")
             stats.discards += 1
+            stats.discarded_bytes += size
             if attempt < policy.max_attempts - 1:
                 policy.wait(attempt)
         err = RecoveryExhaustedError(
@@ -174,8 +177,9 @@ class RuntimePlaintextStore:
 
     def _expand(self, ints: np.ndarray, moduli: tuple[int, ...]) -> PolyRns:
         """Reduce the compact coefficients per limb and NTT (kernel layer)."""
-        degree = self.ctx.params.degree
-        return PolyRns.from_small_int_coeffs(degree, moduli, ints).to_eval()
+        with hooks.maybe_span("pt_expand", "store"):
+            degree = self.ctx.params.degree
+            return PolyRns.from_small_int_coeffs(degree, moduli, ints).to_eval()
 
     # ---------------------------------------------------------- accounting
 

@@ -1,0 +1,107 @@
+"""MetricsRegistry semantics and both export formats."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counter_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("jobs_total", "jobs")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ParameterError):
+        c.inc(-1)
+
+
+def test_labelled_counter_children():
+    reg = MetricsRegistry()
+    c = reg.counter("ops_total", labelnames=("op",))
+    c.labels(op="hmult").inc(2)
+    c.labels(op="hrot").inc()
+    assert c.labels(op="hmult").value == 2
+    with pytest.raises(ParameterError):
+        c.inc()  # labelled metric needs .labels(...)
+    with pytest.raises(ParameterError):
+        c.labels(kind="x")  # wrong label set
+
+
+def test_get_or_create_is_idempotent_and_typed():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", labelnames=("k",))
+    assert reg.counter("x_total", labelnames=("k",)) is a
+    with pytest.raises(ParameterError):
+        reg.gauge("x_total", labelnames=("k",))
+    with pytest.raises(ParameterError):
+        reg.counter("x_total", labelnames=("other",))
+
+
+def test_invalid_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ParameterError):
+        reg.counter("bad-name")
+    with pytest.raises(ParameterError):
+        reg.counter("ok", labelnames=("bad label",))
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("occupancy_bytes")
+    g.set(100)
+    g.inc(20)
+    g.dec(50)
+    assert g.value == 70
+
+
+def test_histogram_observe_and_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_ns", buckets=(10, 100, 1000))
+    for v in (5, 50, 50, 5000):
+        h.observe(v)
+    snap = reg.snapshot()["lat_ns"]["series"][0]
+    assert snap["count"] == 4
+    assert snap["sum"] == 5105
+    assert snap["buckets"] == {"10": 1, "100": 3, "1000": 3, "+Inf": 4}
+    with pytest.raises(ParameterError):
+        reg.histogram("bad", buckets=(10, 10))
+
+
+def test_snapshot_and_json_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "help a", labelnames=("k",)).labels(k="x").inc(3)
+    reg.gauge("b").set(1.5)
+    snap = json.loads(reg.to_json())
+    assert snap["a_total"]["kind"] == "counter"
+    assert snap["a_total"]["series"] == [{"labels": {"k": "x"}, "value": 3}]
+    assert snap["b"]["series"][0]["value"] == 1.5
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    reg.counter("ops_total", "op tally", labelnames=("op",)).labels(
+        op='ro"t\n'
+    ).inc(2)
+    reg.histogram("lat", buckets=(10.0,)).observe(3)
+    text = reg.to_prometheus()
+    assert "# HELP ops_total op tally" in text
+    assert "# TYPE ops_total counter" in text
+    assert 'ops_total{op="ro\\"t\\n"} 2' in text
+    assert 'lat_bucket{le="10"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_sum 3" in text
+    assert "lat_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_registry_lookup():
+    reg = MetricsRegistry()
+    reg.counter("present_total")
+    assert "present_total" in reg
+    assert reg.names() == ["present_total"]
+    assert reg["present_total"].kind == "counter"
+    with pytest.raises(ParameterError):
+        reg["absent"]

@@ -1,0 +1,116 @@
+"""The profile aggregation layer and the `python -m repro profile` CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import Telemetry
+from repro.obs.profile import (
+    OpStat,
+    aggregate,
+    format_breakdown,
+    format_profile,
+    measured_breakdown,
+)
+from repro.obs.tracing import SpanTracer, validate_chrome_trace_file
+
+
+def _tracer_with_ops() -> SpanTracer:
+    t = SpanTracer()
+    with t.span("hmult"):
+        with t.span("keyswitch", cat="ks"):
+            t.add_complete("ntt", "kernel", 0, 1000)
+    with t.span("hmult"):
+        pass
+    return t
+
+
+def test_aggregate_groups_and_orders():
+    stats = aggregate(_tracer_with_ops())
+    assert [(s.name, s.cat, s.count) for s in stats] == [
+        ("hmult", "op", 2),
+        ("keyswitch", "ks", 1),
+        ("ntt", "kernel", 1),
+    ]
+    hmult = stats[0]
+    assert hmult.cum_ns >= hmult.self_ns >= 0
+
+
+def test_aggregate_cat_filter():
+    stats = aggregate(_tracer_with_ops(), cats=("kernel",))
+    assert [s.name for s in stats] == ["ntt"]
+
+
+def test_format_profile_table():
+    out = format_profile(aggregate(_tracer_with_ops()))
+    assert "hmult" in out and "keyswitch" in out and "ntt" in out
+    assert "self ms" in out and "cum ms" in out
+    assert format_profile([]).strip().endswith("(no spans recorded)")
+
+
+def test_opstat_derived_units():
+    s = OpStat("x", "op", 4, 2_000_000, 1_000_000)
+    assert s.cum_ms == 2.0 and s.self_ms == 1.0 and s.mean_us == 500.0
+    assert OpStat("x", "op", 0, 0, 0).mean_us == 0.0
+
+
+def test_measured_breakdown_fractions():
+    t = Telemetry()
+    t.kernel_probe("ntt", 8, 0, 600)
+    t.kernel_probe("intt", 8, 0, 150)
+    t.kernel_probe("bconv", 8, 0, 200)
+    with t.tracer.span("evk_ip", cat="ks"):
+        pass
+    got = measured_breakdown(t)
+    assert got["ntt"] > got["bconv"] > 0
+    assert got["evk_mult"] >= 0
+    assert sum(got.values()) == pytest.approx(1.0)
+
+
+def test_measured_breakdown_empty_is_zero():
+    assert measured_breakdown(Telemetry()) == {
+        "ntt": 0.0, "bconv": 0.0, "evk_mult": 0.0
+    }
+
+
+def test_format_breakdown_renormalizes():
+    out = format_breakdown(
+        {"ntt": 0.5, "bconv": 0.3, "evk_mult": 0.2},
+        {"ntt": 0.4, "bconv": 0.3, "evk_mult": 0.1, "others": 0.2},
+    )
+    assert "measured" in out and "simulated" in out
+    assert "50.0%" in out  # measured ntt
+    assert "37.5%" in out  # simulated ntt renormalized over the three
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def test_profile_cli_helr(tmp_path, capsys):
+    trace_path = tmp_path / "helr.trace.json"
+    rc = main([
+        "profile", "helr", "--toy", "--iters", "1",
+        "--trace-out", str(trace_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Measured profile: helr" in out
+    assert "hmult" in out and "hrot" in out
+    assert "key-switch compute split" in out
+    assert "trace written" in out
+    validate_chrome_trace_file(trace_path)
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    assert any(e.get("cat") == "kernel" for e in events)
+
+
+def test_profile_cli_no_kernels(tmp_path, capsys):
+    trace_path = tmp_path / "sorting.trace.json"
+    rc = main([
+        "profile", "sorting", "--iters", "1", "--no-kernels",
+        "--trace-out", str(trace_path),
+    ])
+    assert rc == 0
+    validate_chrome_trace_file(trace_path)
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    assert not any(e.get("cat") == "kernel" for e in events)

@@ -1,0 +1,186 @@
+"""Telemetry wired through a live session: the span stream, the wrapped
+TraceBackend's event stream, and the evaluator's own counters must tell
+the same story, and the hooks must come and go with the session."""
+
+import numpy as np
+import pytest
+
+from repro import TOY, Telemetry, session
+from repro.nt import kernels
+from repro.obs import hooks
+from repro.obs.tracing import validate_chrome_trace
+from repro.runtime.keystore import KeyStore
+from repro.workloads.helr import EncryptedLogisticRegression
+
+
+def _run_helr_iteration(sess):
+    rng = np.random.default_rng(17)
+    model = EncryptedLogisticRegression(sess, features=4)
+    model.step(rng.uniform(-1, 1, 4), 1.0)
+
+
+# ------------------------------------------------- three-way op agreement
+
+
+def test_helr_spans_trace_and_evaluator_agree():
+    """One HELR iteration: spans == TraceEvents == evaluator.stats per op."""
+    t = Telemetry()
+    with session(TOY, seed=13, rotations=(1,), trace=True, telemetry=t) as sess:
+        _run_helr_iteration(sess)
+        trace_counts = sess.backend.table2_counts()
+        ev_stats = dict(sess.ctx.evaluator.stats)
+    span_counts = t.tracer.counts("op")
+
+    # The workload exercised a meaningful Table II slice.
+    for op in ("hmult", "hrot", "pmult", "hadd", "rescale", "cadd", "cmult"):
+        assert span_counts.get(op, 0) > 0, f"{op} missing from spans"
+
+    # Every span op the TraceBackend also records must agree exactly
+    # ("read" is a span-only op: the trace stream has no event for it).
+    for op, n in span_counts.items():
+        if op == "read":
+            continue
+        assert trace_counts[op] == n, (op, trace_counts[op], n)
+    # ...and the reverse: no trace event escaped the span decorator.
+    for op, n in trace_counts.items():
+        assert span_counts.get(op, 0) == n, (op, n)
+
+    # The evaluator's counters agree on every compute op (it does not
+    # count the session-level input_ct/read plumbing). Compound ops tally
+    # through the ops they call: each scale_adjust performs one internal
+    # rescale the backend never issued, so the rescale identity is
+    # span + scale_adjust == evaluator.
+    for op, n in span_counts.items():
+        if op in ("input_ct", "read"):
+            continue
+        expected = n + ev_stats.get("scale_adjust", 0) if op == "rescale" else n
+        assert ev_stats.get(op, 0) == expected, (op, ev_stats.get(op, 0), expected)
+
+
+# ------------------------------------------------------------ hook lifecycle
+
+
+def test_hooks_install_and_uninstall_with_session():
+    t = Telemetry()
+    with session(TOY, seed=5, telemetry=t) as sess:
+        assert hooks.active() is t
+        assert kernels.get_kernel_probe() is not None
+        sess.encrypt([0.5, 0.25])
+    assert hooks.active() is None
+    assert kernels.get_kernel_probe() is None
+
+
+def test_close_only_uninstalls_own_telemetry():
+    t = Telemetry()
+    hooks.install(t)
+    try:
+        other = Telemetry()
+        hooks.uninstall(other)  # someone else's handle: no effect
+        assert hooks.active() is t
+    finally:
+        hooks.uninstall()
+    assert hooks.active() is None
+
+
+def test_disabled_path_shares_one_noop_context():
+    assert hooks.active() is None
+    assert hooks.maybe_span("a") is hooks.maybe_span("b")
+
+
+def test_kernels_flag_skips_probe():
+    t = Telemetry(kernels=False)
+    with session(TOY, seed=5, telemetry=t) as sess:
+        assert kernels.get_kernel_probe() is None
+        x = sess.encrypt([0.5, -0.5])
+        (x * x).rescale()
+    assert t.kernel_ns == {}
+    assert t.tracer.counts(cat="kernel") == {}
+    assert t.tracer.counts("op")  # op spans still recorded
+
+
+def test_bad_max_spans_rejected():
+    from repro.errors import ParameterError
+
+    with pytest.raises(ParameterError):
+        Telemetry(max_spans=0)
+
+
+# -------------------------------------------------------- layered span streams
+
+
+def test_keyswitch_and_kernel_spans_recorded():
+    t = Telemetry()
+    with session(TOY, seed=5, rotations=(1,), telemetry=t) as sess:
+        x = sess.encrypt(np.full(TOY.max_slots, 0.25))
+        (x * x).rescale()
+        x.rotate(1)
+    ks = t.tracer.counts(cat="ks")
+    assert ks["keyswitch"] == 2  # one per HMult, one per HRot
+    assert ks["modup"] > 0 and ks["moddown"] > 0 and ks["evk_ip"] > 0
+    kernel = t.tracer.counts(cat="kernel")
+    assert kernel["ntt"] > 0 and kernel["intt"] > 0 and kernel["bconv"] > 0
+    assert t.kernel_calls["ntt"] == kernel["ntt"]
+    assert t.kernel_ns["ntt"] > 0
+    # Kernel time is nested inside key-switch time, which nests in op time.
+    assert t.tracer.total_ns >= sum(t.kernel_ns.values())
+
+
+def test_store_spans_recorded_with_key_store():
+    t = Telemetry()
+    with session(
+        TOY, seed=5, rotations=(1,), key_store=KeyStore(), telemetry=t
+    ) as sess:
+        x = sess.encrypt(np.full(TOY.max_slots, 0.25))
+        x.rotate(1)
+        x.rotate(1)
+    store = t.tracer.counts(cat="store")
+    assert store["evk_fetch"] >= 2  # both rotations fetched the key
+    assert store["evk_expand"] == 1  # only the first one expanded seeds
+
+
+# ---------------------------------------------------------------- exports
+
+
+def test_snapshot_prometheus_and_report():
+    t = Telemetry()
+    with session(TOY, seed=5, telemetry=t) as sess:
+        x = sess.encrypt([0.5, 0.25])
+        sess.decrypt((x * x).rescale())
+        snap = t.snapshot(sess)
+        series = {
+            s["labels"]["op"]: s["value"]
+            for s in snap["repro_session_ops_total"]["series"]
+        }
+        assert series["hmult"] == 1
+        assert snap["repro_kernel_calls_total"]["series"]
+        text = t.to_prometheus(sess)
+        assert 'repro_session_ops_total{op="hmult"} 1' in text
+        assert "# TYPE repro_kernel_time_ns_total counter" in text
+        report = t.report()
+        assert "hmult" in report and "kernel" in report
+
+
+def test_session_metrics_without_telemetry():
+    with session(TOY, seed=5) as sess:
+        x = sess.encrypt([0.5])
+        (x * x).rescale()
+        snap = sess.metrics()
+    series = {
+        s["labels"]["op"]: s["value"]
+        for s in snap["repro_session_ops_total"]["series"]
+    }
+    assert series["hmult"] == 1
+    assert "repro_evaluator_ops_total" in snap
+
+
+def test_wrapped_trace_backend_chrome_export():
+    t = Telemetry()
+    with session(TOY, seed=5, trace=True, telemetry=t) as sess:
+        x = sess.encrypt([0.5, 0.25])
+        (x * x).rescale()
+        obj = sess.backend.to_chrome_trace()
+    validate_chrome_trace(obj)
+    names = [e["name"] for e in obj["traceEvents"] if e["ph"] == "i"]
+    assert names == ["input_ct", "hmult", "rescale"]
+    # The telemetry's own trace validates too and carries real durations.
+    validate_chrome_trace(t.tracer.to_chrome_trace())

@@ -1,0 +1,112 @@
+"""SpanTracer nesting arithmetic and Chrome-trace export/validation."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.tracing import (
+    SpanTracer,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
+
+
+def _spin(us: int) -> None:
+    end = time.perf_counter_ns() + us * 1000
+    while time.perf_counter_ns() < end:
+        pass
+
+
+def test_nested_spans_self_time():
+    t = SpanTracer()
+    with t.span("outer"):
+        _spin(200)
+        with t.span("inner"):
+            _spin(200)
+    by_name = {s.name: s for s in t.spans}
+    outer, inner = by_name["outer"], by_name["inner"]
+    assert inner.depth == 1 and outer.depth == 0
+    assert inner.self_ns == inner.dur_ns
+    assert outer.dur_ns >= inner.dur_ns
+    # Outer's self time excludes the inner span entirely.
+    assert outer.self_ns == outer.dur_ns - inner.dur_ns
+    assert t.total_ns == outer.dur_ns
+
+
+def test_add_complete_credits_open_parent():
+    t = SpanTracer()
+    with t.span("parent"):
+        t0 = time.perf_counter_ns()
+        _spin(100)
+        t.add_complete("kernel", "kernel", t0, time.perf_counter_ns(), 8)
+    parent = next(s for s in t.spans if s.name == "parent")
+    leaf = next(s for s in t.spans if s.name == "kernel")
+    assert leaf.self_ns == leaf.dur_ns
+    assert parent.self_ns == parent.dur_ns - leaf.dur_ns
+    assert leaf.arg == 8
+
+
+def test_counts_and_instants():
+    t = SpanTracer()
+    with t.span("op_a"):
+        pass
+    with t.span("op_a"):
+        pass
+    with t.span("ks_x", cat="ks"):
+        pass
+    t.instant("marker")
+    assert t.counts() == {"op_a": 2, "ks_x": 1}
+    assert t.counts(cat="ks") == {"ks_x": 1}
+    assert len(t) == 4  # instants are stored but not counted
+
+
+def test_limit_drops_and_clear():
+    t = SpanTracer(limit=2)
+    for _ in range(5):
+        with t.span("x"):
+            pass
+    assert len(t.spans) == 2
+    assert t.dropped == 3
+    t.clear()
+    assert len(t) == 0 and t.dropped == 0
+    with pytest.raises(ParameterError):
+        SpanTracer(limit=0)
+
+
+def test_chrome_trace_export_shape(tmp_path):
+    t = SpanTracer()
+    with t.span("op", arg="evk:mult"):
+        t.instant("tick")
+    obj = t.to_chrome_trace()
+    validate_chrome_trace(obj)
+    events = obj["traceEvents"]
+    assert events[0]["ph"] == "M"  # process metadata first
+    complete = next(e for e in events if e["ph"] == "X")
+    assert complete["dur"] >= 0
+    assert complete["args"]["arg"] == "evk:mult"
+    assert "self_us" in complete["args"]
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["s"] == "t"
+    path = tmp_path / "out.json"
+    t.write_chrome_trace(path)
+    validate_chrome_trace_file(path)
+    assert json.loads(path.read_text())["otherData"]["dropped_spans"] == 0
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        {"no": "traceEvents"},
+        {"traceEvents": []},
+        {"traceEvents": ["not-an-object"]},
+        {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}]},
+        {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0}]},
+        {"traceEvents": [{"name": "x", "ph": "i", "pid": 1, "tid": 1, "ts": "0"}]},
+        {"traceEvents": [{"ph": "i", "pid": 1, "tid": 1, "ts": 0}]},
+    ],
+)
+def test_validator_rejects_malformed(broken):
+    with pytest.raises(ParameterError):
+        validate_chrome_trace(broken)

@@ -1,0 +1,112 @@
+"""Byte-granular store accounting: evictions and integrity discards must
+be priced in bytes, not just counted, so occupancy reconstructs from the
+traffic ledger (occupied == generated - evicted - discarded)."""
+
+import numpy as np
+
+from repro.params import TOY
+from repro.runtime.accounting import ByteBudgetCache, StoreStats
+from repro.runtime.keystore import KeyStore
+from repro.ckks.context import CkksContext
+
+
+def _expander(size):
+    return lambda: bytearray(size)
+
+
+def _nbytes(value):
+    return len(value)
+
+
+# ----------------------------------------------------------- cache unit level
+
+
+def test_eviction_charges_bytes():
+    cache = ByteBudgetCache(budget_bytes=100)
+    cache.get("a", _expander(60), _nbytes)
+    cache.get("b", _expander(60), _nbytes)  # evicts "a"
+    assert cache.stats.evictions == 1
+    assert cache.stats.evicted_bytes == 60
+    assert cache.occupied_bytes == 60
+
+
+def test_multi_entry_eviction_sums_bytes():
+    cache = ByteBudgetCache(budget_bytes=100)
+    for key, size in (("a", 40), ("b", 30), ("c", 20)):
+        cache.get(key, _expander(size), _nbytes)
+    cache.get("d", _expander(90), _nbytes)  # evicts all three
+    assert cache.stats.evictions == 3
+    assert cache.stats.evicted_bytes == 90
+    assert cache.occupied_bytes == 90
+
+
+def test_occupancy_reconstructs_from_ledger():
+    cache = ByteBudgetCache(budget_bytes=128)
+    rng = np.random.default_rng(5)
+    for i in range(50):
+        cache.get(f"k{i % 9}", _expander(int(rng.integers(10, 60))), _nbytes)
+    stats = cache.stats
+    assert stats.evicted_bytes > 0
+    assert cache.occupied_bytes == stats.retained_generated_bytes
+    assert (
+        cache.occupied_bytes
+        == stats.generated_bytes - stats.evicted_bytes - stats.discarded_bytes
+    )
+
+
+def test_discard_accounting_is_opt_in():
+    cache = ByteBudgetCache()
+    cache.get("a", _expander(64), _nbytes)
+    cache.get("b", _expander(32), _nbytes)
+    assert cache.discard("a")  # replacement-style drop: no byte charge
+    assert cache.stats.discarded_bytes == 0
+    assert cache.discard("b", account=True)  # integrity-style drop: charged
+    assert cache.stats.discarded_bytes == 32
+    assert cache.occupied_bytes == 0
+    assert cache.stats.retained_generated_bytes == 64
+
+
+def test_streamed_oversize_entries_are_not_evictions():
+    cache = ByteBudgetCache(budget_bytes=10)
+    cache.get("huge", _expander(100), _nbytes)  # streamed, never resident
+    assert cache.stats.generated_bytes == 100
+    assert cache.stats.evictions == 0
+    assert cache.stats.evicted_bytes == 0
+    assert cache.occupied_bytes == 0
+
+
+def test_reset_clears_byte_fields():
+    stats = StoreStats(
+        hits=1, misses=2, evictions=3, discards=4,
+        fetched_bytes=5, generated_bytes=6, evicted_bytes=7, discarded_bytes=8,
+    )
+    stats.reset()
+    assert stats.evicted_bytes == 0
+    assert stats.discarded_bytes == 0
+    assert stats.retained_generated_bytes == 0
+
+
+# ------------------------------------------------------- key store integration
+
+
+def test_keystore_budget_eviction_byte_ledger():
+    """A thrashing evk working set must balance its byte ledger."""
+    store = KeyStore(budget_bytes=None)
+    ctx = CkksContext.create(TOY, rotations=(1, 2, 4), seed=7, key_store=store)
+    # Price one expanded key, then shrink the budget below two of them so
+    # alternating rotations evict each other.
+    ct = ctx.encrypt(np.full(TOY.max_slots, 0.25, dtype=np.complex128))
+    ctx.evaluator.rotate(ct, 1)
+    one_key = store.cached_bytes
+    assert one_key > 0
+
+    store = KeyStore(budget_bytes=int(one_key * 1.5))
+    ctx = CkksContext.create(TOY, rotations=(1, 2, 4), seed=7, key_store=store)
+    ct = ctx.encrypt(np.full(TOY.max_slots, 0.25, dtype=np.complex128))
+    for amount in (1, 2, 4, 1, 2, 4):
+        ctx.evaluator.rotate(ct, amount)
+    stats = store.stats
+    assert stats.evictions > 0
+    assert stats.evicted_bytes > 0
+    assert stats.evicted_bytes % one_key == 0  # whole keys, priced exactly
+    assert store.cached_bytes == stats.retained_generated_bytes

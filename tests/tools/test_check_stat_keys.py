@@ -1,0 +1,96 @@
+"""The STAT_KEYS drift lint, run as a tier-1 test: the evaluator must be
+in sync with its declared key set, and the checker must catch drift."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+TOOL = ROOT / "tools" / "check_stat_keys.py"
+
+sys.path.insert(0, str(ROOT / "tools"))
+import check_stat_keys  # noqa: E402
+
+
+def _write(tmp_path, body: str) -> pathlib.Path:
+    path = tmp_path / "evaluator.py"
+    path.write_text(body)
+    return path
+
+
+def test_evaluator_is_in_sync():
+    assert check_stat_keys.check_file(ROOT / check_stat_keys.DEFAULT_FILE) == []
+
+
+def test_flags_bump_missing_from_stat_keys(tmp_path):
+    path = _write(
+        tmp_path,
+        'STAT_KEYS = {"mul": ("hmult",)}\n'
+        "class E:\n"
+        "    def mul(self):\n"
+        '        self.stats["hmult"] += 1\n'
+        "    def rot(self):\n"
+        '        self.stats["hrot"] += 1\n',
+    )
+    findings = check_stat_keys.check_file(path)
+    assert [(line, "hrot" in msg) for _, line, msg in findings] == [(6, True)]
+
+
+def test_flags_declared_key_nobody_bumps(tmp_path):
+    path = _write(
+        tmp_path,
+        'STAT_KEYS = {"mul": ("hmult",), "rot": ("hrot",)}\n'
+        "class E:\n"
+        "    def mul(self):\n"
+        '        self.stats["hmult"] += 1\n',
+    )
+    findings = check_stat_keys.check_file(path)
+    assert len(findings) == 1
+    assert "'hrot'" in findings[0][2] and "no bump site" in findings[0][2]
+
+
+def test_evk_load_namespace_is_exempt(tmp_path):
+    path = _write(
+        tmp_path,
+        'STAT_KEYS = {"mul": ("hmult",)}\n'
+        "class E:\n"
+        "    def mul(self, amount):\n"
+        '        self.stats["hmult"] += 1\n'
+        '        self.stats["evk_load:mult"] += 1\n'
+        '        self.stats[f"evk_load:rot:{amount}"] += 1\n',
+    )
+    assert check_stat_keys.check_file(path) == []
+
+
+def test_flags_dynamic_keys_outside_namespace(tmp_path):
+    path = _write(
+        tmp_path,
+        "STAT_KEYS = {}\n"
+        "class E:\n"
+        "    def mul(self, op):\n"
+        '        self.stats[f"custom:{op}"] += 1\n'
+        "        self.stats[op] += 1\n",
+    )
+    findings = check_stat_keys.check_file(path)
+    assert len(findings) == 2
+    assert "namespace" in findings[0][2]
+    assert "string literal" in findings[1][2]
+
+
+def test_cli_exit_codes(tmp_path):
+    ok = subprocess.run(
+        [sys.executable, str(TOOL)], cwd=ROOT, capture_output=True
+    )
+    assert ok.returncode == 0, ok.stdout
+    offender = _write(
+        tmp_path,
+        "STAT_KEYS = {}\n"
+        "class E:\n"
+        "    def mul(self):\n"
+        '        self.stats["hmult"] += 1\n',
+    )
+    bad = subprocess.run(
+        [sys.executable, str(TOOL), str(offender)], cwd=ROOT, capture_output=True
+    )
+    assert bad.returncode == 1
+    assert b"hmult" in bad.stdout

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""AST lint: the evaluator's stats keys and STAT_KEYS must agree.
+
+``CkksEvaluator`` bumps ``self.stats[...]`` counters and declares the full
+static key set in ``STAT_KEYS`` (the scheme shared by the backends, the
+trace cross-checks, and the telemetry adapters). The two drift silently:
+a new op that bumps a key without declaring it vanishes from every
+consumer of ``STAT_KEYS``, and a declared key no op bumps makes the
+cross-checks vacuous. This lint walks the evaluator's AST and flags:
+
+* static ``self.stats["k"] += ...`` keys missing from ``STAT_KEYS``;
+* ``STAT_KEYS`` entries no bump site uses;
+* dynamic (f-string or computed) keys outside the ``evk_load:`` namespace,
+  the one sanctioned dynamic family.
+
+Exit code 1 when findings exist (CI gate). Usage::
+
+    python tools/check_stat_keys.py                          # default file
+    python tools/check_stat_keys.py path/to/evaluator.py     # explicit
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+DEFAULT_FILE = "src/repro/ckks/evaluator.py"
+DYNAMIC_NAMESPACE = "evk_load:"
+
+
+def _declared_keys(tree: ast.Module) -> tuple[set[str], int]:
+    """The STAT_KEYS value set and the line it is declared on."""
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not (isinstance(target, ast.Name) and target.id == "STAT_KEYS"):
+            continue
+        if not isinstance(value, ast.Dict):
+            raise SystemExit(f"STAT_KEYS at line {node.lineno} is not a dict literal")
+        keys: set[str] = set()
+        for entry in value.values:
+            elts = entry.elts if isinstance(entry, (ast.Tuple, ast.List)) else [entry]
+            for elt in elts:
+                if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                    raise SystemExit(
+                        f"STAT_KEYS value at line {entry.lineno} is not a "
+                        "string literal"
+                    )
+                keys.add(elt.value)
+        return keys, node.lineno
+    raise SystemExit("no STAT_KEYS dict found")
+
+
+def _is_stats_subscript(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "stats"
+    )
+
+
+def _bumped_keys(tree: ast.Module):
+    """(static keys with lines, findings-for-dynamic-keys) from bump sites."""
+    static: dict[str, int] = {}
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AugAssign) or not _is_stats_subscript(node.target):
+            continue
+        key = node.target.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            if key.value.startswith(DYNAMIC_NAMESPACE):
+                continue  # the sanctioned dynamic family, spelled statically
+            static.setdefault(key.value, node.lineno)
+        elif isinstance(key, ast.JoinedStr):
+            head = key.values[0] if key.values else None
+            prefix = head.value if isinstance(head, ast.Constant) else ""
+            if not str(prefix).startswith(DYNAMIC_NAMESPACE):
+                findings.append(
+                    (node.lineno,
+                     "dynamic stats key outside the "
+                     f"{DYNAMIC_NAMESPACE}* namespace")
+                )
+        else:
+            findings.append(
+                (node.lineno, "stats key is not a string literal or f-string")
+            )
+    return static, findings
+
+
+def check_file(path: pathlib.Path) -> list[tuple[pathlib.Path, int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    declared, decl_line = _declared_keys(tree)
+    static, dynamic_findings = _bumped_keys(tree)
+    out = [(path, line, msg) for line, msg in dynamic_findings]
+    for key, line in sorted(static.items(), key=lambda kv: kv[1]):
+        if key not in declared:
+            out.append(
+                (path, line, f"stats key {key!r} bumped here but not in STAT_KEYS")
+            )
+    for key in sorted(declared - set(static)):
+        out.append(
+            (path, decl_line,
+             f"STAT_KEYS declares {key!r} but no bump site uses it")
+        )
+    return sorted(out, key=lambda f: (f[1], f[2]))
+
+
+def main(argv: list[str]) -> int:
+    paths = [pathlib.Path(p) for p in (argv or [DEFAULT_FILE])]
+    findings = []
+    for path in paths:
+        findings.extend(check_file(path))
+    for path, lineno, msg in findings:
+        print(f"{path}:{lineno}: {msg}")
+    if findings:
+        print(f"{len(findings)} STAT_KEYS drift finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
