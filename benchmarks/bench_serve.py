@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the encrypted-inference serving layer.
+
+Starts an in-process :class:`~repro.serve.ServeApp` (TOY parameters),
+registers one tenant, and drives each program endpoint with 1, 8, and 32
+closed-loop clients over real TCP -- every client issues its next request
+only after the previous one is answered, so offered load tracks service
+capacity instead of overrunning it. Reports p50/p95/p99 latency and
+throughput (TPS) per ``(endpoint, clients)`` cell and writes them to
+``BENCH_serve.json`` at the repository root (checked in as the serving
+baseline).
+
+    python benchmarks/bench_serve.py            # record a new baseline
+    python benchmarks/bench_serve.py --check    # gate against the baseline
+
+``--check`` (what CI's bench gate calls via ``run_bench.py --check``)
+fails when any cell's throughput drops below ``1/REGRESSION_LIMIT`` of
+the baseline or its p95 latency exceeds ``REGRESSION_LIMIT`` times the
+baseline. The limit is looser than the kernel gate's: these numbers are
+end-to-end through the event loop and a real socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_serve.json"
+REGRESSION_LIMIT = 1.8
+
+CLIENT_COUNTS = (1, 8, 32)
+#: Total requests per (endpoint, clients) cell, split across the clients.
+REQUESTS_PER_CELL = 48
+
+ENDPOINTS = {
+    "helr_score": (
+        "/v1/helr/score",
+        {"tenant": "bench", "x": [0.1, 0.2, 0.3, 0.4]},
+    ),
+    "compare_swap": (
+        "/v1/sort/compare-swap",
+        {"tenant": "bench", "a": [0.5, -0.25], "b": [0.1, 0.6]},
+    ),
+    "conv_step": (
+        "/v1/conv/step",
+        {"tenant": "bench", "x": [1.0, 0.5, 0.25, 0.0], "kernel": [0.5, 0.25]},
+    ),
+}
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+async def _client_loop(host, port, path, payload, n, latencies, errors):
+    body = json.dumps(payload).encode()
+    request = (
+        f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for _ in range(n):
+            t0 = time.perf_counter()
+            writer.write(request)
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            length = 0
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length"):
+                    length = int(line.split(b":")[1])
+            await reader.readexactly(length)
+            latencies.append(time.perf_counter() - t0)
+            if b" 200 " not in head.split(b"\r\n", 1)[0]:
+                errors.append(head.split(b"\r\n", 1)[0].decode("latin-1"))
+    finally:
+        writer.close()
+
+
+async def _run_cell(host, port, path, payload, clients) -> dict:
+    latencies: list[float] = []
+    errors: list[str] = []
+    per_client = max(1, REQUESTS_PER_CELL // clients)
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *[
+            _client_loop(host, port, path, payload, per_client, latencies, errors)
+            for _ in range(clients)
+        ]
+    )
+    wall = time.perf_counter() - t0
+    latencies.sort()
+    total = per_client * clients
+    return {
+        "clients": clients,
+        "requests": total,
+        "errors": len(errors),
+        "tps": total / wall if wall else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p95_ms": _percentile(latencies, 0.95) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }
+
+
+async def _run_load() -> dict:
+    from repro.serve import ServeApp, ServeConfig
+
+    app = ServeApp(
+        ServeConfig(
+            port=0,
+            window_ms=2.0,
+            max_batch=8,
+            max_pending=256,
+            rate=1e9,
+            burst=1e9,
+        )
+    )
+    host, port = await app.start()
+    try:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(  # register off the event loop
+            None,
+            lambda: app.tenants.register("bench", seed=11),
+        )
+        results: dict = {}
+        for endpoint, (path, payload) in ENDPOINTS.items():
+            # one warm-up request materializes the evk working set
+            await _run_cell(host, port, path, payload, clients=1)
+            results[endpoint] = [
+                await _run_cell(host, port, path, payload, clients)
+                for clients in CLIENT_COUNTS
+            ]
+        return results
+    finally:
+        await app.shutdown()
+
+
+def _flatten(results: dict) -> dict[str, dict]:
+    return {
+        f"{endpoint}@{cell['clients']}": cell
+        for endpoint, cells in results.items()
+        for cell in cells
+    }
+
+
+def _print_report(results: dict) -> None:
+    print(f"{'cell':24s} {'tps':>8s} {'p50':>9s} {'p95':>9s} {'p99':>9s} errs")
+    for name, cell in _flatten(results).items():
+        print(
+            f"{name:24s} {cell['tps']:8.1f} {cell['p50_ms']:8.2f}ms "
+            f"{cell['p95_ms']:8.2f}ms {cell['p99_ms']:8.2f}ms "
+            f"{cell['errors']:4d}"
+        )
+
+
+def _check(fresh: dict) -> int:
+    if not OUTPUT.exists():
+        print(f"no baseline at {OUTPUT}; run without --check first")
+        return 1
+    baseline = _flatten(json.loads(OUTPUT.read_text())["results"])
+    failures = []
+    print(f"\nserve gate vs {OUTPUT.name} (fail above {REGRESSION_LIMIT:.1f}x):")
+    for name, cell in _flatten(fresh).items():
+        if cell["errors"]:
+            failures.append(f"{name}: {cell['errors']} non-200 responses")
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name:24s} (new, no baseline)")
+            continue
+        tps_ratio = base["tps"] / cell["tps"] if cell["tps"] else float("inf")
+        p95_ratio = (
+            cell["p95_ms"] / base["p95_ms"] if base["p95_ms"] else 1.0
+        )
+        flag = "ok"
+        if tps_ratio > REGRESSION_LIMIT:
+            failures.append(f"{name}: throughput fell {tps_ratio:.2f}x")
+            flag = "REGRESSED"
+        if p95_ratio > REGRESSION_LIMIT:
+            failures.append(f"{name}: p95 grew {p95_ratio:.2f}x")
+            flag = "REGRESSED"
+        print(
+            f"  {name:24s} tps {base['tps']:7.1f} -> {cell['tps']:7.1f}  "
+            f"p95 {base['p95_ms']:7.2f} -> {cell['p95_ms']:7.2f} ms  {flag}"
+        )
+    missing = sorted(set(baseline) - set(_flatten(fresh)))
+    for name in missing:
+        failures.append(f"{name}: missing from the run")
+    if failures:
+        print(f"{len(failures)} serve regression(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("serve benchmarks within the regression limit")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    src = ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    results = asyncio.run(_run_load())
+    _print_report(results)
+    if check:
+        return _check(results)
+    OUTPUT.write_text(
+        json.dumps(
+            {"params": "toy", "requests_per_cell": REQUESTS_PER_CELL,
+             "results": results},
+            indent=1,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"baseline written: {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -56,13 +56,23 @@ def main(argv: list[str]) -> int:
     code = pytest.main(args)
     if code != 0:
         return code
+    # A filtered run (-k/-m) legitimately covers a subset; any other
+    # run treats baseline benchmarks missing from it as failures, and
+    # also runs the serving-layer load gate (bench_serve.py).
+    filtered = any(a.startswith(("-k", "-m")) for a in argv)
     if check:
-        # A filtered run (-k/-m) legitimately covers a subset; any other
-        # run treats baseline benchmarks missing from it as failures.
-        filtered = any(a.startswith(("-k", "-m")) for a in argv)
-        return _check(output, full_run=not filtered)
+        code = _check(output, full_run=not filtered)
+        if code != 0 or filtered:
+            return code
+        import bench_serve
+
+        return bench_serve.main(["--check"])
     if OUTPUT.exists():
         _slim(OUTPUT)
+    if not filtered:
+        import bench_serve
+
+        return bench_serve.main([])
     return 0
 
 

@@ -9,10 +9,12 @@ Usage::
     python -m repro workloads     # Fig. 7b / Tables V-VII summary
     python -m repro all           # everything above
     python -m repro profile helr --toy   # measured per-op wall-time profile
+    python -m repro serve --port 8377    # encrypted-inference HTTP service
 
 ``profile`` runs a workload *functionally* with telemetry attached and
 prints the measured per-op breakdown next to the simulator's Fig. 4-style
 prediction, writing a Perfetto-loadable Chrome trace alongside.
+``serve`` starts the multi-tenant serving layer (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -193,9 +195,33 @@ def main(argv: list[str] | None = None) -> int:
                               "(default: profile_<workload>.trace.json)")
     profile.add_argument("--no-kernels", action="store_true",
                          help="skip the kernel probes (op/ks spans only)")
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant encrypted-inference HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument("--params", default="toy",
+                       help="parameter preset to serve (default: toy)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission cap on in-flight requests")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size trigger")
+    serve.add_argument("--window-ms", type=float, default=4.0,
+                       help="micro-batch coalescing window, milliseconds")
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="per-tenant token-bucket refill rate, req/s")
+    serve.add_argument("--burst", type=float, default=50.0,
+                       help="per-tenant token-bucket capacity")
+    serve.add_argument("--budget-mb", type=float, default=None,
+                       help="shared expanded-key cache budget, MB (default: unbounded)")
     args = parser.parse_args(argv)
     if args.command == "profile":
         cmd_profile(args)
+    elif args.command == "serve":
+        from repro.serve.app import main_serve
+
+        return main_serve(args)
     elif args.command == "all":
         for fn in COMMANDS.values():
             fn()

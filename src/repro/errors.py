@@ -80,6 +80,34 @@ class RecoveryExhaustedError(ReproError):
     """
 
 
+class WireError(ReproError):
+    """An HTTP request could not be parsed or violated a wire limit
+    (malformed framing, oversized body, bad JSON). Maps to 400/413."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class UnknownTenantError(ReproError):
+    """A request named a tenant the serving layer has never registered
+    (or one that has been deregistered). Maps to 404."""
+
+
+class AdmissionError(ReproError):
+    """The serving layer's bounded request queue is full; the request was
+    rejected at admission rather than queued unboundedly. Maps to 429."""
+
+
+class RateLimitError(ReproError):
+    """A tenant exhausted its token bucket. Maps to 429; ``retry_after``
+    hints how long until the bucket refills one token."""
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ScaleOverflowError(ReproError):
     """A ciphertext's scale outgrew the capacity of its remaining moduli.
 

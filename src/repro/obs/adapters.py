@@ -14,6 +14,14 @@ so collecting repeatedly is idempotent -- the registry mirrors the
 sources rather than re-accumulating them (safe to scrape in a loop).
 Everything is duck-typed: sessions without a functional context, stores
 without byte accounting, or absent fault stats simply contribute nothing.
+
+``extra=`` threads additional label values (e.g. ``{"tenant": "acme"}``)
+onto every series a collection emits, which is how the serving layer
+mounts many tenants' sessions into one scrape without collisions. Within
+one registry a given metric must be collected either always with the same
+extra label *names* or always without -- mixing is a
+:class:`~repro.errors.ParameterError` at get-or-create time, never a
+silently wrong export.
 """
 
 from __future__ import annotations
@@ -28,52 +36,137 @@ def _set(counter_metric, value: float, **labels) -> None:
     counter_metric.labels(**labels).value = value
 
 
-def _store_metrics(registry: MetricsRegistry):
+def _merged(extra: dict | None, **labels) -> dict:
+    return {**(extra or {}), **labels}
+
+
+def _labelnames(extra: dict | None, *names: str) -> tuple[str, ...]:
+    return tuple(extra or ()) + names
+
+
+def _store_metrics(registry: MetricsRegistry, extra: dict | None):
     events = registry.counter(
         "repro_store_events_total",
         "Cache events of the runtime stores (hits/misses/evictions/discards)",
-        labelnames=("store", "event"),
+        labelnames=_labelnames(extra, "store", "event"),
     )
     traffic = registry.counter(
         "repro_store_bytes_total",
         "Byte traffic of the runtime stores by kind "
         "(fetched/generated/evicted/discarded)",
-        labelnames=("store", "kind"),
+        labelnames=_labelnames(extra, "store", "kind"),
     )
     return events, traffic
 
 
-def _collect_store(registry: MetricsRegistry, store_label: str, stats) -> None:
-    events, traffic = _store_metrics(registry)
+def collect_store(
+    registry: MetricsRegistry,
+    store_label: str,
+    stats,
+    store=None,
+    extra: dict | None = None,
+) -> None:
+    """Mount one store's :class:`StoreStats` (and, optionally, the store's
+    occupancy/footprint gauges) into ``registry``."""
+    events, traffic = _store_metrics(registry, extra)
     for event in ("hits", "misses", "evictions", "discards"):
-        _set(events, getattr(stats, event), store=store_label, event=event)
+        _set(
+            events,
+            getattr(stats, event),
+            **_merged(extra, store=store_label, event=event),
+        )
     for kind in ("fetched", "generated", "evicted", "discarded"):
         _set(
             traffic,
             getattr(stats, f"{kind}_bytes", 0),
-            store=store_label,
-            kind=kind,
+            **_merged(extra, store=store_label, kind=kind),
         )
+    if store is not None:
+        _collect_store_footprint(registry, store_label, store, extra)
 
 
-def _collect_store_footprint(registry: MetricsRegistry, store_label: str, store):
+def _collect_store_footprint(
+    registry: MetricsRegistry, store_label: str, store, extra: dict | None = None
+):
     cached = registry.gauge(
         "repro_store_cached_bytes",
         "Expanded working set currently resident in a store's cache",
-        labelnames=("store",),
+        labelnames=_labelnames(extra, "store"),
     )
     stored = registry.gauge(
         "repro_store_stored_bytes",
         "Persistent (compressed/stored) footprint of a store",
-        labelnames=("store",),
+        labelnames=_labelnames(extra, "store"),
     )
     if hasattr(store, "cached_bytes"):
-        cached.labels(store=store_label).set(store.cached_bytes)
+        cached.labels(**_merged(extra, store=store_label)).set(store.cached_bytes)
     if hasattr(store, "stored_bytes"):
-        stored.labels(store=store_label).set(store.stored_bytes)
+        stored.labels(**_merged(extra, store=store_label)).set(store.stored_bytes)
 
 
-def collect_session(sess, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+def collect_faults(
+    registry: MetricsRegistry, fault_stats, extra: dict | None = None
+) -> None:
+    """Mount a :class:`~repro.resilience.stats.FaultStats` ledger."""
+    faults = registry.counter(
+        "repro_faults_total",
+        "Resilience ledger: injected/detected/recovered/raised by kind",
+        labelnames=_labelnames(extra, "event", "kind"),
+    )
+    for event in ("injected", "detected", "recovered", "raised"):
+        for kind, count in getattr(fault_stats, event).items():
+            _set(faults, count, **_merged(extra, event=event, kind=kind))
+
+
+def collect_ops(sess, registry: MetricsRegistry, extra: dict | None = None) -> None:
+    """Mount the backend-level op counts and evk-usage tallies."""
+    ops = registry.counter(
+        "repro_session_ops_total",
+        "Backend op counts for the session (Table II counter-key scheme)",
+        labelnames=_labelnames(extra, "op"),
+    )
+    for op, count in sess.op_counts.items():
+        _set(ops, count, **_merged(extra, op=op))
+    usage = registry.counter(
+        "repro_session_evk_usage_total",
+        "Evaluation-key usage tally by key tag (the key-reuse analysis)",
+        labelnames=_labelnames(extra, "key"),
+    )
+    for key, count in sess.evk_usage.items():
+        _set(usage, count, **_merged(extra, key=key))
+
+
+def collect_evaluator(
+    ctx, registry: MetricsRegistry, extra: dict | None = None
+) -> None:
+    """Mount a functional context's evaluator and key-switcher tallies."""
+    ev_ops = registry.counter(
+        "repro_evaluator_ops_total",
+        "CkksEvaluator op tallies (STAT_KEYS scheme)",
+        labelnames=_labelnames(extra, "op"),
+    )
+    ev_loads = registry.counter(
+        "repro_evaluator_evk_loads_total",
+        "Evaluation-key loads recorded by the evaluator, by key",
+        labelnames=_labelnames(extra, "key"),
+    )
+    for key, count in ctx.evaluator.stats.items():
+        if key.startswith(_EVK_LOAD_PREFIX):
+            _set(ev_loads, count, **_merged(extra, key=key[len(_EVK_LOAD_PREFIX):]))
+        else:
+            _set(ev_ops, count, **_merged(extra, op=key))
+    ks = registry.counter(
+        "repro_keyswitch_limbs_total",
+        "Key-switch primary-function invocations at limb granularity",
+        labelnames=_labelnames(extra, "stage"),
+    )
+    for stage, count in ctx.evaluator.switcher.stats.counts.items():
+        _set(ks, count, **_merged(extra, stage=stage))
+
+
+def collect_session(
+    sess, registry: MetricsRegistry | None = None, extra: dict | None = None
+) -> MetricsRegistry:
     """Mount every stat surface ``sess`` carries into ``registry``.
 
     Works for any backend; functional sessions additionally contribute the
@@ -81,49 +174,14 @@ def collect_session(sess, registry: MetricsRegistry | None = None) -> MetricsReg
     """
     registry = registry if registry is not None else MetricsRegistry()
 
-    ops = registry.counter(
-        "repro_session_ops_total",
-        "Backend op counts for the session (Table II counter-key scheme)",
-        labelnames=("op",),
-    )
-    for op, count in sess.op_counts.items():
-        _set(ops, count, op=op)
-    usage = registry.counter(
-        "repro_session_evk_usage_total",
-        "Evaluation-key usage tally by key tag (the key-reuse analysis)",
-        labelnames=("key",),
-    )
-    for key, count in sess.evk_usage.items():
-        _set(usage, count, key=key)
+    collect_ops(sess, registry, extra)
 
     ctx = getattr(sess, "ctx", None)
     if ctx is not None:
-        ev_ops = registry.counter(
-            "repro_evaluator_ops_total",
-            "CkksEvaluator op tallies (STAT_KEYS scheme)",
-            labelnames=("op",),
-        )
-        ev_loads = registry.counter(
-            "repro_evaluator_evk_loads_total",
-            "Evaluation-key loads recorded by the evaluator, by key",
-            labelnames=("key",),
-        )
-        for key, count in ctx.evaluator.stats.items():
-            if key.startswith(_EVK_LOAD_PREFIX):
-                _set(ev_loads, count, key=key[len(_EVK_LOAD_PREFIX):])
-            else:
-                _set(ev_ops, count, op=key)
-        ks = registry.counter(
-            "repro_keyswitch_limbs_total",
-            "Key-switch primary-function invocations at limb granularity",
-            labelnames=("stage",),
-        )
-        for stage, count in ctx.evaluator.switcher.stats.counts.items():
-            _set(ks, count, stage=stage)
+        collect_evaluator(ctx, registry, extra)
         key_store = getattr(ctx, "key_store", None)
         if key_store is not None and hasattr(key_store, "stats"):
-            _collect_store(registry, "evk", key_store.stats)
-            _collect_store_footprint(registry, "evk", key_store)
+            collect_store(registry, "evk", key_store.stats, store=key_store, extra=extra)
 
     backend = sess.backend
     inner = getattr(backend, "inner", None)
@@ -132,33 +190,26 @@ def collect_session(sess, registry: MetricsRegistry | None = None) -> MetricsReg
     pt_store = getattr(backend, "pt_store", None)
     if pt_store is not None:
         if hasattr(pt_store, "stats"):
-            _collect_store(registry, "pt", pt_store.stats)
-        _collect_store_footprint(registry, "pt", pt_store)
+            collect_store(registry, "pt", pt_store.stats, extra=extra)
+        _collect_store_footprint(registry, "pt", pt_store, extra)
         fetches = registry.counter(
             "repro_pt_fetches_total",
             "Plaintext-store fetches (one per served plaintext)",
-            labelnames=("store",),
+            labelnames=_labelnames(extra, "store"),
         )
         words = registry.counter(
             "repro_pt_words_loaded_total",
             "Words an accelerator would fetch off-chip for plaintexts",
-            labelnames=("store",),
+            labelnames=_labelnames(extra, "store"),
         )
         if hasattr(pt_store, "fetches"):
-            _set(fetches, pt_store.fetches, store="pt")
+            _set(fetches, pt_store.fetches, **_merged(extra, store="pt"))
         if hasattr(pt_store, "words_loaded"):
-            _set(words, pt_store.words_loaded, store="pt")
+            _set(words, pt_store.words_loaded, **_merged(extra, store="pt"))
 
     fault_stats = getattr(sess, "fault_stats", None)
     if fault_stats is not None:
-        faults = registry.counter(
-            "repro_faults_total",
-            "Resilience ledger: injected/detected/recovered/raised by kind",
-            labelnames=("event", "kind"),
-        )
-        for event in ("injected", "detected", "recovered", "raised"):
-            for kind, count in getattr(fault_stats, event).items():
-                _set(faults, count, event=event, kind=kind)
+        collect_faults(registry, fault_stats, extra)
 
     return registry
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from typing import Any, Iterable
 
 from repro.errors import ParameterError
@@ -24,7 +25,13 @@ _DEFAULT_BUCKETS = tuple(float(10**e) for e in range(3, 11))  # 1 µs .. 10 s, i
 
 
 def _check_name(name: str) -> None:
-    if not name or not all(c.isalnum() or c == "_" for c in name):
+    # The exposition-format charset: [a-zA-Z_][a-zA-Z0-9_]* (no leading
+    # digit -- "9xx_total" scrapes as a parse error, not a metric).
+    if (
+        not name
+        or name[0].isdigit()
+        or not all(c.isascii() and (c.isalnum() or c == "_") for c in name)
+    ):
         raise ParameterError(f"invalid metric name {name!r}")
 
 
@@ -361,6 +368,182 @@ def _format_bound(bound: float) -> str:
 def _format_value(value: float) -> str:
     if isinstance(value, int):
         return str(value)
-    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
-        return str(int(value))
+    # Non-finite floats have spec spellings; int(value) on them raises.
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
     return repr(value)
+
+
+# --------------------------------------------------------- scrape validation
+
+_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<ts>-?\d+))?\Z"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
+_VALUE_RE = re.compile(r"[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)\Z")
+
+
+def _parse_labels(raw: str, line: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        m = _LABEL_RE.match(raw, pos)
+        if m is None:
+            raise ParameterError(f"malformed label pair in sample line {line!r}")
+        # Undo the exposition escaping so values round-trip exactly
+        # (single pass: sequential replaces would corrupt "\\n").
+        labels[m.group(1)] = re.sub(
+            r'\\([\\"n])',
+            lambda esc: {"\\": "\\", '"': '"', "n": "\n"}[esc.group(1)],
+            m.group(2),
+        )
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ParameterError(f"malformed label list in {line!r}")
+            pos += 1
+    return labels
+
+
+def _parse_value(text: str, line: str) -> float:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    if not _VALUE_RE.match(text):
+        raise ParameterError(f"unparseable sample value {text!r} in {line!r}")
+    return float(text)
+
+
+def validate_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse ``text`` as Prometheus exposition format, strictly.
+
+    Checks what a real scraper would reject plus the conventions this
+    registry promises: ``# HELP`` (if present) immediately precedes
+    ``# TYPE``, every sample belongs to a declared family (histograms via
+    their ``_bucket``/``_sum``/``_count`` suffixes), label pairs use the
+    spec's escaping, histogram series carry a ``+Inf`` bucket with
+    monotone cumulative counts equal to ``_count``, and no series repeats.
+    Returns ``{family: {"kind", "help", "samples": [(name, labels, value)]}}``
+    or raises :class:`~repro.errors.ParameterError` on the first violation.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    pending_help: str | None = None
+    seen_series: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    if text and not text.endswith("\n"):
+        raise ParameterError("exposition must end with a newline")
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                raise ParameterError(f"malformed HELP line {line!r}")
+            pending_help = parts[2]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _NAME_RE.match(parts[2]):
+                raise ParameterError(f"malformed TYPE line {line!r}")
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ParameterError(f"unknown metric type {kind!r} in {line!r}")
+            if name in families:
+                raise ParameterError(f"duplicate TYPE declaration for {name!r}")
+            if pending_help is not None and pending_help != name:
+                raise ParameterError(
+                    f"HELP for {pending_help!r} not followed by its TYPE"
+                )
+            families[name] = {"kind": kind, "help": pending_help, "samples": []}
+            pending_help = None
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        if pending_help is not None:
+            raise ParameterError(
+                f"HELP for {pending_help!r} not followed by its TYPE"
+            )
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ParameterError(f"unparseable sample line {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels") or "", line)
+        value = _parse_value(m.group("value"), line)
+        family = name
+        if family not in families:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in families:
+                    family = name[: -len(suffix)]
+                    break
+        if family not in families:
+            raise ParameterError(f"sample {name!r} has no TYPE declaration")
+        if families[family]["kind"] == "histogram" and family == name:
+            raise ParameterError(
+                f"histogram {name!r} must expose _bucket/_sum/_count samples"
+            )
+        if family != current:
+            raise ParameterError(
+                f"sample {name!r} appears outside its {family!r} family block"
+            )
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            raise ParameterError(f"duplicate series {series!r}")
+        seen_series.add(series)
+        families[family]["samples"].append((name, labels, value))
+    if pending_help is not None:
+        raise ParameterError(f"HELP for {pending_help!r} not followed by its TYPE")
+    for family, info in families.items():
+        if info["kind"] != "histogram":
+            continue
+        _validate_histogram_family(family, info["samples"])
+    return families
+
+
+def _validate_histogram_family(family: str, samples) -> None:
+    by_series: dict[tuple[tuple[str, str], ...], dict] = {}
+    for name, labels, value in samples:
+        base = {k: v for k, v in labels.items() if k != "le"}
+        key = tuple(sorted(base.items()))
+        entry = by_series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if name == f"{family}_bucket":
+            if "le" not in labels:
+                raise ParameterError(f"{family}_bucket sample without le label")
+            entry["buckets"].append((_parse_value(labels["le"], family), value))
+        elif name == f"{family}_sum":
+            entry["sum"] = value
+        elif name == f"{family}_count":
+            entry["count"] = value
+    for key, entry in by_series.items():
+        buckets = entry["buckets"]
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ParameterError(
+                f"histogram {family!r} series {dict(key)} lacks a +Inf bucket"
+            )
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        if bounds != sorted(bounds) or counts != sorted(counts):
+            raise ParameterError(
+                f"histogram {family!r} series {dict(key)} buckets not monotone"
+            )
+        if entry["count"] is None or entry["sum"] is None:
+            raise ParameterError(
+                f"histogram {family!r} series {dict(key)} lacks _sum/_count"
+            )
+        if entry["count"] != counts[-1]:
+            raise ParameterError(
+                f"histogram {family!r} series {dict(key)}: _count "
+                f"{entry['count']} != +Inf bucket {counts[-1]}"
+            )

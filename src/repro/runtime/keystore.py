@@ -271,3 +271,116 @@ class KeyStore:
 
     def reset_stats(self) -> None:
         self._cache.stats.reset()
+
+    # ------------------------------------------------------------ namespaces
+
+    def scoped(self, namespace: str) -> "NamespacedKeyStore":
+        """A per-tenant view over this store (see :class:`NamespacedKeyStore`)."""
+        return NamespacedKeyStore(self, namespace)
+
+
+class NamespacedKeyStore:
+    """A per-tenant view over one shared :class:`KeyStore`.
+
+    Many tenants' seed-compressed keys live in a single backing store --
+    one registry, one LRU byte budget, one accounting surface -- but each
+    tenant only ever sees kinds inside its own namespace. ``put`` rewrites
+    the key's ``kind`` to ``<namespace>/<kind>`` (which is also the
+    materialization-cache key, so two tenants' ``"mult"`` keys can never
+    share or clobber each other's expanded ``a`` parts), and ``get`` /
+    ``__contains__`` / ``kinds`` translate back, so a
+    :class:`~repro.ckks.keys.KeyGenerator` bound to a view needs no
+    changes. A lookup outside the namespace fails exactly like a missing
+    key (:class:`~repro.errors.MissingEvkError`) -- tenant A cannot
+    observe, let alone reuse, tenant B's evk material.
+
+    Cache budget, eviction, stats, and the resilience context are shared
+    properties of the *base* store: eviction pressure from one tenant may
+    push another tenant's expanded keys out (that is the point of the
+    shared budget), but only through the accounted LRU path.
+    """
+
+    SEP = "/"
+
+    def __init__(self, base: KeyStore, namespace: str):
+        if not namespace or self.SEP in namespace:
+            raise MissingEvkError(
+                f"invalid key-store namespace {namespace!r} "
+                f"(must be non-empty, without {self.SEP!r})"
+            )
+        self.base = base
+        self.namespace = namespace
+
+    def _scoped(self, kind: str) -> str:
+        return f"{self.namespace}{self.SEP}{kind}"
+
+    @property
+    def _prefix(self) -> str:
+        return f"{self.namespace}{self.SEP}"
+
+    # ------------------------------------------------------------- registry
+
+    def put(self, key: StoredEvaluationKey) -> StoredEvaluationKey:
+        if not key.kind.startswith(self._prefix):
+            key.kind = self._scoped(key.kind)
+        key.store = self.base
+        return self.base.put(key)
+
+    def get(self, kind: str) -> StoredEvaluationKey:
+        try:
+            return self.base.get(self._scoped(kind))
+        except MissingEvkError:
+            raise MissingEvkError(
+                f"tenant {self.namespace!r} holds no evk {kind!r} "
+                f"(available: {self.kinds() or 'none'})"
+            ) from None
+
+    def __contains__(self, kind: str) -> bool:
+        return self._scoped(kind) in self.base
+
+    def kinds(self) -> list[str]:
+        prefix = self._prefix
+        return sorted(
+            k[len(prefix):] for k in self.base.kinds() if k.startswith(prefix)
+        )
+
+    # --------------------------------------------- shared-store passthrough
+
+    def materialize(self, key: StoredEvaluationKey):
+        return self.base.materialize(key)
+
+    def discard_cached(self, kind: str) -> bool:
+        return self.base.discard_cached(self._scoped(kind))
+
+    @property
+    def resilience(self):
+        return self.base.resilience
+
+    @resilience.setter
+    def resilience(self, rc) -> None:
+        self.base.resilience = rc
+
+    @property
+    def stats(self) -> StoreStats:
+        return self.base.stats
+
+    @property
+    def budget_bytes(self) -> int | None:
+        return self.base.budget_bytes
+
+    @property
+    def cached_bytes(self) -> int:
+        return self.base.cached_bytes
+
+    @property
+    def stored_bytes(self) -> int:
+        """Persistent footprint of this namespace's keys only."""
+        prefix = self._prefix
+        return sum(
+            k.seeded_bytes
+            for kind, k in self.base._keys.items()
+            if kind.startswith(prefix)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NamespacedKeyStore({self.namespace!r}, keys={len(self.kinds())})"

@@ -1,0 +1,27 @@
+"""Encrypted-inference serving layer: asyncio HTTP over the session API.
+
+``python -m repro serve`` runs the service; :class:`ServeApp` embeds it
+(the tests and the load benchmark start one in-process). See
+:mod:`repro.serve.app` for the endpoint map and request path.
+"""
+
+from repro.serve.app import ServeApp, ServeConfig, run_app
+from repro.serve.batcher import MicroBatcher, ShutdownError
+from repro.serve.limiter import TokenBucket
+from repro.serve.programs import PROGRAMS, run_program
+from repro.serve.queue import AdmissionController
+from repro.serve.tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "AdmissionController",
+    "MicroBatcher",
+    "PROGRAMS",
+    "ServeApp",
+    "ServeConfig",
+    "ShutdownError",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "run_app",
+    "run_program",
+]

@@ -1,0 +1,421 @@
+"""The encrypted-inference service: asyncio HTTP over the session API.
+
+``python -m repro serve`` builds a :class:`ServeApp` and runs it. The
+request path is::
+
+    accept -> parse (wire) -> route -> rate limit (tenant bucket)
+           -> admission (bounded in-flight) -> micro-batcher
+           -> dispatch executor thread -> tenant session -> response
+
+Everything numeric runs on the dispatch executor (one worker thread, so
+tenant sessions and the process-global telemetry/guard hooks are never
+raced); the event loop only parses, routes, batches, and writes. Errors
+are typed end to end: every :class:`~repro.errors.ReproError` subclass
+maps to one HTTP status, unexpected exceptions map to a generic 500, and
+neither takes the accept loop down.
+
+Endpoints::
+
+    POST /v1/tenants              register a tenant (id, optional seed/weights)
+    GET  /v1/tenants              list tenants
+    GET  /v1/tenants/{tenant}     one tenant's receipt
+    POST /v1/helr/score           encrypted HELR inference
+    POST /v1/sort/compare-swap    encrypted compare-and-swap step
+    POST /v1/conv/step            encrypted 1-D convolution step
+    GET  /metrics                 Prometheus text exposition
+    GET  /healthz                 liveness + drain state
+
+Program requests carry ``{"tenant": ..., ...payload...}``; adding
+``"trace": true`` returns the request's Chrome-trace span breakdown
+inline (one :class:`~repro.obs.telemetry.Telemetry` per request, armed
+only for that request's dispatch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import (
+    AdmissionError,
+    ParameterError,
+    RateLimitError,
+    ReproError,
+    UnknownTenantError,
+    WireError,
+)
+from repro.obs import hooks as obs_hooks
+from repro.obs.telemetry import Telemetry
+from repro.params import CkksParams, TOY, preset_by_name
+from repro.serve import wire
+from repro.serve.batcher import MicroBatcher, ShutdownError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.programs import run_program
+from repro.serve.queue import AdmissionController
+from repro.serve.router import MethodNotAllowed, Router
+from repro.serve.tenants import TenantRegistry
+from repro.serve.wire import HttpResponse
+
+#: ReproError subclass -> HTTP status. Anything not listed (and any
+#: non-Repro exception) is a 500; the *type name* always reaches the
+#: client so silent corruption can never masquerade as success.
+_STATUS_OF: tuple[tuple[type, int], ...] = (
+    (WireError, 400),  # instance carries its own status
+    (RateLimitError, 429),
+    (AdmissionError, 429),
+    (ShutdownError, 503),
+    (UnknownTenantError, 404),
+    (ParameterError, 400),
+    (ReproError, 500),  # IntegrityError, RecoveryExhausted, FaultInjected, ...
+)
+
+
+def _status_of(exc: BaseException) -> int:
+    if isinstance(exc, WireError):
+        return exc.status
+    for cls, status in _STATUS_OF:
+        if isinstance(exc, cls):
+            return status
+    return 500
+
+
+@dataclass
+class ServeConfig:
+    """Service tunables (all exposed as ``python -m repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    params: str = "toy"
+    max_pending: int = 64          # admission cap on in-flight requests
+    max_batch: int = 8             # micro-batch size trigger
+    window_ms: float = 4.0         # micro-batch deadline window
+    rate: float = 200.0            # per-tenant token-bucket refill, req/s
+    burst: float = 50.0            # per-tenant bucket capacity
+    budget_mb: float | None = None  # shared expanded-key LRU budget
+    max_tenants: int = 1024
+    drain_timeout_s: float = 10.0
+
+    def resolve_params(self) -> CkksParams:
+        return TOY if self.params == "toy" else preset_by_name(self.params)
+
+
+class _WorkItem:
+    __slots__ = ("payload", "trace", "trace_out")
+
+    def __init__(self, payload: dict, trace: bool):
+        self.payload = payload
+        self.trace = trace
+        self.trace_out = None
+
+
+class ServeApp:
+    """One service instance: registry, batcher, admission, metrics, routes."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        params = self.config.resolve_params()
+        budget = self.config.budget_mb
+        self.tenants = TenantRegistry(
+            params,
+            budget_bytes=None if budget is None else int(budget * 1e6),
+            rate=self.config.rate,
+            burst=self.config.burst,
+            max_tenants=self.config.max_tenants,
+        )
+        self.metrics = ServeMetrics()
+        self.admission = AdmissionController(
+            self.config.max_pending,
+            on_change=self.metrics.queue_depth.set,
+        )
+        self.batcher = MicroBatcher(
+            self._dispatch,
+            max_batch=self.config.max_batch,
+            window_s=self.config.window_ms / 1e3,
+            on_batch=lambda key, size, waited: self.metrics.observe_batch(
+                key[1], size, waited
+            ),
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-dispatch"
+        )
+        self._server: asyncio.Server | None = None
+        self._draining = False
+        self.router = Router()
+        self.router.post("/v1/tenants", self._h_register)
+        self.router.get("/v1/tenants", self._h_list_tenants)
+        self.router.get("/v1/tenants/{tenant}", self._h_tenant)
+        self.router.post(
+            "/v1/helr/score", self._program_handler("helr_score")
+        )
+        self.router.post(
+            "/v1/sort/compare-swap", self._program_handler("compare_swap")
+        )
+        self.router.post("/v1/conv/step", self._program_handler("conv_step"))
+        self.router.get("/metrics", self._h_metrics)
+        self.router.get("/healthz", self._h_health)
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        self.config.port = port
+        return host, port
+
+    async def shutdown(self) -> bool:
+        """Graceful drain: stop accepting, answer in-flight work, stop.
+
+        Returns True when every accepted request was answered within the
+        drain timeout.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        clean = await self.batcher.drain(timeout=self.config.drain_timeout_s)
+        self._pool.shutdown(wait=True)
+        return clean
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------ connection
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections.inc()
+        try:
+            while True:
+                try:
+                    request = await wire.read_request(reader)
+                except WireError as exc:
+                    self.metrics.observe_error(type(exc).__name__)
+                    await wire.write_response(
+                        writer,
+                        HttpResponse.error(
+                            exc.status, type(exc).__name__, str(exc)
+                        ),
+                        keep_alive=False,
+                    )
+                    return
+                if request is None:
+                    return  # client closed cleanly
+                response = await self._handle(request)
+                keep_alive = request.keep_alive and not self._draining
+                await wire.write_response(writer, response, keep_alive=keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away / server stopping: nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # pragma: no cover - teardown race
+
+    async def _handle(self, request: wire.HttpRequest) -> HttpResponse:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        endpoint = request.path
+        try:
+            handler, params = self.router.resolve(request.method, request.path)
+            response = await handler(request, params)
+        except ReproError as exc:
+            status = _status_of(exc)
+            self.metrics.observe_error(type(exc).__name__)
+            response = HttpResponse.error(status, type(exc).__name__, str(exc))
+            if isinstance(exc, RateLimitError):
+                response.headers["Retry-After"] = f"{exc.retry_after:.3f}"
+            if isinstance(exc, MethodNotAllowed):
+                response.headers["Allow"] = ", ".join(exc.allowed)
+        except Exception as exc:  # noqa: BLE001 - the loop must survive
+            self.metrics.observe_error(type(exc).__name__)
+            response = HttpResponse.error(
+                500, "InternalError", f"unexpected {type(exc).__name__}: {exc}"
+            )
+        self.metrics.observe_request(
+            endpoint, response.status, loop.time() - t0
+        )
+        return response
+
+    # -------------------------------------------------------------- handlers
+
+    async def _h_register(self, request, _params) -> HttpResponse:
+        body = request.json()
+        tenant_id = body.get("tenant")
+        if not isinstance(tenant_id, str):
+            raise ParameterError("registration needs a string 'tenant' field")
+        seed = body.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ParameterError("'seed' must be an integer")
+        loop = asyncio.get_running_loop()
+        # Key generation is CPU work: run it on the dispatch thread so the
+        # accept loop keeps serving (and so it never races a running batch).
+        tenant = await loop.run_in_executor(
+            self._pool,
+            lambda: self.tenants.register(
+                tenant_id, seed=seed, weights=body.get("weights")
+            ),
+        )
+        receipt = self.tenants.describe(tenant)
+        receipt["store"] = self.tenants.footprint()
+        return HttpResponse.json(receipt, status=201)
+
+    async def _h_list_tenants(self, _request, _params) -> HttpResponse:
+        return HttpResponse.json(
+            {
+                "tenants": [
+                    self.tenants.describe(t) for t in self.tenants.tenants()
+                ],
+                "store": self.tenants.footprint(),
+            }
+        )
+
+    async def _h_tenant(self, _request, params) -> HttpResponse:
+        tenant = self.tenants.get(params["tenant"])
+        return HttpResponse.json(self.tenants.describe(tenant))
+
+    def _program_handler(self, program: str):
+        async def handler(request, _params) -> HttpResponse:
+            return await self._run_program_request(program, request)
+
+        return handler
+
+    async def _run_program_request(self, program: str, request) -> HttpResponse:
+        body = request.json()
+        tenant_id = body.get("tenant")
+        if not isinstance(tenant_id, str):
+            raise ParameterError("program requests need a string 'tenant' field")
+        tenant = self.tenants.get(tenant_id)
+        if self._draining:
+            raise ShutdownError("server is draining; not accepting new work")
+        try:
+            tenant.bucket.acquire_or_raise(tenant_id)
+        except RateLimitError:
+            self.metrics.observe_rejection(program, "rate_limit")
+            raise
+        item = _WorkItem(payload=body, trace=bool(body.get("trace")))
+        try:
+            async with self.admission.admit(program):
+                result = await self.batcher.submit((tenant_id, program), item)
+        except AdmissionError:
+            self.metrics.observe_rejection(program, "admission")
+            raise
+        except ShutdownError:
+            self.metrics.observe_rejection(program, "drain")
+            raise
+        tenant.requests += 1
+        payload = {"tenant": tenant_id, "program": program, "result": result}
+        if item.trace_out is not None:
+            payload["trace"] = item.trace_out
+        return HttpResponse.json(payload)
+
+    async def _h_metrics(self, _request, _params) -> HttpResponse:
+        text = self.metrics.render(self.tenants)
+        return HttpResponse.text(text)
+
+    async def _h_health(self, _request, _params) -> HttpResponse:
+        return HttpResponse.json(
+            {
+                "status": "draining" if self._draining else "ok",
+                "tenants": len(self.tenants),
+                "pending": self.admission.pending,
+            }
+        )
+
+    # -------------------------------------------------------------- dispatch
+
+    async def _dispatch(self, key, items):
+        tenant_id, program = key
+        tenant = self.tenants.get(tenant_id)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, self._run_batch, tenant, program, items
+        )
+
+    def _run_batch(self, tenant, program, items):
+        """Executor-thread batch body: one session, every item in turn.
+
+        THE BATCHED-BACKEND SEAM (ROADMAP open item 1): a
+        ``BatchedBackend`` would replace this per-item loop with one
+        ``(batch, limbs, N)`` execution over the coalesced payloads;
+        the batcher, admission, and wire layers need no change.
+        """
+        results = []
+        for item in items:
+            try:
+                if item.trace:
+                    results.append(self._run_traced(tenant, program, item))
+                else:
+                    results.append(
+                        run_program(
+                            program, tenant.sess, tenant.weights, item.payload
+                        )
+                    )
+            except ReproError as exc:
+                results.append(exc)
+        return results
+
+    def _run_traced(self, tenant, program, item):
+        """Run one item with a per-request Telemetry armed (span breakdown).
+
+        Safe because this executor has exactly one worker: the process-
+        global hook slot is occupied only for this item's duration.
+        """
+        telemetry = Telemetry(kernels=True)
+        backend = tenant.sess.backend
+        backend.telemetry = telemetry
+        obs_hooks.install(telemetry)
+        try:
+            result = run_program(program, tenant.sess, tenant.weights, item.payload)
+        finally:
+            obs_hooks.uninstall(telemetry)
+            backend.telemetry = None
+        item.trace_out = telemetry.tracer.to_chrome_trace()
+        return result
+
+
+async def run_app(config: ServeConfig) -> None:
+    """Start, print the bound address, serve until cancelled, then drain."""
+    app = ServeApp(config)
+    host, port = await app.start()
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(params={app.config.params}, max_batch={app.config.max_batch}, "
+          f"window={app.config.window_ms}ms)")
+    try:
+        await app.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        clean = await app.shutdown()
+        print(f"repro serve: drained {'cleanly' if clean else 'with timeouts'}")
+
+
+def main_serve(args) -> int:
+    """Entry point for ``python -m repro serve``."""
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        params=args.params,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        window_ms=args.window_ms,
+        rate=args.rate,
+        burst=args.burst,
+        budget_mb=args.budget_mb,
+    )
+    try:
+        asyncio.run(run_app(config))
+    except KeyboardInterrupt:
+        pass
+    return 0

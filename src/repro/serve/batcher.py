@@ -1,0 +1,146 @@
+"""Micro-batching: coalesce same-program requests into one dispatch.
+
+Requests are grouped by a batch key -- the serving layer uses
+``(tenant_id, program)`` so every batch runs through exactly one tenant
+session. The first request of a group arms a deadline timer
+(``window_s``); the group is dispatched when it reaches ``max_batch`` or
+when the window expires, whichever comes first. ``dispatch(key, items)``
+is an async callable returning one result per item (an item's slot may
+hold an exception instance, which resolves that request's future
+exceptionally without failing its batch-mates).
+
+This is deliberately the seam for ROADMAP open item 1: today the
+dispatcher loops the batch through one session; a ``BatchedBackend``
+would instead widen the kernel arrays to ``(batch, limbs, N)`` and run
+the coalesced requests in one shot -- nothing above this module changes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ParameterError, ReproError
+
+
+class _Group:
+    __slots__ = ("items", "futures", "timer", "armed_at")
+
+    def __init__(self):
+        self.items: list = []
+        self.futures: list[asyncio.Future] = []
+        self.timer: asyncio.TimerHandle | None = None
+        self.armed_at: float = 0.0
+
+
+class ShutdownError(ReproError):
+    """The batcher is draining; new work is refused (HTTP 503)."""
+
+
+class MicroBatcher:
+    """Coalesces submissions per key and dispatches bounded batches.
+
+    ``on_batch(key, size, waited_s)`` (optional) observes every dispatch
+    for the batch-size histogram and queue metrics.
+    """
+
+    def __init__(
+        self,
+        dispatch,
+        *,
+        max_batch: int = 8,
+        window_s: float = 0.005,
+        on_batch=None,
+    ):
+        if max_batch <= 0:
+            raise ParameterError("max_batch must be positive")
+        if window_s < 0:
+            raise ParameterError("window_s must be non-negative")
+        self._dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.window_s = float(window_s)
+        self._groups: dict = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._on_batch = on_batch
+        self._closing = False
+
+    # ------------------------------------------------------------ submission
+
+    @property
+    def queued(self) -> int:
+        """Requests accepted but not yet dispatched (across all groups)."""
+        return sum(len(g.items) for g in self._groups.values())
+
+    async def submit(self, key, item):
+        """Enqueue ``item`` under ``key``; returns that item's result."""
+        if self._closing:
+            raise ShutdownError("server is draining; not accepting new work")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group()
+            group.armed_at = loop.time()
+            if self.window_s > 0 and self.max_batch > 1:
+                group.timer = loop.call_later(self.window_s, self._flush, key)
+        group.items.append(item)
+        group.futures.append(future)
+        if len(group.items) >= self.max_batch or (
+            self.window_s == 0 or self.max_batch == 1
+        ):
+            self._flush(key)
+        return await future
+
+    # -------------------------------------------------------------- dispatch
+
+    def _flush(self, key) -> None:
+        group = self._groups.pop(key, None)
+        if group is None:
+            return  # already flushed by the size trigger
+        if group.timer is not None:
+            group.timer.cancel()
+        loop = asyncio.get_running_loop()
+        waited = loop.time() - group.armed_at
+        if self._on_batch is not None:
+            self._on_batch(key, len(group.items), waited)
+        task = loop.create_task(self._run(key, group.items, group.futures))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, key, items, futures) -> None:
+        try:
+            results = await self._dispatch(key, items)
+            if len(results) != len(items):
+                raise ParameterError(
+                    f"dispatch returned {len(results)} results for "
+                    f"{len(items)} items"
+                )
+        except BaseException as exc:  # noqa: BLE001 - resolved per future
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, result in zip(futures, results):
+            if future.done():
+                continue
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+    # ----------------------------------------------------------------- drain
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Flush queued groups and wait for in-flight batches; True if clean.
+
+        After ``drain`` begins, :meth:`submit` refuses new work with a
+        typed :class:`ShutdownError` -- graceful shutdown answers what it
+        already accepted and sheds the rest.
+        """
+        self._closing = True
+        for key in list(self._groups):
+            self._flush(key)
+        pending = {t for t in self._tasks if not t.done()}
+        if not pending:
+            return True
+        done, still_pending = await asyncio.wait(pending, timeout=timeout)
+        return not still_pending

@@ -1,0 +1,61 @@
+"""Per-tenant token-bucket rate limiting.
+
+Classic token bucket: capacity ``burst`` tokens, refilled continuously at
+``rate`` tokens/second. Admission takes one token; an empty bucket is a
+typed :class:`~repro.errors.RateLimitError` carrying the time until the
+next token matures (the ``Retry-After`` header). The clock is injectable
+so tests (and the benchmark's warm-up) never sleep.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ParameterError, RateLimitError
+
+
+class TokenBucket:
+    """One tenant's bucket. Not thread-safe; the server uses it only from
+    the event loop."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ParameterError("token bucket needs rate > 0 and burst > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    def retry_after(self, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will be available."""
+        self._refill()
+        deficit = cost - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    def acquire_or_raise(self, tenant_id: str, cost: float = 1.0) -> None:
+        if not self.try_acquire(cost):
+            wait = self.retry_after(cost)
+            raise RateLimitError(
+                f"tenant {tenant_id!r} exceeded its rate limit "
+                f"({self.rate:g}/s, burst {self.burst:g}); "
+                f"retry in {wait:.3f}s",
+                retry_after=wait,
+            )

@@ -1,0 +1,127 @@
+"""The service's metric surface: ``repro_serve_*`` plus the library stats.
+
+One persistent :class:`~repro.obs.metrics.MetricsRegistry` holds the
+serve-layer instruments (request/latency/batch/queue/rejection series);
+scraping ``/metrics`` refreshes the library surfaces into the same
+registry -- per-tenant session stats under a ``tenant`` label, the shared
+key store and fault ledger once -- and renders one Prometheus text
+exposition. Refreshing is idempotent (the adapters *set* cumulative
+values), so scrape loops are safe.
+"""
+
+from __future__ import annotations
+
+from repro.obs.adapters import (
+    collect_evaluator,
+    collect_faults,
+    collect_ops,
+    collect_store,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Request latency buckets, in seconds (an encrypted op is ms-scale; the
+#: tail buckets catch queue/batch waits under load).
+LATENCY_BUCKETS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32)
+
+
+class ServeMetrics:
+    """Owns the registry and the serve-layer instruments."""
+
+    def __init__(self):
+        registry = MetricsRegistry()
+        self.registry = registry
+        self.requests = registry.counter(
+            "repro_serve_requests_total",
+            "Requests answered, by endpoint and HTTP status code",
+            labelnames=("endpoint", "code"),
+        )
+        self.rejections = registry.counter(
+            "repro_serve_rejected_total",
+            "Requests shed before execution (admission queue full, "
+            "rate limit, drain)",
+            labelnames=("endpoint", "reason"),
+        )
+        self.latency = registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "End-to-end request latency (parse to response write), seconds",
+            labelnames=("endpoint",),
+            buckets=LATENCY_BUCKETS_S,
+        )
+        self.batch_size = registry.histogram(
+            "repro_serve_batch_size",
+            "Requests coalesced per micro-batch dispatch",
+            buckets=BATCH_BUCKETS,
+        )
+        self.batch_wait = registry.histogram(
+            "repro_serve_batch_wait_seconds",
+            "Time a batch waited in the coalescing window before dispatch",
+            buckets=LATENCY_BUCKETS_S,
+        )
+        self.batches = registry.counter(
+            "repro_serve_batches_total",
+            "Micro-batches dispatched, by program",
+            labelnames=("program",),
+        )
+        self.queue_depth = registry.gauge(
+            "repro_serve_queue_depth",
+            "Requests admitted and in flight (queued, batching, or executing)",
+        )
+        self.tenants = registry.gauge(
+            "repro_serve_tenants",
+            "Registered tenants",
+        )
+        self.errors = registry.counter(
+            "repro_serve_errors_total",
+            "Typed errors surfaced to clients, by error type",
+            labelnames=("type",),
+        )
+        self.connections = registry.counter(
+            "repro_serve_connections_total",
+            "TCP connections accepted",
+        )
+
+    # ------------------------------------------------------------- recording
+
+    def observe_request(self, endpoint: str, code: int, seconds: float) -> None:
+        self.requests.labels(endpoint=endpoint, code=str(code)).inc()
+        self.latency.labels(endpoint=endpoint).observe(seconds)
+
+    def observe_batch(self, program: str, size: int, waited_s: float) -> None:
+        self.batches.labels(program=program).inc()
+        self.batch_size.observe(size)
+        self.batch_wait.observe(waited_s)
+
+    def observe_rejection(self, endpoint: str, reason: str) -> None:
+        self.rejections.labels(endpoint=endpoint, reason=reason).inc()
+
+    def observe_error(self, error_type: str) -> None:
+        self.errors.labels(type=error_type).inc()
+
+    # --------------------------------------------------------------- scrape
+
+    def render(self, registry_view) -> str:
+        """Refresh the library surfaces and render the exposition text.
+
+        ``registry_view`` is the :class:`TenantRegistry`: per-tenant
+        sessions mount under a ``tenant`` label; the shared store and
+        fault ledger mount once, unlabelled.
+        """
+        self.tenants.set(len(registry_view))
+        for tenant in registry_view.tenants():
+            extra = {"tenant": tenant.tenant_id}
+            collect_ops(tenant.sess, self.registry, extra)
+            ctx = tenant.sess.ctx
+            if ctx is not None:
+                collect_evaluator(ctx, self.registry, extra)
+        collect_store(
+            self.registry,
+            "evk",
+            registry_view.store.stats,
+            store=registry_view.store,
+        )
+        collect_faults(self.registry, registry_view.resilience.stats)
+        return self.registry.to_prometheus()

@@ -1,0 +1,153 @@
+"""The encrypted programs behind the serving endpoints.
+
+Each program is a plain function over the unified session API
+(:mod:`repro.backend.session`) -- the same surface the workloads use --
+so it runs on the :class:`~repro.backend.functional.FunctionalBackend`
+today and on a batched backend tomorrow without changes. The serving
+layer's dispatcher calls :func:`run_program` with a tenant's session and
+one request payload; everything here is synchronous CPU work and runs on
+the dispatch executor thread, never on the event loop.
+
+Programs validate their payloads strictly (typed
+:class:`~repro.errors.ParameterError` -> HTTP 400): the session is shared
+tenant state, and a half-executed program with bad inputs would leave its
+encryptor stream advanced for nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.session import HeSession
+from repro.errors import ParameterError
+from repro.workloads.helr import SIGMOID_COEFFS
+from repro.workloads.sorting import encrypted_compare_swap
+
+#: Rotation keys every tenant context is provisioned with: slot sums
+#: (HELR scoring) rotate by 1; the convolution endpoint also rotates by 2.
+TENANT_ROTATIONS = (1, 2)
+
+#: Convolution taps the provisioned rotation keys support (amounts 0..2).
+MAX_CONV_TAPS = 3
+
+PROGRAMS = ("helr_score", "compare_swap", "conv_step")
+
+
+def _vector(payload: dict, field: str, *, max_len: int) -> np.ndarray:
+    values = payload.get(field)
+    if not isinstance(values, (list, tuple)) or not values:
+        raise ParameterError(f"request field {field!r} must be a non-empty list")
+    if len(values) > max_len:
+        raise ParameterError(
+            f"request field {field!r} holds {len(values)} values; "
+            f"this parameter set serves at most {max_len}"
+        )
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise ParameterError(f"request field {field!r} must be numeric") from None
+    if not np.all(np.isfinite(arr)):
+        raise ParameterError(f"request field {field!r} must be finite")
+    return arr
+
+
+def helr_score(sess: HeSession, weights: np.ndarray, payload: dict) -> dict:
+    """Encrypted HELR inference: sigmoid(<w, x>) on an encrypted sample.
+
+    The feature vector is encrypted into the tenant's context, the dot
+    product runs as PMult + Min-KS slot sum (rotation by 1, the tenant's
+    ``rot:1`` evk), and the degree-3 sigmoid of the HELR workload is
+    evaluated homomorphically. The score decrypts from slot 0.
+    """
+    features = len(weights)
+    x = _vector(payload, "x", max_len=sess.params.max_slots)
+    if len(x) != features:
+        raise ParameterError(
+            f"expected {features} features for this tenant's model, got {len(x)}"
+        )
+    # Pad to a power of two so the slot sum covers exactly the features
+    # (the padding slots contribute 0 to the dot product).
+    width = _pow2_at_least(features)
+    x_pad = np.zeros(width, dtype=np.complex128)
+    x_pad[:features] = x
+    w_pad = np.zeros(width, dtype=np.complex128)
+    w_pad[:features] = weights
+    ct_x = sess.encrypt(x_pad, tag="ct:serve:helr:x")
+    pt_w = sess.plaintext(w_pad, tag="pt:serve:helr:w")
+    prods = (ct_x * pt_w).rescale()
+    z = sess.slot_sum(prods, width, mode="minks")
+    c0, c1, c3 = SIGMOID_COEFFS
+    z2 = (z * z).rescale()
+    z3 = (z2 * z).rescale()
+    term1 = (z * c1).rescale()
+    term3 = (z3 * c3).rescale()
+    p = (term1 + term3) + c0
+    score = float(sess.decrypt(p).real[0])
+    return {"score": score, "features": features, "level": p.level}
+
+
+def compare_swap(sess: HeSession, _weights, payload: dict) -> dict:
+    """One encrypted compare-and-swap step of the sorting network."""
+    a = _vector(payload, "a", max_len=sess.params.max_slots)
+    b = _vector(payload, "b", max_len=sess.params.max_slots)
+    if len(a) != len(b):
+        raise ParameterError("fields 'a' and 'b' must have the same length")
+    if np.max(np.abs(a)) > 1 or np.max(np.abs(b)) > 1:
+        raise ParameterError("compare_swap operands must lie in [-1, 1]")
+    ct_a = sess.encrypt(a.astype(np.complex128), tag="ct:serve:sort:a")
+    ct_b = sess.encrypt(b.astype(np.complex128), tag="ct:serve:sort:b")
+    ct_min, ct_max = encrypted_compare_swap(sess, ct_a, ct_b)
+    n = len(a)
+    # Exact floats on the wire: JSON round-trips doubles losslessly, which
+    # is what lets the chaos suite assert byte-identical recovery.
+    return {
+        "min": sess.decrypt(ct_min).real[:n].tolist(),
+        "max": sess.decrypt(ct_max).real[:n].tolist(),
+        "level": ct_min.level,
+    }
+
+
+def conv_step(sess: HeSession, _weights, payload: dict) -> dict:
+    """One encrypted 1-D convolution step: y = sum_k kernel[k] * rot(x, k).
+
+    The rotation-and-accumulate pattern of the encrypted-convolution
+    workload, restricted to the rotation keys every tenant is provisioned
+    with (amounts ``0..MAX_CONV_TAPS-1``).
+    """
+    x = _vector(payload, "x", max_len=sess.params.max_slots)
+    kernel = _vector(payload, "kernel", max_len=MAX_CONV_TAPS)
+    ct = sess.encrypt(x.astype(np.complex128), tag="ct:serve:conv:x")
+    acc = (ct * float(kernel[0])).rescale()
+    for k, coeff in enumerate(kernel[1:], start=1):
+        tap = (ct.rotate(k) * float(coeff)).rescale()
+        acc = acc + tap
+    n = len(x)
+    return {
+        "y": sess.decrypt(acc).real[:n].tolist(),
+        "taps": len(kernel),
+        "level": acc.level,
+    }
+
+
+def _pow2_at_least(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+_RUNNERS = {
+    "helr_score": helr_score,
+    "compare_swap": compare_swap,
+    "conv_step": conv_step,
+}
+
+
+def run_program(program: str, sess: HeSession, weights, payload: dict) -> dict:
+    """Execute one named program against a tenant session."""
+    runner = _RUNNERS.get(program)
+    if runner is None:
+        raise ParameterError(
+            f"unknown program {program!r} (known: {sorted(_RUNNERS)})"
+        )
+    return runner(sess, weights, payload)

@@ -1,0 +1,58 @@
+"""Bounded admission control for the serving layer.
+
+The service never queues unboundedly: :class:`AdmissionController` tracks
+how many requests are *in flight* (admitted but not yet answered) and
+rejects past ``max_pending`` with a typed
+:class:`~repro.errors.AdmissionError` -- the caller maps it to HTTP 429.
+Load shedding at the door keeps tail latency bounded under overload: a
+request that cannot be served soon is cheaper to reject immediately than
+to park behind a queue it will time out in anyway.
+
+Used as an async context manager around the whole request lifetime::
+
+    async with admission.admit(endpoint):
+        ... enqueue into the batcher, await the result ...
+"""
+
+from __future__ import annotations
+
+from contextlib import asynccontextmanager
+
+from repro.errors import AdmissionError, ParameterError
+
+
+class AdmissionController:
+    """Counts in-flight requests against a hard cap.
+
+    ``on_change(pending)`` (optional) observes every transition -- the
+    metrics layer points it at the queue-depth gauge. ``rejected`` tallies
+    shed requests by endpoint for the rejection counter.
+    """
+
+    def __init__(self, max_pending: int, on_change=None):
+        if max_pending <= 0:
+            raise ParameterError("max_pending must be positive")
+        self.max_pending = int(max_pending)
+        self.pending = 0
+        self.rejected: dict[str, int] = {}
+        self._on_change = on_change
+
+    def _notify(self) -> None:
+        if self._on_change is not None:
+            self._on_change(self.pending)
+
+    @asynccontextmanager
+    async def admit(self, endpoint: str):
+        if self.pending >= self.max_pending:
+            self.rejected[endpoint] = self.rejected.get(endpoint, 0) + 1
+            raise AdmissionError(
+                f"request queue full ({self.pending}/{self.max_pending} "
+                f"in flight); retry later"
+            )
+        self.pending += 1
+        self._notify()
+        try:
+            yield self
+        finally:
+            self.pending -= 1
+            self._notify()

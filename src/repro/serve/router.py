@@ -1,0 +1,93 @@
+"""Method + path routing with ``{param}`` segments.
+
+A deliberately small router: exact segments and single-segment
+``{name}`` captures, no regexes, no middleware chains. ``resolve``
+distinguishes *unknown path* (404) from *known path, wrong method* (405,
+with the allowed methods for the ``Allow`` header) because load
+balancers and clients treat the two very differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, WireError
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    segments: tuple[str, ...]
+    handler: object
+
+    def match(self, path_segments: tuple[str, ...]) -> dict[str, str] | None:
+        if len(path_segments) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for want, got in zip(self.segments, path_segments):
+            if want.startswith("{") and want.endswith("}"):
+                params[want[1:-1]] = got
+            elif want != got:
+                return None
+        return params
+
+
+class NotFound(WireError):
+    """No route matches the path (HTTP 404)."""
+
+    def __init__(self, path: str):
+        super().__init__(f"no route for {path!r}", status=404)
+
+
+class MethodNotAllowed(WireError):
+    """The path exists but not under this method (HTTP 405)."""
+
+    def __init__(self, method: str, path: str, allowed: list[str]):
+        super().__init__(
+            f"{method} not allowed for {path!r} (allowed: {', '.join(allowed)})",
+            status=405,
+        )
+        self.allowed = allowed
+
+
+def _split(path: str) -> tuple[str, ...]:
+    return tuple(seg for seg in path.split("/") if seg)
+
+
+class Router:
+    """Routes ``(method, path)`` to a handler plus captured path params."""
+
+    def __init__(self):
+        self._routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        route = Route(method.upper(), _split(pattern), handler)
+        for existing in self._routes:
+            if existing.method == route.method and existing.segments == route.segments:
+                raise ParameterError(f"duplicate route {method} {pattern}")
+        self._routes.append(route)
+
+    def get(self, pattern: str, handler) -> None:
+        self.add("GET", pattern, handler)
+
+    def post(self, pattern: str, handler) -> None:
+        self.add("POST", pattern, handler)
+
+    def resolve(self, method: str, path: str):
+        """``(handler, params)`` for the first matching route.
+
+        Raises :class:`NotFound` / :class:`MethodNotAllowed` (both are
+        :class:`~repro.errors.WireError` subclasses carrying a status).
+        """
+        segments = _split(path)
+        allowed: list[str] = []
+        for route in self._routes:
+            params = route.match(segments)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route.handler, params
+            allowed.append(route.method)
+        if allowed:
+            raise MethodNotAllowed(method, path, sorted(set(allowed)))
+        raise NotFound(path)

@@ -1,0 +1,209 @@
+"""Multi-tenant registry: per-tenant sessions over one shared key store.
+
+This is the paper's memory argument turned into a serving policy. Every
+registered tenant owns a full CKKS key set, but through the
+seed-compressed :class:`~repro.runtime.keystore.KeyStore` a tenant's
+persistent footprint is its evk ``b`` halves plus 32-byte seeds -- the
+expanded ``a`` halves live only in the *shared* LRU byte budget, so the
+working set self-sizes to the currently hot tenants and a cold tenant
+costs (almost) nothing. Namespacing
+(:class:`~repro.runtime.keystore.NamespacedKeyStore`) guarantees tenants
+can never serve each other's key material, even with identical seeds.
+
+All store material is digest-verified through one shared
+:class:`~repro.resilience.policy.ResilienceContext`: the integrity layer
+of the resilience PR is what makes it safe to serve many tenants from one
+cache (a bit flip in the shared working set recovers from the owning
+tenant's seeds or surfaces as a typed error, never as another tenant's
+corrupted answer). Its :class:`~repro.resilience.stats.FaultStats` ledger
+is exported on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.session import HeSession, session
+from repro.errors import ParameterError, UnknownTenantError
+from repro.params import CkksParams
+from repro.resilience.policy import ResilienceContext
+from repro.runtime.keystore import KeyStore
+from repro.serve.limiter import TokenBucket
+from repro.serve.programs import TENANT_ROTATIONS
+
+_TENANT_ID_RE = re.compile(r"[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}\Z")
+
+DEFAULT_FEATURES = 4
+
+
+@dataclass
+class Tenant:
+    """One registered tenant: its session, model weights, and rate bucket."""
+
+    tenant_id: str
+    seed: int
+    sess: HeSession
+    weights: np.ndarray
+    bucket: TokenBucket
+    registered_at: float = field(default_factory=time.time)
+    requests: int = 0
+
+    @property
+    def features(self) -> int:
+        return len(self.weights)
+
+
+class TenantRegistry:
+    """Registers tenants and owns the shared store behind their sessions."""
+
+    def __init__(
+        self,
+        params: CkksParams,
+        *,
+        budget_bytes: int | None = None,
+        rate: float = 50.0,
+        burst: float = 25.0,
+        max_tenants: int = 1024,
+        clock=time.monotonic,
+    ):
+        self.params = params
+        self.store = KeyStore(budget_bytes=budget_bytes)
+        self.resilience = ResilienceContext()
+        self.store.resilience = self.resilience
+        self.rate = rate
+        self.burst = burst
+        self.max_tenants = max_tenants
+        self._clock = clock
+        self._tenants: dict[str, Tenant] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def register(
+        self,
+        tenant_id: str,
+        *,
+        seed: int | None = None,
+        weights=None,
+    ) -> Tenant:
+        """Create a tenant: namespaced keys in the shared store + a session.
+
+        ``seed`` is the tenant's key-material master seed (default: derived
+        from the id). ``weights`` is the tenant's HELR model (default: the
+        demo model over :data:`DEFAULT_FEATURES` features).
+        """
+        if not _TENANT_ID_RE.match(tenant_id or ""):
+            raise ParameterError(
+                f"invalid tenant id {tenant_id!r} (want [a-zA-Z0-9][a-zA-Z0-9_.-]*, "
+                "at most 64 chars)"
+            )
+        if tenant_id in self._tenants:
+            raise ParameterError(f"tenant {tenant_id!r} is already registered")
+        if len(self._tenants) >= self.max_tenants:
+            raise ParameterError(
+                f"tenant limit reached ({self.max_tenants}); "
+                "deregister a tenant first"
+            )
+        if seed is None:
+            # Deterministic, collision-resistant default from the id.
+            import hashlib
+
+            seed = int.from_bytes(
+                hashlib.sha256(tenant_id.encode()).digest()[:6], "big"
+            )
+        if weights is None:
+            w = np.linspace(0.2, 0.8, DEFAULT_FEATURES)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.ndim != 1 or not 0 < len(w) <= self.params.max_slots:
+                raise ParameterError(
+                    "weights must be a 1-D vector of at most "
+                    f"{self.params.max_slots} values"
+                )
+            if not np.all(np.isfinite(w)):
+                raise ParameterError("weights must be finite")
+        view = self.store.scoped(tenant_id)
+        # Passing the shared ResilienceContext keeps integrity verification,
+        # fault injection, and the FaultStats ledger unified across tenants
+        # (and installs the kernel output guard against the same context).
+        sess = session(
+            self.params,
+            rotations=TENANT_ROTATIONS,
+            seed=int(seed),
+            key_store=view,
+            resilience=self.resilience,
+        )
+        tenant = Tenant(
+            tenant_id=tenant_id,
+            seed=int(seed),
+            sess=sess,
+            weights=w,
+            bucket=TokenBucket(self.rate, self.burst, clock=self._clock),
+        )
+        self._tenants[tenant_id] = tenant
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise UnknownTenantError(
+                f"unknown tenant {tenant_id!r}; register it via POST /v1/tenants"
+            )
+        return tenant
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def ids(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def tenants(self) -> list[Tenant]:
+        return [self._tenants[tid] for tid in self.ids()]
+
+    # ----------------------------------------------------------------- chaos
+
+    def arm_faults(self, faults) -> None:
+        """Arm a fault plan/injector against the shared store and kernels.
+
+        The injector's ledger is linked to the registry-wide
+        :class:`~repro.resilience.stats.FaultStats`, so injections show up
+        on ``/metrics`` next to detections and recoveries.
+        """
+        from repro.backend.session import _as_injector
+
+        injector = _as_injector(faults)
+        injector.stats = self.resilience.stats
+        self.resilience.injector = injector
+
+    def disarm_faults(self) -> None:
+        self.resilience.injector = None
+
+    # ------------------------------------------------------------ accounting
+
+    def describe(self, tenant: Tenant) -> dict:
+        """The registration receipt / listing entry for one tenant."""
+        view = self.store.scoped(tenant.tenant_id)
+        return {
+            "tenant": tenant.tenant_id,
+            "features": tenant.features,
+            "evk_kinds": view.kinds(),
+            "stored_bytes": view.stored_bytes,
+            "requests": tenant.requests,
+        }
+
+    def footprint(self) -> dict:
+        """Shared-store occupancy: the Table III economics, live."""
+        return {
+            "tenants": len(self._tenants),
+            "stored_bytes": self.store.stored_bytes,
+            "eager_bytes": self.store.eager_bytes,
+            "compression": self.store.compression,
+            "cached_bytes": self.store.cached_bytes,
+            "budget_bytes": self.store.budget_bytes,
+        }

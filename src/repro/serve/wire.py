@@ -1,0 +1,181 @@
+"""Minimal HTTP/1.1 framing and JSON codecs over asyncio streams.
+
+The serving layer deliberately speaks raw HTTP/1.1 through
+``asyncio.StreamReader``/``StreamWriter`` -- no FastAPI, no aiohttp -- so
+the service runs anywhere the library does. Only what an encrypted-
+inference endpoint needs is implemented: request-line + header parsing,
+``Content-Length`` bodies with a hard size cap, keep-alive connections,
+and JSON request/response codecs. Anything outside that envelope raises a
+typed :class:`~repro.errors.WireError` carrying the HTTP status the
+router should answer with (400 malformed, 413 oversized, 505 wrong
+version), so a hostile or confused client can never take the server loop
+down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import WireError
+
+#: Hard caps: header block and body sizes a request may use.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path, query, headers, raw body."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body decoded as JSON (an empty body decodes to ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise WireError(f"request body is not valid JSON: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request off ``reader``; ``None`` on a clean EOF.
+
+    Raises :class:`WireError` on malformed framing or exceeded limits --
+    the connection handler answers with the error's status and closes.
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise WireError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise WireError("header block too large", status=413) from None
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise WireError("header block too large", status=413)
+
+    try:
+        head = header_block.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise WireError("undecodable header block") from None
+    request_line, _, header_text = head.partition("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise WireError(f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise WireError(f"unsupported protocol {version!r}", status=505)
+    path, _, query = target.partition("?")
+
+    headers: dict[str, str] = {}
+    for line in header_text.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise WireError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise WireError("chunked bodies are not supported", status=400)
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise WireError(f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise WireError(f"bad Content-Length {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise WireError(f"body of {length} bytes exceeds cap", status=413)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise WireError("connection closed mid-body") from None
+    return HttpRequest(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+@dataclass
+class HttpResponse:
+    """One response to serialize: status, body, content type, extra headers."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload, status: int = 200, **headers: str) -> "HttpResponse":
+        return cls(
+            status=status,
+            body=(json.dumps(payload) + "\n").encode(),
+            headers=headers,
+        )
+
+    @classmethod
+    def text(cls, text: str, status: int = 200, **headers: str) -> "HttpResponse":
+        return cls(
+            status=status,
+            body=text.encode(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            headers=headers,
+        )
+
+    @classmethod
+    def error(
+        cls, status: int, error_type: str, message: str, **extra
+    ) -> "HttpResponse":
+        """The uniform error envelope every non-2xx answer uses."""
+        return cls.json(
+            {"error": {"type": error_type, "message": message, **extra}},
+            status=status,
+        )
+
+    def encode(self, *, keep_alive: bool = True) -> bytes:
+        reason = _STATUS_REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + self.body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: HttpResponse, *, keep_alive: bool = True
+) -> None:
+    writer.write(response.encode(keep_alive=keep_alive))
+    await writer.drain()

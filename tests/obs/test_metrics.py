@@ -105,3 +105,87 @@ def test_registry_lookup():
     assert reg["present_total"].kind == "counter"
     with pytest.raises(ParameterError):
         reg["absent"]
+
+
+# ----------------------------------------------------- exposition validation
+
+
+def test_validator_accepts_registry_output():
+    from repro.obs.metrics import validate_prometheus_text
+
+    reg = MetricsRegistry()
+    reg.counter("ops_total", "op tally", labelnames=("op",)).labels(
+        op='we"ird\\nam\ne'
+    ).inc(2)
+    reg.gauge("occupancy", "bytes").set(12.5)
+    reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0)).observe(0.5)
+    families = validate_prometheus_text(reg.to_prometheus())
+    assert families["ops_total"]["kind"] == "counter"
+    (name, labels, value) = families["ops_total"]["samples"][0]
+    assert labels["op"] == 'we"ird\\nam\ne'  # escaping round-trips
+    assert value == 2
+    assert families["lat_seconds"]["kind"] == "histogram"
+
+
+def test_validator_rejects_scraper_poison():
+    from repro.obs.metrics import validate_prometheus_text
+
+    cases = [
+        "x_total 1",                            # missing trailing newline
+        "x_total{o=\"a} 1\n",                    # unterminated label value
+        "# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n",
+        "# HELP x_total h\ny_other 2\n",         # HELP not followed by TYPE
+        "# TYPE x_total wat\nx_total 1\n",       # unknown kind
+        "x_total 1\n",                           # sample without TYPE
+        "# TYPE x_total counter\nx_total 1\nx_total 1\n",  # duplicate series
+        "# TYPE a_total counter\na_total 1\n"
+        "# TYPE b_total counter\nb_total 1\na_total 2\n",  # split family block
+    ]
+    for text in cases:
+        with pytest.raises(ParameterError):
+            validate_prometheus_text(text)
+
+
+def test_validator_checks_histogram_shape():
+    from repro.obs.metrics import validate_prometheus_text
+
+    ok = (
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="1"} 1\nlat_bucket{le="+Inf"} 2\n'
+        "lat_sum 1.5\nlat_count 2\n"
+    )
+    validate_prometheus_text(ok)
+    bad = [
+        # no +Inf bucket
+        '# TYPE lat histogram\nlat_bucket{le="1"} 1\nlat_sum 1\nlat_count 1\n',
+        # non-monotone cumulative counts
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="1"} 5\nlat_bucket{le="+Inf"} 2\nlat_sum 1\nlat_count 2\n',
+        # _count disagrees with the +Inf bucket
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="+Inf"} 2\nlat_sum 1\nlat_count 9\n',
+        # histogram exposing a bare sample
+        "# TYPE lat histogram\nlat 2\n",
+    ]
+    for text in bad:
+        with pytest.raises(ParameterError):
+            validate_prometheus_text(text)
+
+
+def test_non_finite_values_render_and_parse():
+    from repro.obs.metrics import validate_prometheus_text
+
+    reg = MetricsRegistry()
+    reg.gauge("ratio").set(float("inf"))
+    reg.gauge("other").set(float("-inf"))
+    text = reg.to_prometheus()
+    assert "ratio +Inf" in text and "other -Inf" in text
+    families = validate_prometheus_text(text)
+    assert families["ratio"]["samples"][0][2] == float("inf")
+
+
+def test_metric_names_reject_leading_digit_and_unicode():
+    reg = MetricsRegistry()
+    for bad in ("9lives_total", "naïve", "with-dash", ""):
+        with pytest.raises(ParameterError):
+            reg.counter(bad)

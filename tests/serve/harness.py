@@ -1,0 +1,64 @@
+"""Shared harness for the serving-layer tests.
+
+No pytest-asyncio in the image: each test drives its own event loop via
+:func:`serve_test`, which starts a real :class:`~repro.serve.ServeApp`
+on an ephemeral port, runs the async scenario against it over real TCP,
+and always drains the app afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve import ServeApp, ServeConfig
+
+
+class Client:
+    """A tiny HTTP/1.1 client speaking to the app over real sockets."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    async def raw(self, payload: bytes) -> tuple[int, dict[str, str], bytes]:
+        """Send raw bytes, read one full response (connection closes)."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        writer.write(payload)
+        await writer.drain()
+        data = await reader.read()
+        writer.close()
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, body
+
+    async def call(self, method: str, path: str, payload=None):
+        """One request/response; JSON bodies decode automatically."""
+        body = b"" if payload is None else json.dumps(payload).encode()
+        request = (
+            f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        ).encode() + body
+        status, headers, raw_body = await self.raw(request)
+        if headers.get("content-type", "").startswith("application/json"):
+            return status, headers, json.loads(raw_body)
+        return status, headers, raw_body.decode()
+
+
+def serve_test(scenario, config: ServeConfig | None = None):
+    """Run ``await scenario(app, client)`` against a live app; drain after."""
+
+    async def main():
+        app = ServeApp(config or ServeConfig(port=0, window_ms=2.0))
+        host, port = await app.start()
+        try:
+            return await scenario(app, Client(host, port))
+        finally:
+            await app.shutdown()
+
+    return asyncio.run(main())

@@ -1,0 +1,239 @@
+"""End-to-end service tests over real TCP: the full request path,
+typed HTTP errors, overload shedding (429s), /metrics, and drain."""
+
+import asyncio
+import json
+
+from repro.obs.metrics import validate_prometheus_text
+from repro.serve import ServeConfig
+
+from harness import serve_test
+
+
+def register(client, tenant="acme", **extra):
+    return client.call("POST", "/v1/tenants", {"tenant": tenant, "seed": 7, **extra})
+
+
+def test_register_and_all_three_programs():
+    async def scenario(app, client):
+        status, _, body = await register(client)
+        assert status == 201
+        assert body["tenant"] == "acme"
+        assert "mult" in body["evk_kinds"]
+        assert body["store"]["tenants"] == 1
+
+        status, _, body = await client.call(
+            "POST", "/v1/helr/score", {"tenant": "acme", "x": [0.1, 0.2, 0.3, 0.4]}
+        )
+        assert status == 200
+        assert 0.0 < body["result"]["score"] < 1.0
+
+        status, _, body = await client.call(
+            "POST",
+            "/v1/sort/compare-swap",
+            {"tenant": "acme", "a": [0.5, -0.2], "b": [0.1, 0.3]},
+        )
+        assert status == 200
+        assert len(body["result"]["min"]) == 2
+
+        status, _, body = await client.call(
+            "POST",
+            "/v1/conv/step",
+            {"tenant": "acme", "x": [1.0, 0.0, 0.0, 0.0], "kernel": [0.5, 0.25]},
+        )
+        assert status == 200
+        assert body["result"]["taps"] == 2
+
+    serve_test(scenario)
+
+
+def test_typed_http_errors():
+    async def scenario(app, client):
+        await register(client)
+        cases = [
+            # (method, path, payload, status, error type)
+            ("POST", "/v1/helr/score", {"tenant": "ghost", "x": [1]},
+             404, "UnknownTenantError"),
+            ("POST", "/v1/helr/score", {"tenant": "acme", "x": "nope"},
+             400, "ParameterError"),
+            ("POST", "/v1/helr/score", {"tenant": "acme", "x": [0.1]},
+             400, "ParameterError"),  # wrong feature count
+            ("POST", "/v1/tenants", {"tenant": "acme"},
+             400, "ParameterError"),  # duplicate registration
+            ("POST", "/v1/tenants", {"seed": 1},
+             400, "ParameterError"),  # missing id
+            ("GET", "/no/such/route", None, 404, "NotFound"),
+            ("DELETE", "/metrics", None, 405, "MethodNotAllowed"),
+        ]
+        for method, path, payload, want_status, want_type in cases:
+            status, _, body = await client.call(method, path, payload)
+            assert status == want_status, (path, body)
+            assert body["error"]["type"] == want_type
+        # 405 carries the Allow header
+        status, headers, _ = await client.call("DELETE", "/metrics")
+        assert headers["allow"] == "GET"
+
+    serve_test(scenario)
+
+
+def test_malformed_wire_requests_get_wire_errors():
+    async def scenario(app, client):
+        status, _, body = await client.raw(b"BOGUS\r\n\r\n")
+        assert status == 400
+        status, _, _ = await client.raw(b"GET / HTTP/3.0\r\n\r\n")
+        assert status == 505
+        status, _, _ = await client.raw(
+            b"POST /v1/tenants HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+        )
+        assert status == 413
+
+    serve_test(scenario)
+
+
+def test_rate_limit_sheds_with_retry_after():
+    async def scenario(app, client):
+        await register(client)
+        results = []
+        for _ in range(6):
+            results.append(
+                await client.call(
+                    "POST", "/v1/helr/score",
+                    {"tenant": "acme", "x": [0.1, 0.2, 0.3, 0.4]},
+                )
+            )
+        codes = [status for status, _, _ in results]
+        assert codes.count(429) >= 2, codes
+        status, headers, body = next(r for r in results if r[0] == 429)
+        assert body["error"]["type"] == "RateLimitError"
+        assert float(headers["retry-after"]) > 0
+
+    serve_test(scenario, ServeConfig(port=0, rate=0.5, burst=2.0, window_ms=1.0))
+
+
+def test_admission_control_sheds_when_the_queue_fills():
+    async def scenario(app, client):
+        await register(client)
+
+        async def one():
+            return await client.call(
+                "POST", "/v1/helr/score",
+                {"tenant": "acme", "x": [0.1, 0.2, 0.3, 0.4]},
+            )
+
+        results = await asyncio.gather(*[one() for _ in range(10)])
+        codes = [status for status, _, _ in results]
+        assert codes.count(200) >= 1, codes
+        rejected = [body for status, _, body in results if status == 429]
+        assert rejected, codes
+        assert all(b["error"]["type"] == "AdmissionError" for b in rejected)
+        # shed requests show up on the rejection counter
+        _, _, metrics = await client.call("GET", "/metrics")
+        assert 'repro_serve_rejected_total{endpoint="helr_score",reason="admission"}' in metrics
+
+    serve_test(
+        scenario,
+        ServeConfig(port=0, max_pending=2, max_batch=1, window_ms=0.0),
+    )
+
+
+def test_metrics_scrape_is_valid_and_tenant_labelled():
+    async def scenario(app, client):
+        await register(client)
+        await client.call(
+            "POST", "/v1/helr/score", {"tenant": "acme", "x": [0.1, 0.2, 0.3, 0.4]}
+        )
+        status, headers, text = await client.call("GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        families = validate_prometheus_text(text)  # strict format check
+        for family in (
+            "repro_serve_requests_total",
+            "repro_serve_request_latency_seconds",
+            "repro_serve_batch_size",
+            "repro_serve_tenants",
+            "repro_store_cached_bytes",
+            "repro_faults_total",
+        ):
+            assert family in families, sorted(families)
+        ops = families["repro_session_ops_total"]["samples"]
+        assert any(labels.get("tenant") == "acme" for _, labels, _ in ops)
+        # scrapes are idempotent: a second one stays valid and keeps values
+        _, _, text2 = await client.call("GET", "/metrics")
+        validate_prometheus_text(text2)
+
+    serve_test(scenario)
+
+
+def test_per_request_trace_returns_chrome_events():
+    async def scenario(app, client):
+        await register(client)
+        status, _, body = await client.call(
+            "POST", "/v1/helr/score",
+            {"tenant": "acme", "x": [0.1, 0.2, 0.3, 0.4], "trace": True},
+        )
+        assert status == 200
+        events = body["trace"]["traceEvents"]
+        assert any(e.get("cat") == "op" for e in events)
+        assert any(e.get("name") == "hmult" for e in events)
+        # tracing is per-request: the next untraced call has no trace
+        status, _, body = await client.call(
+            "POST", "/v1/helr/score", {"tenant": "acme", "x": [0.1, 0.2, 0.3, 0.4]}
+        )
+        assert status == 200 and "trace" not in body
+
+    serve_test(scenario)
+
+
+def test_healthz_and_tenant_listing():
+    async def scenario(app, client):
+        status, _, body = await client.call("GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        await register(client)
+        await register(client, tenant="zeta")
+        status, _, body = await client.call("GET", "/v1/tenants")
+        assert [t["tenant"] for t in body["tenants"]] == ["acme", "zeta"]
+        status, _, body = await client.call("GET", "/v1/tenants/zeta")
+        assert status == 200 and body["tenant"] == "zeta"
+
+    serve_test(scenario)
+
+
+def test_graceful_drain_answers_in_flight_then_refuses():
+    async def scenario(app, client):
+        await register(client)
+        payload = {"tenant": "acme", "x": [0.1, 0.2, 0.3, 0.4]}
+
+        inflight = asyncio.ensure_future(
+            client.call("POST", "/v1/helr/score", payload)
+        )
+        await asyncio.sleep(0.005)  # let it reach the batcher
+        app._draining = True  # what shutdown() sets before draining
+
+        status, _, body = await client.call("POST", "/v1/helr/score", payload)
+        assert status == 503
+        assert body["error"]["type"] == "ShutdownError"
+        status, _, body = await client.call("GET", "/healthz")
+        assert body["status"] == "draining"
+
+        status, _, body = await inflight  # accepted before the drain: answered
+        assert status == 200, body
+
+    serve_test(scenario, ServeConfig(port=0, window_ms=20.0))
+
+
+def test_keep_alive_serves_multiple_requests_per_connection():
+    async def scenario(app, client):
+        reader, writer = await asyncio.open_connection(client.host, client.port)
+        for i in range(3):
+            writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"200 OK" in head and b"keep-alive" in head
+            length = int(
+                [ln for ln in head.split(b"\r\n") if ln.lower().startswith(b"content-length")][0].split(b":")[1]
+            )
+            body = await reader.readexactly(length)
+            assert json.loads(body)["status"] == "ok"
+        writer.close()
+
+    serve_test(scenario)

@@ -1,0 +1,146 @@
+"""Micro-batcher unit tests: coalescing, triggers, errors, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ParameterError, ReproError
+from repro.serve.batcher import MicroBatcher, ShutdownError
+
+
+class Recorder:
+    """A dispatch stub that records every batch it receives."""
+
+    def __init__(self, result=None):
+        self.batches = []
+        self._result = result
+
+    async def __call__(self, key, items):
+        self.batches.append((key, list(items)))
+        if self._result is not None:
+            return self._result(key, items)
+        return [f"r:{item}" for item in items]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_window_coalesces_into_one_batch():
+    async def main():
+        dispatch = Recorder()
+        batcher = MicroBatcher(dispatch, max_batch=8, window_s=0.02)
+        results = await asyncio.gather(
+            batcher.submit("k", 1), batcher.submit("k", 2), batcher.submit("k", 3)
+        )
+        assert results == ["r:1", "r:2", "r:3"]
+        assert len(dispatch.batches) == 1
+        assert dispatch.batches[0] == ("k", [1, 2, 3])
+
+    run(main())
+
+
+def test_size_trigger_flushes_before_the_window():
+    async def main():
+        dispatch = Recorder()
+        batcher = MicroBatcher(dispatch, max_batch=2, window_s=10.0)
+        results = await asyncio.gather(
+            batcher.submit("k", 1), batcher.submit("k", 2)
+        )
+        assert results == ["r:1", "r:2"]
+        assert len(dispatch.batches) == 1  # no 10 s wait happened
+
+    run(main())
+
+
+def test_zero_window_dispatches_immediately():
+    async def main():
+        dispatch = Recorder()
+        batcher = MicroBatcher(dispatch, max_batch=8, window_s=0.0)
+        assert await batcher.submit("k", 1) == "r:1"
+        assert len(dispatch.batches) == 1
+
+    run(main())
+
+
+def test_distinct_keys_never_share_a_batch():
+    async def main():
+        dispatch = Recorder()
+        batcher = MicroBatcher(dispatch, max_batch=8, window_s=0.02)
+        await asyncio.gather(
+            batcher.submit(("a", "p"), 1), batcher.submit(("b", "p"), 2)
+        )
+        assert sorted(key for key, _ in dispatch.batches) == [("a", "p"), ("b", "p")]
+
+    run(main())
+
+
+def test_exception_slot_fails_only_its_own_future():
+    class Boom(ReproError):
+        pass
+
+    def result(key, items):
+        return [Boom("item 2 failed") if item == 2 else f"r:{item}" for item in items]
+
+    async def main():
+        batcher = MicroBatcher(Recorder(result), max_batch=8, window_s=0.01)
+        futures = await asyncio.gather(
+            batcher.submit("k", 1),
+            batcher.submit("k", 2),
+            batcher.submit("k", 3),
+            return_exceptions=True,
+        )
+        assert futures[0] == "r:1"
+        assert isinstance(futures[1], Boom)
+        assert futures[2] == "r:3"
+
+    run(main())
+
+
+def test_dispatch_failure_fails_the_whole_batch():
+    async def dispatch(key, items):
+        raise ReproError("backend down")
+
+    async def main():
+        batcher = MicroBatcher(dispatch, max_batch=8, window_s=0.01)
+        results = await asyncio.gather(
+            batcher.submit("k", 1), batcher.submit("k", 2), return_exceptions=True
+        )
+        assert all(isinstance(r, ReproError) for r in results)
+
+    run(main())
+
+
+def test_result_count_mismatch_is_typed():
+    async def dispatch(key, items):
+        return ["only one"]
+
+    async def main():
+        batcher = MicroBatcher(dispatch, max_batch=2, window_s=10.0)
+        results = await asyncio.gather(
+            batcher.submit("k", 1), batcher.submit("k", 2), return_exceptions=True
+        )
+        assert all(isinstance(r, ParameterError) for r in results)
+
+    run(main())
+
+
+def test_drain_flushes_queued_work_and_refuses_new():
+    async def main():
+        dispatch = Recorder()
+        batcher = MicroBatcher(dispatch, max_batch=8, window_s=30.0)
+        pending = asyncio.ensure_future(batcher.submit("k", 1))
+        await asyncio.sleep(0)  # let the submission enqueue
+        assert batcher.queued == 1
+        assert await batcher.drain(timeout=5.0)
+        assert await pending == "r:1"  # answered, not dropped
+        with pytest.raises(ShutdownError):
+            await batcher.submit("k", 2)
+
+    run(main())
+
+
+def test_invalid_parameters_rejected():
+    for kwargs in ({"max_batch": 0}, {"window_s": -1.0}):
+        with pytest.raises(ParameterError):
+            MicroBatcher(Recorder(), **kwargs)

@@ -1,0 +1,65 @@
+"""Token-bucket unit tests under an injected clock (no sleeping)."""
+
+import pytest
+
+from repro.errors import ParameterError, RateLimitError
+from repro.serve.limiter import TokenBucket
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_burst_then_refusal():
+    clock = Clock()
+    bucket = TokenBucket(rate=10, burst=3, clock=clock)
+    assert all(bucket.try_acquire() for _ in range(3))
+    assert not bucket.try_acquire()
+
+
+def test_refill_at_rate():
+    clock = Clock()
+    bucket = TokenBucket(rate=10, burst=3, clock=clock)
+    for _ in range(3):
+        bucket.try_acquire()
+    clock.advance(0.1)  # exactly one token matures
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_refill_caps_at_burst():
+    clock = Clock()
+    bucket = TokenBucket(rate=10, burst=3, clock=clock)
+    clock.advance(100.0)
+    assert bucket.tokens == pytest.approx(3.0)
+
+
+def test_retry_after_prices_the_deficit():
+    clock = Clock()
+    bucket = TokenBucket(rate=10, burst=1, clock=clock)
+    bucket.try_acquire()
+    assert bucket.retry_after() == pytest.approx(0.1)
+    clock.advance(0.05)
+    assert bucket.retry_after() == pytest.approx(0.05)
+
+
+def test_acquire_or_raise_is_typed_with_retry_after():
+    clock = Clock()
+    bucket = TokenBucket(rate=4, burst=1, clock=clock)
+    bucket.acquire_or_raise("acme")
+    with pytest.raises(RateLimitError) as err:
+        bucket.acquire_or_raise("acme")
+    assert err.value.retry_after == pytest.approx(0.25)
+
+
+def test_invalid_parameters_rejected():
+    for rate, burst in ((0, 1), (1, 0), (-1, 1)):
+        with pytest.raises(ParameterError):
+            TokenBucket(rate=rate, burst=burst)

@@ -1,0 +1,63 @@
+"""Routing unit tests: matching, params, 404 vs 405, duplicates."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve.router import MethodNotAllowed, NotFound, Router
+
+
+def handler(name):
+    async def h(request, params):
+        return name
+
+    return h
+
+
+def make():
+    router = Router()
+    router.get("/v1/tenants", handler("list"))
+    router.post("/v1/tenants", handler("register"))
+    router.get("/v1/tenants/{tenant}", handler("one"))
+    return router
+
+
+def test_exact_match_resolves_by_method():
+    router = make()
+    h, params = router.resolve("GET", "/v1/tenants")
+    assert params == {}
+    h2, _ = router.resolve("POST", "/v1/tenants")
+    assert h is not h2
+
+
+def test_param_segment_captures():
+    _, params = make().resolve("GET", "/v1/tenants/acme")
+    assert params == {"tenant": "acme"}
+
+
+def test_trailing_slash_is_equivalent():
+    _, params = make().resolve("GET", "/v1/tenants/acme/")
+    assert params == {"tenant": "acme"}
+
+
+def test_unknown_path_is_404():
+    with pytest.raises(NotFound) as err:
+        make().resolve("GET", "/nope")
+    assert err.value.status == 404
+
+
+def test_wrong_method_is_405_with_allowed():
+    with pytest.raises(MethodNotAllowed) as err:
+        make().resolve("DELETE", "/v1/tenants")
+    assert err.value.status == 405
+    assert err.value.allowed == ["GET", "POST"]
+
+
+def test_param_segments_do_not_swallow_extra_depth():
+    with pytest.raises(NotFound):
+        make().resolve("GET", "/v1/tenants/acme/extra")
+
+
+def test_duplicate_route_rejected():
+    router = make()
+    with pytest.raises(ParameterError):
+        router.get("/v1/tenants", handler("again"))

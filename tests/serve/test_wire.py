@@ -1,0 +1,116 @@
+"""HTTP framing unit tests: parsing limits, typed wire errors, codecs."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import WireError
+from repro.serve import wire
+
+
+def parse(raw: bytes, eof: bool = True):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        if eof:
+            reader.feed_eof()
+        return await wire.read_request(reader)
+
+    return asyncio.run(main())
+
+
+def test_parses_request_line_headers_and_body():
+    req = parse(
+        b"POST /v1/x?q=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 8\r\n"
+        b'X-Thing: a b\r\n\r\n{"a": 1}'
+    )
+    assert req.method == "POST"
+    assert req.path == "/v1/x"
+    assert req.query == "q=1"
+    assert req.headers["x-thing"] == "a b"
+    assert req.json() == {"a": 1}
+
+
+def test_keep_alive_defaults_on_and_honours_close():
+    on = parse(b"GET / HTTP/1.1\r\nHost: h\r\n\r\n")
+    off = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert on.keep_alive and not off.keep_alive
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_partial_request_is_a_wire_error():
+    with pytest.raises(WireError):
+        parse(b"GET / HTTP/1.1\r\nHost:")
+
+
+def test_malformed_request_line_rejected():
+    with pytest.raises(WireError):
+        parse(b"GET /\r\n\r\n")
+
+
+def test_wrong_protocol_is_505():
+    with pytest.raises(WireError) as err:
+        parse(b"GET / HTTP/2.0\r\n\r\n")
+    assert err.value.status == 505
+
+
+def test_chunked_transfer_encoding_rejected():
+    with pytest.raises(WireError):
+        parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+
+def test_bad_content_length_rejected():
+    for bad in (b"nope", b"-3"):
+        with pytest.raises(WireError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: " + bad + b"\r\n\r\n")
+
+
+def test_oversized_body_is_413():
+    big = wire.MAX_BODY_BYTES + 1
+    with pytest.raises(WireError) as err:
+        parse(f"POST / HTTP/1.1\r\nContent-Length: {big}\r\n\r\n".encode())
+    assert err.value.status == 413
+
+
+def test_truncated_body_is_a_wire_error():
+    with pytest.raises(WireError):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+
+def test_body_json_errors_are_typed():
+    req = parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\n{nope")
+    with pytest.raises(WireError):
+        req.json()
+
+
+def test_empty_body_decodes_to_empty_object():
+    req = parse(b"POST / HTTP/1.1\r\nHost: h\r\n\r\n")
+    assert req.json() == {}
+
+
+def test_response_encoding_carries_status_headers_and_length():
+    resp = wire.HttpResponse.json({"ok": True}, status=201, Location="/v1/x")
+    raw = resp.encode(keep_alive=False)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 201 Created")
+    assert b"Location: /v1/x" in head
+    assert b"Connection: close" in head
+    assert f"Content-Length: {len(body)}".encode() in head
+
+
+def test_error_envelope_shape():
+    resp = wire.HttpResponse.error(429, "RateLimitError", "slow down", retry=1)
+    import json
+
+    payload = json.loads(resp.body)
+    assert payload["error"]["type"] == "RateLimitError"
+    assert payload["error"]["retry"] == 1
+    assert resp.status == 429
+
+
+def test_metrics_content_type():
+    resp = wire.HttpResponse.text("x 1\n")
+    assert resp.content_type.startswith("text/plain; version=0.0.4")
