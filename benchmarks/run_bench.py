@@ -10,10 +10,14 @@ Extra arguments are forwarded to pytest, e.g.::
     python benchmarks/run_bench.py -k ntt     # just the NTT benches
     python benchmarks/run_bench.py --check    # compare against the baseline
 
-``--check`` runs the same suite into a scratch file and compares each
-benchmark's mean against the checked-in baseline: any benchmark slower
-than ``REGRESSION_LIMIT`` (1.3x) fails the run (exit code 1), which is
-what CI should call.
+``--check`` runs the same suite into a scratch file and gates each
+benchmark's mean. The gate is *trend-aware*: once a benchmark has enough
+recorded history in ``BENCH_history.jsonl`` (every run of this script
+appends one line; see ``tools/bench_history.py``), the limit is the
+history's median plus a MAD-derived tolerance -- one noisy baseline
+recording no longer decides pass/fail. With shallow history the gate
+falls back to the classic check against the checked-in baseline: slower
+than ``REGRESSION_LIMIT`` (1.3x) fails the run (exit code 1).
 """
 
 from __future__ import annotations
@@ -25,6 +29,14 @@ import tempfile
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = ROOT / "BENCH_kernels.json"
 REGRESSION_LIMIT = 1.3
+
+sys.path.insert(0, str(ROOT / "tools"))
+from bench_history import (  # noqa: E402
+    append_run,
+    load_history,
+    trend_depth,
+    trend_limit,
+)
 
 SUITES = (
     "bench_kernels.py",
@@ -62,6 +74,9 @@ def main(argv: list[str]) -> int:
     filtered = any(a.startswith(("-k", "-m")) for a in argv)
     if check:
         code = _check(output, full_run=not filtered)
+        # Every completed run feeds the trajectory -- after the gate, so
+        # the run being judged never gates against itself.
+        append_run("kernels", _load_means(output))
         if code != 0 or filtered:
             return code
         import bench_serve
@@ -69,6 +84,7 @@ def main(argv: list[str]) -> int:
         return bench_serve.main(["--check"])
     if OUTPUT.exists():
         _slim(OUTPUT)
+        append_run("kernels", _load_means(OUTPUT))
     if not filtered:
         import bench_serve
 
@@ -87,26 +103,39 @@ def _load_means(path: pathlib.Path) -> dict[str, float]:
 
 
 def _check(fresh_path: pathlib.Path, full_run: bool = True) -> int:
-    """Fail (1) when any benchmark regressed past REGRESSION_LIMIT, or
-    (on a full run) silently vanished from coverage."""
+    """Fail (1) when any benchmark regressed -- past its trend gate when
+    the history is deep enough, past REGRESSION_LIMIT of the checked-in
+    baseline otherwise -- or (on a full run) silently vanished from
+    coverage."""
     if not OUTPUT.exists():
         print(f"no baseline at {OUTPUT}; run without --check first")
         return 1
     baseline = _load_means(OUTPUT)
     fresh = _load_means(fresh_path)
+    history = load_history("kernels")
     regressions = []
-    print(f"\nperf check vs {OUTPUT.name} (fail above {REGRESSION_LIMIT:.1f}x):")
+    print(
+        f"\nperf check vs {OUTPUT.name} + {len(history)}-run trend "
+        f"(baseline fallback above {REGRESSION_LIMIT:.1f}x):"
+    )
     for name in sorted(fresh):
         if name not in baseline:
             print(f"  {name:45s} {'(new, no baseline)':>18s}")
             continue
         ratio = fresh[name] / baseline[name]
-        flag = "REGRESSED" if ratio > REGRESSION_LIMIT else "ok"
+        limit = trend_limit(history, name)
+        if limit is not None:
+            slow = fresh[name] > limit
+            gate = f"trend<{limit * 1e3:8.2f} ms ({trend_depth(history, name)} runs)"
+        else:
+            slow = ratio > REGRESSION_LIMIT
+            gate = f"{ratio:5.2f}x vs baseline"
+        flag = "REGRESSED" if slow else "ok"
         print(
             f"  {name:45s} {baseline[name] * 1e3:8.2f} ms ->"
-            f" {fresh[name] * 1e3:8.2f} ms  {ratio:5.2f}x  {flag}"
+            f" {fresh[name] * 1e3:8.2f} ms  {gate}  {flag}"
         )
-        if ratio > REGRESSION_LIMIT:
+        if slow:
             regressions.append((name, ratio))
     missing = sorted(set(baseline) - set(fresh))
     for name in missing:

@@ -10,11 +10,15 @@ Usage::
     python -m repro all           # everything above
     python -m repro profile helr --toy   # measured per-op wall-time profile
     python -m repro serve --port 8377    # encrypted-inference HTTP service
+    python -m repro slo helr             # SLO dashboard over a live workload
+    python -m repro slo report.json      # render a saved /debug/slo report
 
 ``profile`` runs a workload *functionally* with telemetry attached and
 prints the measured per-op breakdown next to the simulator's Fig. 4-style
 prediction, writing a Perfetto-loadable Chrome trace alongside.
 ``serve`` starts the multi-tenant serving layer (:mod:`repro.serve`).
+``slo`` judges error budgets: against a saved ``GET /debug/slo`` report,
+or by running a workload iteration-by-iteration as synthetic requests.
 """
 
 from __future__ import annotations
@@ -163,6 +167,86 @@ def cmd_profile(args: argparse.Namespace) -> None:
     print(f"\ntrace written: {trace_path} (open in ui.perfetto.dev)")
 
 
+# ------------------------------------------------------------------ slo
+
+def cmd_slo(args: argparse.Namespace) -> None:
+    """Render an SLO dashboard from a saved report or a live workload run.
+
+    A ``.json`` source is a saved ``GET /debug/slo`` payload. A workload
+    name runs that workload one iteration at a time, treating each
+    iteration as one synthetic request (latency observed, errors counted
+    as 5xx), then judges availability and latency objectives against the
+    run -- the offline twin of the serving layer's ``/debug/slo``.
+    """
+    import json as _json
+    import os
+    import time as _time
+
+    from repro.errors import ReproError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import (
+        Slo,
+        SloEngine,
+        counter_source,
+        format_slo_dashboard,
+        histogram_source,
+    )
+
+    source = args.source
+    if source.endswith(".json") or os.path.exists(source):
+        with open(source) as fh:
+            print(format_slo_dashboard(_json.load(fh)))
+        return
+    if source not in PROFILE_WORKLOADS:
+        raise ParameterError(
+            f"unknown slo source {source!r}: want a saved report (*.json) "
+            f"or a workload in {sorted(PROFILE_WORKLOADS)}"
+        )
+
+    threshold_s = args.latency_ms / 1e3
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "repro_slo_demo_requests_total",
+        "Synthetic workload iterations, by status class",
+        labelnames=("code",),
+    )
+    latency = registry.histogram(
+        "repro_slo_demo_latency_seconds",
+        "Per-iteration wall time of the synthetic workload",
+        buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+    )
+    engine = SloEngine()
+    engine.add(
+        Slo("availability", "availability", args.target),
+        counter_source(requests),
+    )
+    engine.add(
+        Slo("latency_p95", "latency", 0.95, threshold_s=threshold_s),
+        histogram_source(latency, threshold_s, quantile=0.95),
+    )
+
+    runner, default_iters = PROFILE_WORKLOADS[source]
+    iters = args.iters if args.iters is not None else max(default_iters, 3)
+    for _ in range(iters):
+        t0 = _time.perf_counter()
+        try:
+            runner(None, 1)
+            code = "200"
+        except ReproError:
+            code = "500"
+        latency.observe(_time.perf_counter() - t0)
+        requests.labels(code=code).inc()
+        engine.sample()
+
+    report = engine.export(registry)
+    print(f"{source}: {iters} iteration(s) as synthetic requests")
+    print(format_slo_dashboard(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json(indent=2) + "\n")
+        print(f"report written: {args.json}")
+
+
 COMMANDS = {
     "table3": cmd_table3,
     "fig2": cmd_fig2,
@@ -215,9 +299,33 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-tenant token-bucket capacity")
     serve.add_argument("--budget-mb", type=float, default=None,
                        help="shared expanded-key cache budget, MB (default: unbounded)")
+    serve.add_argument("--request-log", type=int, default=1024,
+                       help="structured access-log ring size (0 disables)")
+    serve.add_argument("--no-slos", dest="slos", action="store_false",
+                       help="disable the SLO engine and /debug/slo")
+    serve.add_argument("--slo-availability", type=float, default=0.999,
+                       help="availability objective (good fraction)")
+    serve.add_argument("--slo-latency-ms", type=float, default=500.0,
+                       help="latency objective threshold, milliseconds")
+    slo = sub.add_parser(
+        "slo", help="SLO dashboard: saved /debug/slo report or live workload"
+    )
+    slo.add_argument("source",
+                     help="a saved report (*.json) or a workload "
+                          f"({'|'.join(sorted(PROFILE_WORKLOADS))})")
+    slo.add_argument("--target", type=float, default=0.999,
+                     help="availability objective for workload runs")
+    slo.add_argument("--latency-ms", type=float, default=500.0,
+                     help="latency objective threshold for workload runs, ms")
+    slo.add_argument("--iters", type=int, default=None,
+                     help="workload iterations (default: workload-specific)")
+    slo.add_argument("--json", default=None,
+                     help="also write the report as JSON to this path")
     args = parser.parse_args(argv)
     if args.command == "profile":
         cmd_profile(args)
+    elif args.command == "slo":
+        cmd_slo(args)
     elif args.command == "serve":
         from repro.serve.app import main_serve
 

@@ -20,6 +20,16 @@ from repro.obs.metrics import (
     MetricGauge,
     MetricHistogram,
     MetricsRegistry,
+    count_le_from_counts,
+    quantile_from_counts,
+)
+from repro.obs.reqlog import RequestIdFactory, RequestLog, RequestRecord
+from repro.obs.slo import (
+    BurnRule,
+    Slo,
+    SloEngine,
+    SloReport,
+    format_slo_dashboard,
 )
 from repro.obs.telemetry import KERNEL_KINDS, Telemetry
 from repro.obs.tracing import (
@@ -30,14 +40,24 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BurnRule",
     "KERNEL_KINDS",
     "MetricCounter",
     "MetricGauge",
     "MetricHistogram",
     "MetricsRegistry",
+    "RequestIdFactory",
+    "RequestLog",
+    "RequestRecord",
+    "Slo",
+    "SloEngine",
+    "SloReport",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "count_le_from_counts",
+    "format_slo_dashboard",
+    "quantile_from_counts",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
 ]

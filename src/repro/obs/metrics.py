@@ -193,6 +193,12 @@ class _HistogramChild:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        return quantile_from_counts(self.buckets, self.counts, q)
+
+    def count_le(self, value: float) -> float:
+        return count_le_from_counts(self.buckets, self.counts, value)
+
 
 class MetricHistogram(_Metric):
     """An observed-value distribution with fixed upper-bound buckets."""
@@ -215,11 +221,88 @@ class MetricHistogram(_Metric):
             raise ParameterError(f"metric {self.name!r} needs .labels(...)")
         self._self.observe(value)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the containing bucket (the same
+        estimator ``histogram_quantile`` uses); observations that landed
+        in the ``+Inf`` bucket clamp to the highest finite bound. NaN on
+        an empty histogram. Labelled histograms answer per child
+        (``.labels(...).quantile(q)``).
+        """
+        if self.labelnames:
+            raise ParameterError(f"metric {self.name!r} needs .labels(...)")
+        return self._self.quantile(q)
+
+    def count_le(self, value: float) -> float:
+        """Estimated count of observations ``<= value`` (the quantile's
+        inverse), interpolated within the containing bucket. Observations
+        in the ``+Inf`` bucket only count once ``value`` is infinite."""
+        if self.labelnames:
+            raise ParameterError(f"metric {self.name!r} needs .labels(...)")
+        return self._self.count_le(value)
+
     def _series(self):
         if self.labelnames:
             yield from sorted(self._children.items())
         else:
             yield (), self._self
+
+
+# ---------------------------------------------------- bucket estimation
+
+def quantile_from_counts(bounds, counts, q: float) -> float:
+    """The ``q``-quantile estimated from histogram bucket counts.
+
+    ``bounds`` are the finite, strictly increasing upper bucket bounds and
+    ``counts`` the per-bucket (non-cumulative) tallies, one longer than
+    ``bounds`` for the ``+Inf`` bucket. The estimate interpolates linearly
+    inside the bucket containing the target rank (the first bucket's
+    lower edge is taken as 0 when its bound is positive); ranks that fall
+    in the ``+Inf`` bucket clamp to the highest finite bound, which is
+    the most the data can support. NaN when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile must be in [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return math.nan
+    rank = q * total
+    running = 0.0
+    for i, bound in enumerate(bounds):
+        prev = running
+        running += counts[i]
+        if running >= rank and counts[i] > 0:
+            lower = bounds[i - 1] if i > 0 else (0.0 if bound > 0 else bound)
+            if lower >= bound:  # degenerate width: no interpolation possible
+                return bound
+            return lower + (bound - lower) * (rank - prev) / counts[i]
+    return bounds[-1]  # rank lands in the +Inf bucket: clamp
+
+
+def count_le_from_counts(bounds, counts, value: float) -> float:
+    """Estimated number of observations ``<= value`` (quantile's inverse).
+
+    Interpolates within the bucket containing ``value``. Values at or
+    above the highest finite bound return only the finite-bucket total --
+    observations in the ``+Inf`` bucket are unknowable and counted only
+    for an infinite ``value`` (the conservative choice when the result
+    feeds a "fraction of requests under threshold" objective).
+    """
+    if math.isnan(value):
+        raise ParameterError("count_le needs a real threshold")
+    if math.isinf(value):
+        return float(sum(counts)) if value > 0 else 0.0
+    running = 0.0
+    for i, bound in enumerate(bounds):
+        if value >= bound:
+            running += counts[i]
+            continue
+        lower = bounds[i - 1] if i > 0 else (0.0 if bound > 0 else bound)
+        if value <= lower:
+            return running
+        return running + counts[i] * (value - lower) / (bound - lower)
+    return running
 
 
 class MetricsRegistry:

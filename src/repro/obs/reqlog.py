@@ -1,0 +1,243 @@
+"""Bounded structured request logging with cross-surface correlation.
+
+Every request the serving layer answers becomes one
+:class:`RequestRecord` in a :class:`RequestLog` ring: request id, tenant,
+program, HTTP status, latency, micro-batch size, shed/drain outcome, and
+-- the correlation payload -- the :class:`~repro.resilience.stats.FaultStats`
+ledger entries that fired *during that request's dispatch* (captured as a
+before/after counter delta on the single dispatch thread). The same
+request id is stamped into the ``X-Request-Id`` response header, the
+response body, and the per-request Chrome trace, so one grep across the
+four surfaces resolves a slow or failed response to its spans and fault
+history.
+
+The ring is bounded (``limit`` records; older records drop, ``seen``
+keeps counting), but the per-tenant good/total tallies are cumulative
+and tiny -- they are the per-tenant availability source for the SLO
+engine (:meth:`RequestLog.tally_source`), which must not forget traffic
+the ring has rotated out.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+class RequestIdFactory:
+    """Process-unique, greppable request ids: ``req-<token>-<seq>``.
+
+    The token distinguishes restarts (fresh entropy per factory); the
+    sequence number makes ids sortable within one process lifetime.
+    """
+
+    def __init__(self, token: str | None = None):
+        self._token = token if token is not None else os.urandom(3).hex()
+        self._seq = itertools.count(1)
+
+    def new(self) -> str:
+        return f"req-{self._token}-{next(self._seq):08d}"
+
+
+#: Error-type -> access-log outcome for shed/drain classification.
+_OUTCOME_OF_ERROR = {
+    "RateLimitError": "rate_limit",
+    "AdmissionError": "admission",
+    "ShutdownError": "drain",
+}
+
+
+def outcome_for(status: int, error_type: str | None = None) -> str:
+    """The access-log outcome bucket for a response."""
+    if status < 400:
+        return "ok"
+    return _OUTCOME_OF_ERROR.get(error_type or "", "error")
+
+
+# ------------------------------------------------------- fault correlation
+
+def fault_snapshot(stats) -> dict[str, dict[str, int]]:
+    """A copy of a :class:`FaultStats` ledger's counters, for deltas."""
+    return {
+        "injected": dict(stats.injected),
+        "detected": dict(stats.detected),
+        "recovered": dict(stats.recovered),
+        "raised": dict(stats.raised),
+    }
+
+
+def fault_delta(before: dict, after: dict) -> tuple[dict, ...]:
+    """Ledger events that fired between two snapshots, as records."""
+    events = []
+    for event in ("injected", "detected", "recovered", "raised"):
+        prev = before.get(event, {})
+        for kind, count in sorted(after.get(event, {}).items()):
+            d = count - prev.get(kind, 0)
+            if d > 0:
+                events.append({"event": event, "kind": kind, "count": d})
+    return tuple(events)
+
+
+@dataclass
+class RequestRecord:
+    """One answered request, structured for grep and for ``/debug/requests``."""
+
+    request_id: str
+    ts: float  # wall-clock seconds (time.time)
+    method: str
+    path: str
+    status: int
+    latency_ms: float
+    tenant: str | None = None
+    program: str | None = None
+    batch_size: int = 0
+    outcome: str = "ok"
+    error_type: str | None = None
+    faults: tuple = ()
+    traced: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "ts": self.ts,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "latency_ms": self.latency_ms,
+            "tenant": self.tenant,
+            "program": self.program,
+            "batch_size": self.batch_size,
+            "outcome": self.outcome,
+            "error_type": self.error_type,
+            "faults": list(self.faults),
+            "traced": self.traced,
+        }
+
+
+class RequestLog:
+    """A bounded ring of :class:`RequestRecord` plus cumulative tallies."""
+
+    def __init__(self, limit: int = 1024, clock=time.time):
+        if limit <= 0:
+            raise ParameterError("request log limit must be positive")
+        self.limit = int(limit)
+        self._clock = clock
+        self._records: deque[RequestRecord] = deque(maxlen=self.limit)
+        self._by_id: dict[str, RequestRecord] = {}
+        self.seen = 0
+        self._good: Counter = Counter()
+        self._total: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records rotated out of the bounded ring."""
+        return self.seen - len(self._records)
+
+    # ------------------------------------------------------------ recording
+
+    def record(
+        self,
+        *,
+        request_id: str,
+        method: str,
+        path: str,
+        status: int,
+        latency_s: float,
+        tenant: str | None = None,
+        program: str | None = None,
+        batch_size: int = 0,
+        error_type: str | None = None,
+        faults=(),
+        traced: bool = False,
+    ) -> RequestRecord:
+        rec = RequestRecord(
+            request_id=request_id,
+            ts=self._clock(),
+            method=method,
+            path=path,
+            status=int(status),
+            latency_ms=latency_s * 1e3,
+            tenant=tenant,
+            program=program,
+            batch_size=int(batch_size),
+            outcome=outcome_for(status, error_type),
+            error_type=error_type,
+            faults=tuple(faults),
+            traced=bool(traced),
+        )
+        if len(self._records) == self.limit:
+            oldest = self._records[0]
+            self._by_id.pop(oldest.request_id, None)
+        self._records.append(rec)
+        self._by_id[rec.request_id] = rec
+        self.seen += 1
+        good = rec.status < 500
+        self._total["*"] += 1
+        self._good["*"] += good
+        if tenant is not None:
+            self._total[tenant] += 1
+            self._good[tenant] += good
+        return rec
+
+    # -------------------------------------------------------------- queries
+
+    def find(self, request_id: str) -> RequestRecord | None:
+        """The record for one request id, if still in the ring."""
+        return self._by_id.get(request_id)
+
+    def query(
+        self,
+        *,
+        tenant: str | None = None,
+        status: int | str | None = None,
+        outcome: str | None = None,
+        limit: int = 100,
+    ) -> list[RequestRecord]:
+        """Newest-first records matching the filters.
+
+        ``status`` accepts an exact code (``500``) or a class string
+        (``"5xx"``).
+        """
+        lo = hi = None
+        if status is not None:
+            text = str(status)
+            if text.endswith("xx") and len(text) == 3 and text[0].isdigit():
+                lo, hi = int(text[0]) * 100, int(text[0]) * 100 + 99
+            else:
+                try:
+                    lo = hi = int(text)
+                except ValueError:
+                    raise ParameterError(
+                        f"bad status filter {status!r} (want e.g. 500 or 5xx)"
+                    ) from None
+        out = []
+        for rec in reversed(self._records):
+            if tenant is not None and rec.tenant != tenant:
+                continue
+            if lo is not None and not lo <= rec.status <= hi:
+                continue
+            if outcome is not None and rec.outcome != outcome:
+                continue
+            out.append(rec)
+            if len(out) >= limit:
+                break
+        return out
+
+    # --------------------------------------------------------------- tallies
+
+    def tally(self, tenant: str | None = None) -> tuple[float, float]:
+        """Cumulative ``(good, total)``; global when ``tenant`` is None."""
+        key = "*" if tenant is None else tenant
+        return float(self._good[key]), float(self._total[key])
+
+    def tally_source(self, tenant: str | None = None):
+        """A cumulative-count source for :class:`~repro.obs.slo.SloEngine`."""
+        return lambda: self.tally(tenant)

@@ -1,0 +1,534 @@
+"""Declarative SLOs: error budgets and burn rates over the metrics registry.
+
+An :class:`Slo` states one objective -- "99.9% of requests are answered
+without a 5xx" (availability) or "95% of requests finish within 250 ms"
+(latency) -- scoped globally, per endpoint, or per tenant. The
+:class:`SloEngine` judges objectives against *cumulative* good/total
+counts sampled from live instruments: availability reads a
+status-labelled request counter, latency reads histogram buckets through
+the bucket estimators in :mod:`repro.obs.metrics`
+(:func:`~repro.obs.metrics.count_le_from_counts` for the good count,
+:func:`~repro.obs.metrics.quantile_from_counts` for the reported
+quantile estimate).
+
+Judgment follows the classic SRE error-budget calculus. The budget is
+``1 - target`` (the bad fraction the objective tolerates); cumulative
+consumption is ``bad_fraction / budget``. Alerting uses multi-window
+burn rates: a :class:`BurnRule` fires its verdict when the burn rate --
+``bad_fraction / budget`` measured over a window -- exceeds its factor
+over both a long window (sustained damage) and a short window (still
+happening now). The engine keeps a bounded ring of samples so windows
+are computed by differencing cumulative counts, which makes evaluation
+cheap and idempotent; a window longer than the recorded history falls
+back to the oldest sample (for a young service that *is* the full
+lifetime, which is the right base).
+
+Zero traffic never divides by zero: the verdict is ``ok`` with
+``insufficient_data`` set. Breaches are themselves scrapeable --
+:meth:`SloEngine.export` mounts the report as a ``repro_slo_*`` metric
+family into any registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    count_le_from_counts,
+    quantile_from_counts,
+)
+
+SLO_KINDS = ("availability", "latency")
+
+#: Verdict severity order (reports pick the worst fired verdict).
+_SEVERITY = {"ok": 0, "warn": 1, "breach": 2}
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One declarative objective: a good-fraction target over a scope.
+
+    ``target`` is the required good fraction in (0, 1) -- e.g. 0.999 for
+    three nines of availability, or 0.95 for "p95 under threshold"
+    (latency objectives count a request *good* when it finished within
+    ``threshold_s``). ``tenant``/``endpoint`` narrow the scope; both
+    ``None`` means global.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_s: float | None = None
+    tenant: str | None = None
+    endpoint: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("an SLO needs a name")
+        if self.kind not in SLO_KINDS:
+            raise ParameterError(
+                f"unknown SLO kind {self.kind!r} (known: {SLO_KINDS})"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ParameterError(
+                f"SLO target must be in (0, 1), got {self.target!r}"
+            )
+        if self.kind == "latency":
+            if self.threshold_s is None or self.threshold_s <= 0:
+                raise ParameterError(
+                    "a latency SLO needs a positive threshold_s"
+                )
+        elif self.threshold_s is not None:
+            raise ParameterError("threshold_s only applies to latency SLOs")
+
+    @property
+    def budget(self) -> float:
+        """The tolerated bad fraction (the error budget's size)."""
+        return 1.0 - self.target
+
+    @property
+    def scope(self) -> str:
+        if self.tenant is not None:
+            return f"tenant:{self.tenant}"
+        if self.endpoint is not None:
+            return f"endpoint:{self.endpoint}"
+        return "global"
+
+    @property
+    def objective(self) -> str:
+        """A human-readable one-liner for dashboards."""
+        pct = 100.0 * self.target
+        if self.kind == "latency":
+            return f"p{pct:g} latency <= {self.threshold_s * 1e3:g}ms"
+        return f"{pct:g}% non-5xx"
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """Fire ``verdict`` when burn exceeds ``factor`` over both windows."""
+
+    verdict: str
+    long_s: float
+    short_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.verdict not in ("warn", "breach"):
+            raise ParameterError(
+                f"burn rule verdict must be warn|breach, got {self.verdict!r}"
+            )
+        if self.long_s <= 0 or self.short_s <= 0 or self.short_s > self.long_s:
+            raise ParameterError("burn rule needs 0 < short_s <= long_s")
+        if self.factor <= 0:
+            raise ParameterError("burn rule factor must be positive")
+
+
+#: The classic multi-window pairs (Google SRE workbook, ch. 5): page when
+#: burning 14.4x budget over 1h and still over the last 5m; warn at 6x
+#: over 6h/30m. A freshly started service has less history than the
+#: windows; burn then measures over its full lifetime, which converges to
+#: these semantics as history accumulates.
+DEFAULT_RULES = (
+    BurnRule("breach", long_s=3600.0, short_s=300.0, factor=14.4),
+    BurnRule("warn", long_s=21600.0, short_s=1800.0, factor=6.0),
+)
+
+
+@dataclass
+class WindowStatus:
+    """One burn rule's evaluation: the two window burns and whether it fired."""
+
+    verdict: str
+    long_s: float
+    short_s: float
+    factor: float
+    burn_long: float
+    burn_short: float
+    fired: bool
+    covered: bool  # True when recorded history spans the long window
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "long_s": self.long_s,
+            "short_s": self.short_s,
+            "factor": self.factor,
+            "burn_long": self.burn_long,
+            "burn_short": self.burn_short,
+            "fired": self.fired,
+            "covered": self.covered,
+        }
+
+
+@dataclass
+class SloStatus:
+    """One SLO's judgment at evaluation time."""
+
+    slo: Slo
+    verdict: str
+    good: float
+    total: float
+    insufficient_data: bool
+    budget_consumed: float
+    budget_remaining: float
+    windows: list[WindowStatus] = field(default_factory=list)
+    estimate: float | None = None  # latency: the estimated target quantile, s
+
+    @property
+    def bad(self) -> float:
+        return self.total - self.good
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "scope": self.slo.scope,
+            "objective": self.slo.objective,
+            "target": self.slo.target,
+            "threshold_s": self.slo.threshold_s,
+            "verdict": self.verdict,
+            "good": self.good,
+            "total": self.total,
+            "insufficient_data": self.insufficient_data,
+            "budget": {
+                "size": self.slo.budget,
+                "consumed": self.budget_consumed,
+                "remaining": self.budget_remaining,
+            },
+            "estimate_s": self.estimate,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+
+@dataclass
+class SloReport:
+    """All objectives' statuses plus the worst verdict across them."""
+
+    statuses: list[SloStatus]
+    generated_at: float  # wall-clock seconds (time.time)
+
+    @property
+    def verdict(self) -> str:
+        worst = max(
+            (_SEVERITY[s.verdict] for s in self.statuses), default=0
+        )
+        return next(k for k, v in _SEVERITY.items() if v == worst)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "ok"
+
+    def status(self, name: str) -> SloStatus:
+        for s in self.statuses:
+            if s.slo.name == name:
+                return s
+        raise ParameterError(f"no SLO named {name!r} in this report")
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "generated_at": self.generated_at,
+            "slos": [s.to_dict() for s in self.statuses],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class SloEngine:
+    """Samples cumulative counts and judges the declared objectives.
+
+    Each objective is bound to a *source*: a callable returning cumulative
+    ``(good, total)`` -- optionally ``(good, total, estimate)`` where the
+    estimate is a latency quantile in seconds -- read from whatever
+    surface owns the truth (registry counter, histogram buckets, request
+    log). Samples land in a bounded ring; :meth:`evaluate` takes a fresh
+    sample and computes budgets and window burns by differencing.
+
+    Single-threaded by design, like the rest of :mod:`repro.obs`: the
+    serving layer calls it from the event loop only.
+    """
+
+    def __init__(
+        self,
+        *,
+        rules: tuple[BurnRule, ...] = DEFAULT_RULES,
+        clock=time.monotonic,
+        max_samples: int = 512,
+        min_sample_interval_s: float = 0.0,
+    ):
+        if max_samples < 2:
+            raise ParameterError("max_samples must be at least 2")
+        if min_sample_interval_s < 0:
+            raise ParameterError("min_sample_interval_s must be >= 0")
+        self.rules = tuple(
+            sorted(rules, key=lambda r: -_SEVERITY[r.verdict])
+        )
+        self._clock = clock
+        self._slos: list[tuple[Slo, object]] = []
+        self._samples: deque = deque(maxlen=max_samples)
+        self._estimates: dict[str, float | None] = {}
+        self.min_sample_interval_s = float(min_sample_interval_s)
+        # The zero point: windows longer than history difference against
+        # this, so a young service's burn is measured over its lifetime.
+        t0 = self._clock()
+        self._samples.append((t0, {}))
+        self._last_sample = t0
+
+    @property
+    def slos(self) -> tuple[Slo, ...]:
+        return tuple(slo for slo, _ in self._slos)
+
+    def add(self, slo: Slo, source) -> Slo:
+        """Declare one objective bound to its cumulative-count source."""
+        if any(existing.name == slo.name for existing, _ in self._slos):
+            raise ParameterError(f"SLO {slo.name!r} is already declared")
+        self._slos.append((slo, source))
+        return slo
+
+    # ------------------------------------------------------------- sampling
+
+    def sample(self) -> float:
+        """Read every source now; append one cumulative sample."""
+        t = self._clock()
+        counts: dict[str, tuple[float, float]] = {}
+        for slo, source in self._slos:
+            out = source()
+            counts[slo.name] = (float(out[0]), float(out[1]))
+            self._estimates[slo.name] = out[2] if len(out) > 2 else None
+        self._samples.append((t, counts))
+        self._last_sample = t
+        return t
+
+    def maybe_sample(self) -> bool:
+        """Sample unless one was taken within ``min_sample_interval_s``."""
+        if self._clock() - self._last_sample < self.min_sample_interval_s:
+            return False
+        self.sample()
+        return True
+
+    # ----------------------------------------------------------- evaluation
+
+    def _window_delta(self, name: str, now: float, window_s: float):
+        """(d_good, d_total, covered) over the trailing window.
+
+        The base is the newest sample at or before ``now - window_s``;
+        when history is shorter than the window, the oldest sample (the
+        engine's zero point) serves as the base and ``covered`` is False.
+        """
+        cut = now - window_s
+        base = None
+        covered = False
+        for t, counts in self._samples:
+            if t > cut:
+                break
+            base = counts.get(name, (0.0, 0.0))
+            covered = True
+        if base is None:
+            base = self._samples[0][1].get(name, (0.0, 0.0))
+        good, total = self._samples[-1][1].get(name, (0.0, 0.0))
+        return good - base[0], total - base[1], covered
+
+    def _burn(self, slo: Slo, d_good: float, d_total: float) -> float:
+        if d_total <= 0:
+            return 0.0
+        return ((d_total - d_good) / d_total) / slo.budget
+
+    def evaluate(self) -> SloReport:
+        """Take a fresh sample and judge every objective."""
+        now = self.sample()
+        latest = self._samples[-1][1]
+        statuses = []
+        for slo, _source in self._slos:
+            good, total = latest.get(slo.name, (0.0, 0.0))
+            bad = total - good
+            insufficient = total <= 0
+            consumed = (bad / total) / slo.budget if total > 0 else 0.0
+            windows = []
+            verdict = "ok"
+            for rule in self.rules:
+                dg_l, dt_l, cov_l = self._window_delta(slo.name, now, rule.long_s)
+                dg_s, dt_s, cov_s = self._window_delta(slo.name, now, rule.short_s)
+                burn_l = self._burn(slo, dg_l, dt_l)
+                burn_s = self._burn(slo, dg_s, dt_s)
+                fired = (
+                    dt_l > 0
+                    and dt_s > 0
+                    and burn_l >= rule.factor
+                    and burn_s >= rule.factor
+                )
+                windows.append(
+                    WindowStatus(
+                        rule.verdict, rule.long_s, rule.short_s, rule.factor,
+                        burn_l, burn_s, fired, cov_l and cov_s,
+                    )
+                )
+                if fired and _SEVERITY[rule.verdict] > _SEVERITY[verdict]:
+                    verdict = rule.verdict
+            statuses.append(
+                SloStatus(
+                    slo=slo,
+                    verdict="ok" if insufficient else verdict,
+                    good=good,
+                    total=total,
+                    insufficient_data=insufficient,
+                    budget_consumed=consumed,
+                    budget_remaining=max(0.0, 1.0 - consumed),
+                    windows=windows,
+                    estimate=self._estimates.get(slo.name),
+                )
+            )
+        return SloReport(statuses=statuses, generated_at=time.time())
+
+    # --------------------------------------------------------------- export
+
+    def export(
+        self, registry: MetricsRegistry, report: SloReport | None = None
+    ) -> SloReport:
+        """Mount a report as the ``repro_slo_*`` family (breaches scrape).
+
+        Gauges are *set*, so re-exporting on every scrape is idempotent;
+        ``repro_slo_breaches_total`` counts breach-verdict evaluations
+        (monotone by construction).
+        """
+        if report is None:
+            report = self.evaluate()
+        verdict_g = registry.gauge(
+            "repro_slo_verdict",
+            "SLO verdict at the last evaluation (0 ok, 1 warn, 2 breach)",
+            labelnames=("slo",),
+        )
+        budget_g = registry.gauge(
+            "repro_slo_error_budget_remaining",
+            "Fraction of the error budget left (1 untouched, 0 exhausted)",
+            labelnames=("slo",),
+        )
+        burn_g = registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate over the trailing window (1.0 = "
+            "consuming exactly the budget)",
+            labelnames=("slo", "window"),
+        )
+        breach_c = registry.counter(
+            "repro_slo_breaches_total",
+            "Evaluations that returned a breach verdict, per SLO",
+            labelnames=("slo",),
+        )
+        for status in report.statuses:
+            name = status.slo.name
+            verdict_g.labels(slo=name).set(_SEVERITY[status.verdict])
+            budget_g.labels(slo=name).set(status.budget_remaining)
+            for w in status.windows:
+                burn_g.labels(slo=name, window=f"{w.long_s:g}s").set(w.burn_long)
+                burn_g.labels(slo=name, window=f"{w.short_s:g}s").set(w.burn_short)
+            if status.verdict == "breach":
+                breach_c.labels(slo=name).inc()
+        return report
+
+
+# ------------------------------------------------------------------ sources
+
+def counter_source(metric, *, good=None, match=None):
+    """Cumulative ``(good, total)`` from a labelled counter's children.
+
+    ``good(labels) -> bool`` classifies a series (default: its ``code``
+    label is below 500); ``match`` narrows to series whose labels carry
+    the given values (e.g. ``{"endpoint": "/v1/helr/score"}``).
+    """
+    if good is None:
+        def good(labels):
+            return int(labels.get("code", "200")) < 500
+
+    def source():
+        g = t = 0.0
+        for labelvalues, child in metric._series():
+            labels = dict(zip(metric.labelnames, labelvalues))
+            if match and any(labels.get(k) != v for k, v in match.items()):
+                continue
+            t += child.value
+            if good(labels):
+                g += child.value
+        return g, t
+
+    return source
+
+
+def histogram_source(metric, threshold_s: float, *, quantile=None, match=None):
+    """``(good, total, quantile_estimate)`` from histogram buckets.
+
+    Good = observations at or under ``threshold_s`` (interpolated via
+    :func:`~repro.obs.metrics.count_le_from_counts`); series matching
+    ``match`` are merged bucket-wise before estimation so the objective
+    spans label values (e.g. all endpoints). ``quantile`` defaults to the
+    bound SLO's target when wired through :class:`SloEngine` callers --
+    pass it explicitly here.
+    """
+    q = 0.95 if quantile is None else quantile
+
+    def source():
+        merged = None
+        for labelvalues, child in metric._series():
+            labels = dict(zip(metric.labelnames, labelvalues))
+            if match and any(labels.get(k) != v for k, v in match.items()):
+                continue
+            if merged is None:
+                merged = list(child.counts)
+            else:
+                for i, c in enumerate(child.counts):
+                    merged[i] += c
+        if merged is None or sum(merged) == 0:
+            return 0.0, 0.0, None
+        total = float(sum(merged))
+        good = count_le_from_counts(metric.buckets, merged, threshold_s)
+        estimate = quantile_from_counts(metric.buckets, merged, q)
+        return good, total, estimate
+
+    return source
+
+
+# ---------------------------------------------------------------- dashboard
+
+def format_slo_dashboard(report) -> str:
+    """A one-shot ``repro top``-style text dashboard for a report.
+
+    Accepts an :class:`SloReport` or its ``to_dict()`` payload (what
+    ``GET /debug/slo`` returns), so saved reports render identically.
+    """
+    if isinstance(report, SloReport):
+        report = report.to_dict()
+    lines = [
+        f"SLO report — worst verdict: {report['verdict'].upper()} "
+        f"({len(report['slos'])} objective(s))",
+        f"  {'objective':34s} {'scope':16s} {'verdict':8s} "
+        f"{'good/total':>13s}  {'budget left':14s} {'burn l/s':>12s} {'estimate':>10s}",
+    ]
+    for s in report["slos"]:
+        remaining = s["budget"]["remaining"]
+        cells = int(round(remaining * 10))
+        bar = "[" + "#" * cells + "-" * (10 - cells) + f"]{100 * remaining:4.0f}%"
+        if s["windows"]:
+            w = s["windows"][0]
+            burn = f"{w['burn_long']:.2f}/{w['burn_short']:.2f}"
+        else:
+            burn = "-"
+        if s.get("estimate_s") is not None:
+            estimate = f"{s['estimate_s'] * 1e3:.1f}ms"
+        else:
+            estimate = "-"
+        verdict = s["verdict"]
+        if s["insufficient_data"]:
+            verdict += "*"
+        ratio = f"{s['good']:.0f}/{s['total']:.0f}"
+        lines.append(
+            f"  {s['objective']:34s} {s['scope']:16s} {verdict:8s} "
+            f"{ratio:>13s}  {bar:14s} {burn:>12s} {estimate:>10s}"
+        )
+    if any(s["insufficient_data"] for s in report["slos"]):
+        lines.append("  (* no traffic yet: verdict defaults to ok)")
+    return "\n".join(lines)

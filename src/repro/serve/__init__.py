@@ -5,7 +5,7 @@
 :mod:`repro.serve.app` for the endpoint map and request path.
 """
 
-from repro.serve.app import ServeApp, ServeConfig, run_app
+from repro.serve.app import ServeApp, ServeConfig, main_serve, run_app
 from repro.serve.batcher import MicroBatcher, ShutdownError
 from repro.serve.limiter import TokenBucket
 from repro.serve.programs import PROGRAMS, run_program
@@ -22,6 +22,7 @@ __all__ = [
     "Tenant",
     "TenantRegistry",
     "TokenBucket",
+    "main_serve",
     "run_app",
     "run_program",
 ]

@@ -24,6 +24,8 @@ Endpoints::
     POST /v1/conv/step            encrypted 1-D convolution step
     GET  /metrics                 Prometheus text exposition
     GET  /healthz                 liveness + drain state
+    GET  /debug/slo               SLO report (error budgets, burn verdicts)
+    GET  /debug/requests          structured access log (filterable)
 
 Program requests carry ``{"tenant": ..., ...payload...}``; adding
 ``"trace": true`` returns the request's Chrome-trace span breakdown
@@ -34,6 +36,7 @@ only for that request's dispatch).
 from __future__ import annotations
 
 import asyncio
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -46,6 +49,13 @@ from repro.errors import (
     WireError,
 )
 from repro.obs import hooks as obs_hooks
+from repro.obs.reqlog import (
+    RequestIdFactory,
+    RequestLog,
+    fault_delta,
+    fault_snapshot,
+)
+from repro.obs.slo import Slo, SloEngine, counter_source, histogram_source
 from repro.obs.telemetry import Telemetry
 from repro.params import CkksParams, TOY, preset_by_name
 from repro.serve import wire
@@ -95,18 +105,31 @@ class ServeConfig:
     budget_mb: float | None = None  # shared expanded-key LRU budget
     max_tenants: int = 1024
     drain_timeout_s: float = 10.0
+    # --- observability: structured request log + SLO engine -------------
+    request_log: int = 1024        # access-log ring size (0 disables)
+    slos: bool = True              # arm the SLO engine and /debug/slo
+    slo_availability_target: float = 0.999  # non-5xx fraction objective
+    slo_latency_p95_ms: float = 500.0       # latency threshold objective
+    slo_latency_target: float = 0.95        # fraction under the threshold
+    slo_sample_interval_s: float = 0.05     # burn-window sampling cadence
 
     def resolve_params(self) -> CkksParams:
         return TOY if self.params == "toy" else preset_by_name(self.params)
 
 
 class _WorkItem:
-    __slots__ = ("payload", "trace", "trace_out")
+    __slots__ = (
+        "payload", "trace", "trace_out", "request_id", "batch_size",
+        "fault_events",
+    )
 
-    def __init__(self, payload: dict, trace: bool):
+    def __init__(self, payload: dict, trace: bool, request_id: str = ""):
         self.payload = payload
         self.trace = trace
         self.trace_out = None
+        self.request_id = request_id
+        self.batch_size = 0
+        self.fault_events: tuple = ()
 
 
 class ServeApp:
@@ -124,6 +147,13 @@ class ServeApp:
             max_tenants=self.config.max_tenants,
         )
         self.metrics = ServeMetrics()
+        self.rids = RequestIdFactory()
+        self.reqlog = (
+            RequestLog(limit=self.config.request_log)
+            if self.config.request_log > 0
+            else None
+        )
+        self.slo = self._build_slo_engine() if self.config.slos else None
         self.admission = AdmissionController(
             self.config.max_pending,
             on_change=self.metrics.queue_depth.set,
@@ -154,6 +184,38 @@ class ServeApp:
         self.router.post("/v1/conv/step", self._program_handler("conv_step"))
         self.router.get("/metrics", self._h_metrics)
         self.router.get("/healthz", self._h_health)
+        self.router.get("/debug/slo", self._h_debug_slo)
+        self.router.get("/debug/requests", self._h_debug_requests)
+
+    def _build_slo_engine(self) -> SloEngine:
+        """The default objectives every instance serves /debug/slo with."""
+        engine = SloEngine(
+            min_sample_interval_s=self.config.slo_sample_interval_s
+        )
+        engine.add(
+            Slo(
+                "availability",
+                "availability",
+                self.config.slo_availability_target,
+                description="non-5xx fraction across all endpoints",
+            ),
+            counter_source(self.metrics.requests),
+        )
+        engine.add(
+            Slo(
+                "latency_p95",
+                "latency",
+                self.config.slo_latency_target,
+                threshold_s=self.config.slo_latency_p95_ms / 1e3,
+                description="request latency under threshold, all endpoints",
+            ),
+            histogram_source(
+                self.metrics.latency,
+                self.config.slo_latency_p95_ms / 1e3,
+                quantile=self.config.slo_latency_target,
+            ),
+        )
+        return engine
 
     # ------------------------------------------------------------- lifecycle
 
@@ -198,13 +260,26 @@ class ServeApp:
                 try:
                     request = await wire.read_request(reader)
                 except WireError as exc:
+                    # Framing errors never reach the router, but they still
+                    # get a request id and an access-log record: a client
+                    # seeing the 4xx can be correlated like any other.
+                    rid = self.rids.new()
                     self.metrics.observe_error(type(exc).__name__)
+                    if self.reqlog is not None:
+                        self.reqlog.record(
+                            request_id=rid,
+                            method="-",
+                            path="(wire)",
+                            status=exc.status,
+                            latency_s=0.0,
+                            error_type=type(exc).__name__,
+                        )
+                    response = HttpResponse.error(
+                        exc.status, type(exc).__name__, str(exc)
+                    )
+                    response.headers["X-Request-Id"] = rid
                     await wire.write_response(
-                        writer,
-                        HttpResponse.error(
-                            exc.status, type(exc).__name__, str(exc)
-                        ),
-                        keep_alive=False,
+                        writer, response, keep_alive=False
                     )
                     return
                 if request is None:
@@ -227,11 +302,16 @@ class ServeApp:
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         endpoint = request.path
+        # Honor a caller-supplied id (gateway tracing); mint one otherwise.
+        rid = request.headers.get("x-request-id") or self.rids.new()
+        ctx: dict = {"request_id": rid}
+        request.ctx = ctx  # handlers annotate tenant/program/dispatch facts
         try:
             handler, params = self.router.resolve(request.method, request.path)
             response = await handler(request, params)
         except ReproError as exc:
             status = _status_of(exc)
+            ctx["error_type"] = type(exc).__name__
             self.metrics.observe_error(type(exc).__name__)
             response = HttpResponse.error(status, type(exc).__name__, str(exc))
             if isinstance(exc, RateLimitError):
@@ -239,13 +319,30 @@ class ServeApp:
             if isinstance(exc, MethodNotAllowed):
                 response.headers["Allow"] = ", ".join(exc.allowed)
         except Exception as exc:  # noqa: BLE001 - the loop must survive
+            ctx["error_type"] = type(exc).__name__
             self.metrics.observe_error(type(exc).__name__)
             response = HttpResponse.error(
                 500, "InternalError", f"unexpected {type(exc).__name__}: {exc}"
             )
-        self.metrics.observe_request(
-            endpoint, response.status, loop.time() - t0
-        )
+        elapsed = loop.time() - t0
+        response.headers.setdefault("X-Request-Id", rid)
+        self.metrics.observe_request(endpoint, response.status, elapsed)
+        if self.reqlog is not None:
+            self.reqlog.record(
+                request_id=rid,
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                latency_s=elapsed,
+                tenant=ctx.get("tenant"),
+                program=ctx.get("program"),
+                batch_size=ctx.get("batch_size", 0),
+                error_type=ctx.get("error_type"),
+                faults=ctx.get("faults", ()),
+                traced=ctx.get("traced", False),
+            )
+        if self.slo is not None:
+            self.slo.maybe_sample()
         return response
 
     # -------------------------------------------------------------- handlers
@@ -269,6 +366,22 @@ class ServeApp:
         )
         receipt = self.tenants.describe(tenant)
         receipt["store"] = self.tenants.footprint()
+        if self.slo is not None and self.reqlog is not None:
+            # Per-tenant availability rides on the access log's cumulative
+            # tallies (they survive ring rotation), so no tenant label is
+            # added to the serve metric family.
+            name = f"availability:{tenant.tenant_id}"
+            if all(s.name != name for s in self.slo.slos):
+                self.slo.add(
+                    Slo(
+                        name,
+                        "availability",
+                        self.config.slo_availability_target,
+                        tenant=tenant.tenant_id,
+                        description="per-tenant non-5xx fraction (access log)",
+                    ),
+                    self.reqlog.tally_source(tenant.tenant_id),
+                )
         return HttpResponse.json(receipt, status=201)
 
     async def _h_list_tenants(self, _request, _params) -> HttpResponse:
@@ -293,9 +406,12 @@ class ServeApp:
 
     async def _run_program_request(self, program: str, request) -> HttpResponse:
         body = request.json()
+        ctx = getattr(request, "ctx", {})
+        ctx["program"] = program
         tenant_id = body.get("tenant")
         if not isinstance(tenant_id, str):
             raise ParameterError("program requests need a string 'tenant' field")
+        ctx["tenant"] = tenant_id
         tenant = self.tenants.get(tenant_id)
         if self._draining:
             raise ShutdownError("server is draining; not accepting new work")
@@ -304,24 +420,43 @@ class ServeApp:
         except RateLimitError:
             self.metrics.observe_rejection(program, "rate_limit")
             raise
-        item = _WorkItem(payload=body, trace=bool(body.get("trace")))
+        item = _WorkItem(
+            payload=body,
+            trace=bool(body.get("trace")),
+            request_id=ctx.get("request_id", ""),
+        )
         try:
-            async with self.admission.admit(program):
-                result = await self.batcher.submit((tenant_id, program), item)
-        except AdmissionError:
-            self.metrics.observe_rejection(program, "admission")
-            raise
-        except ShutdownError:
-            self.metrics.observe_rejection(program, "drain")
-            raise
+            try:
+                async with self.admission.admit(program):
+                    result = await self.batcher.submit(
+                        (tenant_id, program), item
+                    )
+            except AdmissionError:
+                self.metrics.observe_rejection(program, "admission")
+                raise
+            except ShutdownError:
+                self.metrics.observe_rejection(program, "drain")
+                raise
+        finally:
+            # Dispatch failures surface through the batcher future as
+            # exceptions, but the access log still wants the dispatch
+            # facts the item accumulated (batch size, fault-ledger delta).
+            ctx["batch_size"] = item.batch_size
+            ctx["faults"] = item.fault_events
+            ctx["traced"] = item.trace
         tenant.requests += 1
-        payload = {"tenant": tenant_id, "program": program, "result": result}
+        payload = {
+            "tenant": tenant_id,
+            "program": program,
+            "request_id": item.request_id or None,
+            "result": result,
+        }
         if item.trace_out is not None:
             payload["trace"] = item.trace_out
         return HttpResponse.json(payload)
 
     async def _h_metrics(self, _request, _params) -> HttpResponse:
-        text = self.metrics.render(self.tenants)
+        text = self.metrics.render(self.tenants, slo_engine=self.slo)
         return HttpResponse.text(text)
 
     async def _h_health(self, _request, _params) -> HttpResponse:
@@ -330,6 +465,49 @@ class ServeApp:
                 "status": "draining" if self._draining else "ok",
                 "tenants": len(self.tenants),
                 "pending": self.admission.pending,
+                "admitted": self.admission.admitted,
+            }
+        )
+
+    async def _h_debug_slo(self, _request, _params) -> HttpResponse:
+        if self.slo is None:
+            raise ParameterError("SLO engine is disabled (serve --no-slos)")
+        # Export (not just evaluate) so a /debug/slo poller also keeps the
+        # repro_slo_* gauges current between /metrics scrapes.
+        report = self.slo.export(self.metrics.registry)
+        return HttpResponse.json(report.to_dict())
+
+    async def _h_debug_requests(self, request, _params) -> HttpResponse:
+        if self.reqlog is None:
+            raise ParameterError(
+                "request log is disabled (serve --request-log 0)"
+            )
+        args = urllib.parse.parse_qs(request.query)
+
+        def one(name: str):
+            values = args.get(name)
+            return values[-1] if values else None
+
+        rid = one("request_id")
+        if rid is not None:
+            rec = self.reqlog.find(rid)
+            records = [rec] if rec is not None else []
+        else:
+            try:
+                limit = int(one("limit") or 100)
+            except ValueError:
+                raise ParameterError("bad 'limit' (want an integer)") from None
+            records = self.reqlog.query(
+                tenant=one("tenant"),
+                status=one("status"),
+                outcome=one("outcome"),
+                limit=limit,
+            )
+        return HttpResponse.json(
+            {
+                "requests": [r.to_dict() for r in records],
+                "seen": self.reqlog.seen,
+                "dropped": self.reqlog.dropped,
             }
         )
 
@@ -352,7 +530,12 @@ class ServeApp:
         the batcher, admission, and wire layers need no change.
         """
         results = []
+        stats = self.tenants.resilience.stats
         for item in items:
+            item.batch_size = len(items)
+            # Snapshot/delta on this (single) executor thread is race-free:
+            # only dispatched work touches the fault ledger.
+            before = fault_snapshot(stats)
             try:
                 if item.trace:
                     results.append(self._run_traced(tenant, program, item))
@@ -364,6 +547,8 @@ class ServeApp:
                     )
             except ReproError as exc:
                 results.append(exc)
+            finally:
+                item.fault_events = fault_delta(before, fault_snapshot(stats))
         return results
 
     def _run_traced(self, tenant, program, item):
@@ -373,6 +558,12 @@ class ServeApp:
         global hook slot is occupied only for this item's duration.
         """
         telemetry = Telemetry(kernels=True)
+        if item.request_id:
+            telemetry.tracer.instant(
+                "request",
+                "serve",
+                {"request_id": item.request_id, "program": program},
+            )
         backend = tenant.sess.backend
         backend.telemetry = telemetry
         obs_hooks.install(telemetry)
@@ -413,6 +604,10 @@ def main_serve(args) -> int:
         rate=args.rate,
         burst=args.burst,
         budget_mb=args.budget_mb,
+        request_log=args.request_log,
+        slos=args.slos,
+        slo_availability_target=args.slo_availability,
+        slo_latency_p95_ms=args.slo_latency_ms,
     )
     try:
         asyncio.run(run_app(config))

@@ -103,12 +103,15 @@ class ServeMetrics:
 
     # --------------------------------------------------------------- scrape
 
-    def render(self, registry_view) -> str:
+    def render(self, registry_view, slo_engine=None) -> str:
         """Refresh the library surfaces and render the exposition text.
 
         ``registry_view`` is the :class:`TenantRegistry`: per-tenant
         sessions mount under a ``tenant`` label; the shared store and
-        fault ledger mount once, unlabelled.
+        fault ledger mount once, unlabelled. Passing the app's
+        :class:`~repro.obs.slo.SloEngine` evaluates the declared
+        objectives and mounts the ``repro_slo_*`` family, so breaches
+        are scrapeable alongside the raw series that caused them.
         """
         self.tenants.set(len(registry_view))
         for tenant in registry_view.tenants():
@@ -124,4 +127,6 @@ class ServeMetrics:
             store=registry_view.store,
         )
         collect_faults(self.registry, registry_view.resilience.stats)
+        if slo_engine is not None:
+            slo_engine.export(self.registry)
         return self.registry.to_prometheus()

@@ -34,6 +34,7 @@ class AdmissionController:
             raise ParameterError("max_pending must be positive")
         self.max_pending = int(max_pending)
         self.pending = 0
+        self.admitted = 0  # cumulative admissions (the SLO denominator side)
         self.rejected: dict[str, int] = {}
         self._on_change = on_change
 
@@ -50,6 +51,7 @@ class AdmissionController:
                 f"in flight); retry later"
             )
         self.pending += 1
+        self.admitted += 1
         self._notify()
         try:
             yield self

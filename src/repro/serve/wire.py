@@ -161,6 +161,13 @@ class HttpResponse:
             status=status,
         )
 
+    #: Headers the framing layer owns; extra headers never duplicate them
+    #: (a response with two Connection headers confuses proxies and
+    #: clients, and the framing decision must win).
+    _RESERVED_HEADERS = frozenset(
+        {"content-type", "content-length", "connection"}
+    )
+
     def encode(self, *, keep_alive: bool = True) -> bytes:
         reason = _STATUS_REASONS.get(self.status, "Unknown")
         lines = [
@@ -170,6 +177,8 @@ class HttpResponse:
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         for name, value in self.headers.items():
+            if name.lower() in self._RESERVED_HEADERS:
+                continue
             lines.append(f"{name}: {value}")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + self.body
 

@@ -1,0 +1,158 @@
+"""Bucket-quantile estimation: interpolation, clamping, and inversion.
+
+The SLO engine's latency objectives stand on
+:func:`~repro.obs.metrics.quantile_from_counts` and
+:func:`~repro.obs.metrics.count_le_from_counts`, so these are tested
+property-style: against randomly generated observation sets, the
+estimate must always land in the bucket that contains the true order
+statistic, be monotone in ``q``, and invert ``count_le`` inside the
+finite range.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    count_le_from_counts,
+    quantile_from_counts,
+)
+
+BOUNDS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=60
+)
+quantiles = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def bucketize(values, bounds=BOUNDS):
+    counts = [0] * (len(bounds) + 1)
+    for v in values:
+        for i, bound in enumerate(bounds):
+            if v <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    return counts
+
+
+def bucket_of(value, bounds=BOUNDS):
+    """(lower, upper) of the bucket holding ``value`` (+Inf clamps)."""
+    for i, bound in enumerate(bounds):
+        if value <= bound:
+            return (bounds[i - 1] if i > 0 else 0.0), bound
+    return bounds[-1], math.inf
+
+
+# ----------------------------------------------------------- property tests
+
+@settings(max_examples=200, deadline=None)
+@given(observations, quantiles)
+def test_estimate_lands_in_the_order_statistics_bucket(values, q):
+    counts = bucketize(values)
+    estimate = quantile_from_counts(BOUNDS, counts, q)
+    n = len(values)
+    k = min(n, max(1, math.ceil(q * n)))
+    true_stat = sorted(values)[k - 1]
+    lower, upper = bucket_of(true_stat)
+    assert lower - 1e-12 <= estimate <= min(upper, BOUNDS[-1]) + 1e-12, (
+        values, q, estimate, true_stat,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations, quantiles, quantiles)
+def test_estimate_is_monotone_in_q(values, q1, q2):
+    counts = bucketize(values)
+    lo, hi = sorted((q1, q2))
+    assert quantile_from_counts(BOUNDS, counts, lo) <= (
+        quantile_from_counts(BOUNDS, counts, hi) + 1e-12
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations, quantiles)
+def test_count_le_inverts_the_estimate_in_the_finite_range(values, q):
+    counts = bucketize(values)
+    estimate = quantile_from_counts(BOUNDS, counts, q)
+    rank = q * len(values)
+    # Inside the finite range, count_le at the estimate never undercounts
+    # the rank that produced it (they are exact inverses bucket-wise;
+    # empty-bucket skipping can only round the estimate upward).
+    if estimate < BOUNDS[-1]:
+        recovered = count_le_from_counts(BOUNDS, counts, estimate)
+        assert recovered >= rank - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations)
+def test_count_le_is_monotone_and_bounded(values):
+    counts = bucketize(values)
+    points = [0.0, *BOUNDS, 9.0]
+    results = [count_le_from_counts(BOUNDS, counts, p) for p in points]
+    assert all(a <= b + 1e-12 for a, b in zip(results, results[1:]))
+    assert all(0.0 <= r <= len(values) for r in results)
+
+
+# -------------------------------------------------------------- edge cases
+
+def test_empty_histogram_is_nan():
+    assert math.isnan(quantile_from_counts(BOUNDS, [0] * 6, 0.5))
+
+
+def test_bad_q_rejected():
+    with pytest.raises(ParameterError):
+        quantile_from_counts(BOUNDS, [1] * 6, 1.5)
+    with pytest.raises(ParameterError):
+        quantile_from_counts(BOUNDS, [1] * 6, -0.1)
+
+
+def test_inf_bucket_rank_clamps_to_highest_finite_bound():
+    counts = bucketize([9.0, 9.5, 10.0])  # all beyond the last bound
+    assert quantile_from_counts(BOUNDS, counts, 0.99) == BOUNDS[-1]
+
+
+def test_interpolates_linearly_within_one_bucket():
+    # 10 observations, all in (1.0, 2.0]: p50 interpolates to the middle.
+    counts = [0, 0, 10, 0, 0, 0]
+    assert quantile_from_counts(BOUNDS, counts, 0.5) == pytest.approx(1.5)
+    assert quantile_from_counts(BOUNDS, counts, 1.0) == pytest.approx(2.0)
+
+
+def test_count_le_edges():
+    counts = bucketize([0.25, 0.75, 3.0])
+    assert count_le_from_counts(BOUNDS, counts, -math.inf) == 0.0
+    assert count_le_from_counts(BOUNDS, counts, math.inf) == 3.0
+    # At/above the last finite bound only the finite buckets count.
+    counts_with_inf = bucketize([0.25, 9.0])
+    assert count_le_from_counts(BOUNDS, counts_with_inf, 8.0) == 1.0
+    with pytest.raises(ParameterError):
+        count_le_from_counts(BOUNDS, counts, math.nan)
+
+
+# ------------------------------------------------- MetricHistogram surface
+
+def test_histogram_quantile_method():
+    reg = MetricsRegistry()
+    h = reg.histogram("t_seconds", "t", buckets=BOUNDS)
+    for v in (0.2, 0.6, 1.5, 3.0):
+        h.observe(v)
+    assert 0.0 < h.quantile(0.5) <= 2.0
+    assert h.count_le(1.0) == pytest.approx(2.0)
+
+
+def test_labelled_histogram_requires_labels_for_quantile():
+    reg = MetricsRegistry()
+    h = reg.histogram("u_seconds", "u", labelnames=("op",), buckets=BOUNDS)
+    h.labels(op="a").observe(0.7)
+    with pytest.raises(ParameterError):
+        h.quantile(0.5)
+    with pytest.raises(ParameterError):
+        h.count_le(1.0)
+    assert h.labels(op="a").quantile(1.0) == pytest.approx(1.0)

@@ -1,0 +1,127 @@
+"""Request log semantics: ids, the bounded ring, filters, tallies."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.reqlog import (
+    RequestIdFactory,
+    RequestLog,
+    fault_delta,
+    fault_snapshot,
+    outcome_for,
+)
+from repro.resilience.stats import FaultStats
+
+
+def record(log, rid, status=200, tenant=None, **kw):
+    return log.record(
+        request_id=rid,
+        method="POST",
+        path="/v1/x",
+        status=status,
+        latency_s=0.01,
+        tenant=tenant,
+        **kw,
+    )
+
+
+def test_request_ids_are_unique_and_sortable():
+    rids = RequestIdFactory(token="abc123")
+    a, b = rids.new(), rids.new()
+    assert a == "req-abc123-00000001"
+    assert a < b
+    assert RequestIdFactory().new() != RequestIdFactory().new()
+
+
+def test_outcome_classification():
+    assert outcome_for(200) == "ok"
+    assert outcome_for(429, "RateLimitError") == "rate_limit"
+    assert outcome_for(429, "AdmissionError") == "admission"
+    assert outcome_for(503, "ShutdownError") == "drain"
+    assert outcome_for(500, "IntegrityError") == "error"
+    assert outcome_for(404, None) == "error"
+
+
+def test_ring_is_bounded_and_index_rotates():
+    log = RequestLog(limit=3)
+    for i in range(5):
+        record(log, f"r{i}")
+    assert len(log) == 3
+    assert log.seen == 5
+    assert log.dropped == 2
+    assert log.find("r0") is None  # rotated out, index cleaned
+    assert log.find("r4").request_id == "r4"
+
+
+def test_query_filters_newest_first():
+    log = RequestLog(limit=16)
+    record(log, "a1", status=200, tenant="acme")
+    record(log, "a2", status=500, tenant="acme", error_type="IntegrityError")
+    record(log, "b1", status=429, tenant="beta", error_type="RateLimitError")
+    record(log, "a3", status=503, tenant="acme", error_type="ShutdownError")
+
+    assert [r.request_id for r in log.query()] == ["a3", "b1", "a2", "a1"]
+    assert [r.request_id for r in log.query(tenant="acme")] == ["a3", "a2", "a1"]
+    assert [r.request_id for r in log.query(status=500)] == ["a2"]
+    assert [r.request_id for r in log.query(status="5xx")] == ["a3", "a2"]
+    assert [r.request_id for r in log.query(outcome="rate_limit")] == ["b1"]
+    assert [r.request_id for r in log.query(limit=2)] == ["a3", "b1"]
+    with pytest.raises(ParameterError):
+        log.query(status="bad")
+
+
+def test_tallies_survive_ring_rotation():
+    log = RequestLog(limit=2)
+    for i in range(6):
+        record(log, f"r{i}", status=500 if i % 3 == 0 else 200, tenant="acme")
+    # 6 requests, 2 bad (i=0,3); the ring only holds the last 2 records
+    # but the SLO source must see the full cumulative history.
+    assert log.tally() == (4.0, 6.0)
+    assert log.tally("acme") == (4.0, 6.0)
+    assert log.tally("ghost") == (0.0, 0.0)
+    assert log.tally_source("acme")() == (4.0, 6.0)
+
+
+def test_shed_requests_count_against_availability_tallies_only_when_5xx():
+    log = RequestLog(limit=8)
+    record(log, "ok1", status=200, tenant="t")
+    record(log, "shed", status=429, tenant="t", error_type="RateLimitError")
+    record(log, "boom", status=500, tenant="t", error_type="IntegrityError")
+    good, total = log.tally("t")
+    assert (good, total) == (2.0, 3.0)  # 429 is good (client-side), 500 bad
+
+
+def test_fault_snapshot_delta():
+    stats = FaultStats()
+    before = fault_snapshot(stats)
+    stats.record_injected("flip_evk_b")
+    stats.record_detected("evk_b")
+    stats.record_detected("evk_b")
+    after = fault_snapshot(stats)
+    events = fault_delta(before, after)
+    assert {"event": "injected", "kind": "flip_evk_b", "count": 1} in events
+    assert {"event": "detected", "kind": "evk_b", "count": 2} in events
+    assert fault_delta(after, after) == ()
+
+
+def test_record_to_dict_is_json_ready():
+    log = RequestLog(limit=4)
+    rec = record(
+        log, "r1", status=500, tenant="acme",
+        program="compare_swap", batch_size=3,
+        error_type="IntegrityError",
+        faults=({"event": "detected", "kind": "evk_b", "count": 1},),
+        traced=True,
+    )
+    d = rec.to_dict()
+    assert d["request_id"] == "r1"
+    assert d["outcome"] == "error"
+    assert d["batch_size"] == 3
+    assert d["faults"] == [{"event": "detected", "kind": "evk_b", "count": 1}]
+    assert d["traced"] is True
+    assert d["latency_ms"] == pytest.approx(10.0)
+
+
+def test_limit_must_be_positive():
+    with pytest.raises(ParameterError):
+        RequestLog(limit=0)

@@ -1,0 +1,271 @@
+"""SLO engine semantics: budgets, multi-window burn rates, verdicts.
+
+Table-driven where it matters: each case scripts a traffic history
+against a fake clock and states the verdict the engine must reach --
+budget consumption arithmetic, warn/breach transitions as the burn rate
+crosses the rule factors, recovery back to ok, and the zero-traffic /
+zero-budget-division edge cases.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_RULES,
+    BurnRule,
+    Slo,
+    SloEngine,
+    counter_source,
+    format_slo_dashboard,
+    histogram_source,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class Feed:
+    """A scriptable cumulative (good, total) source."""
+
+    def __init__(self):
+        self.good = 0.0
+        self.total = 0.0
+
+    def add(self, good, bad=0):
+        self.good += good
+        self.total += good + bad
+
+    def __call__(self):
+        return self.good, self.total
+
+
+def make_engine(clock, target=0.99):
+    engine = SloEngine(clock=clock)
+    feed = Feed()
+    engine.add(Slo("avail", "availability", target), feed)
+    return engine, feed
+
+
+# ------------------------------------------------------------- table cases
+
+#: (description, [(dt_seconds, good, bad), ...], expected_verdict)
+BURN_CASES = [
+    (
+        "all good traffic is ok with a full budget",
+        [(60, 100, 0), (60, 100, 0), (60, 100, 0)],
+        "ok",
+    ),
+    (
+        "failure rate far beyond every factor breaches",
+        [(60, 0, 50), (60, 0, 50), (60, 0, 50)],
+        "breach",
+    ),
+    (
+        "sustained moderate burn warns without breaching",
+        # bad fraction ~8% of a 1% budget = burn 8x: above the 6x warn
+        # factor, below the 14.4x page factor.
+        [(600, 92, 8), (600, 92, 8), (600, 92, 8)],
+        "warn",
+    ),
+    (
+        "old damage with a clean short window does not fire",
+        # The short windows see only good traffic: multi-window alerting
+        # must stay quiet once the incident has stopped burning.
+        [(60, 0, 50), (3600 * 7, 1, 0), (60, 500, 0), (60, 500, 0)],
+        "ok",
+    ),
+    (
+        "burn just under every factor stays ok",
+        # 5% bad of a 1% budget = 5x: under the 6x warn factor.
+        [(600, 95, 5), (600, 95, 5), (600, 95, 5)],
+        "ok",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "description,steps,expected", BURN_CASES, ids=[c[0] for c in BURN_CASES]
+)
+def test_burn_rate_verdicts(description, steps, expected):
+    clock = FakeClock()
+    engine, feed = make_engine(clock)
+    for dt, good, bad in steps:
+        clock.advance(dt)
+        feed.add(good, bad)
+        engine.sample()
+    report = engine.evaluate()
+    assert report.verdict == expected, report.to_json(indent=2)
+
+
+def test_budget_consumption_arithmetic():
+    clock = FakeClock()
+    engine, feed = make_engine(clock, target=0.99)  # budget: 1% of traffic
+    clock.advance(60)
+    feed.add(995, 5)  # 0.5% bad = half the budget
+    status = engine.evaluate().status("avail")
+    assert status.budget_consumed == pytest.approx(0.5)
+    assert status.budget_remaining == pytest.approx(0.5)
+    assert status.good == 995 and status.total == 1000
+
+
+def test_budget_remaining_clamps_at_zero():
+    clock = FakeClock()
+    engine, feed = make_engine(clock, target=0.99)
+    clock.advance(60)
+    feed.add(0, 100)  # 100% bad: 100x the budget
+    status = engine.evaluate().status("avail")
+    assert status.budget_consumed == pytest.approx(100.0)
+    assert status.budget_remaining == 0.0
+
+
+def test_zero_traffic_is_ok_with_insufficient_data():
+    clock = FakeClock()
+    engine, _feed = make_engine(clock)
+    clock.advance(3600)
+    report = engine.evaluate()  # no traffic ever: nothing divides by zero
+    status = report.status("avail")
+    assert report.verdict == "ok"
+    assert status.insufficient_data
+    assert status.budget_consumed == 0.0
+    for window in status.windows:
+        assert window.burn_long == 0.0 and window.burn_short == 0.0
+        assert not window.fired
+
+
+def test_warn_then_breach_then_recovery_transitions():
+    clock = FakeClock()
+    engine, feed = make_engine(clock)
+    # Phase 1: 8x burn -> warn.
+    for _ in range(3):
+        clock.advance(600)
+        feed.add(92, 8)
+        engine.sample()
+    assert engine.evaluate().verdict == "warn"
+    # Phase 2: total failure -> breach.
+    for _ in range(3):
+        clock.advance(60)
+        feed.add(0, 50)
+        engine.sample()
+    assert engine.evaluate().verdict == "breach"
+    # Phase 3: a clean stretch longer than every window -> ok again.
+    for _ in range(10):
+        clock.advance(3600)
+        feed.add(5000, 0)
+        engine.sample()
+    assert engine.evaluate().verdict == "ok"
+
+
+def test_window_covered_flag_tracks_history_depth():
+    clock = FakeClock()
+    engine, feed = make_engine(clock)
+    clock.advance(30)  # far less than the shortest window
+    feed.add(10, 0)
+    status = engine.evaluate().status("avail")
+    assert all(not w.covered for w in status.windows)
+    for _ in range(50):
+        clock.advance(600)
+        feed.add(10, 0)
+        engine.sample()
+    status = engine.evaluate().status("avail")
+    breach_rule = next(w for w in status.windows if w.verdict == "breach")
+    assert breach_rule.covered  # > 1h of samples now recorded
+
+
+# ----------------------------------------------------------- construction
+
+def test_slo_validation():
+    with pytest.raises(ParameterError):
+        Slo("x", "availability", 1.5)
+    with pytest.raises(ParameterError):
+        Slo("x", "nonsense", 0.9)
+    with pytest.raises(ParameterError):
+        Slo("x", "latency", 0.95)  # needs threshold_s
+    with pytest.raises(ParameterError):
+        Slo("x", "availability", 0.9, threshold_s=1.0)
+    with pytest.raises(ParameterError):
+        Slo("", "availability", 0.9)
+    assert Slo("a", "availability", 0.999).budget == pytest.approx(0.001)
+
+
+def test_burn_rule_validation_and_duplicate_slo():
+    with pytest.raises(ParameterError):
+        BurnRule("page", 60, 30, 2.0)  # unknown verdict
+    with pytest.raises(ParameterError):
+        BurnRule("warn", 60, 120, 2.0)  # short > long
+    clock = FakeClock()
+    engine, _ = make_engine(clock)
+    with pytest.raises(ParameterError):
+        engine.add(Slo("avail", "availability", 0.9), lambda: (0, 0))
+
+
+def test_default_rules_are_the_sre_pairs():
+    assert {(r.verdict, r.factor) for r in DEFAULT_RULES} == {
+        ("breach", 14.4),
+        ("warn", 6.0),
+    }
+
+
+# ------------------------------------------------------- sources & export
+
+def test_counter_source_classifies_by_status_code():
+    reg = MetricsRegistry()
+    c = reg.counter("req_total", "r", labelnames=("endpoint", "code"))
+    c.labels(endpoint="/a", code="200").inc(8)
+    c.labels(endpoint="/a", code="500").inc(2)
+    c.labels(endpoint="/b", code="200").inc(5)
+    assert counter_source(c)() == (13.0, 15.0)
+    assert counter_source(c, match={"endpoint": "/a"})() == (8.0, 10.0)
+
+
+def test_histogram_source_merges_series_and_estimates():
+    reg = MetricsRegistry()
+    h = reg.histogram(
+        "lat_seconds", "l", labelnames=("endpoint",), buckets=(0.1, 1.0)
+    )
+    for _ in range(9):
+        h.labels(endpoint="/a").observe(0.05)
+    h.labels(endpoint="/b").observe(0.5)
+    good, total, estimate = histogram_source(h, threshold_s=0.1, quantile=0.9)()
+    assert total == 10.0
+    assert good == pytest.approx(9.0)
+    assert 0.0 < estimate <= 1.0
+
+
+def test_export_mounts_the_repro_slo_family():
+    clock = FakeClock()
+    engine, feed = make_engine(clock)
+    clock.advance(60)
+    feed.add(0, 50)
+    reg = MetricsRegistry()
+    report = engine.export(reg)
+    text = reg.to_prometheus()
+    assert report.verdict == "breach"
+    assert 'repro_slo_verdict{slo="avail"} 2' in text
+    assert 'repro_slo_error_budget_remaining{slo="avail"} 0' in text
+    assert 'repro_slo_breaches_total{slo="avail"} 1' in text
+    assert 'repro_slo_burn_rate{slo="avail",window="3600s"}' in text
+
+
+def test_report_round_trips_through_json_and_dashboard():
+    clock = FakeClock()
+    engine, feed = make_engine(clock)
+    clock.advance(60)
+    feed.add(99, 1)
+    report = engine.evaluate()
+    payload = json.loads(report.to_json())
+    assert payload["verdict"] == report.verdict
+    direct = format_slo_dashboard(report)
+    via_dict = format_slo_dashboard(payload)
+    assert direct == via_dict
+    assert "99% non-5xx" in direct

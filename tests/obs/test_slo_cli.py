@@ -1,0 +1,69 @@
+"""The ``python -m repro slo`` command: saved reports and live workloads."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ParameterError
+
+
+def test_renders_a_saved_debug_slo_report(tmp_path, capsys):
+    report = {
+        "verdict": "warn",
+        "generated_at": 0.0,
+        "slos": [
+            {
+                "name": "availability",
+                "kind": "availability",
+                "scope": "global",
+                "objective": "99.9% non-5xx",
+                "target": 0.999,
+                "threshold_s": None,
+                "verdict": "warn",
+                "good": 92.0,
+                "total": 100.0,
+                "insufficient_data": False,
+                "budget": {"size": 0.001, "consumed": 80.0, "remaining": 0.0},
+                "estimate_s": None,
+                "windows": [
+                    {
+                        "verdict": "warn",
+                        "long_s": 21600.0,
+                        "short_s": 1800.0,
+                        "factor": 6.0,
+                        "burn_long": 80.0,
+                        "burn_short": 80.0,
+                        "fired": True,
+                        "covered": False,
+                    }
+                ],
+            }
+        ],
+    }
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report))
+    assert main(["slo", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "worst verdict: WARN" in out
+    assert "99.9% non-5xx" in out
+
+
+def test_runs_a_workload_as_synthetic_requests(tmp_path, capsys):
+    out_path = tmp_path / "out.json"
+    assert main(["slo", "sorting", "--iters", "2", "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 iteration(s)" in out
+    assert "SLO report" in out
+    saved = json.loads(out_path.read_text())
+    assert saved["verdict"] == "ok"
+    names = {s["name"] for s in saved["slos"]}
+    assert names == {"availability", "latency_p95"}
+    avail = next(s for s in saved["slos"] if s["name"] == "availability")
+    assert avail["total"] == 2.0
+    assert avail["budget"]["remaining"] > 0.0
+
+
+def test_unknown_source_is_a_typed_error():
+    with pytest.raises(ParameterError):
+        main(["slo", "not-a-workload"])

@@ -1,0 +1,249 @@
+"""End-to-end SLO + request-log acceptance against the live service.
+
+The two acceptance scenarios from the observability PR:
+
+- **Unfaulted baseline**: every objective reports ``ok`` on
+  ``/debug/slo`` with a nonzero remaining error budget, and every
+  response carries a resolvable ``X-Request-Id``.
+- **Chaos under load**: a seeded fault plan corrupting a stored evk half
+  (permanent, unrecoverable by design) drives 5xx responses; the
+  availability SLO must reach a ``breach`` verdict, and every failed
+  request id must resolve to an access-log record carrying the
+  correlated fault-ledger entries.
+"""
+
+import json
+import os
+
+from repro.resilience.faults import Fault, FaultPlan
+from repro.serve import ServeConfig
+
+from harness import serve_test
+
+SEED = int(os.environ.get("CHAOS_SEED", "0")) * 1000 + 314
+
+PAYLOAD = {
+    "tenant": "acme",
+    "a": [0.5, -0.25, 0.125, 0.0625],
+    "b": [0.1, 0.6, -0.3, 0.2],
+}
+
+
+def config(**overrides) -> ServeConfig:
+    return ServeConfig(
+        port=0, rate=1e6, burst=1e6, window_ms=1.0, **overrides
+    )
+
+
+def test_unfaulted_baseline_is_ok_with_budget_left():
+    async def scenario(app, client):
+        status, headers, _ = await client.call(
+            "POST", "/v1/tenants", {"tenant": "acme", "seed": 7}
+        )
+        assert status == 201
+        assert headers["x-request-id"].startswith("req-")
+        for _ in range(5):
+            status, headers, body = await client.call(
+                "POST", "/v1/sort/compare-swap", PAYLOAD
+            )
+            assert status == 200
+            # The id is stamped into header AND body: one grep resolves.
+            assert body["request_id"] == headers["x-request-id"]
+
+        status, _, report = await client.call("GET", "/debug/slo")
+        assert status == 200
+        assert report["verdict"] == "ok"
+        by_name = {s["name"]: s for s in report["slos"]}
+        # Global availability + latency plus the auto-declared per-tenant
+        # objective from registration.
+        assert {"availability", "latency_p95", "availability:acme"} <= set(
+            by_name
+        )
+        avail = by_name["availability"]
+        assert not avail["insufficient_data"]
+        assert avail["budget"]["remaining"] > 0.0
+        assert by_name["availability:acme"]["scope"] == "tenant:acme"
+
+        # The exported family reaches /metrics.
+        _, _, text = await client.call("GET", "/metrics")
+        assert 'repro_slo_verdict{slo="availability"} 0' in text
+        assert "repro_slo_error_budget_remaining" in text
+
+    serve_test(scenario, config())
+
+
+def test_request_ids_propagate_and_correlate_across_surfaces():
+    async def scenario(app, client):
+        await client.call("POST", "/v1/tenants", {"tenant": "acme", "seed": 7})
+
+        # A caller-supplied id is honored end to end.
+        body = json.dumps(PAYLOAD).encode()
+        status, headers, _ = await client.raw(
+            b"POST /v1/sort/compare-swap HTTP/1.1\r\nHost: t\r\n"
+            b"X-Request-Id: req-caller-00000042\r\n"
+            b"Content-Length: " + str(len(body)).encode()
+            + b"\r\nConnection: close\r\n\r\n" + body
+        )
+        assert status == 200
+        assert headers["x-request-id"] == "req-caller-00000042"
+
+        # A traced request carries its id inside the Chrome trace too.
+        status, headers, traced = await client.call(
+            "POST", "/v1/sort/compare-swap", {**PAYLOAD, "trace": True}
+        )
+        assert status == 200
+        rid = headers["x-request-id"]
+        assert rid in json.dumps(traced["trace"])
+
+        # Both resolve in the access log, with dispatch facts attached.
+        for lookup in ("req-caller-00000042", rid):
+            status, _, page = await client.call(
+                "GET", f"/debug/requests?request_id={lookup}"
+            )
+            assert status == 200
+            (rec,) = page["requests"]
+            assert rec["tenant"] == "acme"
+            assert rec["program"] == "compare_swap"
+            assert rec["batch_size"] >= 1
+            assert rec["outcome"] == "ok"
+        status, _, page = await client.call(
+            "GET", "/debug/requests?tenant=acme&outcome=ok"
+        )
+        assert status == 200
+        assert len(page["requests"]) >= 2
+
+    serve_test(scenario, config())
+
+
+def test_chaos_breaches_availability_and_correlates_failures():
+    plan = FaultPlan(
+        faults=(
+            # Corrupting the *stored* half of an evaluation key is
+            # permanent: every access after the flip raises a typed
+            # IntegrityError, so the 5xx stream is deterministic.
+            Fault(kind="flip_evk_b", target="acme/mult", at_access=1),
+        ),
+        seed=SEED,
+    )
+
+    async def scenario(app, client):
+        await client.call("POST", "/v1/tenants", {"tenant": "acme", "seed": 7})
+        for _ in range(4):
+            status, _, _ = await client.call(
+                "POST", "/v1/sort/compare-swap", PAYLOAD
+            )
+            assert status == 200
+        app.tenants.arm_faults(plan)
+
+        failed_ids = []
+        for _ in range(6):
+            status, headers, body = await client.call(
+                "POST", "/v1/sort/compare-swap", PAYLOAD
+            )
+            if status >= 500:
+                assert body["error"]["type"] == "IntegrityError"
+                failed_ids.append(headers["x-request-id"])
+        assert failed_ids, "the armed fault plan never fired"
+
+        status, _, report = await client.call("GET", "/debug/slo")
+        assert status == 200
+        by_name = {s["name"]: s for s in report["slos"]}
+        assert by_name["availability"]["verdict"] == "breach", report
+        assert by_name["availability:acme"]["verdict"] == "breach", report
+        assert report["verdict"] == "breach"
+        assert by_name["availability"]["budget"]["remaining"] == 0.0
+
+        # Every failed id resolves to a record carrying the fault-ledger
+        # entries that fired during its dispatch.
+        for rid in failed_ids:
+            status, _, page = await client.call(
+                "GET", f"/debug/requests?request_id={rid}"
+            )
+            (rec,) = page["requests"]
+            assert rec["status"] == 500
+            assert rec["error_type"] == "IntegrityError"
+            assert rec["outcome"] == "error"
+            assert rec["faults"], rec
+            assert any(
+                f["event"] == "detected" for f in rec["faults"]
+            ), rec["faults"]
+
+        # The 5xx family filter finds the same population.
+        _, _, page = await client.call("GET", "/debug/requests?status=5xx")
+        assert {r["request_id"] for r in page["requests"]} >= set(failed_ids)
+
+        # Breaches are scrapeable.
+        _, _, text = await client.call("GET", "/metrics")
+        assert 'repro_slo_verdict{slo="availability"} 2' in text
+        assert "repro_slo_breaches_total" in text
+
+    serve_test(scenario, config())
+
+
+def test_wire_errors_still_carry_request_id_and_connection_close():
+    async def scenario(app, client):
+        status, headers, _ = await client.raw(b"BOGUS\r\n\r\n")
+        assert status == 400
+        assert headers["connection"] == "close"
+        assert headers["x-request-id"].startswith("req-")
+        # The framing failure is in the access log too.
+        _, _, page = await client.call(
+            "GET", f"/debug/requests?request_id={headers['x-request-id']}"
+        )
+        (rec,) = page["requests"]
+        assert rec["path"] == "(wire)"
+        assert rec["error_type"] == "WireError"
+
+    serve_test(scenario, config())
+
+
+def test_error_responses_carry_exactly_one_connection_header():
+    async def scenario(app, client):
+        # 404 (unknown tenant), 405 (wrong method), 400 (bad JSON): every
+        # error path must emit exactly one Connection header even though
+        # handlers attach extras (Allow, Retry-After, X-Request-Id).
+        cases = [
+            ("POST", "/v1/sort/compare-swap", {**PAYLOAD, "tenant": "ghost"}),
+            ("PUT", "/v1/tenants", {}),
+            ("GET", "/nope", None),
+        ]
+        for method, path, payload in cases:
+            body = b"" if payload is None else json.dumps(payload).encode()
+            raw = (
+                f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            ).encode() + body
+            reader_status, headers, _ = await client.raw(raw)
+            assert reader_status >= 400
+            assert headers["x-request-id"].startswith("req-")
+            # client.raw collapses duplicate headers; count on the wire.
+            import asyncio
+
+            r, w = await asyncio.open_connection(client.host, client.port)
+            w.write(raw)
+            await w.drain()
+            data = await r.read()
+            w.close()
+            head = data.partition(b"\r\n\r\n")[0].decode("latin-1").lower()
+            assert head.count("connection:") == 1, head
+            assert head.count("content-length:") == 1, head
+
+    serve_test(scenario, config())
+
+
+def test_observability_can_be_disabled():
+    async def scenario(app, client):
+        assert app.reqlog is None and app.slo is None
+        status, _, _ = await client.call("GET", "/debug/slo")
+        assert status == 400
+        status, _, _ = await client.call("GET", "/debug/requests")
+        assert status == 400
+        # The hot path still answers (and still stamps ids).
+        await client.call("POST", "/v1/tenants", {"tenant": "acme", "seed": 7})
+        status, headers, _ = await client.call(
+            "POST", "/v1/sort/compare-swap", PAYLOAD
+        )
+        assert status == 200
+        assert headers["x-request-id"].startswith("req-")
+
+    serve_test(scenario, config(request_log=0, slos=False))

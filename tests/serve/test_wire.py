@@ -114,3 +114,33 @@ def test_error_envelope_shape():
 def test_metrics_content_type():
     resp = wire.HttpResponse.text("x 1\n")
     assert resp.content_type.startswith("text/plain; version=0.0.4")
+
+
+def test_extra_headers_never_duplicate_the_reserved_set():
+    """Regression: a handler attaching Connection/Content-Type/Content-
+    Length (any casing) must not produce duplicate header lines -- the
+    framing layer's values win."""
+    resp = wire.HttpResponse.json(
+        {"ok": True},
+        **{
+            "Connection": "keep-alive",
+            "content-type": "text/evil",
+            "Content-Length": "9999",
+            "X-Request-Id": "req-x-1",
+        },
+    )
+    raw = resp.encode(keep_alive=False)
+    head = raw.partition(b"\r\n\r\n")[0].decode("latin-1").lower()
+    assert head.count("connection:") == 1
+    assert head.count("content-type:") == 1
+    assert head.count("content-length:") == 1
+    assert "connection: close" in head  # the framing decision, not the extra
+    assert "application/json" in head
+    assert "x-request-id: req-x-1" in head
+
+
+def test_non_reserved_extras_pass_through_unchanged():
+    resp = wire.HttpResponse.json({}, **{"Retry-After": "0.5", "Allow": "GET"})
+    head = resp.encode().partition(b"\r\n\r\n")[0].decode("latin-1")
+    assert "Retry-After: 0.5" in head
+    assert "Allow: GET" in head

@@ -1,0 +1,108 @@
+"""The benchmark trajectory and its trend-aware regression gate."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+import bench_history  # noqa: E402
+from bench_history import (  # noqa: E402
+    append_run,
+    load_history,
+    trend_depth,
+    trend_limit,
+)
+
+
+def test_append_and_load_round_trip(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    append_run("kernels", {"bench_a": 0.010, "bench_b": 0.5}, path=path)
+    append_run("kernels", {"bench_a": 0.011}, path=path)
+    append_run("serve", {"cell:p95_ms": 42.0}, path=path)
+    kernels = load_history("kernels", path)
+    assert kernels == [{"bench_a": 0.010, "bench_b": 0.5}, {"bench_a": 0.011}]
+    assert load_history("serve", path) == [{"cell:p95_ms": 42.0}]
+    assert load_history("kernels", tmp_path / "missing.jsonl") == []
+
+
+def test_corrupt_lines_are_skipped_not_fatal(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    append_run("kernels", {"bench_a": 0.01}, path=path)
+    with path.open("a") as fh:
+        fh.write("{truncated by a ctrl-c\n\n")
+    append_run("kernels", {"bench_a": 0.012}, path=path)
+    assert len(load_history("kernels", path)) == 2
+
+
+def test_shallow_history_defers_to_the_baseline_gate():
+    history = [{"bench_a": 0.01}] * (bench_history.MIN_HISTORY - 1)
+    assert trend_limit(history, "bench_a") is None
+    assert trend_limit([], "bench_a") is None
+    assert trend_depth(history, "bench_a") == bench_history.MIN_HISTORY - 1
+
+
+def test_trend_gate_tracks_the_median_not_one_outlier():
+    # Nine normal runs around 10ms plus one freak 30ms recording: the
+    # gate must follow the 10ms median, unlike a single-baseline check
+    # that would have let everything up to 39ms pass had the freak run
+    # been the checked-in baseline.
+    history = [{"bench_a": 0.010 + 0.0002 * i} for i in range(9)]
+    history.append({"bench_a": 0.030})
+    limit = trend_limit(history, "bench_a")
+    assert limit is not None
+    assert limit < 0.015  # well under the outlier
+    assert limit > 0.0108  # but with real headroom over the median
+
+
+def test_near_deterministic_benchmarks_keep_a_relative_floor():
+    # MAD of identical values is 0; the gate must still allow REL_FLOOR
+    # of headroom instead of failing on the first nanosecond of noise.
+    history = [{"bench_a": 0.010}] * 10
+    limit = trend_limit(history, "bench_a")
+    assert limit == pytest.approx(0.010 * (1.0 + bench_history.REL_FLOOR))
+
+
+def test_trend_window_ages_out_ancient_runs():
+    old = [{"bench_a": 1.0}] * 10  # a slow era, long since fixed
+    recent = [{"bench_a": 0.010}] * bench_history.MAX_WINDOW
+    limit = trend_limit(old + recent, "bench_a")
+    assert limit < 0.10  # the slow era no longer inflates the gate
+
+
+def test_dry_run_cli_judges_a_report(tmp_path, capsys):
+    history = tmp_path / "hist.jsonl"
+    for _ in range(bench_history.MIN_HISTORY):
+        append_run("kernels", {"bench_a": 0.010}, path=history)
+    report = tmp_path / "report.json"
+    report.write_text(
+        json.dumps(
+            {"benchmarks": [{"name": "bench_a", "stats": {"mean": 0.0105}}]}
+        )
+    )
+    assert bench_history._dry_run(report, history) == 0
+    report.write_text(
+        json.dumps(
+            {"benchmarks": [{"name": "bench_a", "stats": {"mean": 0.10}}]}
+        )
+    )
+    assert bench_history._dry_run(report, history) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+
+
+def test_summary_cli_reports_gate_state(tmp_path, capsys, monkeypatch):
+    history = tmp_path / "hist.jsonl"
+    for _ in range(2):
+        append_run("kernels", {"bench_a": 0.010}, path=history)
+    monkeypatch.setattr(bench_history, "HISTORY", history)
+    assert bench_history.main([]) == 0
+    out = capsys.readouterr().out
+    assert "gate pending" in out
+    for _ in range(bench_history.MIN_HISTORY):
+        append_run("kernels", {"bench_a": 0.010}, path=history)
+    assert bench_history.main([]) == 0
+    assert "gate" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Benchmark history: a JSONL trajectory and a trend-aware regression gate.
+
+Every ``benchmarks/run_bench.py`` invocation appends one line to
+``BENCH_history.jsonl`` at the repository root -- the run's per-benchmark
+means (kernel suites) or per-cell stats (serve load) plus a wall-clock
+timestamp. The history turns the perf gate from "no worse than 1.3x the
+single checked-in baseline" (one noisy recording decides everything) into
+a trend judgment: a fresh mean fails when it exceeds the *median* of the
+recorded history by more than a robust tolerance derived from the median
+absolute deviation (MAD), so a noisy-but-normal run passes and a genuine
+drift fails even if the checked-in baseline happened to be slow.
+
+With fewer than ``MIN_HISTORY`` recorded runs for a benchmark the gate
+falls back to the classic single-baseline ratio check -- the caller keeps
+its old limit and the history quietly accumulates until it is deep enough
+to trust.
+
+Usage (library)::
+
+    from bench_history import append_run, load_history, trend_limit
+
+    history = load_history("kernels")
+    limit_s = trend_limit(history, "test_bench_ntt")   # None -> fall back
+    append_run("kernels", {"test_bench_ntt": 0.0123})
+
+Usage (CLI)::
+
+    python tools/bench_history.py           # summarize the trajectory
+    python tools/bench_history.py --dry-run BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+HISTORY = ROOT / "BENCH_history.jsonl"
+
+#: Runs a benchmark must appear in before the trend gate takes over.
+MIN_HISTORY = 5
+#: History depth consulted per benchmark (older entries age out of the
+#: judgment but stay in the file as the permanent trajectory).
+MAX_WINDOW = 50
+#: Tolerance: median + max(MAD_SIGMAS * 1.4826 * MAD, REL_FLOOR * median).
+#: 1.4826 scales MAD to a standard deviation under normality; the relative
+#: floor keeps near-deterministic benchmarks (MAD ~ 0) from gating on
+#: scheduler noise.
+MAD_SIGMAS = 5.0
+REL_FLOOR = 0.10
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _mad(values: list[float], center: float) -> float:
+    return _median([abs(v - center) for v in values])
+
+
+# ------------------------------------------------------------------ storage
+
+def append_run(
+    kind: str,
+    means: dict[str, float],
+    path: pathlib.Path = HISTORY,
+    meta: dict | None = None,
+) -> None:
+    """Append one run's ``{benchmark: mean_seconds}`` to the trajectory."""
+    entry = {"ts": time.time(), "kind": kind, "means": dict(means)}
+    if meta:
+        entry.update(meta)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(
+    kind: str, path: pathlib.Path = HISTORY
+) -> list[dict[str, float]]:
+    """Oldest-first per-run means for ``kind``; tolerant of a missing or
+    partially corrupt file (a bad line is someone's interrupted run, not a
+    reason to break the gate)."""
+    if not path.exists():
+        return []
+    runs = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if entry.get("kind") == kind and isinstance(entry.get("means"), dict):
+            runs.append(
+                {
+                    str(k): float(v)
+                    for k, v in entry["means"].items()
+                    if isinstance(v, (int, float))
+                }
+            )
+    return runs
+
+
+# --------------------------------------------------------------- trend gate
+
+def trend_limit(
+    history: list[dict[str, float]],
+    name: str,
+    *,
+    min_history: int = MIN_HISTORY,
+    window: int = MAX_WINDOW,
+) -> float | None:
+    """The largest acceptable mean for ``name``, or None when history is
+    too shallow for a trend judgment (caller falls back to its baseline
+    ratio check)."""
+    values = [run[name] for run in history if name in run][-window:]
+    if len(values) < min_history:
+        return None
+    center = _median(values)
+    tolerance = max(MAD_SIGMAS * 1.4826 * _mad(values, center), REL_FLOOR * center)
+    return center + tolerance
+
+
+def trend_depth(history: list[dict[str, float]], name: str) -> int:
+    return sum(1 for run in history if name in run)
+
+
+# ---------------------------------------------------------------------- CLI
+
+def _summarize(path: pathlib.Path) -> int:
+    if not path.exists():
+        print(f"no history at {path}")
+        return 1
+    for kind in ("kernels", "serve"):
+        history = load_history(kind, path)
+        if not history:
+            continue
+        names = sorted({name for run in history for name in run})
+        print(f"{kind}: {len(history)} run(s), {len(names)} benchmark(s)")
+        for name in names:
+            values = [run[name] for run in history if name in run]
+            center = _median(values)
+            limit = trend_limit(history, name)
+            gate = f"gate {limit * 1e3:9.3f} ms" if limit is not None else (
+                f"gate pending ({len(values)}/{MIN_HISTORY} runs)"
+            )
+            print(
+                f"  {name:45s} median {center * 1e3:9.3f} ms  "
+                f"last {values[-1] * 1e3:9.3f} ms  {gate}"
+            )
+    return 0
+
+
+def _dry_run(report_path: pathlib.Path, history_path: pathlib.Path) -> int:
+    """Judge a pytest-benchmark JSON report against the trend gate without
+    appending it -- CI's advisory preview."""
+    report = json.loads(report_path.read_text())
+    means = {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in report.get("benchmarks", [])
+    }
+    history = load_history("kernels", history_path)
+    failures = 0
+    for name, mean in sorted(means.items()):
+        limit = trend_limit(history, name)
+        if limit is None:
+            print(f"  {name:45s} {mean * 1e3:9.3f} ms  (no trend yet)")
+            continue
+        flag = "ok" if mean <= limit else "REGRESSED"
+        failures += mean > limit
+        print(
+            f"  {name:45s} {mean * 1e3:9.3f} ms  "
+            f"gate {limit * 1e3:9.3f} ms  {flag}"
+        )
+    print(f"trend dry-run: {failures} over the gate")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--dry-run":
+        if len(argv) != 2:
+            print("usage: bench_history.py --dry-run <benchmark-report.json>")
+            return 2
+        return _dry_run(pathlib.Path(argv[1]), HISTORY)
+    return _summarize(HISTORY)
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))
