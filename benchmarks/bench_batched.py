@@ -1,0 +1,235 @@
+"""Batched-execution benchmarks: dispatch amortization on the functional path.
+
+Batched-vs-sequential throughput for the HELR scoring core and the sorting
+compare-swap at batch sizes 1/4/8/16, plus the batch=8 amortization gate
+(ROADMAP open item 1: "the single biggest remaining speedup on the
+functional path").
+
+The suite runs at N=256 (``MICRO`` params) rather than TOY's N=1024:
+batching amortizes the fixed per-op Python dispatch cost, which is the
+dominant term at small N. At N=1024 the row-proportional numpy arithmetic
+(NTT stages, BConv) already dominates and the same batch=8 run measures
+~1.4x -- real, but not the dispatch story this suite gates. The batched
+and sequential paths share one context, so key material and encryptor
+draws are identical; bit-identity itself is property-tested in
+``tests/backend/test_batched_equivalence.py``.
+
+Pool scaling (``ParallelExecutor``) is reported, not gated, and only when
+the machine actually has multiple cores -- on the 1-core CI runner the
+fork/IPC cost of a pool can only lose.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import _tables
+from repro.backend.batched import BatchedBackend, wrap_batch
+from repro.backend.functional import FunctionalBackend
+from repro.backend.parallel import ParallelExecutor
+from repro.backend.session import HeSession
+from repro.ckks.context import CkksContext
+from repro.params import CkksParams
+from repro.workloads.helr import SIGMOID_COEFFS
+from repro.workloads.sorting import encrypted_compare_swap
+
+pytestmark = pytest.mark.benchmark(
+    warmup="on", warmup_iterations=2, min_rounds=5
+)
+
+MICRO = CkksParams(
+    name="bench-micro", log_degree=8, max_level=7, dnum=2, scale_bits=28
+)
+WIDTH = 4          # HELR feature width, matching the serve-layer default
+SIZES = (1, 4, 8, 16)
+GATE_BATCH = 8
+GATE_MIN_SPEEDUP = 2.0  # batch=8 HELR vs 8 sequential runs, 1 core
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(MICRO, rotations=(1,), seed=91)
+
+
+@pytest.fixture(scope="module")
+def pools(ctx):
+    """Pre-encrypted operand pools; every benchmark re-uses them so the
+    timed region is pure evaluation (encryption is per-item either way)."""
+    rng = np.random.default_rng(12)
+
+    def enc():
+        return ctx.encrypt(rng.uniform(-1, 1, WIDTH).astype(np.complex128))
+
+    return {
+        "xs": [enc() for _ in range(max(SIZES))],
+        "as": [enc() for _ in range(max(SIZES))],
+        "bs": [enc() for _ in range(max(SIZES))],
+        "w": rng.uniform(-1, 1, WIDTH).astype(np.complex128),
+    }
+
+
+@pytest.fixture(scope="module")
+def bsess(ctx):
+    return HeSession(BatchedBackend(ctx))
+
+
+@pytest.fixture(scope="module")
+def fsess(ctx):
+    return HeSession(FunctionalBackend(ctx))
+
+
+def _score(sess, h, pt_w):
+    """The serve-layer HELR scoring core: dot product + degree-3 sigmoid."""
+    prods = (h * pt_w).rescale()
+    z = sess.slot_sum(prods, WIDTH, mode="minks")
+    c0, c1, c3 = SIGMOID_COEFFS
+    z2 = (z * z).rescale()
+    z3 = (z2 * z).rescale()
+    term1 = (z * c1).rescale()
+    term3 = (z3 * c3).rescale()
+    return (term1 + term3) + c0
+
+
+# ------------------------------------------------------------- benchmarks
+
+
+@pytest.mark.parametrize("batch", SIZES)
+def test_bench_batched_helr(benchmark, bsess, pools, batch):
+    cts = pools["xs"][:batch]
+    pt = bsess.plaintext(pools["w"], tag="pt:bench:w")
+    benchmark.extra_info["batch"] = batch
+    benchmark(lambda: _score(bsess, wrap_batch(bsess, cts), pt))
+
+
+@pytest.mark.parametrize("batch", SIZES)
+def test_bench_batched_helr_seq(benchmark, fsess, pools, batch):
+    cts = pools["xs"][:batch]
+    pt = fsess.plaintext(pools["w"], tag="pt:bench:w")
+    benchmark.extra_info["batch"] = batch
+
+    def run():
+        for ct in cts:
+            _score(fsess, fsess.wrap(ct), pt)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("batch", SIZES)
+def test_bench_batched_cswap(benchmark, bsess, pools, batch):
+    cts_a, cts_b = pools["as"][:batch], pools["bs"][:batch]
+    benchmark.extra_info["batch"] = batch
+    benchmark(
+        lambda: encrypted_compare_swap(
+            bsess, wrap_batch(bsess, cts_a), wrap_batch(bsess, cts_b)
+        )
+    )
+
+
+@pytest.mark.parametrize("batch", SIZES)
+def test_bench_batched_cswap_seq(benchmark, fsess, pools, batch):
+    cts_a, cts_b = pools["as"][:batch], pools["bs"][:batch]
+    benchmark.extra_info["batch"] = batch
+
+    def run():
+        for a, b in zip(cts_a, cts_b):
+            encrypted_compare_swap(fsess, fsess.wrap(a), fsess.wrap(b))
+
+    benchmark(run)
+
+
+# ------------------------------------------------------------------ gates
+
+
+def _timed(fn, iters=1):
+    t0 = time.perf_counter_ns()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter_ns() - t0) / iters
+
+
+def test_batched_amortization_gate(bsess, fsess, pools):
+    """Batch=8 HELR scoring through the BatchedBackend must beat 8
+    sequential single-ciphertext runs by >= 2x on one core -- the dispatch
+    amortization the whole tentpole exists for. Interleaved min-of-rounds
+    so scheduler noise hits both paths alike."""
+    pt_b = bsess.plaintext(pools["w"], tag="pt:bench:w")
+    pt_f = fsess.plaintext(pools["w"], tag="pt:bench:w")
+    sweep = {}
+    for batch in SIZES:
+        cts = pools["xs"][:batch]
+
+        def run_batched():
+            _score(bsess, wrap_batch(bsess, cts), pt_b)
+
+        def run_sequential():
+            for ct in cts:
+                _score(fsess, fsess.wrap(ct), pt_f)
+
+        run_batched()  # warm both paths before any timing
+        run_sequential()
+        best_b = best_s = float("inf")
+        rounds = 7 if batch == GATE_BATCH else 3
+        for _ in range(rounds):
+            best_b = min(best_b, _timed(run_batched))
+            best_s = min(best_s, _timed(run_sequential))
+        sweep[batch] = (best_b, best_s)
+
+    lines = []
+    for batch, (best_b, best_s) in sweep.items():
+        speedup = best_s / best_b
+        tps = batch / (best_b / 1e9)
+        lines.append(
+            f"batch={batch:2d}  batched {best_b / 1e6:7.2f} ms  "
+            f"sequential {best_s / 1e6:7.2f} ms  "
+            f"speedup {speedup:4.2f}x  {tps:7.1f} scores/s"
+        )
+    _tables.record(
+        f"Batched HELR scoring vs sequential, N={MICRO.degree} "
+        "(min-of-rounds, 1 core)",
+        lines,
+    )
+    best_b, best_s = sweep[GATE_BATCH]
+    speedup = best_s / best_b
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        f"batch={GATE_BATCH} HELR amortization {speedup:.2f}x below the "
+        f"{GATE_MIN_SPEEDUP:.1f}x gate "
+        f"({best_s / 1e6:.2f} ms sequential vs {best_b / 1e6:.2f} ms batched)"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="pool scaling needs multiple cores"
+)
+def test_batched_pool_scaling_report():
+    """Report (never gate) ProcessPool shard scaling on multi-core hosts.
+
+    Uses TOY (N=1024): at pool-worthy sizes the per-shard arithmetic has
+    to dominate the fork + shared-memory + key-regeneration cost for a
+    pool to win at all."""
+    from repro.params import TOY
+
+    workers = min(4, os.cpu_count() or 1)
+    ctx = CkksContext.create(TOY, seed=91)
+    rng = np.random.default_rng(12)
+    cts = [
+        ctx.encrypt(rng.uniform(-1, 1, TOY.max_slots).astype(np.complex128))
+        for _ in range(16)
+    ]
+
+    inline = ParallelExecutor(TOY, seed=91, max_workers=1, ctx=ctx)
+    pooled = ParallelExecutor(TOY, seed=91, max_workers=workers)
+    inline.run("square", [ct.copy() for ct in cts])  # warm caches
+    t_inline = _timed(lambda: inline.run("square", [ct.copy() for ct in cts]))
+    t_pool = _timed(lambda: pooled.run("square", [ct.copy() for ct in cts]))
+    _tables.record(
+        f"ParallelExecutor scaling, batch=16 square, N={TOY.degree}",
+        [
+            f"inline (1 worker)   {t_inline / 1e6:8.2f} ms",
+            f"pool ({pooled.last_plan.workers} workers)    "
+            f"{t_pool / 1e6:8.2f} ms  "
+            f"({t_inline / t_pool:4.2f}x, includes fork + seed-only "
+            "key regeneration)",
+        ],
+    )

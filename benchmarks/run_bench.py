@@ -43,6 +43,7 @@ SUITES = (
     "bench_keystore.py",
     "bench_resilience.py",
     "bench_obs.py",
+    "bench_batched.py",
 )
 
 

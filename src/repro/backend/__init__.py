@@ -13,6 +13,7 @@ See README "The unified program API" for the layer map.
 """
 
 from repro.backend.api import TABLE2_OPS, HeBackend, HeCt, HePt
+from repro.backend.batched import BatchCt, BatchedBackend, batched_session, wrap_batch
 from repro.backend.functional import FunctionalBackend
 from repro.backend.plan import PlanBackend, plan_table2_counts, run_workload_model
 from repro.backend.session import HeSession, SessionCt, SessionPt, session
@@ -23,6 +24,10 @@ __all__ = [
     "HeBackend",
     "HeCt",
     "HePt",
+    "BatchCt",
+    "BatchedBackend",
+    "batched_session",
+    "wrap_batch",
     "FunctionalBackend",
     "PlanBackend",
     "TraceBackend",

@@ -1,0 +1,652 @@
+"""BatchedBackend: one program, a whole batch of ciphertexts, one op each.
+
+After the PR-1 kernel work the functional hot path is dominated by per-op
+Python dispatch, not arithmetic (HMult at N=1024 spends most of its time
+issuing dozens of small numpy calls). This backend amortizes that fixed
+cost the same way the paper amortizes memory traffic: run *B* ciphertexts
+through every Table II op at once by widening each kernel array from
+``(limbs, N)`` to ``(B * limbs, N)``.
+
+The representation is a *tiled* :class:`~repro.rns.poly.PolyRns` whose
+moduli tuple is the base tuple repeated ``B`` times, block-major: element
+``e`` owns rows ``[e*L, (e+1)*L)``. Every kernel in :mod:`repro.nt.kernels`
+is row-polymorphic with per-row constants, so element-wise ops, Shoup
+scalar multiplies, NTTs (via :func:`get_batched_ntt_kernel`) and the
+automorphism gather act on the tile exactly as they would on each element
+alone -- the batched result is bit-identical, row for row, to ``B``
+sequential runs (property-tested in ``tests/backend``).
+
+Two PolyRns operations silently break on duplicated moduli and are never
+used here: ``limbs()`` (its dict index collapses duplicate primes) and
+``concat`` (group-major layout). Key-switching therefore runs at the raw
+array level (:meth:`BatchedBackend._switch`), mirroring Alg. 2 stage by
+stage with ONE evk fetch for the whole batch -- the batched analogue of
+the paper's inter-operation key reuse -- and folding the base conversion
+over columns (``(B, g, N) -> (g, B*N)``), which is exact because BConv is
+column-independent.
+
+``BatchedBackend`` subclasses :class:`FunctionalBackend`, so sessions,
+``sess.ctx``, stores, and resilience wiring all work unchanged; only the
+payload type differs (:class:`BatchCt` instead of ``Ciphertext``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.api import HeCt
+from repro.backend.functional import FunctionalBackend
+from repro.backend.session import HeSession, SessionCt
+from repro.errors import LevelError, ParameterError
+from repro.nt.kernels import (
+    add_mod,
+    get_batched_ntt_kernel,
+    mul_mod,
+    scalar_mul_mod,
+    sub_mod,
+)
+from repro.nt.modarith import modinv
+from repro.nt.ntt import get_ntt_context
+from repro.obs import hooks
+from repro.rns.bconv import get_converter
+from repro.rns.poly import EVAL, PolyRns
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+from repro.ckks.keyswitch import _fetch
+
+
+class BatchCt:
+    """A batch of ciphertexts sharing moduli, scale, and slot count.
+
+    ``b``/``a`` are tiled PolyRns: ``moduli = base * batch`` and data of
+    shape ``(batch * len(base), N)``, block-major (element ``e`` owns rows
+    ``[e*L, (e+1)*L)``). The scale is exact and shared: batch members run
+    the same op stream, and :meth:`from_cts` refuses mismatched inputs.
+    """
+
+    __slots__ = ("b", "a", "batch", "base", "scale", "slots")
+
+    def __init__(self, b, a, batch, base, scale, slots):
+        self.b = b
+        self.a = a
+        self.batch = batch
+        self.base = tuple(base)
+        self.scale = scale
+        self.slots = slots
+
+    @property
+    def level(self) -> int:
+        return len(self.base) - 1
+
+    @property
+    def moduli(self) -> tuple[int, ...]:
+        """The per-element moduli (NOT the tiled tuple)."""
+        return self.base
+
+    @classmethod
+    def from_cts(cls, cts) -> "BatchCt":
+        cts = list(cts)
+        if not cts:
+            raise ParameterError("a batch needs at least one ciphertext")
+        first = cts[0]
+        base = first.moduli
+        for ct in cts:
+            if not isinstance(ct, Ciphertext):
+                raise ParameterError(
+                    f"batch members must be Ciphertexts, got {type(ct).__name__}"
+                )
+            if ct.b.rep != EVAL or ct.a.rep != EVAL:
+                raise ParameterError("batch members must be in evaluation rep")
+            if ct.moduli != base:
+                raise ParameterError("batch members must share moduli (level)")
+            if ct.slots != first.slots:
+                raise ParameterError("batch members must share slot counts")
+            if abs(ct.scale - first.scale) / first.scale > 1e-9:
+                raise ParameterError("batch members must share a scale")
+        batch = len(cts)
+        degree = first.b.degree
+        tiled = tuple(base) * batch
+        b = PolyRns(
+            degree, tiled, np.concatenate([ct.b.data for ct in cts]), EVAL
+        )
+        a = PolyRns(
+            degree, tiled, np.concatenate([ct.a.data for ct in cts]), EVAL
+        )
+        return cls(b, a, batch, base, first.scale, first.slots)
+
+    def to_cts(self) -> list[Ciphertext]:
+        """Split back into per-element ciphertexts (fresh arrays)."""
+        width = len(self.base)
+        degree = self.b.degree
+        out = []
+        for e in range(self.batch):
+            rows = slice(e * width, (e + 1) * width)
+            out.append(
+                Ciphertext(
+                    b=PolyRns(degree, self.base, self.b.data[rows].copy(), EVAL),
+                    a=PolyRns(degree, self.base, self.a.data[rows].copy(), EVAL),
+                    scale=self.scale,
+                    slots=self.slots,
+                )
+            )
+        return out
+
+    def copy(self) -> "BatchCt":
+        return BatchCt(self.b, self.a, self.batch, self.base, self.scale, self.slots)
+
+
+class BatchedBackend(FunctionalBackend):
+    """Runs programs over :class:`BatchCt` payloads, one numpy call per op."""
+
+    name = "batched"
+
+    # ------------------------------------------------------------- plumbing
+
+    def wrap(self, ct) -> HeCt:
+        """Adopt a Ciphertext (batch of 1) or a list of them as a handle."""
+        if isinstance(ct, Ciphertext):
+            ct = [ct]
+        payload = ct if isinstance(ct, BatchCt) else BatchCt.from_cts(ct)
+        return HeCt(self, payload, payload.level, payload.scale, payload.slots)
+
+    def unbatch(self, h) -> list[Ciphertext]:
+        """Split a handle (HeCt or SessionCt) into per-element ciphertexts."""
+        payload = h.payload
+        while not isinstance(payload, BatchCt):
+            payload = payload.payload
+        return payload.to_cts()
+
+    # Internal helpers --------------------------------------------------
+
+    def _poly(self, base, batch, data):
+        """A tiled eval-rep PolyRns over ``base`` repeated ``batch`` times."""
+        return PolyRns(self.params.degree, tuple(base) * batch, data, EVAL)
+
+    def _make(self, ref: BatchCt, b, a, *, base=None, scale=None, slots=None):
+        base = ref.base if base is None else tuple(base)
+        return BatchCt(
+            b,
+            a,
+            ref.batch,
+            base,
+            ref.scale if scale is None else scale,
+            ref.slots if slots is None else slots,
+        )
+
+    @staticmethod
+    def _col(moduli) -> np.ndarray:
+        return np.array(moduli, dtype=np.uint64)[None, :, None]
+
+    def _view3(self, poly: PolyRns, batch: int) -> np.ndarray:
+        """The tile as a ``(batch, L, N)`` view (block-major rows)."""
+        return poly.data.reshape(batch, len(poly.moduli) // batch, -1)
+
+    def _transform(self, data3: np.ndarray, moduli, *, inverse: bool) -> np.ndarray:
+        """(I)NTT a ``(batch, g, N)`` block, limb-batched across the tile.
+
+        One tiled-kernel call covers all ``batch * g`` rows; each row is
+        bit-identical to its per-element transform because every kernel
+        row carries its own per-modulus tables. Oversized primes fall back
+        to the per-modulus reference contexts (which accept 2-D rows).
+        """
+        batch, width, _degree = data3.shape
+        kernel = get_batched_ntt_kernel(self.params.degree, tuple(moduli), batch)
+        if kernel is not None:
+            flat = data3.reshape(batch * width, -1)
+            out = kernel.inverse(flat) if inverse else kernel.forward(flat)
+            return out.reshape(batch, width, -1)
+        out = np.empty_like(data3)
+        for j, q in enumerate(moduli):
+            ctx = get_ntt_context(self.params.degree, q)
+            rows = data3[:, j, :]
+            out[:, j, :] = ctx.inverse(rows) if inverse else ctx.forward(rows)
+        return out
+
+    @staticmethod
+    def _fold_convert(conv, coeff3: np.ndarray) -> np.ndarray:
+        """Base-convert a ``(batch, g, N)`` block through a per-element
+        converter by folding the batch into the column axis.
+
+        BConv is column-independent (per-row Shoup step, per-source-limb
+        accumulate, single ``% dst`` per output row), so converting the
+        ``(g, batch*N)`` fold is bit-identical to ``batch`` separate
+        converts -- and never builds a converter over duplicated moduli.
+        """
+        batch, width, degree = coeff3.shape
+        folded = coeff3.transpose(1, 0, 2).reshape(width, batch * degree)
+        out = conv.convert(folded)
+        return out.reshape(out.shape[0], batch, degree).transpose(1, 0, 2)
+
+    # Key switching (Alg. 2, batched at the array level) ----------------
+
+    def _switch(self, d3: np.ndarray, base, evk):
+        """Alg. 2 over a ``(batch, L, N)`` eval-rep input: ONE evk fetch.
+
+        Mirrors :meth:`~repro.ckks.keyswitch.KeySwitcher.switch` stage by
+        stage; the evk limbs broadcast over the batch axis in the inner
+        product, so the whole batch shares a single ``fetch_parts`` (and a
+        single store fetch / seed regeneration when keys are compressed).
+        Returns ``(ks_b, ks_a)`` as ``(batch, L, N)`` arrays.
+        """
+        batch = d3.shape[0]
+        active = tuple(base)
+        level = len(active) - 1
+        basis = self.ctx.basis
+        switcher = self.evaluator.switcher
+        groups = basis.limb_groups(self.params.dnum, level=level)
+        extended = active + tuple(basis.p_moduli)
+        with hooks.maybe_span("keyswitch", "ks", getattr(evk, "kind", None)):
+            b_parts, a_parts = _fetch(evk)
+            ext_col = self._col(extended)
+            acc_b = acc_a = None
+            for i, group in enumerate(groups):
+                piece = self._mod_up(d3, group, active, extended)
+                with hooks.maybe_span("evk_ip", "ks"):
+                    evk_b = b_parts[i].limbs(extended)
+                    evk_a = a_parts[i].limbs(extended)
+                    switcher.stats.add("evk_mult_limbs", 2 * len(extended) * batch)
+                    term_b = mul_mod(piece, evk_b.data[None], ext_col)
+                    term_a = mul_mod(piece, evk_a.data[None], ext_col)
+                    acc_b = term_b if acc_b is None else add_mod(acc_b, term_b, ext_col)
+                    acc_a = term_a if acc_a is None else add_mod(acc_a, term_a, ext_col)
+            return (
+                self._mod_down(acc_b, active, extended),
+                self._mod_down(acc_a, active, extended),
+            )
+
+    def _mod_up(self, d3, group, active, extended) -> np.ndarray:
+        """Line 3 of Alg. 2 on the whole batch: extend [d]_Ci to D."""
+        with hooks.maybe_span("modup", "ks"):
+            batch = d3.shape[0]
+            switcher = self.evaluator.switcher
+            rows = [active.index(q) for q in group]
+            piece_eval = d3[:, rows, :]
+            target = tuple(m for m in extended if m not in group)
+            coeff = self._transform(piece_eval, group, inverse=True)
+            switcher.stats.add("intt_limbs", len(group) * batch)
+            conv = get_converter(tuple(group), target)
+            ext_coeff = self._fold_convert(conv, coeff)
+            switcher.stats.add("bconv_output_limbs", len(target) * batch)
+            ext_eval = self._transform(ext_coeff, target, inverse=False)
+            switcher.stats.add("ntt_limbs", len(target) * batch)
+            # Assemble in extended order, reusing the group's eval-rep rows
+            # (NTT(INTT(x)) == x exactly), same as the sequential path.
+            piece = np.empty(
+                (batch, len(extended), self.params.degree), dtype=np.uint64
+            )
+            piece[:, [extended.index(q) for q in group], :] = piece_eval
+            piece[:, [extended.index(q) for q in target], :] = ext_eval
+            return piece
+
+    def _mod_down(self, x3, active, extended) -> np.ndarray:
+        """Lines 6-8 of Alg. 2 on the whole batch: back to R_Q, / P."""
+        with hooks.maybe_span("moddown", "ks"):
+            batch = x3.shape[0]
+            basis = self.ctx.basis
+            switcher = self.evaluator.switcher
+            special = tuple(basis.p_moduli)
+            width = len(active)
+            # ``extended`` is active + special in order, so the split is
+            # positional.
+            x_c = x3[:, :width, :]
+            x_b = self._transform(x3[:, width:, :], special, inverse=True)
+            switcher.stats.add("intt_limbs", len(special) * batch)
+            conv = get_converter(special, tuple(active))
+            corr_coeff = self._fold_convert(conv, x_b)
+            switcher.stats.add("bconv_output_limbs", width * batch)
+            corr_eval = self._transform(corr_coeff, active, inverse=False)
+            switcher.stats.add("ntt_limbs", width * batch)
+            diff = sub_mod(x_c, corr_eval, self._col(active))
+            p_inv = [modinv(basis.p_product % q, q) for q in active]
+            flat = scalar_mul_mod(
+                diff.reshape(batch * width, -1),
+                list(p_inv) * batch,
+                tuple(active) * batch,
+            )
+            return flat.reshape(batch, width, -1)
+
+    def _switch_tiled(self, poly: PolyRns, ct: BatchCt, evk):
+        """Key-switch a tiled poly; returns the (b, a) result as tiled polys."""
+        d3 = self._view3(poly, ct.batch)
+        ks_b, ks_a = self._switch(d3, ct.base, evk)
+        width = len(ct.base)
+        return (
+            self._poly(ct.base, ct.batch, ks_b.reshape(ct.batch * width, -1)),
+            self._poly(ct.base, ct.batch, ks_a.reshape(ct.batch * width, -1)),
+        )
+
+    # Payload-level level/scale helpers (mirror CkksEvaluator exactly) ---
+
+    def _drop_payload(self, ct: BatchCt, level: int) -> BatchCt:
+        keep = ct.base[: level + 1]
+        width = len(ct.base)
+
+        def proj(poly):
+            v = poly.data.reshape(ct.batch, width, -1)
+            data = v[:, : level + 1, :].reshape(ct.batch * len(keep), -1)
+            return self._poly(keep, ct.batch, data)
+
+        return self._make(ct, proj(ct.b), proj(ct.a), base=keep)
+
+    def _align_payloads(self, c1: BatchCt, c2: BatchCt):
+        if c1.level > c2.level:
+            c1 = self._drop_payload(c1, c2.level)
+        elif c2.level > c1.level:
+            c2 = self._drop_payload(c2, c1.level)
+        if c1.slots != c2.slots:
+            raise ParameterError("slot counts differ")
+        return c1, c2
+
+    def _rescale_payload(self, ct: BatchCt) -> BatchCt:
+        """Batched HRescale, bit-identical per element to the evaluator's.
+
+        The dropped limb of every element INTTs in one 2-D call, the
+        centered lift reduces against each remaining prime by broadcast,
+        and the subtract/fixed-inverse multiply run on the tile.
+        """
+        if ct.level == 0:
+            raise LevelError("cannot rescale a level-0 ciphertext")
+        base = ct.base
+        q_last = base[-1]
+        remaining = base[:-1]
+        batch = ct.batch
+        degree = self.params.degree
+        rem_col = self._col(remaining)
+        mods_i64 = np.array(remaining, dtype=np.int64)[None, :, None]
+        inverses = [modinv(q_last % q, q) for q in remaining]
+
+        def resc(poly):
+            v = poly.data.reshape(batch, len(base), -1)
+            last_coeff = get_ntt_context(degree, q_last).inverse(v[:, -1, :])
+            lifted = last_coeff.astype(np.int64)
+            lifted = np.where(lifted > q_last // 2, lifted - q_last, lifted)
+            reduced = np.mod(lifted[:, None, :], mods_i64).astype(np.uint64)
+            reduced_eval = self._transform(reduced, remaining, inverse=False)
+            diff = sub_mod(v[:, :-1, :], reduced_eval, rem_col)
+            data = scalar_mul_mod(
+                diff.reshape(batch * len(remaining), -1),
+                list(inverses) * batch,
+                tuple(remaining) * batch,
+            )
+            return self._poly(remaining, batch, data)
+
+        return self._make(
+            ct, resc(ct.b), resc(ct.a), base=remaining, scale=ct.scale / q_last
+        )
+
+    def _adjust_scale_payload(self, ct: BatchCt, target_scale: float) -> BatchCt:
+        ratio = target_scale / ct.scale
+        if abs(ratio - 1.0) < 1e-9:
+            out = ct.copy()
+            out.scale = target_scale
+            return out
+        if ct.level == 0:
+            raise LevelError("cannot adjust the scale of a level-0 ciphertext")
+        q_last = ct.base[-1]
+        factor = int(round(ratio * q_last))
+        if factor < 1:
+            raise ParameterError(
+                f"scale adjustment factor {factor} < 1 "
+                f"(ratio {ratio:.3e} too small for q_last)"
+            )
+        scaled = self._make(
+            ct,
+            ct.b.scalar_mul(factor),
+            ct.a.scalar_mul(factor),
+            scale=ct.scale * factor,
+        )
+        out = self._rescale_payload(scaled)
+        out.scale = target_scale
+        return out
+
+    # ------------------------------------------------------------ op hooks
+
+    def _input_ct(self, tag, level, values, slots, scale):
+        if values is None:
+            raise ParameterError(
+                "the batched backend needs real values for input_ct"
+            )
+        try:
+            rows = np.asarray(values, dtype=np.complex128)
+        except (TypeError, ValueError):
+            raise ParameterError(
+                "batched input_ct wants a (batch, slots) array of values"
+            ) from None
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ParameterError(
+                "batched input_ct wants a (batch, slots) array of values"
+            )
+        cts = []
+        # Encrypt in element order: the encryptor consumes one sequential
+        # RNG stream, so this matches per-element sequential encryption.
+        for row in rows:
+            ct = self.ctx.encrypt(row, scale=scale)
+            if level < ct.level:
+                ct = self.evaluator.drop_to_level(ct, level)
+            cts.append(ct)
+        return BatchCt.from_cts(cts)
+
+    def _read(self, a):
+        return np.stack([self.ctx.decrypt(ct) for ct in a.payload.to_cts()])
+
+    def _add(self, a, b):
+        c1, c2 = self._align_payloads(a.payload, b.payload)
+        if abs(c1.scale - c2.scale) / c1.scale > 1e-6:
+            raise ParameterError(
+                f"scales differ: {c1.scale:.6e} vs {c2.scale:.6e}"
+            )
+        return self._make(c1, c1.b + c2.b, c1.a + c2.a)
+
+    def _sub(self, a, b):
+        c1, c2 = self._align_payloads(a.payload, b.payload)
+        if abs(c1.scale - c2.scale) / c1.scale > 1e-6:
+            raise ParameterError(
+                f"scales differ: {c1.scale:.6e} vs {c2.scale:.6e}"
+            )
+        return self._make(c1, c1.b - c2.b, c1.a - c2.a)
+
+    def _add_matched(self, a, b):
+        c1, c2 = self._align_payloads(a.payload, b.payload)
+        if abs(c1.scale - c2.scale) / c1.scale > 1e-9:
+            if c1.scale > c2.scale:
+                c1 = self._adjust_scale_payload(c1, c2.scale)
+                c2 = self._drop_payload(c2, c1.level)
+            else:
+                c2 = self._adjust_scale_payload(c2, c1.scale)
+                c1 = self._drop_payload(c1, c2.level)
+        return self._add_aligned(c1, c2)
+
+    def _add_aligned(self, c1: BatchCt, c2: BatchCt) -> BatchCt:
+        c1, c2 = self._align_payloads(c1, c2)
+        if abs(c1.scale - c2.scale) / c1.scale > 1e-6:
+            raise ParameterError(
+                f"scales differ: {c1.scale:.6e} vs {c2.scale:.6e}"
+            )
+        return self._make(c1, c1.b + c2.b, c1.a + c2.a)
+
+    def _negate(self, a):
+        ct = a.payload
+        return self._make(ct, -ct.b, -ct.a)
+
+    def _add_plain(self, a, pt):
+        ct = a.payload
+        enc = self._encode(a, pt)
+        if abs(enc.scale - ct.scale) / ct.scale > 1e-9:
+            raise ParameterError("PAdd operands must share a scale")
+        poly = enc.poly.to_eval().limbs(ct.base)
+        v = self._view3(ct.b, ct.batch)
+        data = add_mod(v, poly.data[None], self._col(ct.base))
+        b = self._poly(ct.base, ct.batch, data.reshape(ct.batch * len(ct.base), -1))
+        return self._make(ct, b, ct.a)
+
+    def _add_const(self, a, value):
+        ct = a.payload
+        scaled = int(round(ct.scale * value))
+        consts = np.array(
+            [scaled % q for q in ct.base], dtype=np.uint64
+        )[None, :, None]
+        v = self._view3(ct.b, ct.batch)
+        data = add_mod(v, consts, self._col(ct.base))
+        b = self._poly(ct.base, ct.batch, data.reshape(ct.batch * len(ct.base), -1))
+        return self._make(ct, b, ct.a)
+
+    def _mul(self, a, b):
+        c1, c2 = self._align_payloads(a.payload, b.payload)
+        d0 = c1.b * c2.b
+        d1 = c1.a * c2.b + c2.a * c1.b
+        d2 = c1.a * c2.a
+        ks_b, ks_a = self._switch_tiled(d2, c1, self.ctx.keys.mult)
+        return self._make(
+            c1, d0 + ks_b, d1 + ks_a, scale=c1.scale * c2.scale
+        )
+
+    def _mul_plain(self, a, pt):
+        ct = a.payload
+        enc = self._encode(a, pt)
+        poly = enc.poly.to_eval().limbs(ct.base)
+        base_col = self._col(ct.base)
+        width = len(ct.base)
+
+        def pm(half):
+            v = self._view3(half, ct.batch)
+            data = mul_mod(v, poly.data[None], base_col)
+            return self._poly(ct.base, ct.batch, data.reshape(ct.batch * width, -1))
+
+        return self._make(
+            ct, pm(ct.b), pm(ct.a), scale=ct.scale * enc.scale
+        )
+
+    def _mul_const(self, a, value):
+        ct = a.payload
+        scaled = int(round(ct.scale * value))
+        return self._make(
+            ct,
+            ct.b.scalar_mul(scaled),
+            ct.a.scalar_mul(scaled),
+            scale=ct.scale * ct.scale,
+        )
+
+    def _mul_int(self, a, value):
+        ct = a.payload
+        return self._make(ct, ct.b.scalar_mul(value), ct.a.scalar_mul(value))
+
+    def _div_by_pow2(self, a, power):
+        ct = a.payload
+        return self._make(ct, ct.b, ct.a, scale=ct.scale * (1 << power))
+
+    def _rotate(self, a, amount, key_tag):
+        if amount is None:
+            raise ParameterError(
+                "the batched backend cannot run symbolic rotations"
+            )
+        self.ctx.ensure_rotation_keys([amount])
+        ct = a.payload
+        galois = pow(5, amount, 2 * self.params.degree)
+        evk = self.ctx.keys.rotation(amount)
+        b_rot = ct.b.automorphism(galois)
+        a_rot = ct.a.automorphism(galois)
+        ks_b, ks_a = self._switch_tiled(-a_rot, ct, evk)
+        return self._make(ct, b_rot + ks_b, ks_a)
+
+    def _rotate_hoisted(self, a, reduced_amounts, tags):
+        self.ctx.ensure_rotation_keys(reduced_amounts)
+        ct = a.payload
+        evks = {r: self.ctx.keys.rotation(r) for r in reduced_amounts}
+        basis = self.ctx.basis
+        active = ct.base
+        groups = basis.limb_groups(self.params.dnum, level=ct.level)
+        extended = active + tuple(basis.p_moduli)
+        neg_a = self._view3(-ct.a, ct.batch)
+        with hooks.maybe_span("hoisted_modup", "ks"):
+            pieces = [
+                self._mod_up(neg_a, group, active, extended) for group in groups
+            ]
+        out = {}
+        width = len(active)
+        for reduced in reduced_amounts:
+            galois = pow(5, reduced, 2 * self.params.degree)
+            ks_b, ks_a = self._switch_hoisted(
+                pieces, active, extended, evks[reduced], galois
+            )
+            b = ct.b.automorphism(galois) + self._poly(
+                active, ct.batch, ks_b.reshape(ct.batch * width, -1)
+            )
+            a_poly = self._poly(active, ct.batch, ks_a.reshape(ct.batch * width, -1))
+            out[reduced] = self._make(ct, b, a_poly)
+        return out
+
+    def _switch_hoisted(self, pieces, active, extended, evk, galois):
+        """Finish one rotation from shared batched ModUp pieces."""
+        if not pieces:
+            raise ParameterError("no ModUp pieces supplied")
+        batch = pieces[0].shape[0]
+        switcher = self.evaluator.switcher
+        with hooks.maybe_span(
+            "keyswitch_hoisted", "ks", getattr(evk, "kind", None)
+        ):
+            b_parts, a_parts = _fetch(evk)
+            perm = get_ntt_context(
+                self.params.degree, extended[0]
+            ).galois_eval_permutation(galois)
+            ext_col = self._col(extended)
+            acc_b = acc_a = None
+            for i, piece in enumerate(pieces):
+                rotated = piece[:, :, perm]
+                with hooks.maybe_span("evk_ip", "ks"):
+                    evk_b = b_parts[i].limbs(extended)
+                    evk_a = a_parts[i].limbs(extended)
+                    switcher.stats.add("evk_mult_limbs", 2 * len(extended) * batch)
+                    term_b = mul_mod(rotated, evk_b.data[None], ext_col)
+                    term_a = mul_mod(rotated, evk_a.data[None], ext_col)
+                    acc_b = term_b if acc_b is None else add_mod(acc_b, term_b, ext_col)
+                    acc_a = term_a if acc_a is None else add_mod(acc_a, term_a, ext_col)
+            return (
+                self._mod_down(acc_b, active, extended),
+                self._mod_down(acc_a, active, extended),
+            )
+
+    def _conjugate(self, a):
+        if self.ctx.keys.conjugation is None:
+            raise ParameterError("no conjugation key in the key chain")
+        ct = a.payload
+        galois = 2 * self.params.degree - 1
+        b_rot = ct.b.automorphism(galois)
+        a_rot = ct.a.automorphism(galois)
+        ks_b, ks_a = self._switch_tiled(-a_rot, ct, self.ctx.keys.conjugation)
+        return self._make(ct, b_rot + ks_b, ks_a)
+
+    def _rescale(self, a):
+        return self._rescale_payload(a.payload)
+
+    def _copy(self, a):
+        return a.payload.copy()
+
+    def _drop(self, a, level):
+        return self._drop_payload(a.payload, level)
+
+    def _bootstrap(self, a):
+        # Bootstrapping pipelines carry per-element state; run the proven
+        # sequential pipeline per element and re-batch the results.
+        outs = [
+            self.bootstrapper.bootstrap(ct, mode=self.mode)
+            for ct in a.payload.to_cts()
+        ]
+        payload = BatchCt.from_cts(outs)
+        return payload, payload.level
+
+
+def batched_session(ctx: CkksContext, **kwargs) -> HeSession:
+    """An :class:`HeSession` over a :class:`BatchedBackend` sharing ``ctx``."""
+    return HeSession(BatchedBackend(ctx), **kwargs)
+
+
+def wrap_batch(sess: HeSession, cts) -> SessionCt:
+    """Adopt a list of same-shape ciphertexts as one batched session handle."""
+    backend = sess.backend
+    if not isinstance(backend, BatchedBackend):
+        raise ParameterError(
+            f"wrap_batch needs a batched session, got backend {backend.name!r}"
+        )
+    return SessionCt(sess, sess._check(backend.wrap(cts)))

@@ -1,0 +1,350 @@
+"""ParallelExecutor: shard a ciphertext batch across worker processes.
+
+Batching (:mod:`repro.backend.batched`) amortizes Python dispatch; this
+module adds the second axis the paper exploits -- independent lanes --
+by sharding a batch across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Two shipping tricks keep the inter-process traffic proportional to the
+*ciphertext* payload, not the key material:
+
+* **Shared-memory limbs.** The stacked ``(2, B, L, N)`` uint64 limb block
+  is placed in a :mod:`multiprocessing.shared_memory` segment; workers
+  attach by name and copy out only their shard's slice, so ciphertexts
+  are shipped once regardless of worker count.
+* **Seed-only keys.** Workers never receive key material. Each worker
+  rebuilds its :class:`~repro.ckks.context.CkksContext` from the
+  ``(params, seed, rotations)`` triple -- the PR-2 seed streams make every
+  evk/secret regeneration bit-identical -- and caches it per process, so
+  the cost is paid once per (worker, context) pair. ``evk_usage`` from a
+  prior run is the cost model: :func:`plan_shards` reports what eager key
+  shipping *would* have cost versus the seeded scheme actually used.
+
+The parent keeps encrypt/decrypt to itself (one sequential encryptor
+stream, secrets never cross the process boundary); workers run a named,
+registered program (:data:`PARALLEL_PROGRAMS`) over their shard with a
+:class:`~repro.backend.batched.BatchedBackend` and return raw limb
+arrays, which the parent reassembles in submission order. Results are
+bit-identical to a single-process batched run because every op in the
+registered programs is deterministic given the ciphertext bits and the
+seed-derived keys.
+
+On the 1-core CI box the pool degenerates to ``workers=1`` and runs
+inline (no fork, no shm); scaling numbers are only meaningful -- and only
+benchmarked -- when ``os.cpu_count() > 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+from repro.errors import ParameterError
+from repro.params import CkksParams
+from repro.rng import DEFAULT_SEED, SEED_BYTES
+from repro.rns.poly import EVAL, PolyRns
+
+# --------------------------------------------------------------- programs
+
+#: Programs a worker process may run, by name. Workers import this module
+#: fresh, so entries must be module-level functions registered at import
+#: time -- closures and lambdas would not survive the process boundary.
+PARALLEL_PROGRAMS: dict = {}
+
+
+def register_parallel_program(name: str):
+    """Register ``fn(sess, handle, args) -> SessionCt`` under ``name``."""
+
+    def deco(fn):
+        PARALLEL_PROGRAMS[name] = fn
+        return fn
+
+    return deco
+
+
+@register_parallel_program("square")
+def _prog_square(sess, h, args):
+    return (h * h).rescale()
+
+
+@register_parallel_program("helr_sigmoid")
+def _prog_helr_sigmoid(sess, h, args):
+    """The HELR sigmoid tail (degree-3 minimax) on an already-summed z."""
+    from repro.workloads.helr import SIGMOID_COEFFS
+
+    c0, c1, c3 = SIGMOID_COEFFS
+    z2 = (h * h).rescale()
+    z3 = (z2 * h).rescale()
+    term1 = (h * c1).rescale()
+    term3 = (z3 * c3).rescale()
+    return (term1 + term3) + c0
+
+
+@register_parallel_program("sign_refine")
+def _prog_sign_refine(sess, h, args):
+    """One composite-sign Newton step: x * (3 - x^2) / 2."""
+    sq = h * h
+    inner = (-sq) + 3.0
+    prod = h * inner
+    return prod.rescale().rescale().div_by_pow2(1)
+
+
+# ------------------------------------------------------------ shard plan
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How a batch splits across workers, plus the key-shipping ledger."""
+
+    workers: int
+    bounds: tuple  # ((start, end), ...) half-open element ranges
+    evk_ship_bytes_seeded: int  # what seed-only shipping costs
+    evk_ship_bytes_eager: int  # what shipping full evks would cost
+
+
+def plan_shards(
+    batch: int,
+    params: CkksParams,
+    evk_usage=None,
+    max_workers: int | None = None,
+) -> ShardPlan:
+    """Split ``batch`` elements as evenly as possible across workers.
+
+    ``evk_usage`` (a backend's ``evk_usage`` counter from a prior run of
+    the same program) tells us how many *distinct* evaluation keys the
+    program touches; each worker needs every one of them, so the eager
+    shipping cost is ``workers * distinct * evk_bytes()`` while the
+    seeded scheme ships :data:`~repro.rng.SEED_BYTES` once per worker and
+    regenerates locally. The gap is the amortization the paper's seeded
+    key scheme buys at the process boundary.
+    """
+    if batch < 1:
+        raise ParameterError("cannot shard an empty batch")
+    limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(limit, batch))
+    size, extra = divmod(batch, workers)
+    bounds = []
+    start = 0
+    for i in range(workers):
+        end = start + size + (1 if i < extra else 0)
+        bounds.append((start, end))
+        start = end
+    distinct = (
+        sum(1 for k in evk_usage if str(k).startswith("evk:")) if evk_usage else 0
+    ) or 1
+    return ShardPlan(
+        workers=workers,
+        bounds=tuple(bounds),
+        evk_ship_bytes_seeded=workers * SEED_BYTES,
+        evk_ship_bytes_eager=workers * distinct * params.evk_bytes(),
+    )
+
+
+# ---------------------------------------------------------- worker side
+
+#: Per-process context cache: rebuilding keys from seed is the expensive
+#: part of seed-only shipping, so pay it once per (params, seed, rotations).
+_WORKER_CTX_CACHE: dict = {}
+
+
+def _worker_context(params: CkksParams, seed: int, rotations: tuple) -> CkksContext:
+    key = (params, seed, tuple(rotations))
+    ctx = _WORKER_CTX_CACHE.get(key)
+    if ctx is None:
+        ctx = CkksContext.create(params, rotations=rotations, seed=seed)
+        _WORKER_CTX_CACHE[key] = ctx
+    return ctx
+
+
+def _run_shard(
+    params: CkksParams,
+    seed: int,
+    rotations: tuple,
+    program: str,
+    shm_name: str | None,
+    blob,
+    shape: tuple,
+    start: int,
+    end: int,
+    base: tuple,
+    scale: float,
+    slots: int,
+    args: dict | None,
+):
+    """Run ``program`` over elements ``[start, end)`` of the shipped batch.
+
+    Runs in a worker process (or inline for the 1-worker fast path).
+    Returns ``(b_block, a_block, base, scale, slots)`` for reassembly.
+    """
+    from repro.backend.batched import BatchedBackend, wrap_batch
+    from repro.backend.session import HeSession
+
+    if shm_name is not None:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=shm_name)
+        try:
+            full = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+            block = full[:, start:end].copy()
+        finally:
+            shm.close()
+    else:
+        block = np.asarray(blob, dtype=np.uint64).reshape(
+            shape[0], end - start, *shape[2:]
+        )
+
+    fn = PARALLEL_PROGRAMS.get(program)
+    if fn is None:
+        raise ParameterError(
+            f"unknown parallel program {program!r} "
+            f"(known: {sorted(PARALLEL_PROGRAMS)})"
+        )
+    ctx = _worker_context(params, seed, tuple(rotations))
+    degree = params.degree
+    cts = [
+        Ciphertext(
+            b=PolyRns(degree, tuple(base), block[0, e].copy(), EVAL),
+            a=PolyRns(degree, tuple(base), block[1, e].copy(), EVAL),
+            scale=scale,
+            slots=slots,
+        )
+        for e in range(end - start)
+    ]
+    sess = HeSession(BatchedBackend(ctx))
+    out = fn(sess, wrap_batch(sess, cts), args or {})
+    outs = sess.backend.unbatch(out)
+    b_block = np.stack([c.b.data for c in outs])
+    a_block = np.stack([c.a.data for c in outs])
+    return b_block, a_block, outs[0].moduli, outs[0].scale, outs[0].slots
+
+
+# ---------------------------------------------------------- parent side
+
+
+class ParallelExecutor:
+    """Shards batched program runs across processes; inline when pointless."""
+
+    def __init__(
+        self,
+        params: CkksParams,
+        *,
+        seed: int = DEFAULT_SEED,
+        rotations: tuple = (),
+        max_workers: int | None = None,
+        ctx: CkksContext | None = None,
+    ):
+        self.params = params
+        self.seed = seed
+        self.rotations = tuple(rotations)
+        self.max_workers = max_workers
+        self._ctx = ctx
+        self.last_plan: ShardPlan | None = None
+
+    def _context(self) -> CkksContext:
+        if self._ctx is None:
+            self._ctx = CkksContext.create(
+                self.params, rotations=self.rotations, seed=self.seed
+            )
+        return self._ctx
+
+    def run(self, program: str, cts, evk_usage=None, args: dict | None = None):
+        """Run a registered program over ``cts``; returns output ciphertexts.
+
+        Results are in input order and bit-identical whatever the worker
+        count (each element sees the same op stream and the same
+        seed-derived keys everywhere).
+        """
+        cts = list(cts)
+        if program not in PARALLEL_PROGRAMS:
+            raise ParameterError(
+                f"unknown parallel program {program!r} "
+                f"(known: {sorted(PARALLEL_PROGRAMS)})"
+            )
+        plan = plan_shards(
+            len(cts), self.params, evk_usage=evk_usage, max_workers=self.max_workers
+        )
+        self.last_plan = plan
+        base = cts[0].moduli
+        scale = cts[0].scale
+        slots = cts[0].slots
+        if plan.workers == 1:
+            return self._run_inline(program, cts, args)
+
+        batch = len(cts)
+        width = len(base)
+        degree = self.params.degree
+        arr = np.empty((2, batch, width, degree), dtype=np.uint64)
+        for e, ct in enumerate(cts):
+            arr[0, e] = ct.b.data
+            arr[1, e] = ct.a.data
+
+        shm = None
+        shm_name = None
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            np.ndarray(arr.shape, dtype=np.uint64, buffer=shm.buf)[:] = arr
+            shm_name = shm.name
+        except (ImportError, OSError):
+            shm = None  # fall back to pickling per-shard slices
+
+        try:
+            import multiprocessing as mp
+
+            try:
+                mp_ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                mp_ctx = mp.get_context()
+            with ProcessPoolExecutor(
+                max_workers=plan.workers, mp_context=mp_ctx
+            ) as pool:
+                futures = []
+                for start, end in plan.bounds:
+                    blob = None if shm_name else arr[:, start:end].copy()
+                    futures.append(
+                        pool.submit(
+                            _run_shard,
+                            self.params,
+                            self.seed,
+                            self.rotations,
+                            program,
+                            shm_name,
+                            blob,
+                            arr.shape,
+                            start,
+                            end,
+                            base,
+                            scale,
+                            slots,
+                            args,
+                        )
+                    )
+                outs = []
+                for fut in futures:
+                    b_block, a_block, out_base, out_scale, out_slots = fut.result()
+                    for e in range(b_block.shape[0]):
+                        outs.append(
+                            Ciphertext(
+                                b=PolyRns(degree, tuple(out_base), b_block[e], EVAL),
+                                a=PolyRns(degree, tuple(out_base), a_block[e], EVAL),
+                                scale=out_scale,
+                                slots=out_slots,
+                            )
+                        )
+                return outs
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    def _run_inline(self, program: str, cts, args):
+        from repro.backend.batched import BatchedBackend, wrap_batch
+        from repro.backend.session import HeSession
+
+        sess = HeSession(BatchedBackend(self._context()))
+        out = PARALLEL_PROGRAMS[program](sess, wrap_batch(sess, cts), args or {})
+        return sess.backend.unbatch(out)

@@ -680,3 +680,21 @@ def register_ntt_kernel(
 ) -> None:
     """Seed the kernel cache (used by NttContext to share its own kernel)."""
     _KERNEL_CACHE.setdefault((degree, tuple(moduli)), kernel)
+
+
+def get_batched_ntt_kernel(
+    degree: int, moduli: tuple[int, ...], batch: int
+) -> "NttKernel | None":
+    """Kernel for a block-major ``(batch * len(moduli), N)`` residue tile.
+
+    The batched backend stacks ``batch`` ciphertexts limb-wise (element
+    ``e`` occupies rows ``[e*L, (e+1)*L)``), so the matching kernel is the
+    one keyed by the moduli tuple repeated ``batch`` times -- every row
+    still carries its own per-modulus tables, which keeps each row of the
+    tiled transform bit-identical to the per-ciphertext kernels. A single
+    modulus broadcasts over any row count, so it never needs repeating.
+    Returns ``None`` (like :func:`get_ntt_kernel`) for oversized primes.
+    """
+    if batch <= 1 or len(moduli) == 1:
+        return get_ntt_kernel(degree, tuple(moduli))
+    return get_ntt_kernel(degree, tuple(moduli) * batch)

@@ -61,7 +61,7 @@ from repro.params import CkksParams, TOY, preset_by_name
 from repro.serve import wire
 from repro.serve.batcher import MicroBatcher, ShutdownError
 from repro.serve.metrics import ServeMetrics
-from repro.serve.programs import run_program
+from repro.serve.programs import BATCHED_PROGRAMS, run_program, run_program_batched
 from repro.serve.queue import AdmissionController
 from repro.serve.router import MethodNotAllowed, Router
 from repro.serve.tenants import TenantRegistry
@@ -165,6 +165,10 @@ class ServeApp:
             on_batch=lambda key, size, waited: self.metrics.observe_batch(
                 key[1], size, waited
             ),
+            # One dispatch at a time (the executor has one worker anyway)
+            # with round-robin across (tenant, program) keys: a tenant
+            # saturating the coalescing window cannot starve the others.
+            max_concurrency=1,
         )
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-dispatch"
@@ -522,33 +526,66 @@ class ServeApp:
         )
 
     def _run_batch(self, tenant, program, items):
-        """Executor-thread batch body: one session, every item in turn.
+        """Executor-thread batch body: coalesced items run as ONE batch.
 
-        THE BATCHED-BACKEND SEAM (ROADMAP open item 1): a
-        ``BatchedBackend`` would replace this per-item loop with one
-        ``(batch, limbs, N)`` execution over the coalesced payloads;
-        the batcher, admission, and wire layers need no change.
+        The batched-backend seam (ROADMAP open item 1), now filled: runs
+        of same-program plain items execute as one ``(batch, limbs, N)``
+        pass through :func:`run_program_batched`, one evk fetch per
+        key-switch for the whole run. Traced items (per-request Telemetry
+        arms process-global hooks) and programs without a batched runner
+        still run per item. Items are walked as *contiguous runs* in
+        submission order so the tenant encryptor stream matches the
+        sequential path bit for bit.
         """
         results = []
         stats = self.tenants.resilience.stats
         for item in items:
             item.batch_size = len(items)
-            # Snapshot/delta on this (single) executor thread is race-free:
-            # only dispatched work touches the fault ledger.
+        i = 0
+        while i < len(items):
+            item = items[i]
+            if item.trace or program not in BATCHED_PROGRAMS:
+                # Snapshot/delta on this (single) executor thread is
+                # race-free: only dispatched work touches the fault ledger.
+                before = fault_snapshot(stats)
+                try:
+                    if item.trace:
+                        results.append(self._run_traced(tenant, program, item))
+                    else:
+                        results.append(
+                            run_program(
+                                program, tenant.sess, tenant.weights, item.payload
+                            )
+                        )
+                except ReproError as exc:
+                    results.append(exc)
+                finally:
+                    item.fault_events = fault_delta(before, fault_snapshot(stats))
+                i += 1
+                continue
+            j = i
+            while j < len(items) and not items[j].trace:
+                j += 1
+            run = items[i:j]
             before = fault_snapshot(stats)
             try:
-                if item.trace:
-                    results.append(self._run_traced(tenant, program, item))
-                else:
-                    results.append(
-                        run_program(
-                            program, tenant.sess, tenant.weights, item.payload
-                        )
-                    )
+                outs = run_program_batched(
+                    program,
+                    tenant.sess,
+                    tenant.weights,
+                    [it.payload for it in run],
+                )
             except ReproError as exc:
-                results.append(exc)
+                outs = [exc] * len(run)
             finally:
-                item.fault_events = fault_delta(before, fault_snapshot(stats))
+                # The ledger delta is batch-granular: every item in the
+                # run carries the faults its batch absorbed.
+                events = fault_delta(before, fault_snapshot(stats))
+                for it in run:
+                    it.fault_events = events
+            results.extend(outs)
+            self.metrics.observe_batched(program, len(run))
+            i = j
         return results
 
     def _run_traced(self, tenant, program, item):

@@ -9,15 +9,16 @@ is an async callable returning one result per item (an item's slot may
 hold an exception instance, which resolves that request's future
 exceptionally without failing its batch-mates).
 
-This is deliberately the seam for ROADMAP open item 1: today the
-dispatcher loops the batch through one session; a ``BatchedBackend``
-would instead widen the kernel arrays to ``(batch, limbs, N)`` and run
-the coalesced requests in one shot -- nothing above this module changes.
+This is the seam ROADMAP open item 1 called for, now filled: the serve
+dispatcher hands each coalesced batch to the ``BatchedBackend``, which
+widens the kernel arrays to ``(batch * limbs, N)`` and runs the whole
+batch in one shot -- nothing above this module changed when it landed.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 
 from repro.errors import ParameterError, ReproError
 
@@ -41,6 +42,12 @@ class MicroBatcher:
 
     ``on_batch(key, size, waited_s)`` (optional) observes every dispatch
     for the batch-size histogram and queue metrics.
+
+    ``max_concurrency`` (optional) bounds in-flight dispatches and drains
+    flushed batches **round-robin across keys**: a tenant that saturates
+    the coalescing window queues behind its own earlier batches, while
+    other tenants' single batches interleave fairly (ROADMAP open item 2).
+    ``None`` preserves the unbounded fire-on-flush behavior.
     """
 
     def __init__(
@@ -50,25 +57,40 @@ class MicroBatcher:
         max_batch: int = 8,
         window_s: float = 0.005,
         on_batch=None,
+        max_concurrency: int | None = None,
     ):
         if max_batch <= 0:
             raise ParameterError("max_batch must be positive")
         if window_s < 0:
             raise ParameterError("window_s must be non-negative")
+        if max_concurrency is not None and max_concurrency <= 0:
+            raise ParameterError("max_concurrency must be positive")
         self._dispatch = dispatch
         self.max_batch = int(max_batch)
         self.window_s = float(window_s)
+        self.max_concurrency = max_concurrency
         self._groups: dict = {}
         self._tasks: set[asyncio.Task] = set()
         self._on_batch = on_batch
         self._closing = False
+        # Round-robin state (used only when max_concurrency is set): per-key
+        # FIFO of flushed-but-not-dispatched batches, plus the key rotation.
+        self._ready: dict = {}
+        self._rotation: deque = deque()
+        self._active = 0
 
     # ------------------------------------------------------------ submission
 
     @property
     def queued(self) -> int:
         """Requests accepted but not yet dispatched (across all groups)."""
-        return sum(len(g.items) for g in self._groups.values())
+        coalescing = sum(len(g.items) for g in self._groups.values())
+        ready = sum(
+            len(items)
+            for batches in self._ready.values()
+            for items, _futures in batches
+        )
+        return coalescing + ready
 
     async def submit(self, key, item):
         """Enqueue ``item`` under ``key``; returns that item's result."""
@@ -102,9 +124,43 @@ class MicroBatcher:
         waited = loop.time() - group.armed_at
         if self._on_batch is not None:
             self._on_batch(key, len(group.items), waited)
-        task = loop.create_task(self._run(key, group.items, group.futures))
-        self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+        if self.max_concurrency is None:
+            task = loop.create_task(self._run(key, group.items, group.futures))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+            return
+        batches = self._ready.get(key)
+        if batches is None:
+            batches = self._ready[key] = deque()
+            self._rotation.append(key)
+        batches.append((group.items, group.futures))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Dispatch ready batches round-robin up to the concurrency bound.
+
+        A key that still has batches after yielding one goes to the BACK
+        of the rotation, so a saturating key hands the next slot to
+        whoever else is waiting.
+        """
+        loop = asyncio.get_running_loop()
+        while self._rotation and self._active < self.max_concurrency:
+            key = self._rotation.popleft()
+            batches = self._ready[key]
+            items, futures = batches.popleft()
+            if batches:
+                self._rotation.append(key)
+            else:
+                del self._ready[key]
+            self._active += 1
+            task = loop.create_task(self._run(key, items, futures))
+            self._tasks.add(task)
+            task.add_done_callback(self._on_task_done)
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self._active -= 1
+        self._pump()
 
     async def _run(self, key, items, futures) -> None:
         try:
@@ -139,8 +195,19 @@ class MicroBatcher:
         self._closing = True
         for key in list(self._groups):
             self._flush(key)
-        pending = {t for t in self._tasks if not t.done()}
-        if not pending:
-            return True
-        done, still_pending = await asyncio.wait(pending, timeout=timeout)
-        return not still_pending
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            # Under a concurrency bound, flushed batches may still be
+            # waiting in the rotation; keep pumping between waves.
+            if self.max_concurrency is not None:
+                self._pump()
+            pending = {t for t in self._tasks if not t.done()}
+            if not pending:
+                return not self._ready
+            remaining = None if deadline is None else deadline - loop.time()
+            if remaining is not None and remaining <= 0:
+                return False
+            _done, still_pending = await asyncio.wait(pending, timeout=remaining)
+            if still_pending:
+                return False

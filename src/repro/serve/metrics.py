@@ -66,6 +66,16 @@ class ServeMetrics:
             "Micro-batches dispatched, by program",
             labelnames=("program",),
         )
+        self.batched_dispatches = registry.counter(
+            "repro_serve_batched_dispatches_total",
+            "Coalesced runs executed through the batched backend, by program",
+            labelnames=("program",),
+        )
+        self.batched_items = registry.counter(
+            "repro_serve_batched_items_total",
+            "Requests executed inside a batched-backend run, by program",
+            labelnames=("program",),
+        )
         self.queue_depth = registry.gauge(
             "repro_serve_queue_depth",
             "Requests admitted and in flight (queued, batching, or executing)",
@@ -94,6 +104,10 @@ class ServeMetrics:
         self.batches.labels(program=program).inc()
         self.batch_size.observe(size)
         self.batch_wait.observe(waited_s)
+
+    def observe_batched(self, program: str, size: int) -> None:
+        self.batched_dispatches.labels(program=program).inc()
+        self.batched_items.labels(program=program).inc(size)
 
     def observe_rejection(self, endpoint: str, reason: str) -> None:
         self.rejections.labels(endpoint=endpoint, reason=reason).inc()

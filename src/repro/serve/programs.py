@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.batched import BatchedBackend, wrap_batch
 from repro.backend.session import HeSession
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ReproError
 from repro.workloads.helr import SIGMOID_COEFFS
 from repro.workloads.sorting import encrypted_compare_swap
 
@@ -31,6 +32,11 @@ TENANT_ROTATIONS = (1, 2)
 MAX_CONV_TAPS = 3
 
 PROGRAMS = ("helr_score", "compare_swap", "conv_step")
+
+#: Programs whose request shapes admit batched execution. ``conv_step`` is
+#: excluded: its per-item float kernel constants change the op stream per
+#: request, so there is no shared program to widen.
+BATCHED_PROGRAMS = ("helr_score", "compare_swap")
 
 
 def _vector(payload: dict, field: str, *, max_len: int) -> np.ndarray:
@@ -51,14 +57,8 @@ def _vector(payload: dict, field: str, *, max_len: int) -> np.ndarray:
     return arr
 
 
-def helr_score(sess: HeSession, weights: np.ndarray, payload: dict) -> dict:
-    """Encrypted HELR inference: sigmoid(<w, x>) on an encrypted sample.
-
-    The feature vector is encrypted into the tenant's context, the dot
-    product runs as PMult + Min-KS slot sum (rotation by 1, the tenant's
-    ``rot:1`` evk), and the degree-3 sigmoid of the HELR workload is
-    evaluated homomorphically. The score decrypts from slot 0.
-    """
+def _helr_validate(sess: HeSession, weights, payload: dict):
+    """Validate one HELR payload; returns the padded (x, w, width) triple."""
     features = len(weights)
     x = _vector(payload, "x", max_len=sess.params.max_slots)
     if len(x) != features:
@@ -72,8 +72,15 @@ def helr_score(sess: HeSession, weights: np.ndarray, payload: dict) -> dict:
     x_pad[:features] = x
     w_pad = np.zeros(width, dtype=np.complex128)
     w_pad[:features] = weights
-    ct_x = sess.encrypt(x_pad, tag="ct:serve:helr:x")
-    pt_w = sess.plaintext(w_pad, tag="pt:serve:helr:w")
+    return x_pad, w_pad, width, features
+
+
+def _helr_core(sess: HeSession, ct_x, pt_w, width: int):
+    """The HELR op stream after encryption: shared by both execution paths.
+
+    One body means the sequential and batched runners cannot drift; the
+    bit-identity suite holds them to the same ciphertext bits.
+    """
     prods = (ct_x * pt_w).rescale()
     z = sess.slot_sum(prods, width, mode="minks")
     c0, c1, c3 = SIGMOID_COEFFS
@@ -81,19 +88,39 @@ def helr_score(sess: HeSession, weights: np.ndarray, payload: dict) -> dict:
     z3 = (z2 * z).rescale()
     term1 = (z * c1).rescale()
     term3 = (z3 * c3).rescale()
-    p = (term1 + term3) + c0
+    return (term1 + term3) + c0
+
+
+def helr_score(sess: HeSession, weights: np.ndarray, payload: dict) -> dict:
+    """Encrypted HELR inference: sigmoid(<w, x>) on an encrypted sample.
+
+    The feature vector is encrypted into the tenant's context, the dot
+    product runs as PMult + Min-KS slot sum (rotation by 1, the tenant's
+    ``rot:1`` evk), and the degree-3 sigmoid of the HELR workload is
+    evaluated homomorphically. The score decrypts from slot 0.
+    """
+    x_pad, w_pad, width, features = _helr_validate(sess, weights, payload)
+    ct_x = sess.encrypt(x_pad, tag="ct:serve:helr:x")
+    pt_w = sess.plaintext(w_pad, tag="pt:serve:helr:w")
+    p = _helr_core(sess, ct_x, pt_w, width)
     score = float(sess.decrypt(p).real[0])
     return {"score": score, "features": features, "level": p.level}
 
 
-def compare_swap(sess: HeSession, _weights, payload: dict) -> dict:
-    """One encrypted compare-and-swap step of the sorting network."""
+def _cs_validate(sess: HeSession, payload: dict):
+    """Validate one compare_swap payload; returns the (a, b) pair."""
     a = _vector(payload, "a", max_len=sess.params.max_slots)
     b = _vector(payload, "b", max_len=sess.params.max_slots)
     if len(a) != len(b):
         raise ParameterError("fields 'a' and 'b' must have the same length")
     if np.max(np.abs(a)) > 1 or np.max(np.abs(b)) > 1:
         raise ParameterError("compare_swap operands must lie in [-1, 1]")
+    return a, b
+
+
+def compare_swap(sess: HeSession, _weights, payload: dict) -> dict:
+    """One encrypted compare-and-swap step of the sorting network."""
+    a, b = _cs_validate(sess, payload)
     ct_a = sess.encrypt(a.astype(np.complex128), tag="ct:serve:sort:a")
     ct_b = sess.encrypt(b.astype(np.complex128), tag="ct:serve:sort:b")
     ct_min, ct_max = encrypted_compare_swap(sess, ct_a, ct_b)
@@ -151,3 +178,150 @@ def run_program(program: str, sess: HeSession, weights, payload: dict) -> dict:
             f"unknown program {program!r} (known: {sorted(_RUNNERS)})"
         )
     return runner(sess, weights, payload)
+
+
+# --------------------------------------------------------- batched runners
+#
+# The batched runners must produce responses bit-identical to running the
+# same payloads one by one through ``run_program``. Two invariants carry
+# that guarantee:
+#
+# 1. **Encryptor stream order.** The tenant context holds one sequential
+#    RNG stream and validation/compute consume none of it, so encrypting
+#    all valid items in submission order (a then b per compare_swap item)
+#    draws exactly the randomness the sequential path would.
+# 2. **Shared op cores.** The same ``_helr_core`` / workload function runs
+#    over the batched session, and every BatchedBackend op is row-for-row
+#    bit-identical to the evaluator (property-tested in tests/backend/).
+
+
+def _merge_batched_counters(sess: HeSession, bsess: HeSession) -> None:
+    """Fold a batched run's op accounting into the tenant session.
+
+    The tenant's ``repro_ops_total`` / evk-usage metrics are collected
+    from ``tenant.sess.backend``; without this, batched requests would be
+    invisible to the op surface.
+    """
+    sess.backend.op_counts.update(bsess.backend.op_counts)
+    sess.backend.evk_usage.update(bsess.backend.evk_usage)
+
+
+def _helr_batched(sess: HeSession, weights, payloads):
+    results: list = [None] * len(payloads)
+    prepared = []
+    for i, payload in enumerate(payloads):
+        try:
+            prepared.append((i, _helr_validate(sess, weights, payload)))
+        except ReproError as exc:
+            results[i] = exc
+    if not prepared:
+        return results
+    ctx = sess.ctx
+    if ctx is None:  # non-functional tenant backend: no batch to widen
+        for i, _ in prepared:
+            try:
+                results[i] = helr_score(sess, weights, payloads[i])
+            except ReproError as exc:
+                results[i] = exc
+        return results
+    # All valid items share the tenant's (weights-derived) width, so the
+    # whole batch is one group.
+    _, (_, w_pad, width, features) = prepared[0]
+    bsess = HeSession(BatchedBackend(ctx))
+    try:
+        xs = np.stack([spec[0] for _, spec in prepared])
+        ct_x = bsess.encrypt(xs, tag="ct:serve:helr:x")
+        pt_w = bsess.plaintext(w_pad, tag="pt:serve:helr:w")
+        p = _helr_core(bsess, ct_x, pt_w, width)
+        scores = bsess.decrypt(p)  # (batch, slots)
+        for row, (i, _) in enumerate(prepared):
+            results[i] = {
+                "score": float(scores[row].real[0]),
+                "features": features,
+                "level": p.level,
+            }
+    except ReproError as exc:
+        for i, _ in prepared:
+            if results[i] is None:
+                results[i] = exc
+    finally:
+        _merge_batched_counters(sess, bsess)
+    return results
+
+
+def _cs_batched(sess: HeSession, _weights, payloads):
+    results: list = [None] * len(payloads)
+    prepared = []
+    for i, payload in enumerate(payloads):
+        try:
+            a, b = _cs_validate(sess, payload)
+            prepared.append((i, a, b))
+        except ReproError as exc:
+            results[i] = exc
+    if not prepared:
+        return results
+    ctx = sess.ctx
+    if ctx is None:
+        for i, _a, _b in prepared:
+            try:
+                results[i] = compare_swap(sess, None, payloads[i])
+            except ReproError as exc:
+                results[i] = exc
+        return results
+    # Encrypt in submission order (a then b per item) BEFORE grouping:
+    # grouping only the compute keeps the encryptor stream sequential.
+    encrypted = []
+    for i, a, b in prepared:
+        ct_a = ctx.encrypt(a.astype(np.complex128))
+        ct_b = ctx.encrypt(b.astype(np.complex128))
+        encrypted.append((i, len(a), ct_a, ct_b))
+    sess.backend.op_counts.update({"input_ct": 2 * len(encrypted)})
+    # Batch members must share slot counts, so group by vector length in
+    # first-appearance order; mixed-length batches become a few groups.
+    groups: dict[int, list] = {}
+    for member in encrypted:
+        groups.setdefault(member[1], []).append(member)
+    for n, members in groups.items():
+        bsess = HeSession(BatchedBackend(ctx))
+        try:
+            ha = wrap_batch(bsess, [m[2] for m in members])
+            hb = wrap_batch(bsess, [m[3] for m in members])
+            ct_min, ct_max = encrypted_compare_swap(bsess, ha, hb)
+            mins = bsess.decrypt(ct_min)
+            maxs = bsess.decrypt(ct_max)
+            for row, (i, _n, _a, _b) in enumerate(members):
+                results[i] = {
+                    "min": mins[row].real[:n].tolist(),
+                    "max": maxs[row].real[:n].tolist(),
+                    "level": ct_min.level,
+                }
+        except ReproError as exc:
+            for m in members:
+                if results[m[0]] is None:
+                    results[m[0]] = exc
+        finally:
+            _merge_batched_counters(sess, bsess)
+    return results
+
+
+_BATCHED_RUNNERS = {
+    "helr_score": _helr_batched,
+    "compare_swap": _cs_batched,
+}
+
+
+def run_program_batched(program: str, sess: HeSession, weights, payloads):
+    """Execute one program over many payloads as one batched run.
+
+    Returns one entry per payload, in order: a result dict, or the
+    :class:`~repro.errors.ReproError` that item raised (validation errors
+    stay per-item; a failure inside a batched group poisons every item in
+    that group with the same typed error).
+    """
+    runner = _BATCHED_RUNNERS.get(program)
+    if runner is None:
+        raise ParameterError(
+            f"program {program!r} has no batched runner "
+            f"(batchable: {sorted(_BATCHED_RUNNERS)})"
+        )
+    return runner(sess, weights, payloads)

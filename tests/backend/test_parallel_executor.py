@@ -1,0 +1,94 @@
+"""ParallelExecutor tests: shard planning, the shipping-cost model, and
+bit-identity of pool results against the single-process batched run."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backend.parallel import (
+    PARALLEL_PROGRAMS,
+    ParallelExecutor,
+    plan_shards,
+)
+from repro.ckks.context import CkksContext
+from repro.errors import ParameterError
+from repro.params import TOY
+from repro.rng import SEED_BYTES
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(TOY, seed=21)
+
+
+@pytest.fixture(scope="module")
+def cts(ctx):
+    rng = np.random.default_rng(3)
+    slots = ctx.params.max_slots
+    return [
+        ctx.encrypt(rng.uniform(-1, 1, slots).astype(np.complex128))
+        for _ in range(4)
+    ]
+
+
+def test_plan_splits_evenly_and_never_overshoots():
+    plan = plan_shards(10, TOY, max_workers=4)
+    assert plan.workers == 4
+    assert plan.bounds == ((0, 3), (3, 6), (6, 8), (8, 10))
+    assert plan_shards(2, TOY, max_workers=8).workers == 2  # batch-bound
+    with pytest.raises(ParameterError):
+        plan_shards(0, TOY)
+
+
+def test_plan_cost_model_prefers_seeded_shipping():
+    """The seed-only scheme ships SEED_BYTES per worker; eager shipping
+    pays full evk bytes per distinct key per worker -- orders of magnitude
+    more, which is the whole point of the paper's seeded keys here."""
+    usage = {"evk:mult": 12, "evk:rot:1": 7, "evk:conj": 1}
+    plan = plan_shards(8, TOY, evk_usage=usage, max_workers=2)
+    assert plan.evk_ship_bytes_seeded == 2 * SEED_BYTES
+    assert plan.evk_ship_bytes_eager == 2 * 3 * TOY.evk_bytes()
+    assert plan.evk_ship_bytes_seeded < plan.evk_ship_bytes_eager / 1000
+
+
+def test_inline_single_worker_matches_evaluator(ctx, cts):
+    ex = ParallelExecutor(TOY, seed=21, max_workers=1, ctx=ctx)
+    outs = ex.run("square", [ct.copy() for ct in cts])
+    assert ex.last_plan.workers == 1
+    for ct, out in zip(cts, outs):
+        ref = ctx.evaluator.rescale(ctx.evaluator.mul(ct, ct, ctx.keys.mult))
+        assert np.array_equal(ref.b.data, out.b.data)
+        assert np.array_equal(ref.a.data, out.a.data)
+        assert ref.scale == out.scale and ref.moduli == out.moduli
+
+
+def test_pool_results_match_inline_bit_for_bit(ctx, cts):
+    """Forced 2-worker pool (works even on 1 core; slower, still correct):
+    workers regenerate keys from the seed and must land on the same bits."""
+    inline = ParallelExecutor(TOY, seed=21, max_workers=1, ctx=ctx).run(
+        "square", [ct.copy() for ct in cts]
+    )
+    pooled = ParallelExecutor(TOY, seed=21, max_workers=2).run(
+        "square", [ct.copy() for ct in cts]
+    )
+    for a, b in zip(inline, pooled):
+        assert np.array_equal(a.b.data, b.b.data)
+        assert np.array_equal(a.a.data, b.a.data)
+        assert a.scale == b.scale and a.moduli == b.moduli and a.slots == b.slots
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="pool scaling needs multiple cores"
+)
+def test_pool_uses_available_cores(ctx, cts):
+    ex = ParallelExecutor(TOY, seed=21)
+    ex.run("square", [ct.copy() for ct in cts])
+    assert ex.last_plan.workers >= 2
+
+
+def test_unknown_program_is_typed(ctx, cts):
+    ex = ParallelExecutor(TOY, seed=21, max_workers=1, ctx=ctx)
+    with pytest.raises(ParameterError):
+        ex.run("nope", cts)
+    assert "square" in PARALLEL_PROGRAMS

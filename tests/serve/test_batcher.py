@@ -141,6 +141,68 @@ def test_drain_flushes_queued_work_and_refuses_new():
 
 
 def test_invalid_parameters_rejected():
-    for kwargs in ({"max_batch": 0}, {"window_s": -1.0}):
+    for kwargs in ({"max_batch": 0}, {"window_s": -1.0}, {"max_concurrency": 0}):
         with pytest.raises(ParameterError):
             MicroBatcher(Recorder(), **kwargs)
+
+
+class SlowRecorder:
+    """A dispatch stub that records batch ORDER and yields between batches."""
+
+    def __init__(self):
+        self.order = []
+
+    async def __call__(self, key, items):
+        self.order.append((key, list(items)))
+        await asyncio.sleep(0.002)
+        return [f"r:{item}" for item in items]
+
+
+def test_round_robin_drains_across_keys():
+    """A tenant saturating the window must not starve other tenants.
+
+    Tenant A floods four full batches; tenant B submits one. With
+    ``max_concurrency=1`` the rotation must interleave B's batch after
+    A's *first* batch rather than after A's whole backlog.
+    """
+
+    async def main():
+        dispatch = SlowRecorder()
+        batcher = MicroBatcher(
+            dispatch, max_batch=2, window_s=10.0, max_concurrency=1
+        )
+        a_subs = [
+            asyncio.ensure_future(batcher.submit(("a", "p"), i)) for i in range(8)
+        ]
+        await asyncio.sleep(0)  # A's four size-triggered batches are queued
+        b_sub = asyncio.ensure_future(batcher.submit(("b", "p"), "b0"))
+        await asyncio.sleep(0)
+        batcher._flush(("b", "p"))  # B's singleton would otherwise wait out the window
+        await asyncio.gather(*a_subs, b_sub)
+        keys = [key for key, _ in dispatch.order]
+        assert keys.count(("a", "p")) == 4 and keys.count(("b", "p")) == 1
+        # B interleaves into A's backlog (behind at most the batch already
+        # in flight plus one rotation step), instead of waiting out all
+        # four of A's queued batches.
+        assert keys.index(("b", "p")) <= 2
+
+    run(main())
+
+
+def test_concurrency_bound_results_and_drain_stay_correct():
+    async def main():
+        dispatch = SlowRecorder()
+        batcher = MicroBatcher(
+            dispatch, max_batch=2, window_s=10.0, max_concurrency=1
+        )
+        subs = [
+            asyncio.ensure_future(batcher.submit((t, "p"), f"{t}{i}"))
+            for t in ("a", "b", "c")
+            for i in range(2)
+        ]
+        await asyncio.sleep(0)
+        assert await batcher.drain(timeout=5.0)
+        results = await asyncio.gather(*subs)
+        assert results == [f"r:{t}{i}" for t in ("a", "b", "c") for i in range(2)]
+
+    run(main())
